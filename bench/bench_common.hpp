@@ -1,0 +1,43 @@
+// Shared plumbing for the experiment binaries: the protocol set the papers'
+// simulation study compares, header banners, and a formatter for
+// mean ± 95% confidence cells.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+namespace rdt::bench {
+
+// The dependency-tracking protocols the study sweeps (baseline first). CBR
+// is included as the classic upper bound; NRAS as the piggyback-free one.
+inline const std::vector<ProtocolKind>& study_protocols() {
+  static const std::vector<ProtocolKind> kinds = {
+      ProtocolKind::kCbr,          ProtocolKind::kNras,
+      ProtocolKind::kFdi,          ProtocolKind::kFdas,
+      ProtocolKind::kBhmrC1Only,   ProtocolKind::kBhmrNoSimple,
+      ProtocolKind::kBhmr};
+  return kinds;
+}
+
+inline std::string pm(const Summary& s, int precision = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << s.mean << " ±"
+     << std::setprecision(precision) << s.ci95;
+  return os.str();
+}
+
+inline void banner(const std::string& experiment, const std::string& what) {
+  std::cout << "==================================================================\n"
+            << experiment << " — " << what << '\n'
+            << "metric R = forced checkpoints / basic checkpoints "
+               "(lower is better)\n"
+            << "==================================================================\n";
+}
+
+}  // namespace rdt::bench

@@ -1,0 +1,89 @@
+// Experiment E13 — coordinated vs communication-induced checkpointing: the
+// paper's introduction contrast, measured. Chandy–Lamport buys each
+// consistent global checkpoint with a flood of control messages, FIFO
+// channels and snapshot latency; communication-induced checkpointing pays
+// piggyback bytes and forced checkpoints but needs no control traffic, no
+// channel assumptions, and every checkpoint is *continuously* covered
+// (Corollary 4.5 gives a consistent global checkpoint per local checkpoint,
+// not per coordination round).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "des/apps.hpp"
+#include "des/snapshot.hpp"
+
+namespace {
+
+using namespace rdt;
+using namespace rdt::bench;
+
+}  // namespace
+
+int main() {
+  std::cout
+      << "==================================================================\n"
+         "E13 (coordinated vs communication-induced) — the intro's contrast\n"
+         "==================================================================\n";
+  const int seeds = 6;
+  Table table({"n", "CL control msgs/snapshot", "CL latency", "CL needs FIFO",
+               "BHMR control msgs", "BHMR piggyback B/msg",
+               "BHMR consistent cuts"});
+  for (int n : {4, 8, 16}) {
+    RunningStats latency;
+    long long markers = 0;
+    RunningStats cuts;  // local checkpoints, each with its min consistent GC
+    double piggy_bytes = 0;
+    for (int s = 1; s <= seeds; ++s) {
+      // Coordinated: one Chandy–Lamport round over gossip traffic.
+      auto log = std::make_shared<des::SnapshotLog>(n);
+      des::SimConfig cl;
+      cl.protocol = ProtocolKind::kNoForce;
+      cl.horizon = 60.0;
+      cl.fifo_channels = true;
+      cl.seed = static_cast<std::uint64_t>(s);
+      des::run_simulation(
+          n,
+          des::chandy_lamport_app(
+              des::gossip_app(std::make_shared<des::GossipStats>(), 0.8, 0.4,
+                              0.0),
+              log, 0, 20.0),
+          cl);
+      markers += log->markers_sent;
+      double last = 20.0;
+      for (const auto& cut : log->cuts) last = std::max(last, cut.recorded_at);
+      latency.add(last - 20.0);
+
+      // Communication-induced: the same traffic under BHMR, basic
+      // checkpoints at a comparable rate.
+      des::SimConfig cic = cl;
+      cic.protocol = ProtocolKind::kBhmr;
+      cic.fifo_channels = false;  // no channel assumption needed
+      cic.basic_ckpt_mean = 20.0;
+      const des::SimResult run = des::run_simulation(
+          n,
+          des::gossip_app(std::make_shared<des::GossipStats>(), 0.8, 0.4, 0.0),
+          cic);
+      cuts.add(static_cast<double>(run.basic + run.forced));
+      piggy_bytes = static_cast<double>(
+                        make_protocol(ProtocolKind::kBhmr, n, 0)->piggyback_bits()) /
+                    8.0;
+    }
+    table.begin_row()
+        .add(n)
+        .add(markers / seeds)
+        .add(pm(latency.summary(), 2))
+        .add("yes")
+        .add(0)
+        .add(piggy_bytes, 0)
+        .add(pm(cuts.summary(), 0));
+  }
+  table.print(std::cout);
+  std::cout
+      << "\none Chandy–Lamport round = one consistent cut for n(n-1) control\n"
+         "messages plus the FIFO assumption; the CIC protocol recovers a\n"
+         "consistent global checkpoint for EVERY local checkpoint (last "
+         "column),\nwith zero control messages, paying instead with "
+         "piggybacked bytes and\nforced checkpoints on the application's own "
+         "traffic.\n";
+  return 0;
+}

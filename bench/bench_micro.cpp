@@ -1,0 +1,115 @@
+// Experiment E8 — microbenchmarks (google-benchmark): the constant-factor
+// costs behind the protocol and analysis layers.
+//
+//  * per-event protocol cost (send payload construction, delivery decision
+//    + merge) for each protocol as n grows — the price of the O(n^2)
+//    control structures;
+//  * pattern analyses: TDV replay, chain analysis, R-graph closure, full
+//    RDT report;
+//  * recovery-line computation (fixpoint vs R-graph propagation).
+#include <benchmark/benchmark.h>
+
+#include "core/global_checkpoint.hpp"
+#include "core/rdt_checker.hpp"
+#include "recovery/recovery_line.hpp"
+#include "sim/environments.hpp"
+#include "sim/replay.hpp"
+
+namespace {
+
+using namespace rdt;
+
+Trace make_trace(int n, double duration, std::uint64_t seed = 3) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = n;
+  cfg.duration = duration;
+  cfg.basic_ckpt_mean = 10.0;
+  cfg.seed = seed;
+  return random_environment(cfg);
+}
+
+void BM_ProtocolReplay(benchmark::State& state, ProtocolKind kind) {
+  const int n = static_cast<int>(state.range(0));
+  const Trace trace = make_trace(n, 200.0);
+  for (auto _ : state) {
+    const ReplayResult r = replay(trace, kind);
+    benchmark::DoNotOptimize(r.forced);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long long>(trace.ops.size()));
+  state.counters["msgs"] = static_cast<double>(trace.num_messages());
+}
+
+void BM_TdvReplay(benchmark::State& state) {
+  const Trace trace = make_trace(8, static_cast<double>(state.range(0)));
+  const Pattern p = replay(trace, ProtocolKind::kFdas).pattern;
+  for (auto _ : state) {
+    const TdvAnalysis tdv(p);
+    benchmark::DoNotOptimize(tdv.at_ckpt({0, 0}));
+  }
+  state.SetItemsProcessed(state.iterations() * p.total_events());
+}
+
+void BM_ChainAnalysis(benchmark::State& state) {
+  const Trace trace = make_trace(8, static_cast<double>(state.range(0)));
+  const Pattern p = replay(trace, ProtocolKind::kFdas).pattern;
+  for (auto _ : state) {
+    const ChainAnalysis chains(p);
+    benchmark::DoNotOptimize(chains.noncausal_junctions().size());
+  }
+}
+
+void BM_RGraphClosure(benchmark::State& state) {
+  const Trace trace = make_trace(8, static_cast<double>(state.range(0)));
+  const Pattern p = replay(trace, ProtocolKind::kFdas).pattern;
+  const RGraph g(p);
+  for (auto _ : state) {
+    const ReachabilityClosure closure(g);
+    benchmark::DoNotOptimize(closure.reach(0, g.num_nodes() - 1));
+  }
+  state.counters["nodes"] = static_cast<double>(g.num_nodes());
+}
+
+void BM_FullRdtReport(benchmark::State& state) {
+  const Trace trace = make_trace(6, static_cast<double>(state.range(0)));
+  const Pattern p = replay(trace, ProtocolKind::kNoForce).pattern;
+  for (auto _ : state) {
+    const RdtReport r = analyze_rdt(p);
+    benchmark::DoNotOptimize(r.definitional.ok);
+  }
+}
+
+void BM_RecoveryLineFixpoint(benchmark::State& state) {
+  const Trace trace = make_trace(8, static_cast<double>(state.range(0)));
+  const Pattern p = replay(trace, ProtocolKind::kNoForce).pattern;
+  const GlobalCkpt upper = last_durable(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(max_consistent_leq(p, upper));
+  }
+}
+
+void BM_RecoveryLineRGraph(benchmark::State& state) {
+  const Trace trace = make_trace(8, static_cast<double>(state.range(0)));
+  const Pattern p = replay(trace, ProtocolKind::kNoForce).pattern;
+  const GlobalCkpt upper = last_durable(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(recovery_line_rgraph(p, upper));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_ProtocolReplay, nras, ProtocolKind::kNras)
+    ->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK_CAPTURE(BM_ProtocolReplay, fdas, ProtocolKind::kFdas)
+    ->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK_CAPTURE(BM_ProtocolReplay, bhmr, ProtocolKind::kBhmr)
+    ->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_TdvReplay)->Arg(100)->Arg(400);
+BENCHMARK(BM_ChainAnalysis)->Arg(100)->Arg(400);
+BENCHMARK(BM_RGraphClosure)->Arg(100)->Arg(400);
+BENCHMARK(BM_FullRdtReport)->Arg(50)->Arg(150);
+BENCHMARK(BM_RecoveryLineFixpoint)->Arg(100)->Arg(400);
+BENCHMARK(BM_RecoveryLineRGraph)->Arg(100)->Arg(400);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// Experiment E1 — "R in random (uniform point-to-point) environments".
+//
+// Reproduces the study's first simulation figure: the forced-checkpoint
+// overhead R of every protocol as the basic-checkpoint period and the
+// process count vary, under uniformly random communication. Expected shape:
+// R(CBR) >> R(NRAS) >= R(FDI) >= R(FDAS) >= R(V2) >= R(V1) >= R(BHMR), with
+// R rising as basic checkpoints become rarer (more messages per interval
+// means more junctions to break).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "sim/environments.hpp"
+
+namespace {
+
+using namespace rdt;
+using namespace rdt::bench;
+
+void sweep_ckpt_period(int num_processes, int seeds) {
+  Table table({"basic-ckpt period", "msgs/interval", "CBR", "NRAS", "FDI",
+               "FDAS", "BHMR-V2", "BHMR-V1", "BHMR"});
+  for (double period : {2.0, 5.0, 10.0, 20.0, 40.0}) {
+    auto generate = [&](std::uint64_t seed) {
+      RandomEnvConfig cfg;
+      cfg.num_processes = num_processes;
+      cfg.duration = 400.0;
+      cfg.send_gap_mean = 1.0;
+      cfg.basic_ckpt_mean = period;
+      cfg.seed = seed;
+      return random_environment(cfg);
+    };
+    const auto stats = sweep(generate, study_protocols(), seeds);
+    table.begin_row().add(period, 1);
+    // Messages a process handles per basic-checkpoint interval: sends plus
+    // deliveries, i.e. 2 * period / send_gap_mean in expectation.
+    table.add(2.0 * period, 1);
+    for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
+  }
+  std::cout << "\nn = " << num_processes << " processes, " << seeds
+            << " seeds per point\n";
+  table.print(std::cout);
+}
+
+void sweep_process_count(int seeds) {
+  Table table({"n", "CBR", "NRAS", "FDI", "FDAS", "BHMR-V2", "BHMR-V1",
+               "BHMR"});
+  for (int n : {4, 8, 16}) {
+    auto generate = [&](std::uint64_t seed) {
+      RandomEnvConfig cfg;
+      cfg.num_processes = n;
+      cfg.duration = 400.0;
+      cfg.send_gap_mean = 1.0;
+      cfg.basic_ckpt_mean = 10.0;
+      cfg.seed = seed;
+      return random_environment(cfg);
+    };
+    const auto stats = sweep(generate, study_protocols(), seeds);
+    table.begin_row().add(n);
+    for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
+  }
+  std::cout << "\nbasic-checkpoint period = 10 x send gap, " << seeds
+            << " seeds per point\n";
+  table.print(std::cout);
+}
+
+void fifo_ablation(int seeds) {
+  Table table({"channels", "NRAS", "FDAS", "BHMR"});
+  const std::vector<ProtocolKind> kinds{ProtocolKind::kNras,
+                                        ProtocolKind::kFdas,
+                                        ProtocolKind::kBhmr};
+  for (bool fifo : {false, true}) {
+    auto generate = [&](std::uint64_t seed) {
+      RandomEnvConfig cfg;
+      cfg.num_processes = 8;
+      cfg.duration = 400.0;
+      cfg.basic_ckpt_mean = 10.0;
+      cfg.fifo_channels = fifo;
+      cfg.seed = seed;
+      return random_environment(cfg);
+    };
+    const auto stats = sweep(generate, kinds, seeds);
+    table.begin_row().add(fifo ? "FIFO" : "non-FIFO");
+    for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
+  }
+  std::cout << "\nchannel-discipline ablation (n=8, period 10): the model "
+               "assumes nothing about\nchannel order; FIFO links barely move "
+               "R because non-causal junctions come from\ncross-channel "
+               "races, not per-channel reordering\n";
+  table.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  banner("E1 (random environments)",
+         "forced-checkpoint overhead under uniform point-to-point traffic");
+  const int seeds = 10;
+  sweep_ckpt_period(/*num_processes=*/8, seeds);
+  sweep_process_count(seeds);
+  fifo_ablation(seeds);
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Rollback recovery after a crash: the domino effect, and how a
+// communication-induced checkpointing protocol kills it.
+//
+// Two runs of the same adversarial ping-pong application, one with
+// independent checkpoints only, one under the BHMR protocol. After P0
+// crashes we compute the recovery line (the maximum consistent global
+// checkpoint below the last durable states) and report how much work every
+// process loses.
+#include <iostream>
+
+#include "ccp/pattern_io.hpp"
+#include "recovery/domino.hpp"
+#include "recovery/recovery_line.hpp"
+#include "sim/replay.hpp"
+#include "util/table.hpp"
+
+using namespace rdt;
+
+namespace {
+
+Trace ping_pong(int rounds) {
+  TraceBuilder tb(2);
+  double t = 0;
+  for (int r = 0; r < rounds; ++r) {
+    tb.send(0, 1, t + 0.1, t + 0.4);
+    tb.basic_ckpt(1, t + 0.5);
+    tb.send(1, 0, t + 0.6, t + 0.9);
+    tb.basic_ckpt(0, t + 1.0);
+    t += 1.0;
+  }
+  return tb.build();
+}
+
+void report(const char* title, const Pattern& pattern) {
+  std::cout << title << '\n' << render_ascii(pattern);
+  const RecoveryOutcome out = recover_after_failure(pattern, /*failed=*/0);
+  Table table({"process", "last durable ckpt", "restarts from", "intervals lost"});
+  const GlobalCkpt durable = last_durable(pattern);
+  for (ProcessId p = 0; p < pattern.num_processes(); ++p)
+    table.begin_row()
+        .add("P" + std::to_string(p))
+        .add(durable.indices[static_cast<std::size_t>(p)])
+        .add(out.line.indices[static_cast<std::size_t>(p)])
+        .add(out.rollback_intervals[static_cast<std::size_t>(p)]);
+  table.print(std::cout);
+  std::cout << "total work lost: " << out.total_rollback
+            << " checkpoint intervals\n\n";
+}
+
+}  // namespace
+
+int main() {
+  const int rounds = 6;
+  std::cout << "ping-pong application, " << rounds
+            << " rounds; P0 crashes at the end.\n\n";
+
+  // The textbook domino pattern, straight from the generator.
+  report("=== independent (basic-only) checkpointing — the domino effect ===",
+         replay(ping_pong(rounds), ProtocolKind::kNoForce).pattern);
+
+  report("=== same application under the BHMR protocol ===",
+         replay(ping_pong(rounds), ProtocolKind::kBhmr).pattern);
+
+  std::cout << "The baseline cascades to the initial states: every ping-pong\n"
+               "round adds another pair of checkpoints that cannot survive\n"
+               "together (each lies on a zigzag cycle). The protocol's forced\n"
+               "checkpoints break every such cycle as it forms, so the crash\n"
+               "costs a bounded amount of work no matter how long the\n"
+               "computation ran.\n";
+  return 0;
+}

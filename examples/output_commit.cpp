@@ -1,0 +1,84 @@
+// Output commit — another dependability problem the paper names (Section 1).
+//
+// A process about to release an *external output* (print a cheque, fire a
+// missile, answer a client outside the system) must be sure the state that
+// produced it can never be rolled back: every local state the output
+// causally depends on must be covered by durable checkpoints that will
+// survive any future recovery. The test is exactly "is the minimum
+// consistent global checkpoint containing my current checkpoint already on
+// stable storage?" — which, under an RDT-ensuring protocol, is a local
+// vector comparison (Corollary 4.5).
+//
+// This example simulates a run, then walks P_0's checkpoints asking, for
+// each, how long an output produced there would have had to wait before
+// commit, and contrasts the exact RDT answer with the conservative
+// "wait until everyone checkpointed everything" fallback a system without
+// dependency tracking must use.
+#include <iostream>
+#include <sstream>
+
+#include "core/global_checkpoint.hpp"
+#include "core/rdt_checker.hpp"
+#include "sim/environments.hpp"
+#include "sim/replay.hpp"
+#include "util/table.hpp"
+
+using namespace rdt;
+
+int main() {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 6;
+  cfg.duration = 60;
+  cfg.basic_ckpt_mean = 8.0;
+  cfg.seed = 99;
+  const Trace trace = random_environment(cfg);
+  const ReplayResult run = replay(trace, ProtocolKind::kBhmr);
+  const Pattern& p = run.pattern;
+  std::cout << "random environment, n = 6, BHMR protocol: " << run.basic
+            << " basic + " << run.forced << " forced checkpoints, RDT "
+            << (satisfies_rdt(p) ? "holds" : "violated") << "\n\n";
+
+  // An output produced in interval I_{0,x+1} (right after C_{0,x}) depends
+  // on everything C_{0,x} depends on. It may be committed once every
+  // component of min-consistent-global-checkpoint(C_{0,x}) is durable.
+  // Here "durable" unfolds over time: checkpoint C_{j,y} becomes stable the
+  // moment it is taken; we measure how many OTHER-process checkpoints the
+  // output has to wait for (0 = commit immediately).
+  Table table({"output after", "commit barrier (RDT, exact)",
+               "ckpts it waits for", "blind barrier (no tracking)"});
+  const ProcessId producer = 0;
+  for (CkptIndex x = 1; x <= p.last_ckpt(producer) && table.num_rows() < 10;
+       ++x) {
+    if (p.ckpt_is_virtual(producer, x)) break;
+    GlobalCkpt barrier;
+    barrier.indices = run.saved_tdvs[static_cast<std::size_t>(producer)]
+                                    [static_cast<std::size_t>(x)];
+    barrier.indices[static_cast<std::size_t>(producer)] = x;
+
+    long long waits = 0;
+    std::ostringstream cell;
+    cell << barrier;
+    for (ProcessId j = 0; j < p.num_processes(); ++j)
+      if (j != producer) waits += barrier.indices[static_cast<std::size_t>(j)];
+
+    // Without dependency tracking the system cannot rule out a dependency
+    // on anything that happened anywhere: it must wait for a full
+    // coordinated checkpoint of all processes' current states.
+    long long blind = 0;
+    for (ProcessId j = 0; j < p.num_processes(); ++j)
+      if (j != producer) blind += p.last_ckpt(j);
+
+    table.begin_row()
+        .add("C(0," + std::to_string(x) + ")")
+        .add(cell.str())
+        .add(waits)
+        .add(blind);
+  }
+  table.print(std::cout);
+  std::cout << "\nWith RDT the commit barrier is the saved dependency vector "
+               "itself: the output\nwaits only for the checkpoints it "
+               "actually depends on — early outputs commit\nalmost "
+               "immediately. Without trackable dependencies the only safe "
+               "barrier is a\nfull global checkpoint of the entire system.\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Side-by-side protocol comparison on a chosen environment — an
+// interactive, smaller sibling of the bench_* experiment binaries.
+//
+// Usage: protocol_comparison [random|group|client-server] [seeds]
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "core/rdt_checker.hpp"
+#include "sim/environments.hpp"
+#include "sim/runner.hpp"
+#include "util/table.hpp"
+
+using namespace rdt;
+
+int main(int argc, char** argv) {
+  const std::string env = argc > 1 ? argv[1] : "random";
+  const int seeds = argc > 2 ? std::stoi(argv[2]) : 5;
+
+  std::function<Trace(std::uint64_t)> generate;
+  if (env == "random") {
+    generate = [](std::uint64_t seed) {
+      RandomEnvConfig cfg;
+      cfg.num_processes = 8;
+      cfg.duration = 200;
+      cfg.basic_ckpt_mean = 10.0;
+      cfg.seed = seed;
+      return random_environment(cfg);
+    };
+  } else if (env == "group") {
+    generate = [](std::uint64_t seed) {
+      GroupEnvConfig cfg;
+      cfg.num_groups = 4;
+      cfg.group_size = 4;
+      cfg.overlap = 1;
+      cfg.duration = 200;
+      cfg.basic_ckpt_mean = 10.0;
+      cfg.seed = seed;
+      return group_environment(cfg);
+    };
+  } else if (env == "client-server") {
+    generate = [](std::uint64_t seed) {
+      ClientServerEnvConfig cfg;
+      cfg.num_servers = 8;
+      cfg.num_requests = 150;
+      cfg.basic_ckpt_mean = 10.0;
+      cfg.seed = seed;
+      return client_server_environment(cfg);
+    };
+  } else {
+    std::cerr << "usage: " << argv[0]
+              << " [random|group|client-server] [seeds]\n";
+    return 1;
+  }
+
+  std::cout << "environment: " << env << ", " << seeds << " seed(s)\n\n";
+  const auto stats = sweep(generate, all_protocol_kinds(), seeds);
+
+  Table table({"protocol", "R = forced/basic", "forced/message",
+               "piggyback bits/msg", "ensures RDT"});
+  for (const ProtocolStats& s : stats) {
+    // Verify the RDT guarantee on one replayed pattern per protocol.
+    const ReplayResult one = replay(generate(1), s.kind);
+    table.begin_row()
+        .add(to_string(s.kind))
+        .add(s.r_forced_per_basic.mean, 3)
+        .add(s.forced_per_message.mean, 3)
+        .add(s.piggyback_bits.mean, 0)
+        .add(satisfies_rdt(one.pattern) ? "yes" : "NO");
+  }
+  table.print(std::cout);
+  std::cout << "\nno-force takes no forced checkpoints and (generally) "
+               "violates RDT;\nevery other protocol guarantees it at "
+               "decreasing cost from CBR down to BHMR.\n";
+  return 0;
+}

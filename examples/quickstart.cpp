@@ -1,0 +1,114 @@
+// Quickstart: the library in one file.
+//
+//  1. Describe a distributed computation (who sends what, who checkpoints
+//     when) with PatternBuilder — here, the paper's Figure 1.
+//  2. Ask the analyzer whether the checkpoints satisfy Rollback-Dependency
+//     Trackability, and see the hidden dependency it pinpoints.
+//  3. Re-run the same computation under the paper's communication-induced
+//     checkpointing protocol and watch the hidden dependency disappear at
+//     the cost of a few forced checkpoints.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build &&
+//               ./build/examples/quickstart
+#include <iostream>
+
+#include "ccp/builder.hpp"
+#include "ccp/pattern_io.hpp"
+#include "core/rdt_checker.hpp"
+#include "sim/replay.hpp"
+
+using namespace rdt;
+
+namespace {
+
+// The checkpoint-and-communication pattern of the paper's Figure 1
+// (processes P_i = 0, P_j = 1, P_k = 2; messages m1..m7 = ids 0..6).
+Pattern figure1() {
+  PatternBuilder b(3);
+  const MsgId m1 = b.send(0, 1);
+  const MsgId m3 = b.send(2, 1);
+  b.deliver(m1);
+  const MsgId m2 = b.send(1, 0);
+  b.deliver(m3);
+  b.checkpoint(0);
+  b.checkpoint(1);
+  b.checkpoint(2);
+  b.deliver(m2);
+  b.checkpoint(0);
+  const MsgId m5 = b.send(0, 1);
+  const MsgId m4 = b.send(1, 2);
+  b.deliver(m5);
+  const MsgId m6 = b.send(1, 2);
+  b.checkpoint(1);
+  b.deliver(m4);
+  b.deliver(m6);
+  const MsgId m7 = b.send(2, 1);
+  b.checkpoint(2);
+  b.checkpoint(0);
+  b.deliver(m7);
+  b.checkpoint(1);
+  b.checkpoint(2);
+  return b.build(PatternBuilder::FinalCkpts::kRequireClosed);
+}
+
+// The same computation as a timed trace, so a protocol can be replayed over
+// it (basic checkpoints at the Figure 1 positions).
+Trace figure1_trace() {
+  TraceBuilder t(3);
+  t.send(0, 1, 1.0, 2.0);    // m1
+  t.send(2, 1, 1.0, 4.0);    // m3
+  t.send(1, 0, 3.0, 7.0);    // m2 (before m3 arrives!)
+  t.basic_ckpt(0, 5.0);      // C_i1
+  t.basic_ckpt(1, 5.0);      // C_j1
+  t.basic_ckpt(2, 5.0);      // C_k1
+  t.basic_ckpt(0, 8.0);      // C_i2
+  t.send(0, 1, 9.0, 11.0);   // m5
+  t.send(1, 2, 10.0, 13.0);  // m4 (before m5 arrives!)
+  t.send(1, 2, 12.0, 14.0);  // m6
+  t.basic_ckpt(1, 12.5);     // C_j2
+  t.send(2, 1, 15.0, 17.0);  // m7
+  t.basic_ckpt(2, 16.0);     // C_k2
+  t.basic_ckpt(0, 16.0);     // C_i3
+  t.basic_ckpt(1, 18.0);     // C_j3
+  t.basic_ckpt(2, 18.0);     // C_k3
+  return t.build();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "--- 1. a checkpoint & communication pattern (paper Fig. 1) ---\n";
+  const Pattern pattern = figure1();
+  std::cout << render_ascii(pattern) << '\n';
+
+  std::cout << "--- 2. does it satisfy Rollback-Dependency Trackability? ---\n";
+  const RdtReport report = analyze_rdt(pattern);
+  std::cout << report.summary() << '\n';
+  std::cout << "The chain [m3, m2] carries a dependency of C(2,1) into C(0,2)\n"
+               "that no causal message chain tracks: transitive dependency\n"
+               "vectors cannot see it, so rollback decisions based on them\n"
+               "would be wrong.\n\n";
+
+  std::cout << "--- 3. same computation under the BHMR protocol ---\n";
+  const ReplayResult forced = replay(figure1_trace(), ProtocolKind::kBhmr);
+  std::cout << render_ascii(forced.pattern) << '\n';
+  std::cout << "basic checkpoints: " << forced.basic
+            << ", forced by the protocol: " << forced.forced << '\n';
+  const RdtReport after = analyze_rdt(forced.pattern);
+  std::cout << "pattern now "
+            << (after.satisfies_rdt() ? "SATISFIES" : "still violates")
+            << " RDT — every rollback dependency is on-line trackable.\n\n";
+
+  std::cout << "--- 4. what the protocol hands out for free ---\n";
+  std::cout << "minimum consistent global checkpoint containing each local\n"
+               "checkpoint of P_1, straight from the saved dependency vector\n"
+               "(Corollary 4.5):\n";
+  const auto& saved = forced.saved_tdvs[1];
+  for (CkptIndex x = 1; x < static_cast<CkptIndex>(saved.size()); ++x) {
+    GlobalCkpt g;
+    g.indices = saved[static_cast<std::size_t>(x)];
+    g.indices[1] = x;
+    std::cout << "  C(1," << x << ")  ->  " << g << '\n';
+  }
+  return 0;
+}

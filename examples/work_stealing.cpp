@@ -1,0 +1,155 @@
+// Writing your own distributed application against the runtime API.
+//
+// This example implements a small work-stealing scheduler from scratch
+// (not one of the bundled apps): a coordinator hands work items to idle
+// workers; loaded workers steal-donate among themselves; every process
+// checkpoints on its own schedule, oblivious to the checkpointing
+// middleware underneath. We run it twice — over independent checkpointing
+// and over the paper's protocol — and compare what a crash would cost.
+#include <cmath>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "core/rdt_checker.hpp"
+#include "des/simulator.hpp"
+#include "recovery/recovery_line.hpp"
+#include "util/table.hpp"
+
+using namespace rdt;
+
+namespace {
+
+// Message tags.
+constexpr des::AppData kWork = 1;    // coordinator -> worker: one work item
+constexpr des::AppData kDone = 2;    // worker -> coordinator: item finished
+constexpr des::AppData kDonate = 3;  // worker -> worker: offloaded item
+
+struct SchedulerStats {
+  long long items_issued = 0;
+  long long items_done = 0;
+  long long donations = 0;
+};
+
+class Coordinator final : public des::ProcessApp {
+ public:
+  Coordinator(std::shared_ptr<SchedulerStats> stats, int total_items)
+      : stats_(std::move(stats)), remaining_(total_items) {}
+
+  void start(des::Context& ctx) override {
+    // Seed every worker with a small batch so queues (and donations) form.
+    for (int round = 0; round < 4; ++round)
+      for (ProcessId w = 1; w < ctx.num_processes() && remaining_ > 0; ++w)
+        issue(ctx, w);
+  }
+
+  void on_message(des::Context& ctx, ProcessId from, des::AppData tag) override {
+    if (tag != kDone) return;
+    ++stats_->items_done;
+    if (++done_since_ckpt_ % 5 == 0) ctx.take_checkpoint();
+    if (remaining_ > 0) issue(ctx, from);
+  }
+
+ private:
+  void issue(des::Context& ctx, ProcessId worker) {
+    --remaining_;
+    ++stats_->items_issued;
+    ctx.send(worker, kWork);
+  }
+
+  std::shared_ptr<SchedulerStats> stats_;
+  int remaining_;
+  int done_since_ckpt_ = 0;
+};
+
+class Worker final : public des::ProcessApp {
+ public:
+  Worker(std::shared_ptr<SchedulerStats> stats, double work_mean)
+      : stats_(std::move(stats)), work_mean_(work_mean) {}
+
+  void on_message(des::Context& ctx, ProcessId, des::AppData tag) override {
+    if (tag != kWork && tag != kDonate) return;
+    ++backlog_;
+    // Busy workers donate surplus to a random fellow worker.
+    if (backlog_ > 2 && ctx.num_processes() > 2) {
+      auto peer = static_cast<ProcessId>(
+          1 + ctx.random() * (ctx.num_processes() - 1));
+      if (peer == ctx.self()) peer = 1 + peer % (ctx.num_processes() - 1);
+      --backlog_;
+      ++stats_->donations;
+      ctx.send(peer, kDonate);
+    }
+    if (!busy_) begin(ctx);
+  }
+
+  void on_timer(des::Context& ctx, int) override {
+    // One item finished.
+    --backlog_;
+    busy_ = false;
+    if (++done_since_ckpt_ % 4 == 0) ctx.take_checkpoint();
+    ctx.send(0, kDone);
+    if (backlog_ > 0) begin(ctx);
+  }
+
+ private:
+  void begin(des::Context& ctx) {
+    busy_ = true;
+    ctx.set_timer(-work_mean_ * std::log(1.0 - ctx.random()), 0);
+  }
+
+  std::shared_ptr<SchedulerStats> stats_;
+  double work_mean_;
+  int backlog_ = 0;
+  bool busy_ = false;
+  int done_since_ckpt_ = 0;
+};
+
+des::SimResult run_once(ProtocolKind kind, SchedulerStats& out) {
+  auto stats = std::make_shared<SchedulerStats>();
+  des::SimConfig cfg;
+  cfg.protocol = kind;
+  cfg.horizon = 300.0;
+  cfg.seed = 2026;
+  const int workers = 5;
+  const des::SimResult r = des::run_simulation(
+      workers + 1,
+      [&](ProcessId id) -> std::unique_ptr<des::ProcessApp> {
+        if (id == 0) return std::make_unique<Coordinator>(stats, 200);
+        return std::make_unique<Worker>(stats, 1.0);
+      },
+      cfg);
+  out = *stats;
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "work-stealing scheduler: 1 coordinator + 5 workers, 200 work "
+               "items,\ncheckpoints taken by the application on its own "
+               "schedule.\n\n";
+  Table table({"protocol", "items done", "donations", "basic ckpts",
+               "forced ckpts", "RDT", "worst crash loss"});
+  for (ProtocolKind kind :
+       {ProtocolKind::kNoForce, ProtocolKind::kFdas, ProtocolKind::kBhmr}) {
+    SchedulerStats stats;
+    const des::SimResult r = run_once(kind, stats);
+    double worst = 0;
+    for (ProcessId f = 0; f < r.pattern.num_processes(); ++f)
+      worst = std::max(worst,
+                       recover_after_failure(r.pattern, f).worst_fraction);
+    table.begin_row()
+        .add(to_string(kind))
+        .add(stats.items_done)
+        .add(stats.donations)
+        .add(r.basic)
+        .add(r.forced)
+        .add(satisfies_rdt(r.pattern) ? "yes" : "NO")
+        .add(worst, 3);
+  }
+  table.print(std::cout);
+  std::cout << "\nThe application code is identical in all three rows — the "
+               "checkpointing\nprotocol underneath decides whether its "
+               "checkpoints are trustworthy.\n";
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Shared identifier types for the whole library.
+//
+// Conventions (they follow the paper's notation, 0-indexed for processes and
+// messages, paper-indexed for checkpoints):
+//  * ProcessId  — i in P_i, ranges over [0, n).
+//  * MsgId      — dense message identifier assigned in creation order.
+//  * EventIndex — position of an event in its process's local sequence.
+//  * CkptIndex  — x in C_{i,x}; x = 0 is the initial checkpoint every process
+//                 takes, and interval I_{i,x} (x >= 1) is the event sequence
+//                 between C_{i,x-1} and C_{i,x}.
+#pragma once
+
+#include <compare>
+#include <ostream>
+
+namespace rdt {
+
+using ProcessId = int;
+using MsgId = int;
+using EventIndex = int;
+using CkptIndex = int;
+
+inline constexpr MsgId kNoMsg = -1;
+
+// A local checkpoint C_{i,x}, addressed by process and paper index.
+struct CkptId {
+  ProcessId process = 0;
+  CkptIndex index = 0;
+
+  friend auto operator<=>(const CkptId&, const CkptId&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const CkptId& c) {
+  return os << "C(" << c.process << ',' << c.index << ')';
+}
+
+// An interval I_{i,x}, addressed the same way (x >= 1).
+struct IntervalId {
+  ProcessId process = 0;
+  CkptIndex index = 1;
+
+  friend auto operator<=>(const IntervalId&, const IntervalId&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const IntervalId& iv) {
+  return os << "I(" << iv.process << ',' << iv.index << ')';
+}
+
+}  // namespace rdt

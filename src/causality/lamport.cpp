@@ -1,0 +1,4 @@
+// LamportClock is header-only; this translation unit exists so the causality
+// component always produces an archive even if future clocks move out of
+// line.
+#include "causality/lamport.hpp"

@@ -1,0 +1,28 @@
+// Lamport scalar clocks. librdt uses them for linearizing events of a
+// checkpoint-and-communication pattern consistently with happened-before
+// (e.g. when replaying a trace through a protocol) and in tests as the
+// textbook sanity baseline against vector clocks.
+#pragma once
+
+#include <cstdint>
+
+namespace rdt {
+
+class LamportClock {
+ public:
+  std::int64_t now() const { return value_; }
+
+  // Local or send event: advance and return the event's timestamp.
+  std::int64_t tick() { return ++value_; }
+
+  // Receive event carrying the sender's timestamp: jump past it.
+  std::int64_t receive(std::int64_t sender_timestamp) {
+    if (sender_timestamp > value_) value_ = sender_timestamp;
+    return ++value_;
+  }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+}  // namespace rdt

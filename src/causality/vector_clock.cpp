@@ -1,0 +1,68 @@
+#include "causality/vector_clock.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+std::ostream& operator<<(std::ostream& os, CausalOrder order) {
+  switch (order) {
+    case CausalOrder::kBefore: return os << "before";
+    case CausalOrder::kAfter: return os << "after";
+    case CausalOrder::kEqual: return os << "equal";
+    case CausalOrder::kConcurrent: return os << "concurrent";
+  }
+  return os << "?";
+}
+
+std::int64_t VectorClock::get(ProcessId p) const {
+  RDT_REQUIRE(p >= 0 && p < size(), "process id out of range");
+  return entries_[static_cast<std::size_t>(p)];
+}
+
+void VectorClock::set(ProcessId p, std::int64_t value) {
+  RDT_REQUIRE(p >= 0 && p < size(), "process id out of range");
+  entries_[static_cast<std::size_t>(p)] = value;
+}
+
+void VectorClock::tick(ProcessId p) {
+  RDT_REQUIRE(p >= 0 && p < size(), "process id out of range");
+  ++entries_[static_cast<std::size_t>(p)];
+}
+
+void VectorClock::merge(const VectorClock& other) {
+  RDT_REQUIRE(other.size() == size(), "clock size mismatch");
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    entries_[i] = std::max(entries_[i], other.entries_[i]);
+}
+
+CausalOrder VectorClock::compare(const VectorClock& other) const {
+  RDT_REQUIRE(other.size() == size(), "clock size mismatch");
+  bool less = false;
+  bool greater = false;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    less |= entries_[i] < other.entries_[i];
+    greater |= entries_[i] > other.entries_[i];
+  }
+  if (less && greater) return CausalOrder::kConcurrent;
+  if (less) return CausalOrder::kBefore;
+  if (greater) return CausalOrder::kAfter;
+  return CausalOrder::kEqual;
+}
+
+bool VectorClock::dominated_by(const VectorClock& other) const {
+  const CausalOrder order = compare(other);
+  return order == CausalOrder::kBefore || order == CausalOrder::kEqual;
+}
+
+std::ostream& operator<<(std::ostream& os, const VectorClock& vc) {
+  os << '[';
+  for (int i = 0; i < vc.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << vc.get(i);
+  }
+  return os << ']';
+}
+
+}  // namespace rdt

@@ -1,0 +1,151 @@
+#include "ccp/builder.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+PatternBuilder::PatternBuilder(int num_processes) {
+  RDT_REQUIRE(num_processes >= 1, "need at least one process");
+  events_.resize(static_cast<std::size_t>(num_processes));
+  ckpt_event_pos_.resize(static_cast<std::size_t>(num_processes));
+}
+
+void PatternBuilder::check_process(ProcessId p) const {
+  RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
+}
+
+MsgId PatternBuilder::send(ProcessId sender, ProcessId receiver) {
+  check_process(sender);
+  check_process(receiver);
+  RDT_REQUIRE(sender != receiver, "channels connect distinct processes");
+  const MsgId id = static_cast<MsgId>(messages_.size());
+  Message m;
+  m.id = id;
+  m.sender = sender;
+  m.receiver = receiver;
+  m.send_pos = static_cast<EventIndex>(events_[static_cast<std::size_t>(sender)].size());
+  events_[static_cast<std::size_t>(sender)].push_back({EventKind::kSend, id, -1, -1});
+  messages_.push_back(m);
+  ++undelivered_;
+  return id;
+}
+
+void PatternBuilder::deliver(MsgId m) {
+  RDT_REQUIRE(m >= 0 && m < static_cast<MsgId>(messages_.size()),
+              "unknown message id");
+  Message& msg = messages_[static_cast<std::size_t>(m)];
+  RDT_REQUIRE(msg.deliver_pos < 0, "message already delivered");
+  msg.deliver_pos =
+      static_cast<EventIndex>(events_[static_cast<std::size_t>(msg.receiver)].size());
+  events_[static_cast<std::size_t>(msg.receiver)].push_back(
+      {EventKind::kDeliver, m, -1, -1});
+  --undelivered_;
+}
+
+void PatternBuilder::internal(ProcessId p) {
+  check_process(p);
+  events_[static_cast<std::size_t>(p)].push_back({EventKind::kInternal, kNoMsg, -1, -1});
+}
+
+CkptIndex PatternBuilder::checkpoint(ProcessId p) {
+  check_process(p);
+  auto& positions = ckpt_event_pos_[static_cast<std::size_t>(p)];
+  const auto index = static_cast<CkptIndex>(positions.size() + 1);
+  positions.push_back(static_cast<EventIndex>(events_[static_cast<std::size_t>(p)].size()));
+  events_[static_cast<std::size_t>(p)].push_back(
+      {EventKind::kCheckpoint, kNoMsg, index, -1});
+  return index;
+}
+
+Pattern PatternBuilder::build(FinalCkpts policy) {
+  RDT_REQUIRE(undelivered_ == 0,
+              "every message must be delivered before build() — deliver() "
+              "all pending sends first");
+
+  Pattern p;
+  p.final_is_virtual_.assign(static_cast<std::size_t>(num_processes()), false);
+
+  // Close trailing intervals.
+  for (ProcessId i = 0; i < num_processes(); ++i) {
+    auto& seq = events_[static_cast<std::size_t>(i)];
+    const bool closed = !seq.empty() && seq.back().kind == EventKind::kCheckpoint;
+    if (!closed && !seq.empty()) {
+      RDT_REQUIRE(policy == FinalCkpts::kAppendVirtual,
+                  "process trace does not end with a checkpoint");
+      checkpoint(i);
+      p.final_is_virtual_[static_cast<std::size_t>(i)] = true;
+    }
+  }
+
+  p.events_ = std::move(events_);
+  p.messages_ = std::move(messages_);
+  p.ckpt_event_pos_ = std::move(ckpt_event_pos_);
+  events_.assign(static_cast<std::size_t>(num_processes()), {});
+  messages_.clear();
+  ckpt_event_pos_.assign(static_cast<std::size_t>(num_processes()), {});
+
+  // Interval assignment: an event after x checkpoints lives in I_{i,x+1}.
+  p.total_events_ = 0;
+  for (ProcessId i = 0; i < p.num_processes(); ++i) {
+    CkptIndex seen = 0;
+    for (auto& ev : p.events_[static_cast<std::size_t>(i)]) {
+      if (ev.kind == EventKind::kCheckpoint)
+        ++seen;
+      else
+        ev.interval = seen + 1;
+      ++p.total_events_;
+    }
+  }
+
+  // Dense checkpoint node numbering.
+  p.node_offset_.resize(static_cast<std::size_t>(p.num_processes()));
+  p.total_ckpts_ = 0;
+  for (ProcessId i = 0; i < p.num_processes(); ++i) {
+    p.node_offset_[static_cast<std::size_t>(i)] = p.total_ckpts_;
+    p.total_ckpts_ += p.num_ckpts(i);
+  }
+
+  // Topological order (Kahn): an event is ready when all its local
+  // predecessors ran and, for a delivery, when its send ran. A stall with
+  // events remaining means the "computation" has a causal cycle (a delivery
+  // placed before its own transitive cause) and is not a valid distributed
+  // computation.
+  std::vector<EventIndex> cursor(static_cast<std::size_t>(p.num_processes()), 0);
+  std::vector<bool> sent(p.messages_.size(), false);
+  p.topo_.reserve(static_cast<std::size_t>(p.total_events_));
+  int emitted = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (ProcessId i = 0; i < p.num_processes(); ++i) {
+      auto& pos = cursor[static_cast<std::size_t>(i)];
+      while (pos < p.num_events(i)) {
+        const Event& ev = p.event(i, pos);
+        if (ev.kind == EventKind::kDeliver && !sent[static_cast<std::size_t>(ev.msg)])
+          break;
+        if (ev.kind == EventKind::kSend) sent[static_cast<std::size_t>(ev.msg)] = true;
+        p.topo_.push_back({i, pos});
+        ++pos;
+        ++emitted;
+        progress = true;
+      }
+    }
+  }
+  RDT_REQUIRE(emitted == p.total_events_,
+              "the recorded events contain a causal cycle (some delivery "
+              "precedes its own cause) — not a valid distributed computation");
+
+  // Fill message interval indexes now that events carry them.
+  for (Message& m : p.messages_) {
+    m.send_interval =
+        p.event(m.sender, m.send_pos).interval;
+    m.deliver_interval = p.event(m.receiver, m.deliver_pos).interval;
+    RDT_ASSERT(m.send_interval >= 1 && m.deliver_interval >= 1);
+  }
+
+  return p;
+}
+
+}  // namespace rdt

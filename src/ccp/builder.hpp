@@ -1,0 +1,60 @@
+// PatternBuilder — the only way to construct a Pattern.
+//
+// Records events process by process in local order, then build() validates
+// the computation (every message delivered exactly once, no causal cycle,
+// channels connect distinct processes), closes trailing intervals with
+// virtual final checkpoints, assigns interval indexes and computes the
+// topological event order.
+//
+// Example (the paper's Figure 1, processes i=0, j=1, k=2):
+//
+//   PatternBuilder b(3);
+//   MsgId m1 = b.send(0, 1);   // send in I_{i,1}
+//   b.deliver(m1);             // delivered in I_{j,1}
+//   b.checkpoint(0);           // C_{i,1}
+//   ...
+//   Pattern p = b.build();
+#pragma once
+
+#include <vector>
+
+#include "ccp/pattern.hpp"
+
+namespace rdt {
+
+class PatternBuilder {
+ public:
+  // Policy for intervals still open when build() is called.
+  enum class FinalCkpts {
+    kAppendVirtual,   // close them with checkpoints flagged virtual (default)
+    kRequireClosed,   // throw unless every process's trace ends on a checkpoint
+  };
+
+  explicit PatternBuilder(int num_processes);
+
+  // Record a send event at `sender` addressed to `receiver`; the returned id
+  // is used to place the matching delivery.
+  MsgId send(ProcessId sender, ProcessId receiver);
+  // Record the delivery of message m at its receiver (at the current end of
+  // the receiver's local sequence).
+  void deliver(MsgId m);
+  // Record an internal event at p.
+  void internal(ProcessId p);
+  // Record a local checkpoint at p; returns its index x (first call -> 1).
+  CkptIndex checkpoint(ProcessId p);
+
+  int num_processes() const { return static_cast<int>(events_.size()); }
+
+  // Validate and produce the immutable Pattern. The builder is left empty.
+  Pattern build(FinalCkpts policy = FinalCkpts::kAppendVirtual);
+
+ private:
+  void check_process(ProcessId p) const;
+
+  std::vector<std::vector<Event>> events_;
+  std::vector<Message> messages_;
+  std::vector<std::vector<EventIndex>> ckpt_event_pos_;
+  int undelivered_ = 0;
+};
+
+}  // namespace rdt

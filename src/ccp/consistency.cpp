@@ -1,0 +1,95 @@
+#include "ccp/consistency.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+std::ostream& operator<<(std::ostream& os, const GlobalCkpt& g) {
+  os << '{';
+  for (std::size_t i = 0; i < g.indices.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << "C(" << i << ',' << g.indices[i] << ')';
+  }
+  return os << '}';
+}
+
+void validate(const Pattern& p, const GlobalCkpt& g) {
+  RDT_REQUIRE(static_cast<int>(g.indices.size()) == p.num_processes(),
+              "global checkpoint needs exactly one local checkpoint per process");
+  for (ProcessId i = 0; i < p.num_processes(); ++i) {
+    const CkptIndex x = g.indices[static_cast<std::size_t>(i)];
+    RDT_REQUIRE(x >= 0 && x <= p.last_ckpt(i), "checkpoint index out of range");
+  }
+}
+
+bool is_orphan(const Pattern& p, MsgId m, CkptIndex sender_ckpt,
+               CkptIndex receiver_ckpt) {
+  const Message& msg = p.message(m);
+  RDT_REQUIRE(sender_ckpt >= 0 && sender_ckpt <= p.last_ckpt(msg.sender),
+              "sender checkpoint index out of range");
+  RDT_REQUIRE(receiver_ckpt >= 0 && receiver_ckpt <= p.last_ckpt(msg.receiver),
+              "receiver checkpoint index out of range");
+  return msg.send_interval > sender_ckpt && msg.deliver_interval <= receiver_ckpt;
+}
+
+bool pair_consistent(const Pattern& p, const CkptId& a, const CkptId& b) {
+  RDT_REQUIRE(a.process != b.process,
+              "pair consistency is defined across distinct processes");
+  for (const Message& m : p.messages()) {
+    if (m.sender == a.process && m.receiver == b.process &&
+        is_orphan(p, m.id, a.index, b.index))
+      return false;
+    if (m.sender == b.process && m.receiver == a.process &&
+        is_orphan(p, m.id, b.index, a.index))
+      return false;
+  }
+  return true;
+}
+
+bool consistent(const Pattern& p, const GlobalCkpt& g) {
+  validate(p, g);
+  for (const Message& m : p.messages()) {
+    const CkptIndex x = g.indices[static_cast<std::size_t>(m.sender)];
+    const CkptIndex y = g.indices[static_cast<std::size_t>(m.receiver)];
+    if (m.send_interval > x && m.deliver_interval <= y) return false;
+  }
+  return true;
+}
+
+std::vector<MsgId> orphan_messages(const Pattern& p, const GlobalCkpt& g) {
+  validate(p, g);
+  std::vector<MsgId> result;
+  for (const Message& m : p.messages()) {
+    const CkptIndex x = g.indices[static_cast<std::size_t>(m.sender)];
+    const CkptIndex y = g.indices[static_cast<std::size_t>(m.receiver)];
+    if (m.send_interval > x && m.deliver_interval <= y) result.push_back(m.id);
+  }
+  return result;
+}
+
+bool leq(const GlobalCkpt& a, const GlobalCkpt& b) {
+  RDT_REQUIRE(a.indices.size() == b.indices.size(), "size mismatch");
+  for (std::size_t i = 0; i < a.indices.size(); ++i)
+    if (a.indices[i] > b.indices[i]) return false;
+  return true;
+}
+
+GlobalCkpt componentwise_min(const GlobalCkpt& a, const GlobalCkpt& b) {
+  RDT_REQUIRE(a.indices.size() == b.indices.size(), "size mismatch");
+  GlobalCkpt out = a;
+  for (std::size_t i = 0; i < a.indices.size(); ++i)
+    out.indices[i] = std::min(a.indices[i], b.indices[i]);
+  return out;
+}
+
+GlobalCkpt componentwise_max(const GlobalCkpt& a, const GlobalCkpt& b) {
+  RDT_REQUIRE(a.indices.size() == b.indices.size(), "size mismatch");
+  GlobalCkpt out = a;
+  for (std::size_t i = 0; i < a.indices.size(); ++i)
+    out.indices[i] = std::max(a.indices[i], b.indices[i]);
+  return out;
+}
+
+}  // namespace rdt

@@ -1,0 +1,53 @@
+// Orphan messages and (global) checkpoint consistency — Section 2.2 of the
+// paper.
+//
+// A message m from P_i to P_j is *orphan* w.r.t. the ordered pair
+// (C_{i,x}, C_{j,y}) when its delivery belongs to C_{j,y} (it happened before
+// the checkpoint, i.e. deliver_interval <= y) while its send does not belong
+// to C_{i,x} (send_interval > x). A pair is consistent iff no orphan exists
+// in either direction; a global checkpoint (one local checkpoint per
+// process) is consistent iff all its pairs are.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "ccp/pattern.hpp"
+
+namespace rdt {
+
+// A global checkpoint: indices[i] = x means it contains C_{i,x}.
+struct GlobalCkpt {
+  std::vector<CkptIndex> indices;
+
+  friend auto operator<=>(const GlobalCkpt&, const GlobalCkpt&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const GlobalCkpt& g);
+
+// Throws unless g has one in-range checkpoint index per process of p.
+void validate(const Pattern& p, const GlobalCkpt& g);
+
+// m orphan w.r.t. the ordered pair (C_{sender,sender_ckpt},
+// C_{receiver,receiver_ckpt})? The checkpoints must belong to the message's
+// sender/receiver processes.
+bool is_orphan(const Pattern& p, MsgId m, CkptIndex sender_ckpt,
+               CkptIndex receiver_ckpt);
+
+// Consistency of the (unordered) pair {a, b}; requires a and b on distinct
+// processes. Checks both orphan directions.
+bool pair_consistent(const Pattern& p, const CkptId& a, const CkptId& b);
+
+// Consistency of a full global checkpoint (Definition 2.2).
+bool consistent(const Pattern& p, const GlobalCkpt& g);
+
+// All messages orphan w.r.t. g (empty iff consistent).
+std::vector<MsgId> orphan_messages(const Pattern& p, const GlobalCkpt& g);
+
+// Componentwise comparison helpers for the consistent-global-checkpoint
+// lattice (used by min/max computations in core/).
+bool leq(const GlobalCkpt& a, const GlobalCkpt& b);
+GlobalCkpt componentwise_min(const GlobalCkpt& a, const GlobalCkpt& b);
+GlobalCkpt componentwise_max(const GlobalCkpt& a, const GlobalCkpt& b);
+
+}  // namespace rdt

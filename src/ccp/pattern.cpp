@@ -1,0 +1,118 @@
+#include "ccp/pattern.hpp"
+
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+std::ostream& operator<<(std::ostream& os, EventKind kind) {
+  switch (kind) {
+    case EventKind::kInternal: return os << "internal";
+    case EventKind::kSend: return os << "send";
+    case EventKind::kDeliver: return os << "deliver";
+    case EventKind::kCheckpoint: return os << "checkpoint";
+  }
+  return os << "?";
+}
+
+std::ostream& operator<<(std::ostream& os, const EventRef& e) {
+  return os << "e(" << e.process << ',' << e.pos << ')';
+}
+
+int Pattern::num_events(ProcessId p) const {
+  RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
+  return static_cast<int>(events_[static_cast<std::size_t>(p)].size());
+}
+
+const Event& Pattern::event(ProcessId p, EventIndex pos) const {
+  RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
+  const auto& seq = events_[static_cast<std::size_t>(p)];
+  RDT_REQUIRE(pos >= 0 && pos < static_cast<EventIndex>(seq.size()),
+              "event position out of range");
+  return seq[static_cast<std::size_t>(pos)];
+}
+
+const Message& Pattern::message(MsgId m) const {
+  RDT_REQUIRE(m >= 0 && m < num_messages(), "message id out of range");
+  return messages_[static_cast<std::size_t>(m)];
+}
+
+CkptIndex Pattern::last_ckpt(ProcessId p) const {
+  RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
+  return static_cast<CkptIndex>(ckpt_event_pos_[static_cast<std::size_t>(p)].size());
+}
+
+EventIndex Pattern::ckpt_pos(ProcessId p, CkptIndex x) const {
+  RDT_REQUIRE(x >= 0 && x <= last_ckpt(p), "checkpoint index out of range");
+  if (x == 0) return -1;
+  return ckpt_event_pos_[static_cast<std::size_t>(p)][static_cast<std::size_t>(x - 1)];
+}
+
+bool Pattern::ckpt_is_virtual(ProcessId p, CkptIndex x) const {
+  RDT_REQUIRE(x >= 0 && x <= last_ckpt(p), "checkpoint index out of range");
+  return x == last_ckpt(p) && x > 0 && final_is_virtual_[static_cast<std::size_t>(p)];
+}
+
+std::pair<EventIndex, EventIndex> Pattern::interval_span(ProcessId p, CkptIndex x) const {
+  RDT_REQUIRE(x >= 1 && x <= last_ckpt(p), "interval index out of range");
+  const EventIndex first = ckpt_pos(p, x - 1) + 1;
+  const EventIndex last = ckpt_pos(p, x);  // position of the closing checkpoint
+  return {first, last};
+}
+
+int Pattern::node_id(const CkptId& c) const {
+  RDT_REQUIRE(c.process >= 0 && c.process < num_processes(), "process id out of range");
+  RDT_REQUIRE(c.index >= 0 && c.index <= last_ckpt(c.process),
+              "checkpoint index out of range");
+  return node_offset_[static_cast<std::size_t>(c.process)] + c.index;
+}
+
+CkptId Pattern::node_ckpt(int node) const {
+  RDT_REQUIRE(node >= 0 && node < total_ckpts_, "node id out of range");
+  // node_offset_ is increasing; linear scan is fine for the small n here.
+  ProcessId p = num_processes() - 1;
+  while (node_offset_[static_cast<std::size_t>(p)] > node) --p;
+  return {p, node - node_offset_[static_cast<std::size_t>(p)]};
+}
+
+const VectorClock& Pattern::clock(const EventRef& e) const {
+  ensure_clocks();
+  RDT_REQUIRE(e.process >= 0 && e.process < num_processes(), "process id out of range");
+  const auto& row = clocks_[static_cast<std::size_t>(e.process)];
+  RDT_REQUIRE(e.pos >= 0 && e.pos < static_cast<EventIndex>(row.size()),
+              "event position out of range");
+  return row[static_cast<std::size_t>(e.pos)];
+}
+
+bool Pattern::happened_before(const EventRef& a, const EventRef& b) const {
+  if (a.process == b.process) return a.pos < b.pos;
+  // a hb b iff a's own-component count is covered by b's clock.
+  return clock(b).get(a.process) >= clock(a).get(a.process);
+}
+
+void Pattern::ensure_clocks() const {
+  if (!clocks_.empty() || total_events_ == 0) {
+    if (clocks_.empty() && total_events_ == 0)
+      clocks_.resize(static_cast<std::size_t>(num_processes()));
+    return;
+  }
+  clocks_.resize(static_cast<std::size_t>(num_processes()));
+  for (ProcessId p = 0; p < num_processes(); ++p)
+    clocks_[static_cast<std::size_t>(p)].resize(
+        static_cast<std::size_t>(num_events(p)), VectorClock(num_processes()));
+
+  std::vector<VectorClock> current(static_cast<std::size_t>(num_processes()),
+                                   VectorClock(num_processes()));
+  for (const EventRef& e : topo_) {
+    auto& clk = current[static_cast<std::size_t>(e.process)];
+    const Event& ev = event(e);
+    if (ev.kind == EventKind::kDeliver)
+      clk.merge(clocks_[static_cast<std::size_t>(message(ev.msg).sender)]
+                       [static_cast<std::size_t>(message(ev.msg).send_pos)]);
+    clk.tick(e.process);
+    clocks_[static_cast<std::size_t>(e.process)][static_cast<std::size_t>(e.pos)] = clk;
+  }
+}
+
+}  // namespace rdt

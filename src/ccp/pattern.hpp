@@ -1,0 +1,136 @@
+// The checkpoint-and-communication pattern (CCP) — Definition 2.1 of the
+// paper: a distributed computation (processes, internal/send/delivery
+// events) together with the set of local checkpoints taken on it.
+//
+// Conventions (matching the paper):
+//  * Every process P_i has an implicit initial checkpoint C_{i,0} *before*
+//    its first event.
+//  * The x-th explicit checkpoint event of P_i is C_{i,x} (x >= 1).
+//  * Interval I_{i,x} is the (possibly empty) sequence of non-checkpoint
+//    events between C_{i,x-1} and C_{i,x}. Every non-checkpoint event of a
+//    finalized pattern belongs to a *closed* interval: if a process's trace
+//    does not end with a checkpoint, a final checkpoint is appended and
+//    flagged "virtual" (the paper's assumption that "after each event a
+//    checkpoint will eventually be taken").
+//  * A message sent in I_{i,x} and delivered in I_{j,y} induces the R-graph
+//    edge C_{i,x} -> C_{j,y}.
+//
+// A Pattern is immutable once built (see PatternBuilder); analyses cache
+// derived data (topological event order, per-event vector clocks) inside the
+// Pattern on first use.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "causality/ids.hpp"
+#include "causality/vector_clock.hpp"
+
+namespace rdt {
+
+enum class EventKind { kInternal, kSend, kDeliver, kCheckpoint };
+
+std::ostream& operator<<(std::ostream& os, EventKind kind);
+
+struct Event {
+  EventKind kind = EventKind::kInternal;
+  MsgId msg = kNoMsg;        // for kSend / kDeliver
+  CkptIndex ckpt = -1;       // for kCheckpoint: the index x of C_{i,x}
+  CkptIndex interval = -1;   // for non-checkpoints: the x of the enclosing I_{i,x}
+};
+
+// A globally unique reference to one event of the computation.
+struct EventRef {
+  ProcessId process = -1;
+  EventIndex pos = -1;
+
+  friend auto operator<=>(const EventRef&, const EventRef&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const EventRef& e);
+
+struct Message {
+  MsgId id = kNoMsg;
+  ProcessId sender = -1;
+  ProcessId receiver = -1;
+  EventIndex send_pos = -1;
+  EventIndex deliver_pos = -1;
+  CkptIndex send_interval = -1;     // x such that send(m) in I_{sender,x}
+  CkptIndex deliver_interval = -1;  // y such that deliver(m) in I_{receiver,y}
+
+  EventRef send_event() const { return {sender, send_pos}; }
+  EventRef deliver_event() const { return {receiver, deliver_pos}; }
+};
+
+class Pattern {
+ public:
+  // An empty pattern (zero processes); meaningful patterns come from
+  // PatternBuilder.
+  Pattern() = default;
+
+  // --- shape ---------------------------------------------------------------
+  int num_processes() const { return static_cast<int>(events_.size()); }
+  int num_events(ProcessId p) const;
+  int total_events() const { return total_events_; }
+  const Event& event(ProcessId p, EventIndex pos) const;
+  const Event& event(const EventRef& e) const { return event(e.process, e.pos); }
+
+  int num_messages() const { return static_cast<int>(messages_.size()); }
+  const Message& message(MsgId m) const;
+  const std::vector<Message>& messages() const { return messages_; }
+
+  // --- checkpoints & intervals ----------------------------------------------
+  // Highest checkpoint index of P_i (>= 0; 0 means only the initial one).
+  CkptIndex last_ckpt(ProcessId p) const;
+  // Number of checkpoints of P_i including the initial C_{i,0}.
+  int num_ckpts(ProcessId p) const { return last_ckpt(p) + 1; }
+  // Sum of num_ckpts over all processes (the R-graph node count).
+  int total_ckpts() const { return total_ckpts_; }
+
+  // Position of the checkpoint event C_{p,x}; x = 0 returns -1 (the initial
+  // checkpoint precedes every event).
+  EventIndex ckpt_pos(ProcessId p, CkptIndex x) const;
+  // True iff C_{p,x} was appended automatically to close the trailing
+  // interval rather than taken by the application/protocol.
+  bool ckpt_is_virtual(ProcessId p, CkptIndex x) const;
+  // Interval I_{p,x} as a half-open local-position range [first, last)
+  // covering its non-checkpoint events.
+  std::pair<EventIndex, EventIndex> interval_span(ProcessId p, CkptIndex x) const;
+
+  // Dense numbering of checkpoints across all processes, used by R-graph and
+  // closure code: node ids are contiguous per process.
+  int node_id(const CkptId& c) const;
+  CkptId node_ckpt(int node) const;
+
+  // --- causality -------------------------------------------------------------
+  // Events of all processes in some total order consistent with
+  // happened-before (program order + send-before-delivery).
+  const std::vector<EventRef>& topological_order() const { return topo_; }
+
+  // Fidge–Mattern vector clock of an event (entry q = number of P_q events
+  // in the causal past, inclusive). Computed lazily, cached.
+  const VectorClock& clock(const EventRef& e) const;
+  // happened-before test between two events (strict).
+  bool happened_before(const EventRef& a, const EventRef& b) const;
+
+ private:
+  friend class PatternBuilder;
+
+  void ensure_clocks() const;
+
+  std::vector<std::vector<Event>> events_;
+  std::vector<Message> messages_;
+  // ckpt_event_pos_[p][x-1] = local position of the event recording C_{p,x}.
+  std::vector<std::vector<EventIndex>> ckpt_event_pos_;
+  std::vector<bool> final_is_virtual_;
+  std::vector<int> node_offset_;
+  std::vector<EventRef> topo_;
+  int total_events_ = 0;
+  int total_ckpts_ = 0;
+
+  mutable std::vector<std::vector<VectorClock>> clocks_;  // lazy
+};
+
+}  // namespace rdt

@@ -1,0 +1,162 @@
+#include "ccp/pattern_io.hpp"
+
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "ccp/builder.hpp"
+#include "util/check.hpp"
+
+namespace rdt {
+
+void write_pattern(std::ostream& os, const Pattern& p) {
+  os << "processes " << p.num_processes() << '\n';
+  for (const EventRef& e : p.topological_order()) {
+    const Event& ev = p.event(e);
+    switch (ev.kind) {
+      case EventKind::kSend: {
+        const Message& m = p.message(ev.msg);
+        os << "send " << m.id << ' ' << m.sender << ' ' << m.receiver << '\n';
+        break;
+      }
+      case EventKind::kDeliver:
+        os << "deliver " << ev.msg << '\n';
+        break;
+      case EventKind::kInternal:
+        os << "internal " << e.process << '\n';
+        break;
+      case EventKind::kCheckpoint:
+        if (!p.ckpt_is_virtual(e.process, ev.ckpt))
+          os << "checkpoint " << e.process << '\n';
+        break;
+    }
+  }
+}
+
+Pattern read_pattern(std::istream& is) {
+  std::string line;
+  int n = -1;
+  std::unique_ptr<PatternBuilder> builder;
+  std::map<MsgId, MsgId> id_map;  // file id -> builder id
+  int line_no = 0;
+
+  auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("pattern parse error at line " +
+                                std::to_string(line_no) + ": " + what);
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    // Strip comments and whitespace-only lines.
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;
+
+    if (word == "processes") {
+      if (builder) fail("duplicate 'processes' directive");
+      if (!(ls >> n) || n < 1) fail("invalid process count");
+      builder = std::make_unique<PatternBuilder>(n);
+      continue;
+    }
+    if (!builder) fail("'processes' directive must come first");
+
+    if (word == "send") {
+      MsgId id;
+      ProcessId from, to;
+      if (!(ls >> id >> from >> to)) fail("send needs <id> <from> <to>");
+      if (id_map.contains(id)) fail("duplicate message id");
+      id_map[id] = builder->send(from, to);
+    } else if (word == "deliver") {
+      MsgId id;
+      if (!(ls >> id)) fail("deliver needs <id>");
+      const auto it = id_map.find(id);
+      if (it == id_map.end()) fail("delivery of unknown message");
+      builder->deliver(it->second);
+    } else if (word == "internal") {
+      ProcessId pid;
+      if (!(ls >> pid)) fail("internal needs <process>");
+      builder->internal(pid);
+    } else if (word == "checkpoint") {
+      ProcessId pid;
+      if (!(ls >> pid)) fail("checkpoint needs <process>");
+      builder->checkpoint(pid);
+    } else {
+      fail("unknown directive '" + word + "'");
+    }
+  }
+  if (!builder) throw std::invalid_argument("pattern parse error: empty input");
+  return builder->build();
+}
+
+std::string pattern_to_string(const Pattern& p) {
+  std::ostringstream os;
+  write_pattern(os, p);
+  return os.str();
+}
+
+Pattern pattern_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_pattern(is);
+}
+
+std::string render_ascii(const Pattern& p) {
+  // Assign each event a column = rank in the topological order, then print
+  // fixed-width cells.
+  std::vector<std::vector<std::string>> cells(
+      static_cast<std::size_t>(p.num_processes()));
+  const auto& topo = p.topological_order();
+
+  std::vector<std::vector<int>> column(static_cast<std::size_t>(p.num_processes()));
+  for (ProcessId i = 0; i < p.num_processes(); ++i)
+    column[static_cast<std::size_t>(i)].resize(
+        static_cast<std::size_t>(p.num_events(i)));
+  for (std::size_t rank = 0; rank < topo.size(); ++rank)
+    column[static_cast<std::size_t>(topo[rank].process)]
+          [static_cast<std::size_t>(topo[rank].pos)] = static_cast<int>(rank);
+
+  std::size_t width = 4;
+  auto label = [&](const Event& ev, ProcessId pid) -> std::string {
+    switch (ev.kind) {
+      case EventKind::kSend: return "S" + std::to_string(ev.msg);
+      case EventKind::kDeliver: return "D" + std::to_string(ev.msg);
+      case EventKind::kInternal: return ".";
+      case EventKind::kCheckpoint:
+        return p.ckpt_is_virtual(pid, ev.ckpt)
+                   ? "(" + std::to_string(ev.ckpt) + ")"
+                   : "[" + std::to_string(ev.ckpt) + "]";
+    }
+    return "?";
+  };
+
+  std::vector<std::vector<std::string>> grid(
+      static_cast<std::size_t>(p.num_processes()),
+      std::vector<std::string>(topo.size()));
+  for (ProcessId i = 0; i < p.num_processes(); ++i)
+    for (EventIndex pos = 0; pos < p.num_events(i); ++pos) {
+      const std::string text = label(p.event(i, pos), i);
+      width = std::max(width, text.size() + 1);
+      grid[static_cast<std::size_t>(i)]
+          [static_cast<std::size_t>(column[static_cast<std::size_t>(i)]
+                                          [static_cast<std::size_t>(pos)])] = text;
+    }
+
+  std::ostringstream os;
+  for (ProcessId i = 0; i < p.num_processes(); ++i) {
+    os << 'P' << i << " [0]";
+    for (const std::string& cell : grid[static_cast<std::size_t>(i)]) {
+      std::string padded = cell.empty() ? std::string(width, '-')
+                                        : cell + std::string(width - cell.size(), '-');
+      os << '-' << padded;
+    }
+    os << '\n';
+  }
+  os << "legend: S<m> send, D<m> deliver, [x] checkpoint C_{i,x}, "
+        "(x) virtual final checkpoint, . internal\n";
+  return os.str();
+}
+
+}  // namespace rdt

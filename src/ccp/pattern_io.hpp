@@ -1,0 +1,40 @@
+// Textual serialization of checkpoint-and-communication patterns.
+//
+// The format is a line-per-event stream in a causality-consistent order, so
+// a file can be replayed straight into a PatternBuilder:
+//
+//   processes 3
+//   send 0 1 2        # message id 0 from P_1 to P_2
+//   checkpoint 1      # P_1 takes a local checkpoint
+//   deliver 0
+//   internal 2
+//
+// Virtual final checkpoints are not serialized (they are regenerated on
+// parse). render_ascii() draws the usual space-time diagram used in the
+// paper's figures, one row per process.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ccp/pattern.hpp"
+
+namespace rdt {
+
+// Writes p to os in the line format above.
+void write_pattern(std::ostream& os, const Pattern& p);
+
+// Parses the line format; throws std::invalid_argument on malformed input.
+Pattern read_pattern(std::istream& is);
+
+// Round-trip helpers.
+std::string pattern_to_string(const Pattern& p);
+Pattern pattern_from_string(const std::string& text);
+
+// Human-readable space-time diagram: one row per process, S<m>/D<m> for
+// send/delivery of message m, [x] for checkpoint C_{i,x} ((x) if virtual),
+// '.' for internal events. Columns follow a topological order, so time flows
+// left to right.
+std::string render_ascii(const Pattern& p);
+
+}  // namespace rdt

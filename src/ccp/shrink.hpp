@@ -1,0 +1,41 @@
+// Counterexample shrinking for checkpoint-and-communication patterns.
+//
+// Property tests over randomized patterns produce large, noisy witnesses.
+// shrink_pattern() greedily reduces a pattern while a caller-supplied
+// predicate (e.g. "violates RDT") keeps holding, by repeatedly trying to
+//  * drop a message (its send and delivery events),
+//  * drop a checkpoint (merging the two adjacent intervals),
+//  * drop an internal event,
+// until a fixpoint. The result is a locally-minimal pattern: removing any
+// single element breaks the property — usually small enough to read as a
+// space-time diagram and turn into a regression fixture.
+#pragma once
+
+#include <functional>
+
+#include "ccp/pattern.hpp"
+
+namespace rdt {
+
+using PatternPredicate = std::function<bool(const Pattern&)>;
+
+struct ShrinkResult {
+  Pattern pattern;       // locally minimal, still satisfying the predicate
+  int rounds = 0;        // fixpoint iterations
+  int removed_messages = 0;
+  int removed_ckpts = 0;
+  int removed_internal = 0;
+};
+
+// Requires predicate(input) to hold; throws std::invalid_argument otherwise.
+ShrinkResult shrink_pattern(const Pattern& input,
+                            const PatternPredicate& predicate);
+
+// Rebuilds `input` without the given elements (used by the shrinker; also
+// handy on its own for ablation-style "what breaks the property" queries).
+// Dropping a checkpoint shifts later checkpoint indexes of that process
+// down by one; dropped messages take both endpoints with them.
+Pattern drop_elements(const Pattern& input, const std::vector<MsgId>& messages,
+                      const std::vector<CkptId>& ckpts);
+
+}  // namespace rdt

@@ -1,0 +1,214 @@
+#include "core/chains.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+ChainAnalysis::ChainAnalysis(const Pattern& pattern) : pattern_(&pattern) {
+  const auto nodes = static_cast<std::size_t>(pattern.total_ckpts());
+  const auto msgs = static_cast<std::size_t>(pattern.num_messages());
+  causal_starts_.assign(msgs, BitVector(nodes));
+  simple_causal_starts_.assign(msgs, BitVector(nodes));
+
+  // Sweep the computation once in a causality-consistent order. Per process
+  // we keep
+  //  * acc_causal — the union of causal_starts over every message delivered
+  //    so far (any such delivery may precede a later send, forming a causal
+  //    junction);
+  //  * acc_simple — the same union restricted to the current interval's
+  //    deliveries (simple junctions must not cross a checkpoint);
+  //  * open_sends — sends of the current interval, each of which forms a
+  //    non-causal junction with every later delivery in the interval.
+  const auto n = static_cast<std::size_t>(pattern.num_processes());
+  std::vector<BitVector> acc_causal(n, BitVector(nodes));
+  std::vector<BitVector> acc_simple(n, BitVector(nodes));
+  std::vector<std::vector<MsgId>> open_sends(n);
+
+  for (const EventRef& e : pattern.topological_order()) {
+    const auto p = static_cast<std::size_t>(e.process);
+    const Event& ev = pattern.event(e);
+    switch (ev.kind) {
+      case EventKind::kSend: {
+        const Message& m = pattern.message(ev.msg);
+        const auto self = static_cast<std::size_t>(
+            pattern.node_id({m.sender, m.send_interval}));
+        auto& cs = causal_starts_[static_cast<std::size_t>(ev.msg)];
+        cs = acc_causal[p];
+        cs.set(self);
+        auto& ss = simple_causal_starts_[static_cast<std::size_t>(ev.msg)];
+        ss = acc_simple[p];
+        ss.set(self);
+        open_sends[p].push_back(ev.msg);
+        break;
+      }
+      case EventKind::kDeliver: {
+        for (MsgId out : open_sends[p])
+          noncausal_.push_back({ev.msg, out, e.process});
+        acc_causal[p].or_with(causal_starts_[static_cast<std::size_t>(ev.msg)]);
+        acc_simple[p].or_with(
+            simple_causal_starts_[static_cast<std::size_t>(ev.msg)]);
+        break;
+      }
+      case EventKind::kCheckpoint:
+        acc_simple[p].reset();
+        open_sends[p].clear();
+        break;
+      case EventKind::kInternal:
+        break;
+    }
+  }
+}
+
+bool ChainAnalysis::junction(MsgId a, MsgId b) const {
+  return causal_junction(a, b) || noncausal_junction(a, b);
+}
+
+bool ChainAnalysis::causal_junction(MsgId a, MsgId b) const {
+  const Message& ma = pattern_->message(a);
+  const Message& mb = pattern_->message(b);
+  return ma.receiver == mb.sender && ma.deliver_pos < mb.send_pos;
+}
+
+bool ChainAnalysis::noncausal_junction(MsgId a, MsgId b) const {
+  const Message& ma = pattern_->message(a);
+  const Message& mb = pattern_->message(b);
+  return ma.receiver == mb.sender && mb.send_pos < ma.deliver_pos &&
+         ma.deliver_interval == mb.send_interval;
+}
+
+const BitVector& ChainAnalysis::causal_starts(MsgId m) const {
+  RDT_REQUIRE(m >= 0 && m < pattern_->num_messages(), "message id out of range");
+  return causal_starts_[static_cast<std::size_t>(m)];
+}
+
+const BitVector& ChainAnalysis::simple_causal_starts(MsgId m) const {
+  RDT_REQUIRE(m >= 0 && m < pattern_->num_messages(), "message id out of range");
+  return simple_causal_starts_[static_cast<std::size_t>(m)];
+}
+
+namespace {
+
+// Highest checkpoint index z in [z_min, last] of process k whose bit is set;
+// 0 if none. Node ids of a process are contiguous and ordered by index.
+CkptIndex max_start_in(const BitVector& bits, const Pattern& p, ProcessId k,
+                       CkptIndex z_min) {
+  CkptIndex best = 0;
+  const CkptIndex lo = std::max<CkptIndex>(z_min, 1);
+  if (lo > p.last_ckpt(k)) return 0;
+  auto pos = static_cast<std::size_t>(p.node_id({k, lo}));
+  const auto end = static_cast<std::size_t>(p.node_id({k, p.last_ckpt(k)}));
+  for (pos = bits.find_next(pos); pos <= end && pos < bits.size();
+       pos = bits.find_next(pos + 1))
+    best = p.node_ckpt(static_cast<int>(pos)).index;
+  return best;
+}
+
+}  // namespace
+
+bool ChainAnalysis::causal_start_at_or_after(MsgId m, ProcessId k,
+                                             CkptIndex z) const {
+  return max_start_in(causal_starts(m), *pattern_, k, z) >= std::max<CkptIndex>(z, 1);
+}
+
+bool ChainAnalysis::simple_causal_start_at_or_after(MsgId m, ProcessId k,
+                                                    CkptIndex z) const {
+  return max_start_in(simple_causal_starts(m), *pattern_, k, z) >=
+         std::max<CkptIndex>(z, 1);
+}
+
+CkptIndex ChainAnalysis::max_causal_start(MsgId m, ProcessId k) const {
+  return max_start_in(causal_starts(m), *pattern_, k, 1);
+}
+
+void ChainAnalysis::ensure_zreach(bool causal_only) const {
+  auto& table = causal_only ? causal_z_ends_ : z_ends_;
+  auto& ready = causal_only ? causal_z_ends_ready_ : z_ends_ready_;
+  if (ready) return;
+
+  const auto msgs = static_cast<std::size_t>(pattern_->num_messages());
+  const auto nodes = static_cast<std::size_t>(pattern_->total_ckpts());
+  table.assign(msgs, BitVector(nodes));
+  for (const Message& m : pattern_->messages())
+    table[static_cast<std::size_t>(m.id)].set(static_cast<std::size_t>(
+        pattern_->node_id({m.receiver, m.deliver_interval})));
+
+  // The junction graph may contain cycles (zigzag cycles), so iterate to a
+  // fixpoint rather than a one-pass DP.
+  std::vector<std::pair<MsgId, MsgId>> edges;
+  for (MsgId a = 0; a < pattern_->num_messages(); ++a)
+    for (MsgId b = 0; b < pattern_->num_messages(); ++b) {
+      if (a == b) continue;
+      if (causal_only ? causal_junction(a, b) : junction(a, b))
+        edges.emplace_back(a, b);
+    }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [a, b] : edges)
+      changed |= table[static_cast<std::size_t>(a)].or_with(
+          table[static_cast<std::size_t>(b)]);
+  }
+  ready = true;
+}
+
+std::optional<std::vector<MsgId>> ChainAnalysis::find_chain(
+    const IntervalId& from, const IntervalId& to, bool causal_only) const {
+  RDT_REQUIRE(from.index >= 1 && from.index <= pattern_->last_ckpt(from.process),
+              "source interval out of range");
+  RDT_REQUIRE(to.index >= 1 && to.index <= pattern_->last_ckpt(to.process),
+              "target interval out of range");
+
+  // BFS over messages; a message is a goal when its delivery lands exactly
+  // in the target interval.
+  std::vector<MsgId> parent(static_cast<std::size_t>(pattern_->num_messages()),
+                            kNoMsg - 1);  // sentinel: unvisited
+  std::vector<MsgId> queue;
+  for (const Message& m : pattern_->messages())
+    if (m.sender == from.process && m.send_interval == from.index) {
+      parent[static_cast<std::size_t>(m.id)] = kNoMsg;  // root
+      queue.push_back(m.id);
+    }
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const MsgId cur = queue[head];
+    const Message& mc = pattern_->message(cur);
+    if (mc.receiver == to.process && mc.deliver_interval == to.index) {
+      std::vector<MsgId> chain;
+      for (MsgId m = cur; m != kNoMsg; m = parent[static_cast<std::size_t>(m)])
+        chain.push_back(m);
+      std::reverse(chain.begin(), chain.end());
+      return chain;
+    }
+    for (MsgId next = 0; next < pattern_->num_messages(); ++next) {
+      if (parent[static_cast<std::size_t>(next)] != kNoMsg - 1) continue;
+      const bool ok =
+          causal_only ? causal_junction(cur, next) : junction(cur, next);
+      if (ok) {
+        parent[static_cast<std::size_t>(next)] = cur;
+        queue.push_back(next);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool ChainAnalysis::zpath_between_intervals(const IntervalId& from,
+                                            const IntervalId& to,
+                                            bool causal_only) const {
+  RDT_REQUIRE(from.index >= 1 && from.index <= pattern_->last_ckpt(from.process),
+              "source interval out of range");
+  RDT_REQUIRE(to.index >= 1 && to.index <= pattern_->last_ckpt(to.process),
+              "target interval out of range");
+  ensure_zreach(causal_only);
+  const auto& table = causal_only ? causal_z_ends_ : z_ends_;
+  const auto target =
+      static_cast<std::size_t>(pattern_->node_id({to.process, to.index}));
+  for (const Message& m : pattern_->messages())
+    if (m.sender == from.process && m.send_interval == from.index &&
+        table[static_cast<std::size_t>(m.id)].get(target))
+      return true;
+  return false;
+}
+
+}  // namespace rdt

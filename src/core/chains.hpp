@@ -1,0 +1,114 @@
+// Message-chain (Z-path) machinery — Sections 3.2/3.3 of the paper.
+//
+// A message chain [m_1 ... m_q] composes consecutive messages at a common
+// process: delivery(m_a) in I_{k,s}, send(m_{a+1}) in I_{k,t}, s <= t
+// (Definition 3.1, Netzer–Xu's zigzag). A *junction* is:
+//  * causal      — delivery(m_a) locally precedes send(m_{a+1});
+//  * non-causal  — send(m_{a+1}) precedes delivery(m_a) in the same interval.
+// A chain is causal iff all junctions are; it is *simple* iff every junction
+// has delivery and next send in the same interval (no checkpoint crossed
+// inside the chain — the property the protocol's `simple` array tracks).
+//
+// ChainAnalysis computes, per message m, the set of checkpoints C_{k,z} such
+// that a causal (resp. simple causal) chain starting with a send in I_{k,z}
+// ends exactly with m. From this every characterization checker is built:
+//
+//  * MM-path  — a two-message chain across a non-causal junction;
+//  * CM-path  — a causal chain followed by one message across a non-causal
+//               junction (MM is the special case of a one-message prefix);
+//  * doubling — a CM/MM/Z-path from C_{k,z} to C_{j,y} is *doubled* when the
+//               R-path it induces is on-line trackable (a causal chain from
+//               an interval of P_k at or after z reaches P_j at or before y);
+//  * visible doubling — doubled by a causal chain whose last send is in the
+//               causal past of the junction's delivery event, i.e. the
+//               doubling is knowable at the moment a protocol must decide
+//               whether to break the junction.
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "ccp/pattern.hpp"
+#include "core/tdv.hpp"
+#include "util/bit_matrix.hpp"
+
+namespace rdt {
+
+// A non-causal junction: `incoming` is delivered at a process after
+// `outgoing` was sent by that process in the same checkpoint interval.
+// Every Z-path that is not causal crosses at least one such junction.
+struct NonCausalJunction {
+  MsgId incoming = kNoMsg;   // the paper's m (ends the chain prefix)
+  MsgId outgoing = kNoMsg;   // the paper's m' (already sent to P_j)
+  ProcessId at = -1;         // the process that could break the chain here
+  friend auto operator<=>(const NonCausalJunction&, const NonCausalJunction&) = default;
+};
+
+class ChainAnalysis {
+ public:
+  explicit ChainAnalysis(const Pattern& pattern);
+  // The analysis keeps a reference to the pattern; a temporary would dangle.
+  explicit ChainAnalysis(Pattern&&) = delete;
+
+  const Pattern& pattern() const { return *pattern_; }
+
+  // Can [a, b] appear consecutively in a chain (Definition 3.1)?
+  bool junction(MsgId a, MsgId b) const;
+  bool causal_junction(MsgId a, MsgId b) const;
+  bool noncausal_junction(MsgId a, MsgId b) const;
+
+  // All non-causal junctions of the pattern.
+  const std::vector<NonCausalJunction>& noncausal_junctions() const {
+    return noncausal_;
+  }
+
+  // Bitset over the pattern's dense checkpoint-node numbering: bit
+  // node_id({k,z}) is set iff a causal chain from C_{k,z} (first send in
+  // I_{k,z}) ends exactly with message m. Includes the trivial chain [m]
+  // itself (bit {sender(m), send_interval(m)}).
+  const BitVector& causal_starts(MsgId m) const;
+  // Same restricted to simple causal chains.
+  const BitVector& simple_causal_starts(MsgId m) const;
+
+  // Does a causal (resp. simple causal) chain from C_{k,z'} with z' >= z end
+  // exactly with m? (The doubling relation tolerates later start intervals.)
+  bool causal_start_at_or_after(MsgId m, ProcessId k, CkptIndex z) const;
+  bool simple_causal_start_at_or_after(MsgId m, ProcessId k, CkptIndex z) const;
+
+  // Highest z such that a causal chain from C_{k,z} ends exactly with m
+  // (0 if none).
+  CkptIndex max_causal_start(MsgId m, ProcessId k) const;
+
+  // ---- brute-force Z-path reachability (cross-validation; O(M^2) space) ---
+  // Exists a chain whose first send is in I_{from} and last delivery in
+  // I_{to} (endpoint intervals exact)? `causal_only` restricts to causal
+  // chains. Computed lazily on first call via a fixpoint over the junction
+  // graph (which may contain cycles — zigzag cycles).
+  bool zpath_between_intervals(const IntervalId& from, const IntervalId& to,
+                               bool causal_only = false) const;
+
+  // An explicit witness chain [m_1 ... m_q] with send(m_1) in I_{from} and
+  // delivery(m_q) in I_{to}, or nullopt if none exists. BFS over the
+  // junction graph, so the witness has minimal message count.
+  std::optional<std::vector<MsgId>> find_chain(const IntervalId& from,
+                                               const IntervalId& to,
+                                               bool causal_only = false) const;
+
+ private:
+  BitVector starts_row(MsgId m, const std::vector<BitVector>& table) const;
+  void ensure_zreach(bool causal_only) const;
+
+  const Pattern* pattern_;
+  std::vector<NonCausalJunction> noncausal_;
+  std::vector<BitVector> causal_starts_;         // per message
+  std::vector<BitVector> simple_causal_starts_;  // per message
+
+  // Lazy: per message, bitset of interval nodes its chains can end in.
+  mutable std::vector<BitVector> z_ends_;
+  mutable std::vector<BitVector> causal_z_ends_;
+  mutable bool z_ends_ready_ = false;
+  mutable bool causal_z_ends_ready_ = false;
+};
+
+}  // namespace rdt

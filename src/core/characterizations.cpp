@@ -1,0 +1,175 @@
+#include "core/characterizations.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "rgraph/zigzag.hpp"
+#include "util/check.hpp"
+
+namespace rdt {
+
+std::string RdtViolation::describe() const {
+  std::ostringstream os;
+  os << "dependency " << from << " -> " << to << " is not on-line trackable";
+  if (junction) {
+    os << " (witness: non-causal junction at P" << junction->at << ": m"
+       << junction->outgoing << " sent before m" << junction->incoming
+       << " was delivered)";
+  }
+  return os.str();
+}
+
+const ReachabilityClosure& RdtAnalyses::closure() const {
+  if (!closure_) {
+    rgraph_.emplace(*pattern_);
+    closure_.emplace(*rgraph_);
+  }
+  return *closure_;
+}
+
+CheckResult check_rdt_definitional(const RdtAnalyses& a) {
+  const Pattern& p = a.pattern();
+  const ReachabilityClosure& closure = a.closure();
+  CheckResult result;
+  for (int u = 0; u < p.total_ckpts(); ++u) {
+    const CkptId cu = p.node_ckpt(u);
+    const BitVector& row = closure.msg_reach_row(u);
+    for (std::size_t v = row.find_next(0); v < row.size();
+         v = row.find_next(v + 1)) {
+      const CkptId cv = p.node_ckpt(static_cast<int>(v));
+      ++result.paths_checked;
+      if (a.tdv().trackable(cu, cv)) {
+        ++result.paths_satisfied;
+      } else if (result.ok) {
+        result.ok = false;
+        result.witness = RdtViolation{cu, cv, std::nullopt};
+      }
+    }
+  }
+  return result;
+}
+
+namespace {
+
+enum class Family { kMm, kCm, kPcm };
+enum class Doubling { kAny, kVisible };
+
+// Shared engine for the junction-based checkers. For every non-causal
+// junction (m_c delivered at P_i after m' was sent to P_j in the same
+// interval) and every admissible start checkpoint C_{k,z} of the chain
+// prefix ending at m_c, the induced path C_{k,z} -> C_{j,y} must be doubled
+// (resp. visibly doubled).
+CheckResult check_junctions(const RdtAnalyses& a, Family family, Doubling mode) {
+  const Pattern& p = a.pattern();
+  const ChainAnalysis& chains = a.chains();
+  const TdvAnalysis& tdv = a.tdv();
+  CheckResult result;
+
+  // Messages delivered to each process, for the visible-doubling scan.
+  std::vector<std::vector<MsgId>> delivered_to(
+      static_cast<std::size_t>(p.num_processes()));
+  if (mode == Doubling::kVisible)
+    for (const Message& m : p.messages())
+      delivered_to[static_cast<std::size_t>(m.receiver)].push_back(m.id);
+
+  for (const NonCausalJunction& jn : chains.noncausal_junctions()) {
+    const Message& mc = p.message(jn.incoming);
+    const Message& mp = p.message(jn.outgoing);
+    const ProcessId j = mp.receiver;
+    const CkptIndex y = mp.deliver_interval;
+    const CkptId target{j, y};
+
+    // Visible doublings available at this junction: best_visible[k] is the
+    // highest z' such that a causal chain from C_{k,z'} reaches P_j at or
+    // before C_{j,y} with its last send in the causal past of the decision
+    // point deliver(m_c).
+    std::vector<CkptIndex> best_visible;
+    if (mode == Doubling::kVisible) {
+      best_visible.assign(static_cast<std::size_t>(p.num_processes()), 0);
+      for (MsgId cand : delivered_to[static_cast<std::size_t>(j)]) {
+        const Message& m2 = p.message(cand);
+        if (m2.deliver_interval > y) continue;
+        if (!p.happened_before(m2.send_event(), mc.deliver_event())) continue;
+        for (ProcessId k = 0; k < p.num_processes(); ++k) {
+          const CkptIndex z = chains.max_causal_start(cand, k);
+          if (z > best_visible[static_cast<std::size_t>(k)])
+            best_visible[static_cast<std::size_t>(k)] = z;
+        }
+      }
+    }
+
+    // Start checkpoints of the admissible chain prefixes.
+    std::vector<CkptId> starts;
+    if (family == Family::kMm) {
+      starts.push_back({mc.sender, mc.send_interval});
+    } else {
+      const BitVector& bits = family == Family::kPcm
+                                  ? chains.simple_causal_starts(jn.incoming)
+                                  : chains.causal_starts(jn.incoming);
+      for (std::size_t node = bits.find_next(0); node < bits.size();
+           node = bits.find_next(node + 1))
+        starts.push_back(p.node_ckpt(static_cast<int>(node)));
+    }
+
+    for (const CkptId& start : starts) {
+      ++result.paths_checked;
+      bool ok;
+      if (mode == Doubling::kAny) {
+        ok = tdv.trackable(start, target);
+      } else if (start.process == j) {
+        // Same-process doubling is positional: P_j's own order is visible.
+        ok = start.index <= y;
+      } else {
+        ok = best_visible[static_cast<std::size_t>(start.process)] >= start.index;
+      }
+      if (ok) {
+        ++result.paths_satisfied;
+      } else if (result.ok) {
+        result.ok = false;
+        result.witness = RdtViolation{start, target, jn};
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+CheckResult check_cm_doubled(const RdtAnalyses& a) {
+  return check_junctions(a, Family::kCm, Doubling::kAny);
+}
+
+CheckResult check_pcm_doubled(const RdtAnalyses& a) {
+  return check_junctions(a, Family::kPcm, Doubling::kAny);
+}
+
+CheckResult check_mm_doubled(const RdtAnalyses& a) {
+  return check_junctions(a, Family::kMm, Doubling::kAny);
+}
+
+CheckResult check_cm_visibly_doubled(const RdtAnalyses& a) {
+  return check_junctions(a, Family::kCm, Doubling::kVisible);
+}
+
+CheckResult check_pcm_visibly_doubled(const RdtAnalyses& a) {
+  return check_junctions(a, Family::kPcm, Doubling::kVisible);
+}
+
+CheckResult check_no_z_cycle(const RdtAnalyses& a) {
+  const Pattern& p = a.pattern();
+  const ReachabilityClosure& closure = a.closure();
+  CheckResult result;
+  for (int node = 0; node < p.total_ckpts(); ++node) {
+    const CkptId c = p.node_ckpt(node);
+    ++result.paths_checked;
+    if (!on_zigzag_cycle(closure, c)) {
+      ++result.paths_satisfied;
+    } else if (result.ok) {
+      result.ok = false;
+      result.witness = RdtViolation{c, c, std::nullopt};
+    }
+  }
+  return result;
+}
+
+}  // namespace rdt

@@ -1,0 +1,111 @@
+// The RDT characterization hierarchy — the paper's core contribution.
+//
+// A checkpoint-and-communication pattern satisfies RDT iff every R-path is
+// on-line trackable (Definition 3.4). This module implements that
+// *definitional* check plus a ladder of equivalent or neighbouring
+// characterizations phrased on ever-smaller, more "visible" families of
+// Z-paths, each usable as an independent test and each inducing a
+// communication-induced checkpointing protocol:
+//
+//   { VCM <=> VPCM }  =>  { RDT_def <=> CM <=> PCM <=> MM }  =>  no Z-cycle
+//
+//  * RDT_def — every checkpoint pair connected by an R-path with a message
+//    edge is on-line trackable (TDV form of Definition 3.4).
+//  * CM  — every CM-path (causal chain + one message over a non-causal
+//    junction) is doubled. Equivalent to RDT: splitting any Z-path at its
+//    first non-causal junction and replacing the prefix by the doubling
+//    chain strictly shrinks the suffix after the first junction, so
+//    induction rebuilds a causal chain with the same endpoints.
+//  * PCM — the same restricted to *prime* CM-paths, whose causal prefix is
+//    simple (no checkpoint inside). Equivalent to CM: a non-simple prefix
+//    crosses a checkpoint, and any doubling of the simple tail composes
+//    causally with the prefix head because the crossed checkpoint separates
+//    the head's last delivery from every send of the tail's doubling chain.
+//    Prime paths are the *minimal* core: the family a protocol must watch.
+//  * MM  — only two-message chains (elementary junction pairs) are required
+//    doubled. This is Wang's elementary characterization, equivalent to RDT
+//    again; tests/characterizations_test.cpp and experiment E7 validate the
+//    equivalence over tens of thousands of randomized patterns.
+//  * VCM / VPCM — CM/PCM with *visible* doubling: the doubling chain's last
+//    send lies in the causal past of the junction's delivery event, i.e. a
+//    protocol sitting at the junction could know the doubling. Strictly
+//    stronger than RDT (doublings may exist yet be invisible — see the
+//    rdt_but_not_visibly_doubled fixture); every pattern produced by the
+//    RDT protocols in src/protocols satisfies VCM, which is the precise
+//    sense in which the characterization is "visible". Restricting
+//    visibility checks to prime paths (VPCM) loses nothing.
+//  * no Z-cycle — necessary for RDT (a cycle can never be doubled), not
+//    sufficient (Figure 1 is cycle-free yet hides a dependency).
+//
+// Every checker returns a CheckResult carrying a human-readable witness of
+// the first violation plus counting statistics used by the E7 experiment.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/chains.hpp"
+#include "core/tdv.hpp"
+#include "rgraph/reachability.hpp"
+
+namespace rdt {
+
+struct RdtViolation {
+  CkptId from;  // endpoints of the untracked / undoubled dependency
+  CkptId to;
+  std::optional<NonCausalJunction> junction;  // for junction-based checkers
+  std::string describe() const;
+};
+
+struct CheckResult {
+  bool ok = true;
+  std::optional<RdtViolation> witness;  // first violation found, if any
+  long long paths_checked = 0;          // family-specific unit (pairs/junction-starts)
+  long long paths_satisfied = 0;
+
+  explicit operator bool() const { return ok; }
+};
+
+// Bundles the analyses the checkers share so callers build them once.
+class RdtAnalyses {
+ public:
+  explicit RdtAnalyses(const Pattern& pattern)
+      : pattern_(&pattern), tdv_(pattern), chains_(pattern) {}
+  // The analyses keep a reference to the pattern; a temporary would dangle.
+  explicit RdtAnalyses(Pattern&&) = delete;
+
+  const Pattern& pattern() const { return *pattern_; }
+  const TdvAnalysis& tdv() const { return tdv_; }
+  const ChainAnalysis& chains() const { return chains_; }
+  const ReachabilityClosure& closure() const;
+
+ private:
+  const Pattern* pattern_;
+  TdvAnalysis tdv_;
+  ChainAnalysis chains_;
+  mutable std::optional<RGraph> rgraph_;
+  mutable std::optional<ReachabilityClosure> closure_;
+};
+
+// Definitional RDT: R-graph reachability through >= 1 message edge implies
+// on-line trackability, over all checkpoint pairs.
+CheckResult check_rdt_definitional(const RdtAnalyses& a);
+
+// All CM-paths doubled (equivalent to RDT).
+CheckResult check_cm_doubled(const RdtAnalyses& a);
+
+// All prime CM-paths doubled (equivalent to RDT; smaller family).
+CheckResult check_pcm_doubled(const RdtAnalyses& a);
+
+// All MM-paths doubled (necessary for RDT, not sufficient).
+CheckResult check_mm_doubled(const RdtAnalyses& a);
+
+// All CM-paths (resp. prime CM-paths) *visibly* doubled — the protocol-
+// enforceable strengthening of RDT.
+CheckResult check_cm_visibly_doubled(const RdtAnalyses& a);
+CheckResult check_pcm_visibly_doubled(const RdtAnalyses& a);
+
+// No checkpoint lies on a Z-cycle (necessary for RDT).
+CheckResult check_no_z_cycle(const RdtAnalyses& a);
+
+}  // namespace rdt

@@ -1,0 +1,54 @@
+// Minimum / maximum consistent global checkpoints.
+//
+// The consistent global checkpoints of a pattern form a lattice under the
+// componentwise order, so "the minimum consistent global checkpoint >= a
+// bound" and its dual are well defined. Both are computed by monotone
+// fixpoints over orphan messages:
+//  * minimum:  an orphan (send not included, delivery included) is repaired
+//    by raising the *sender's* component to cover the send;
+//  * maximum:  by lowering the *receiver's* component below the delivery.
+//
+// The "containing" variants pin selected local checkpoints exactly and fail
+// (nullopt) when no consistent global checkpoint contains them — which, by
+// Netzer–Xu, happens precisely when a zigzag path connects two pinned
+// checkpoints (or one to itself).
+//
+// Corollary 4.5 of the paper: under RDT, min_consistent_containing({C_{i,x}})
+// equals the TDV saved at C_{i,x} — the protocols hand this out on the fly;
+// the functions here are the offline reference implementations used to
+// validate that claim (experiment E6).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "ccp/consistency.hpp"
+#include "ccp/pattern.hpp"
+
+namespace rdt {
+
+// The all-initial and all-final global checkpoints (both always consistent).
+GlobalCkpt bottom_global_ckpt(const Pattern& p);
+GlobalCkpt top_global_ckpt(const Pattern& p);
+
+// Least consistent global checkpoint g with g >= lower (componentwise).
+// Always exists because the top is consistent.
+GlobalCkpt min_consistent_geq(const Pattern& p, const GlobalCkpt& lower);
+
+// Greatest consistent global checkpoint g with g <= upper.
+GlobalCkpt max_consistent_leq(const Pattern& p, const GlobalCkpt& upper);
+
+// Least / greatest consistent global checkpoint whose pinned components
+// equal the given checkpoints exactly; nullopt if none exists. `pins` may
+// name at most one checkpoint per process.
+std::optional<GlobalCkpt> min_consistent_containing(const Pattern& p,
+                                                    std::span<const CkptId> pins);
+std::optional<GlobalCkpt> max_consistent_containing(const Pattern& p,
+                                                    std::span<const CkptId> pins);
+
+// Exhaustive reference implementation (exponential; guarded to small
+// patterns) used by tests to validate the fixpoints.
+std::optional<GlobalCkpt> brute_force_min_consistent_containing(
+    const Pattern& p, std::span<const CkptId> pins);
+
+}  // namespace rdt

@@ -1,0 +1,67 @@
+#include "core/pattern_stats.hpp"
+
+#include <ostream>
+#include <vector>
+
+#include "core/chains.hpp"
+#include "core/tdv.hpp"
+#include "rgraph/zigzag.hpp"
+
+namespace rdt {
+
+PatternStats compute_stats(const Pattern& pattern) {
+  PatternStats stats;
+  stats.processes = pattern.num_processes();
+  stats.messages = pattern.num_messages();
+  stats.events = pattern.total_events();
+  stats.checkpoints = pattern.total_ckpts();
+  for (ProcessId i = 0; i < pattern.num_processes(); ++i)
+    if (pattern.last_ckpt(i) > 0 &&
+        pattern.ckpt_is_virtual(i, pattern.last_ckpt(i)))
+      ++stats.virtual_finals;
+
+  // Causal junctions in one sweep: every send pairs with every earlier
+  // delivery of its process.
+  std::vector<long long> deliveries_so_far(
+      static_cast<std::size_t>(pattern.num_processes()), 0);
+  for (const EventRef& e : pattern.topological_order()) {
+    const Event& ev = pattern.event(e);
+    if (ev.kind == EventKind::kDeliver)
+      ++deliveries_so_far[static_cast<std::size_t>(e.process)];
+    else if (ev.kind == EventKind::kSend)
+      stats.causal_junctions +=
+          deliveries_so_far[static_cast<std::size_t>(e.process)];
+  }
+
+  const ChainAnalysis chains(pattern);
+  stats.noncausal_junctions =
+      static_cast<long long>(chains.noncausal_junctions().size());
+
+  const TdvAnalysis tdv(pattern);
+  const RGraph graph(pattern);
+  const ReachabilityClosure closure(graph);
+  for (int u = 0; u < pattern.total_ckpts(); ++u) {
+    const CkptId a = pattern.node_ckpt(u);
+    const BitVector& row = closure.msg_reach_row(u);
+    for (std::size_t v = row.find_next(0); v < row.size();
+         v = row.find_next(v + 1))
+      if (!tdv.trackable(a, pattern.node_ckpt(static_cast<int>(v))))
+        ++stats.hidden_dependencies;
+    if (on_zigzag_cycle(closure, a)) ++stats.useless_checkpoints;
+  }
+  return stats;
+}
+
+std::ostream& operator<<(std::ostream& os, const PatternStats& stats) {
+  os << "pattern: " << stats.processes << " processes, " << stats.messages
+     << " messages, " << stats.events << " events, " << stats.checkpoints
+     << " checkpoints (" << stats.virtual_finals << " virtual)\n"
+     << "junctions: " << stats.causal_junctions << " causal, "
+     << stats.noncausal_junctions << " non-causal\n"
+     << "hidden dependencies: " << stats.hidden_dependencies
+     << ", useless checkpoints: " << stats.useless_checkpoints << " — RDT "
+     << (stats.rdt() ? "holds" : "violated") << '\n';
+  return os;
+}
+
+}  // namespace rdt

@@ -1,0 +1,40 @@
+// Descriptive statistics of a checkpoint-and-communication pattern — the
+// quantities the checkpointing literature uses to characterize workloads
+// (junction densities, hidden dependencies, useless checkpoints) gathered
+// in one pass for reports, experiments and the CLI.
+#pragma once
+
+#include <iosfwd>
+
+#include "ccp/pattern.hpp"
+
+namespace rdt {
+
+struct PatternStats {
+  int processes = 0;
+  int messages = 0;
+  int events = 0;
+  int checkpoints = 0;          // including initial and virtual finals
+  int virtual_finals = 0;
+
+  // Junctions: ordered message pairs that can appear consecutively in a
+  // chain at some process (Definition 3.1).
+  long long causal_junctions = 0;
+  long long noncausal_junctions = 0;
+
+  // Checkpoint pairs (a, b) connected by a message chain (msg_reach) but
+  // not on-line trackable — the hidden dependencies RDT rules out.
+  long long hidden_dependencies = 0;
+  // Checkpoints on a zigzag cycle.
+  int useless_checkpoints = 0;
+
+  bool rdt() const { return hidden_dependencies == 0; }
+};
+
+// Full computation (includes the R-graph closure: O(C^2) memory, use on
+// analysis-sized patterns).
+PatternStats compute_stats(const Pattern& pattern);
+
+std::ostream& operator<<(std::ostream& os, const PatternStats& stats);
+
+}  // namespace rdt

@@ -1,0 +1,39 @@
+// One-call facade over the characterization hierarchy: runs every checker
+// on a pattern and reports the results side by side. This is what the
+// examples, the integration tests and experiment E7 consume.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/characterizations.hpp"
+
+namespace rdt {
+
+struct RdtReport {
+  CheckResult definitional;   // Definition 3.4 via R-graph + TDV
+  CheckResult cm;             // all CM-paths doubled       (<=> RDT)
+  CheckResult pcm;            // all prime CM-paths doubled (<=> RDT)
+  CheckResult mm;             // all MM-paths doubled       (<=> RDT, Wang)
+  CheckResult vcm;            // all CM-paths visibly doubled  (sufficient)
+  CheckResult vpcm;           // all prime CM-paths visibly doubled (<=> VCM)
+  CheckResult no_z_cycle;     // no zigzag cycles            (necessary)
+
+  // The ground truth the others are measured against.
+  bool satisfies_rdt() const { return definitional.ok; }
+
+  // Human-readable multi-line summary.
+  std::string summary() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const RdtReport& report);
+
+// Runs all checkers. Cost: O(C^2) closure plus junction scans, where C is
+// the total checkpoint count — intended for analysis/validation, not for
+// the inner loop of a simulation.
+RdtReport analyze_rdt(const Pattern& pattern);
+
+// Just the definitional check (cheapest path to a yes/no answer).
+bool satisfies_rdt(const Pattern& pattern);
+
+}  // namespace rdt

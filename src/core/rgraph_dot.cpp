@@ -1,0 +1,105 @@
+#include "core/rgraph_dot.hpp"
+
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "core/tdv.hpp"
+#include "rgraph/reachability.hpp"
+#include "rgraph/rgraph.hpp"
+
+namespace rdt {
+
+namespace {
+
+std::string node_name(const CkptId& c) {
+  return "c" + std::to_string(c.process) + "_" + std::to_string(c.index);
+}
+
+}  // namespace
+
+void write_rgraph_dot(std::ostream& os, const Pattern& pattern,
+                      const DotOptions& options) {
+  os << "digraph rgraph {\n"
+        "  rankdir=LR;\n"
+        "  node [shape=box, fontname=\"monospace\"];\n";
+
+  // One subgraph rank-chain per process keeps rows horizontal.
+  for (ProcessId i = 0; i < pattern.num_processes(); ++i) {
+    os << "  subgraph proc" << i << " {\n    rank=same;\n";
+    for (CkptIndex x = 0; x <= pattern.last_ckpt(i); ++x) {
+      os << "    " << node_name({i, x}) << " [label=\"C(" << i << ',' << x
+         << ")\"";
+      if (pattern.ckpt_is_virtual(i, x)) os << ", style=dashed";
+      os << "];\n";
+    }
+    os << "  }\n";
+  }
+
+  // Process edges.
+  for (ProcessId i = 0; i < pattern.num_processes(); ++i)
+    for (CkptIndex x = 0; x < pattern.last_ckpt(i); ++x)
+      os << "  " << node_name({i, x}) << " -> " << node_name({i, x + 1})
+         << " [weight=10];\n";
+
+  // Message edges, grouped so parallel messages share one edge.
+  std::map<std::pair<int, int>, std::vector<MsgId>> edges;
+  for (const Message& m : pattern.messages())
+    edges[{pattern.node_id({m.sender, m.send_interval}),
+           pattern.node_id({m.receiver, m.deliver_interval})}]
+        .push_back(m.id);
+
+  // Hidden dependencies for highlighting.
+  std::optional<TdvAnalysis> tdv;
+  std::optional<RGraph> graph;
+  std::optional<ReachabilityClosure> closure;
+  if (options.highlight_hidden) {
+    tdv.emplace(pattern);
+    graph.emplace(pattern);
+    closure.emplace(*graph);
+  }
+
+  for (const auto& [endpoints, msgs] : edges) {
+    const CkptId from = pattern.node_ckpt(endpoints.first);
+    const CkptId to = pattern.node_ckpt(endpoints.second);
+    os << "  " << node_name(from) << " -> " << node_name(to)
+       << " [constraint=false, style=bold";
+    if (options.show_message_labels) {
+      os << ", label=\"";
+      for (std::size_t k = 0; k < msgs.size(); ++k)
+        os << (k ? "," : "") << 'm' << msgs[k];
+      os << '"';
+    }
+    if (options.highlight_hidden && !tdv->trackable(from, to))
+      os << ", color=red, fontcolor=red";
+    os << "];\n";
+  }
+
+  // Untracked transitive dependencies that no single edge shows.
+  if (options.highlight_hidden) {
+    for (int u = 0; u < pattern.total_ckpts(); ++u) {
+      const CkptId a = pattern.node_ckpt(u);
+      const BitVector& row = closure->msg_reach_row(u);
+      for (std::size_t v = row.find_next(0); v < row.size();
+           v = row.find_next(v + 1)) {
+        const CkptId b = pattern.node_ckpt(static_cast<int>(v));
+        if (tdv->trackable(a, b)) continue;
+        if (edges.contains({u, static_cast<int>(v)})) continue;  // drawn above
+        os << "  " << node_name(a) << " -> " << node_name(b)
+           << " [constraint=false, style=dotted, color=red, "
+              "label=\"hidden\", fontcolor=red];\n";
+      }
+    }
+  }
+  os << "}\n";
+}
+
+std::string rgraph_to_dot(const Pattern& pattern, const DotOptions& options) {
+  std::ostringstream os;
+  write_rgraph_dot(os, pattern, options);
+  return os.str();
+}
+
+}  // namespace rdt

@@ -1,0 +1,29 @@
+// Graphviz export of rollback-dependency graphs.
+//
+// Renders the R-graph in the layout of the paper's Figure 1.b: one row per
+// process (checkpoints in rank order), solid process edges, message edges
+// labelled with the messages that induce them. Optionally highlights the
+// hidden dependencies (R-paths that are not on-line trackable) in red —
+// `dot -Tsvg` then gives the exact picture the paper draws, for any
+// pattern.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ccp/pattern.hpp"
+
+namespace rdt {
+
+struct DotOptions {
+  bool highlight_hidden = true;   // color untracked dependencies red
+  bool show_message_labels = true;
+};
+
+// Writes Graphviz DOT for the pattern's R-graph.
+void write_rgraph_dot(std::ostream& os, const Pattern& pattern,
+                      const DotOptions& options = {});
+
+std::string rgraph_to_dot(const Pattern& pattern, const DotOptions& options = {});
+
+}  // namespace rdt

@@ -1,0 +1,68 @@
+#include "core/tdv.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+TdvAnalysis::TdvAnalysis(const Pattern& pattern) : pattern_(&pattern) {
+  const auto n = static_cast<std::size_t>(pattern.num_processes());
+  ckpt_tdv_.resize(static_cast<std::size_t>(pattern.total_ckpts()));
+  msg_tdv_.resize(static_cast<std::size_t>(pattern.num_messages()));
+
+  // current[i] = TDV_i during the replay. Protocol initialization (S0): all
+  // entries zero, then the initial checkpoint C_{i,0} is taken (saving the
+  // all-zero vector) and the own entry becomes 1 — the index of I_{i,1}.
+  std::vector<Tdv> current(n, Tdv(n, 0));
+  for (ProcessId i = 0; i < pattern.num_processes(); ++i) {
+    ckpt_tdv_[static_cast<std::size_t>(pattern.node_id({i, 0}))] =
+        current[static_cast<std::size_t>(i)];
+    current[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1;
+  }
+
+  for (const EventRef& e : pattern.topological_order()) {
+    Tdv& tdv = current[static_cast<std::size_t>(e.process)];
+    const Event& ev = pattern.event(e);
+    switch (ev.kind) {
+      case EventKind::kSend:
+        msg_tdv_[static_cast<std::size_t>(ev.msg)] = tdv;
+        break;
+      case EventKind::kDeliver: {
+        const Tdv& piggy = msg_tdv_[static_cast<std::size_t>(ev.msg)];
+        for (std::size_t k = 0; k < n; ++k) tdv[k] = std::max(tdv[k], piggy[k]);
+        break;
+      }
+      case EventKind::kCheckpoint:
+        ckpt_tdv_[static_cast<std::size_t>(
+            pattern.node_id({e.process, ev.ckpt}))] = tdv;
+        ++tdv[static_cast<std::size_t>(e.process)];
+        break;
+      case EventKind::kInternal:
+        break;
+    }
+  }
+}
+
+const Tdv& TdvAnalysis::at_ckpt(const CkptId& c) const {
+  return ckpt_tdv_[static_cast<std::size_t>(pattern_->node_id(c))];
+}
+
+const Tdv& TdvAnalysis::on_msg(MsgId m) const {
+  RDT_REQUIRE(m >= 0 && m < pattern_->num_messages(), "message id out of range");
+  return msg_tdv_[static_cast<std::size_t>(m)];
+}
+
+bool TdvAnalysis::trackable(const CkptId& from, const CkptId& to) const {
+  if (from.process == to.process) return from.index <= to.index;
+  return at_ckpt(to)[static_cast<std::size_t>(from.process)] >= from.index;
+}
+
+GlobalCkpt TdvAnalysis::min_global_ckpt(const CkptId& c) const {
+  GlobalCkpt g;
+  g.indices = at_ckpt(c);
+  g.indices[static_cast<std::size_t>(c.process)] = c.index;
+  return g;
+}
+
+}  // namespace rdt

@@ -1,0 +1,59 @@
+// Transitive Dependency Vectors (TDV) — Section 3.3 of the paper.
+//
+// Each process P_i maintains TDV_i[1..n]; TDV_i[i] is the index of the
+// current checkpoint interval, and TDV_i[j] records the highest checkpoint
+// interval of P_j the current local state causally depends on through
+// message chains. Vectors are piggybacked on every message and merged
+// (component-wise max) at delivery; taking checkpoint C_{i,x} saves the
+// current vector as TDV_{i,x} and bumps the own entry.
+//
+// TdvAnalysis replays this mechanism offline over a finished Pattern and
+// exposes:
+//  * the vector saved at every checkpoint and piggybacked on every message;
+//  * the *on-line trackability* relation: the R-path C_{i,x} -> C_{j,y} is
+//    on-line trackable iff i == j && x <= y, or TDV_{j,y}[i] >= x — i.e. a
+//    causal message chain from an interval of P_i at or after I_{i,x}
+//    reaches P_j at or before C_{j,y}.
+#pragma once
+
+#include <vector>
+
+#include "ccp/consistency.hpp"
+#include "ccp/pattern.hpp"
+
+namespace rdt {
+
+// An integer dependency vector; entry j refers to a checkpoint interval
+// index of P_j.
+using Tdv = std::vector<CkptIndex>;
+
+class TdvAnalysis {
+ public:
+  explicit TdvAnalysis(const Pattern& pattern);
+  // The analysis keeps a reference to the pattern; a temporary would dangle.
+  explicit TdvAnalysis(Pattern&&) = delete;
+
+  const Pattern& pattern() const { return *pattern_; }
+
+  // The vector saved when C_{p,x} was taken (own entry equals x).
+  const Tdv& at_ckpt(const CkptId& c) const;
+  // The vector piggybacked on message m (value of the sender's TDV at send).
+  const Tdv& on_msg(MsgId m) const;
+
+  // On-line trackability of the R-path from -> to (Definition 3.3 in TDV
+  // form). Returns true for same-process paths with from.index <= to.index.
+  bool trackable(const CkptId& from, const CkptId& to) const;
+
+  // The paper's Corollary 4.5: TDV_{i,x}, read as a global checkpoint,
+  // is the minimum consistent global checkpoint containing C_{i,x}
+  // (guaranteed when the pattern satisfies RDT).
+  GlobalCkpt min_global_ckpt(const CkptId& c) const;
+
+ private:
+  const Pattern* pattern_;
+  // ckpt_tdv_[node_id(c)] = vector saved at c.
+  std::vector<Tdv> ckpt_tdv_;
+  std::vector<Tdv> msg_tdv_;
+};
+
+}  // namespace rdt

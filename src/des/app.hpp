@@ -1,0 +1,58 @@
+// The application-programming interface of the discrete-event runtime.
+//
+// A distributed application is a ProcessApp subclass instantiated once per
+// process. The runtime (des/simulator.hpp) drives it through three
+// callbacks and hands it a Context for its actions; the checkpointing
+// protocol is interposed transparently: every send gets the protocol's
+// control data piggybacked, every delivery first consults the protocol's
+// forced-checkpoint predicate, and Context::take_checkpoint() records a
+// basic checkpoint. Application code never sees the protocol — exactly the
+// paper's deployment model, where checkpointing is middleware underneath an
+// unmodified application.
+//
+// Applications must be deterministic given the callbacks' order and the
+// Context RNG; all nondeterminism (message delays, timer jitter) comes from
+// the runtime's seeded randomness, which keeps every run reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "causality/ids.hpp"
+
+namespace rdt::des {
+
+// Application payload of a message (opaque to the runtime and protocol).
+using AppData = std::int64_t;
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  virtual ProcessId self() const = 0;
+  virtual int num_processes() const = 0;
+  virtual double now() const = 0;
+
+  // Asynchronously send `data` to another process.
+  virtual void send(ProcessId to, AppData data) = 0;
+  // Take a basic (application-driven) local checkpoint.
+  virtual void take_checkpoint() = 0;
+  // Fire on_timer(id) after `delay` time units.
+  virtual void set_timer(double delay, int id) = 0;
+  // Deterministic per-run randomness for application decisions.
+  virtual double random() = 0;
+};
+
+class ProcessApp {
+ public:
+  virtual ~ProcessApp() = default;
+  // Called once at time 0.
+  virtual void start(Context& /*ctx*/) {}
+  // Called when a message is delivered (after the protocol's forced
+  // checkpoint, if any).
+  virtual void on_message(Context& /*ctx*/, ProcessId /*from*/,
+                          AppData /*data*/) {}
+  // Called when a timer set via Context::set_timer fires.
+  virtual void on_timer(Context& /*ctx*/, int /*id*/) {}
+};
+
+}  // namespace rdt::des

@@ -1,0 +1,236 @@
+#include "des/apps.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "util/check.hpp"
+
+namespace rdt::des {
+
+namespace {
+
+// Exponential variate from the context's uniform stream.
+double exponential(Context& ctx, double mean) {
+  return -mean * std::log(1.0 - ctx.random());
+}
+
+ProcessId random_peer(Context& ctx) {
+  const int n = ctx.num_processes();
+  auto peer = static_cast<ProcessId>(ctx.random() * (n - 1));
+  if (peer >= ctx.self()) ++peer;
+  return peer;
+}
+
+// ----------------------------------------------------------------- TokenRing
+
+constexpr AppData kToken = 1;
+constexpr AppData kGossip = 2;
+
+class TokenRing final : public ProcessApp {
+ public:
+  TokenRing(std::shared_ptr<TokenRingStats> stats, double work_mean,
+            double gossip_prob, int ckpt_every)
+      : stats_(std::move(stats)),
+        work_mean_(work_mean),
+        gossip_prob_(gossip_prob),
+        ckpt_every_(ckpt_every) {}
+
+  void start(Context& ctx) override {
+    if (ctx.self() == 0) ctx.set_timer(exponential(ctx, work_mean_), 0);
+  }
+
+  void on_message(Context& ctx, ProcessId, AppData data) override {
+    if (data != kToken) return;  // background gossip needs no reaction
+    ++stats_->token_hops;
+    if (++receipts_ % ckpt_every_ == 0) ctx.take_checkpoint();
+    ctx.set_timer(exponential(ctx, work_mean_), 0);  // local work, then pass
+  }
+
+  void on_timer(Context& ctx, int) override {
+    if (ctx.num_processes() > 1) {
+      if (ctx.random() < gossip_prob_) {
+        ctx.send(random_peer(ctx), kGossip);
+        ++stats_->gossips;
+      }
+      ctx.send((ctx.self() + 1) % ctx.num_processes(), kToken);
+    }
+  }
+
+ private:
+  std::shared_ptr<TokenRingStats> stats_;
+  double work_mean_;
+  double gossip_prob_;
+  int ckpt_every_;
+  int receipts_ = 0;
+};
+
+// -------------------------------------------------------------------- Gossip
+
+class Gossip final : public ProcessApp {
+ public:
+  Gossip(std::shared_ptr<GossipStats> stats, double timer_mean,
+         double forward_prob, double ckpt_prob)
+      : stats_(std::move(stats)),
+        timer_mean_(timer_mean),
+        forward_prob_(forward_prob),
+        ckpt_prob_(ckpt_prob) {}
+
+  void start(Context& ctx) override {
+    ctx.set_timer(exponential(ctx, timer_mean_), 0);
+  }
+
+  void on_timer(Context& ctx, int) override {
+    if (ctx.num_processes() > 1) {
+      ++stats_->rumors_started;
+      ctx.send(random_peer(ctx), /*rumor=*/1);
+    }
+    ctx.set_timer(exponential(ctx, timer_mean_), 0);
+  }
+
+  void on_message(Context& ctx, ProcessId, AppData rumor) override {
+    if (ctx.random() < ckpt_prob_) ctx.take_checkpoint();
+    if (ctx.num_processes() > 1 && ctx.random() < forward_prob_) {
+      ++stats_->forwards;
+      ctx.send(random_peer(ctx), rumor + 1);  // hop count travels along
+    }
+  }
+
+ private:
+  std::shared_ptr<GossipStats> stats_;
+  double timer_mean_;
+  double forward_prob_;
+  double ckpt_prob_;
+};
+
+// -------------------------------------------------------------- RequestChain
+
+constexpr AppData kRequest = 1;
+constexpr AppData kReply = 2;
+
+class RequestChain final : public ProcessApp {
+ public:
+  RequestChain(std::shared_ptr<RequestChainStats> stats, double think_mean,
+               double service_mean, double forward_prob)
+      : stats_(std::move(stats)),
+        think_mean_(think_mean),
+        service_mean_(service_mean),
+        forward_prob_(forward_prob) {}
+
+  void start(Context& ctx) override {
+    if (ctx.self() == 0) ctx.set_timer(exponential(ctx, think_mean_), 0);
+  }
+
+  void on_timer(Context& ctx, int id) override {
+    if (ctx.self() == 0) {
+      // Client think time elapsed: issue the next request.
+      RDT_ASSERT(id == 0);
+      ++stats_->requests;
+      ctx.send(1, kRequest);
+      return;
+    }
+    // Server: local processing finished for `current_`.
+    RDT_ASSERT(id == 1 && current_ >= 0);
+    const bool last = ctx.self() == ctx.num_processes() - 1;
+    if (!last && ctx.random() < forward_prob_) {
+      ++stats_->forwards;
+      ctx.send(ctx.self() + 1, kRequest);
+      waiting_ = true;
+    } else {
+      finish(ctx);
+    }
+  }
+
+  void on_message(Context& ctx, ProcessId from, AppData data) override {
+    if (ctx.self() == 0) {
+      RDT_ASSERT(data == kReply);
+      ++stats_->replies_to_client;
+      ctx.set_timer(exponential(ctx, think_mean_), 0);
+      return;
+    }
+    if (data == kRequest) {
+      queue_.push_back(from);
+      if (current_ < 0) begin_next(ctx);
+    } else {
+      // Reply from the right neighbour for the in-flight request.
+      RDT_ASSERT(waiting_ && current_ >= 0);
+      waiting_ = false;
+      finish(ctx);
+    }
+  }
+
+ private:
+  void begin_next(Context& ctx) {
+    if (queue_.empty()) return;
+    current_ = queue_.front();
+    queue_.pop_front();
+    ctx.set_timer(exponential(ctx, service_mean_), 1);
+  }
+
+  void finish(Context& ctx) {
+    ctx.send(current_, kReply);
+    current_ = -1;
+    begin_next(ctx);
+  }
+
+  std::shared_ptr<RequestChainStats> stats_;
+  double think_mean_;
+  double service_mean_;
+  double forward_prob_;
+  std::deque<ProcessId> queue_;
+  ProcessId current_ = -1;
+  bool waiting_ = false;
+};
+
+// ------------------------------------------------------------------ PingPong
+
+class PingPong final : public ProcessApp {
+ public:
+  void start(Context& ctx) override {
+    RDT_REQUIRE(ctx.num_processes() == 2, "ping-pong needs two processes");
+    if (ctx.self() == 0) ctx.send(1, 0);
+  }
+
+  void on_message(Context& ctx, ProcessId from, AppData round) override {
+    // Checkpoint between delivery and reply: the adversarial placement that
+    // makes every pair of checkpoints straddle a message.
+    ctx.take_checkpoint();
+    ctx.send(from, round + 1);
+  }
+};
+
+}  // namespace
+
+AppFactory token_ring_app(std::shared_ptr<TokenRingStats> stats,
+                          double work_mean, double gossip_prob,
+                          int ckpt_every) {
+  RDT_REQUIRE(stats != nullptr, "stats must not be null");
+  RDT_REQUIRE(ckpt_every >= 1, "ckpt_every must be positive");
+  return [=](ProcessId) {
+    return std::make_unique<TokenRing>(stats, work_mean, gossip_prob,
+                                       ckpt_every);
+  };
+}
+
+AppFactory gossip_app(std::shared_ptr<GossipStats> stats, double timer_mean,
+                      double forward_prob, double ckpt_prob) {
+  RDT_REQUIRE(stats != nullptr, "stats must not be null");
+  return [=](ProcessId) {
+    return std::make_unique<Gossip>(stats, timer_mean, forward_prob, ckpt_prob);
+  };
+}
+
+AppFactory request_chain_app(std::shared_ptr<RequestChainStats> stats,
+                             double think_mean, double service_mean,
+                             double forward_prob) {
+  RDT_REQUIRE(stats != nullptr, "stats must not be null");
+  return [=](ProcessId) {
+    return std::make_unique<RequestChain>(stats, think_mean, service_mean,
+                                          forward_prob);
+  };
+}
+
+AppFactory ping_pong_app() {
+  return [](ProcessId) { return std::make_unique<PingPong>(); };
+}
+
+}  // namespace rdt::des

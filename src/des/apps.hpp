@@ -1,0 +1,62 @@
+// Reference applications for the discrete-event runtime — small but real
+// distributed programs exercising the checkpointing middleware with
+// qualitatively different communication structures.
+//
+//  * TokenRingApp   — a token circulates the ring; every holder does some
+//    local work, occasionally gossips its status to a random peer, and
+//    checkpoints every k-th token receipt. Regular traffic + background
+//    noise: the classic structured workload.
+//  * GossipApp      — epidemic dissemination: on a timer each process sends
+//    a rumor to a random peer; receivers forward with a fixed probability.
+//    Irregular, bursty traffic rich in non-causal junctions.
+//  * RequestChainApp — the papers' client/server environment as a real state
+//    machine: process 0 issues requests to S_1, each server replies or
+//    forwards to its right neighbour and *waits* (queueing further requests)
+//    — synchronous chains whose causal past swallows the computation.
+//  * PingPongApp    — two processes, checkpoints placed adversarially: the
+//    domino-effect workload (only meaningful for num_processes == 2).
+//
+// Each app records simple application-level counters so tests can check the
+// *application* semantics survived the middleware (e.g. the token is never
+// duplicated).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "des/simulator.hpp"
+
+namespace rdt::des {
+
+struct TokenRingStats {
+  long long token_hops = 0;
+  long long gossips = 0;
+};
+
+// Factory + shared stats (written single-threaded by the simulator).
+AppFactory token_ring_app(std::shared_ptr<TokenRingStats> stats,
+                          double work_mean = 0.5, double gossip_prob = 0.3,
+                          int ckpt_every = 3);
+
+struct GossipStats {
+  long long rumors_started = 0;
+  long long forwards = 0;
+};
+
+AppFactory gossip_app(std::shared_ptr<GossipStats> stats,
+                      double timer_mean = 1.0, double forward_prob = 0.4,
+                      double ckpt_prob = 0.15);
+
+struct RequestChainStats {
+  long long requests = 0;
+  long long replies_to_client = 0;
+  long long forwards = 0;
+};
+
+AppFactory request_chain_app(std::shared_ptr<RequestChainStats> stats,
+                             double think_mean = 2.0, double service_mean = 0.5,
+                             double forward_prob = 0.5);
+
+AppFactory ping_pong_app();
+
+}  // namespace rdt::des

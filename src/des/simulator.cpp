@@ -1,0 +1,240 @@
+#include "des/simulator.hpp"
+
+#include <queue>
+#include <utility>
+
+#include "ccp/builder.hpp"
+#include "util/check.hpp"
+
+namespace rdt::des {
+
+namespace {
+
+enum class EvKind { kStart, kDeliver, kTimer, kBasicCkpt };
+
+struct Ev {
+  double time = 0.0;
+  long long seq = 0;  // FIFO tiebreak for determinism
+  EvKind kind = EvKind::kStart;
+  ProcessId process = -1;
+  // kDeliver:
+  ProcessId from = -1;
+  AppData data = 0;
+  MsgId msg = kNoMsg;  // PatternBuilder id
+  // kTimer:
+  int timer_id = 0;
+};
+
+struct EvLater {
+  bool operator()(const Ev& a, const Ev& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+class Runtime;
+
+// Per-process Context implementation; actions funnel back to the Runtime.
+class ProcessContext final : public Context {
+ public:
+  ProcessContext(Runtime& runtime, ProcessId self)
+      : runtime_(&runtime), self_(self) {}
+
+  ProcessId self() const override { return self_; }
+  int num_processes() const override;
+  double now() const override;
+  void send(ProcessId to, AppData data) override;
+  void take_checkpoint() override;
+  void set_timer(double delay, int id) override;
+  double random() override;
+
+ private:
+  Runtime* runtime_;
+  ProcessId self_;
+};
+
+class Runtime {
+ public:
+  Runtime(int num_processes, const AppFactory& factory, const SimConfig& config)
+      : config_(config),
+        rng_(config.seed),
+        builder_(num_processes),
+        payloads_() {
+    RDT_REQUIRE(num_processes >= 1, "need at least one process");
+    RDT_REQUIRE(config.horizon > 0, "horizon must be positive");
+    RDT_REQUIRE(config.delay_mean > 0 && config.delay_min >= 0,
+                "invalid channel delays");
+    fifo_last_.assign(static_cast<std::size_t>(num_processes),
+                      std::vector<double>(static_cast<std::size_t>(num_processes), 0.0));
+    for (ProcessId i = 0; i < num_processes; ++i) {
+      protocols_.push_back(make_protocol(config.protocol, num_processes, i));
+      apps_.push_back(factory(i));
+      RDT_REQUIRE(apps_.back() != nullptr, "app factory returned null");
+      contexts_.emplace_back(*this, i);
+      app_rngs_.push_back(rng_.split());
+      push({0.0, next_seq(), EvKind::kStart, i});
+      if (config.basic_ckpt_mean > 0)
+        push({rng_.exponential(config.basic_ckpt_mean), next_seq(),
+              EvKind::kBasicCkpt, i});
+    }
+  }
+
+  SimResult run() {
+    while (!queue_.empty()) {
+      const Ev ev = queue_.top();
+      queue_.pop();
+      now_ = ev.time;
+      end_time_ = ev.time;
+      switch (ev.kind) {
+        case EvKind::kStart:
+          current_ = ev.process;
+          apps_[static_cast<std::size_t>(ev.process)]->start(
+              contexts_[static_cast<std::size_t>(ev.process)]);
+          current_ = -1;
+          break;
+        case EvKind::kDeliver: {
+          CicProtocol& proto = *protocols_[static_cast<std::size_t>(ev.process)];
+          const Piggyback& pb = payloads_[static_cast<std::size_t>(ev.msg)];
+          if (proto.must_force(pb, ev.from)) {
+            proto.on_forced_checkpoint();
+            builder_.checkpoint(ev.process);
+          }
+          proto.on_deliver(pb, ev.from);
+          builder_.deliver(ev.msg);
+          if (ev.time <= config_.horizon) {
+            // Application activity only before the cool-down.
+            current_ = ev.process;
+            apps_[static_cast<std::size_t>(ev.process)]->on_message(
+                contexts_[static_cast<std::size_t>(ev.process)], ev.from,
+                ev.data);
+            current_ = -1;
+          }
+          break;
+        }
+        case EvKind::kTimer:
+          if (ev.time <= config_.horizon) {
+            ++result_timers_;
+            current_ = ev.process;
+            apps_[static_cast<std::size_t>(ev.process)]->on_timer(
+                contexts_[static_cast<std::size_t>(ev.process)], ev.timer_id);
+            current_ = -1;
+          }
+          break;
+        case EvKind::kBasicCkpt:
+          if (ev.time <= config_.horizon) {
+            protocols_[static_cast<std::size_t>(ev.process)]
+                ->on_basic_checkpoint();
+            builder_.checkpoint(ev.process);
+            push({ev.time + rng_.exponential(config_.basic_ckpt_mean),
+                  next_seq(), EvKind::kBasicCkpt, ev.process});
+          }
+          break;
+      }
+    }
+
+    SimResult result;
+    result.pattern = builder_.build();
+    result.messages = static_cast<long long>(payloads_.size());
+    result.timers_fired = result_timers_;
+    result.end_time = end_time_;
+    result.saved_tdvs.resize(protocols_.size());
+    for (std::size_t i = 0; i < protocols_.size(); ++i) {
+      const CicProtocol& p = *protocols_[i];
+      result.basic += p.basic_count();
+      result.forced += p.forced_count();
+      if (p.transmits_tdv())
+        for (CkptIndex x = 0; x < p.current_interval(); ++x)
+          result.saved_tdvs[i].push_back(p.saved_tdv(x));
+    }
+    return result;
+  }
+
+  // --- Context services ------------------------------------------------------
+  int num_processes() const { return static_cast<int>(apps_.size()); }
+  double now() const { return now_; }
+
+  void app_send(ProcessId from, ProcessId to, AppData data) {
+    RDT_REQUIRE(from == current_,
+                "send() may only be called from the running process's callback");
+    CicProtocol& proto = *protocols_[static_cast<std::size_t>(from)];
+    Piggyback pb = proto.on_send(to);
+    const MsgId id = builder_.send(from, to);
+    RDT_ASSERT(id == static_cast<MsgId>(payloads_.size()));
+    payloads_.push_back(std::move(pb));
+    if (proto.checkpoint_after_send()) {
+      proto.on_forced_checkpoint();
+      builder_.checkpoint(from);
+    }
+    double arrive = now_ + config_.delay_min + rng_.exponential(config_.delay_mean);
+    if (config_.fifo_channels) {
+      auto& last = fifo_last_[static_cast<std::size_t>(from)]
+                             [static_cast<std::size_t>(to)];
+      arrive = std::max(arrive, last + 1e-9);
+      last = arrive;
+    }
+    push({arrive, next_seq(), EvKind::kDeliver, to, from, data, id});
+  }
+
+  void app_checkpoint(ProcessId p) {
+    RDT_REQUIRE(p == current_,
+                "take_checkpoint() may only be called from the running "
+                "process's callback");
+    protocols_[static_cast<std::size_t>(p)]->on_basic_checkpoint();
+    builder_.checkpoint(p);
+  }
+
+  void app_timer(ProcessId p, double delay, int id) {
+    RDT_REQUIRE(p == current_,
+                "set_timer() may only be called from the running process's "
+                "callback");
+    RDT_REQUIRE(delay >= 0, "negative timer delay");
+    Ev ev{now_ + delay, next_seq(), EvKind::kTimer, p};
+    ev.timer_id = id;
+    push(ev);
+  }
+
+  double app_random(ProcessId p) {
+    return app_rngs_[static_cast<std::size_t>(p)].uniform();
+  }
+
+ private:
+  long long next_seq() { return seq_++; }
+  void push(const Ev& ev) { queue_.push(ev); }
+
+  SimConfig config_;
+  Rng rng_;
+  std::vector<Rng> app_rngs_;
+  PatternBuilder builder_;
+  std::vector<std::unique_ptr<CicProtocol>> protocols_;
+  std::vector<std::unique_ptr<ProcessApp>> apps_;
+  std::vector<ProcessContext> contexts_;
+  std::vector<Piggyback> payloads_;
+  std::priority_queue<Ev, std::vector<Ev>, EvLater> queue_;
+  std::vector<std::vector<double>> fifo_last_;
+  double now_ = 0.0;
+  double end_time_ = 0.0;
+  long long seq_ = 0;
+  long long result_timers_ = 0;
+  ProcessId current_ = -1;  // process whose callback is running
+};
+
+int ProcessContext::num_processes() const { return runtime_->num_processes(); }
+double ProcessContext::now() const { return runtime_->now(); }
+void ProcessContext::send(ProcessId to, AppData data) {
+  runtime_->app_send(self_, to, data);
+}
+void ProcessContext::take_checkpoint() { runtime_->app_checkpoint(self_); }
+void ProcessContext::set_timer(double delay, int id) {
+  runtime_->app_timer(self_, delay, id);
+}
+double ProcessContext::random() { return runtime_->app_random(self_); }
+
+}  // namespace
+
+SimResult run_simulation(int num_processes, const AppFactory& factory,
+                         const SimConfig& config) {
+  Runtime runtime(num_processes, factory, config);
+  return runtime.run();
+}
+
+}  // namespace rdt::des

@@ -1,0 +1,99 @@
+#include "des/snapshot.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace rdt::des {
+
+namespace {
+
+class ChandyLamport final : public ProcessApp {
+ public:
+  ChandyLamport(std::unique_ptr<ProcessApp> inner,
+                std::shared_ptr<SnapshotLog> log, ProcessId initiator,
+                double snapshot_at)
+      : inner_(std::move(inner)),
+        log_(std::move(log)),
+        initiator_(initiator),
+        snapshot_at_(snapshot_at) {}
+
+  void start(Context& ctx) override {
+    const auto n = static_cast<std::size_t>(ctx.num_processes());
+    marker_seen_.assign(n, false);
+    if (ctx.self() == initiator_)
+      ctx.set_timer(snapshot_at_, kControlTimerBase);
+    inner_->start(ctx);
+  }
+
+  void on_timer(Context& ctx, int id) override {
+    if (id == kControlTimerBase) {
+      if (!recorded_) record_and_flood(ctx);
+      return;
+    }
+    inner_->on_timer(ctx, id);
+  }
+
+  void on_message(Context& ctx, ProcessId from, AppData data) override {
+    if (data & kControlBit) {
+      // A marker: record if this is the first one, then close the channel.
+      if (!recorded_) record_and_flood(ctx);
+      RDT_ASSERT(!marker_seen_[static_cast<std::size_t>(from)]);
+      marker_seen_[static_cast<std::size_t>(from)] = true;
+      check_done(ctx);
+      return;
+    }
+    if (recorded_ && !marker_seen_[static_cast<std::size_t>(from)]) {
+      // In-flight on channel from->self at the cut: part of the channel
+      // state (recorded until that channel's marker arrives).
+      ++log_->channel_messages[static_cast<std::size_t>(from)]
+                              [static_cast<std::size_t>(ctx.self())];
+    }
+    inner_->on_message(ctx, from, data);
+  }
+
+ private:
+  void record_and_flood(Context& ctx) {
+    recorded_ = true;
+    ctx.take_checkpoint();
+    ++ckpt_count_;
+    log_->cuts.push_back({ctx.self(), ckpt_count_, ctx.now()});
+    for (ProcessId q = 0; q < ctx.num_processes(); ++q) {
+      if (q == ctx.self()) continue;
+      ctx.send(q, kControlBit);
+      ++log_->markers_sent;
+    }
+    check_done(ctx);
+  }
+
+  void check_done(Context& ctx) {
+    if (!recorded_) return;
+    for (ProcessId q = 0; q < ctx.num_processes(); ++q)
+      if (q != ctx.self() && !marker_seen_[static_cast<std::size_t>(q)]) return;
+    if (++log_->finished_ == ctx.num_processes()) log_->done = true;
+  }
+
+  std::unique_ptr<ProcessApp> inner_;
+  std::shared_ptr<SnapshotLog> log_;
+  ProcessId initiator_;
+  double snapshot_at_;
+  bool recorded_ = false;
+  std::vector<bool> marker_seen_;
+  CkptIndex ckpt_count_ = 0;
+};
+
+}  // namespace
+
+AppFactory chandy_lamport_app(AppFactory inner,
+                              std::shared_ptr<SnapshotLog> log,
+                              ProcessId initiator, double snapshot_at) {
+  RDT_REQUIRE(log != nullptr, "log must not be null");
+  RDT_REQUIRE(snapshot_at > 0, "snapshot time must be positive");
+  return [inner = std::move(inner), log, initiator,
+          snapshot_at](ProcessId id) -> std::unique_ptr<ProcessApp> {
+    return std::make_unique<ChandyLamport>(inner(id), log, initiator,
+                                           snapshot_at);
+  };
+}
+
+}  // namespace rdt::des

@@ -1,0 +1,68 @@
+// Coordinated global snapshots (Chandy & Lamport 1985) on the DES runtime —
+// the synchronization-based alternative the paper's introduction contrasts
+// communication-induced checkpointing against: "the coordination is
+// achieved at the price of synchronization by means of additional control
+// messages".
+//
+// ChandyLamportApp wraps any ProcessApp. An initiator starts a snapshot
+// round: it records its state (a local checkpoint) and floods *marker*
+// control messages on all its outgoing channels; every process records on
+// first marker (or on initiation), relays markers, and records the
+// application messages arriving on each incoming channel between its own
+// recording and that channel's marker (the channel state). With FIFO
+// channels (SimConfig::fifo_channels) the recorded cut — one checkpoint per
+// process plus the channel states — is a consistent global checkpoint of
+// the *application* computation; the offline pattern analysis verifies
+// exactly that (the markers themselves straddle the cut by construction:
+// a marker's delivery is what triggers the receiver's recording).
+//
+// Marker messages share the application AppData space: values with
+// kControlBit set are the wrapper's; inner applications must keep their
+// payloads below it (the bundled apps all do). The wrapper likewise
+// reserves timer ids >= kControlTimerBase.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "des/app.hpp"
+#include "des/simulator.hpp"
+
+namespace rdt::des {
+
+// Observations of one snapshot round, shared by all wrapper instances.
+struct SnapshotLog {
+  struct LocalCut {
+    ProcessId process = -1;
+    // How many checkpoints this process had taken (through the wrapper)
+    // when it recorded — identifies the recorded checkpoint in the pattern
+    // when the wrapper is the only checkpoint source.
+    CkptIndex ckpt_index = 0;
+    double recorded_at = 0.0;
+  };
+  std::vector<LocalCut> cuts;              // one per process, any order
+  // channel_messages[from][to]: application messages recorded as the state
+  // of channel from->to (delivered after the receiver recorded, before the
+  // marker on that channel).
+  std::vector<std::vector<int>> channel_messages;
+  long long markers_sent = 0;              // the synchronization price
+  bool done = false;                       // all processes finished recording
+  int finished_ = 0;                       // internal: processes done recording
+  bool complete() const { return !cuts.empty() && done; }
+
+  explicit SnapshotLog(int num_processes)
+      : channel_messages(static_cast<std::size_t>(num_processes),
+                         std::vector<int>(static_cast<std::size_t>(num_processes), 0)) {}
+};
+
+inline constexpr AppData kControlBit = AppData{1} << 62;
+inline constexpr int kControlTimerBase = 1 << 20;
+
+// Wraps `inner` with Chandy–Lamport snapshotting; the process `initiator`
+// starts one round at time `snapshot_at`. All wrapper instances of a run
+// must share one SnapshotLog.
+AppFactory chandy_lamport_app(AppFactory inner,
+                              std::shared_ptr<SnapshotLog> log,
+                              ProcessId initiator, double snapshot_at);
+
+}  // namespace rdt::des

@@ -1,0 +1,107 @@
+#include "logging/message_log.hpp"
+
+#include <algorithm>
+
+#include "core/global_checkpoint.hpp"
+#include "util/check.hpp"
+
+namespace rdt {
+
+int ReplayPlan::replayed_events(const Pattern& p) const {
+  const EventIndex start = p.ckpt_pos(process, from_ckpt) + 1;
+  return resume_pos - start;
+}
+
+ReplayPlan plan_replay(const Pattern& p, ProcessId process, CkptIndex from,
+                       std::span<const ProcessId> failed) {
+  RDT_REQUIRE(process >= 0 && process < p.num_processes(),
+              "process out of range");
+  RDT_REQUIRE(from >= 0 && from <= p.last_ckpt(process),
+              "checkpoint index out of range");
+
+  std::vector<bool> sender_lost(static_cast<std::size_t>(p.num_processes()),
+                                false);
+  for (ProcessId f : failed) {
+    RDT_REQUIRE(f >= 0 && f < p.num_processes(), "failed process out of range");
+    sender_lost[static_cast<std::size_t>(f)] = true;
+  }
+
+  ReplayPlan plan;
+  plan.process = process;
+  plan.from_ckpt = from;
+  plan.last_restored_ckpt = from;
+
+  const EventIndex start = p.ckpt_pos(process, from) + 1;
+  bool stopped = false;
+  plan.resume_pos = p.num_events(process);
+  for (EventIndex pos = start; pos < p.num_events(process); ++pos) {
+    const Event& ev = p.event(process, pos);
+    switch (ev.kind) {
+      case EventKind::kDeliver: {
+        const Message& m = p.message(ev.msg);
+        if (stopped) {
+          // Past the first loss the replay is already non-deterministic;
+          // later determinants, even if available, cannot be used safely.
+          plan.lost.push_back(ev.msg);
+        } else if (sender_lost[static_cast<std::size_t>(m.sender)]) {
+          // The determinant and content lived in the sender's volatile log.
+          plan.lost.push_back(ev.msg);
+          plan.resume_pos = pos;  // events before pos are re-established
+          stopped = true;
+        } else {
+          plan.replayable.push_back(ev.msg);
+        }
+        break;
+      }
+      case EventKind::kCheckpoint:
+        if (!stopped && !p.ckpt_is_virtual(process, ev.ckpt))
+          plan.last_restored_ckpt = ev.ckpt;
+        break;
+      case EventKind::kSend:
+      case EventKind::kInternal:
+        break;  // deterministic re-execution
+    }
+  }
+  return plan;
+}
+
+LoggedRecoveryOutcome recover_with_logging(const Pattern& p,
+                                           std::span<const ProcessId> failed) {
+  RDT_REQUIRE(!failed.empty(), "need at least one failed process");
+  const GlobalCkpt durable = last_durable(p);
+
+  LoggedRecoveryOutcome out;
+  // Effective restart ceiling per process: survivors keep everything
+  // (including the open interval); a completely-replayed process is as good
+  // as a survivor; a partially-replayed one is conservatively cut at its
+  // last re-established checkpoint.
+  GlobalCkpt upper = top_global_ckpt(p);
+  for (ProcessId f : failed) {
+    ReplayPlan plan =
+        plan_replay(p, f, durable.indices[static_cast<std::size_t>(f)], failed);
+    upper.indices[static_cast<std::size_t>(f)] =
+        plan.complete() ? p.last_ckpt(f) : plan.last_restored_ckpt;
+    out.total_replayed += plan.replayed_events(p);
+    out.plans.push_back(std::move(plan));
+  }
+
+  const GlobalCkpt line = max_consistent_leq(p, upper);
+  out.rollback.line = line;
+  out.rollback.rollback_intervals.resize(
+      static_cast<std::size_t>(p.num_processes()));
+  for (ProcessId i = 0; i < p.num_processes(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const CkptIndex lost =
+        std::max<CkptIndex>(0, durable.indices[idx] - line.indices[idx]);
+    out.rollback.rollback_intervals[idx] = lost;
+    out.rollback.total_rollback += lost;
+    if (durable.indices[idx] > 0)
+      out.rollback.worst_fraction =
+          std::max(out.rollback.worst_fraction,
+                   static_cast<double>(lost) /
+                       static_cast<double>(durable.indices[idx]));
+  }
+  return out;
+}
+
+}  // namespace rdt

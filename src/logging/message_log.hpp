@@ -1,0 +1,77 @@
+// Sender-based message logging and piecewise-deterministic replay.
+//
+// The paper notes (Section 1) that RDT "combined with an appropriate
+// message logging protocol allows to solve some dependability problems
+// posed by nondeterministic computations as if these computations were
+// piecewise deterministic". This module supplies that companion layer for
+// the simulated world:
+//
+//  * every sender keeps, in volatile memory, the content of the messages it
+//    sent together with their receive determinants (receiver + receive
+//    sequence number) — the classic sender-based logging scheme;
+//  * after a crash, the failed process restarts from its last durable
+//    checkpoint and *replays*: it re-requests its post-checkpoint
+//    deliveries from the senders' logs and consumes them in the logged
+//    order, deterministically reconstructing its pre-crash state;
+//  * a determinant is lost only when its sender crashed too (volatile
+//    logs die with their process), so single failures replay completely —
+//    no orphan ever forms and nobody else rolls back — while overlapping
+//    failures replay up to the first lost determinant and fall back to
+//    recovery-line rollback from there.
+//
+// Everything here is an offline analysis over a finished Pattern: the
+// "log" is reconstructed from the pattern itself, which is exactly what a
+// pessimistic sender-based logger would have recorded.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ccp/pattern.hpp"
+#include "recovery/recovery_line.hpp"
+
+namespace rdt {
+
+struct ReplayPlan {
+  ProcessId process = -1;
+  CkptIndex from_ckpt = 0;        // durable restart point
+  // Messages to re-consume from the senders' logs, in original delivery
+  // order; cut at the first lost determinant.
+  std::vector<MsgId> replayable;
+  // Deliveries whose determinant died with a co-failed sender.
+  std::vector<MsgId> lost;
+  // Local event position reached after consuming `replayable` (one past the
+  // last re-executed event); equals the pre-crash end iff complete().
+  EventIndex resume_pos = 0;
+  // Index of the last checkpoint re-established by the replay (>= from_ckpt:
+  // checkpoints are re-taken deterministically during replay).
+  CkptIndex last_restored_ckpt = 0;
+
+  bool complete() const { return lost.empty(); }
+  // Events re-executed beyond the restart checkpoint.
+  int replayed_events(const Pattern& p) const;
+};
+
+// Replay plan for `process` restarting from C_{process,from}, given the set
+// of simultaneously failed processes (their sender logs are gone).
+// `process` itself is implicitly failed.
+ReplayPlan plan_replay(const Pattern& p, ProcessId process, CkptIndex from,
+                       std::span<const ProcessId> failed);
+
+// Full recovery with sender-based logging for a set of simultaneous
+// failures: each failed process restarts from its last durable checkpoint
+// and replays as far as its determinants allow; survivors keep their
+// volatile state. Work beyond a lost determinant is truly lost and may
+// orphan messages, in which case the outcome includes the induced
+// rollback of other processes (computed on the R-graph).
+struct LoggedRecoveryOutcome {
+  std::vector<ReplayPlan> plans;  // one per failed process
+  RecoveryOutcome rollback;       // residual rollback after replay
+  // Total events re-executed from logs (work redone, not lost).
+  int total_replayed = 0;
+};
+
+LoggedRecoveryOutcome recover_with_logging(const Pattern& p,
+                                           std::span<const ProcessId> failed);
+
+}  // namespace rdt

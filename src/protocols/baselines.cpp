@@ -1,0 +1,3 @@
+// The baseline protocols are header-only; this file keeps the component's
+// translation-unit layout uniform.
+#include "protocols/baselines.hpp"

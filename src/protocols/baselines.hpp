@@ -1,0 +1,59 @@
+// The classic piggyback-free checkpointing disciplines the paper's related
+// work compares against (Section 5.2's "protocols previously proposed").
+//
+//  * NoForce — takes only basic checkpoints; the do-nothing baseline that
+//    exhibits hidden dependencies, useless checkpoints and the domino
+//    effect.
+//  * CBR (Checkpoint-Before-Receive) — a forced checkpoint before *every*
+//    delivery. Each delivery opens a fresh interval, so no send can precede
+//    a delivery inside an interval: there are no non-causal junctions and
+//    every Z-path is causal. Ensures RDT at maximal cost.
+//  * CAS (Checkpoint-After-Send, Wu & Fuchs) — a checkpoint right after
+//    every send, so a send is always the last event of its interval; again
+//    no non-causal junction can form.
+//  * NRAS (No-Receive-After-Send, Russell) — a forced checkpoint before a
+//    delivery iff some send already happened in the current interval; this
+//    breaks every would-be non-causal junction at the moment it would
+//    appear, without looking at any dependency information.
+#pragma once
+
+#include "protocols/protocol.hpp"
+
+namespace rdt {
+
+class NoForceProtocol final : public CicProtocol {
+ public:
+  using CicProtocol::CicProtocol;
+  ProtocolKind kind() const override { return ProtocolKind::kNoForce; }
+  bool transmits_tdv() const override { return false; }
+  bool must_force(const Piggyback&, ProcessId) const override { return false; }
+};
+
+class CbrProtocol final : public CicProtocol {
+ public:
+  using CicProtocol::CicProtocol;
+  ProtocolKind kind() const override { return ProtocolKind::kCbr; }
+  bool transmits_tdv() const override { return false; }
+  bool must_force(const Piggyback&, ProcessId) const override { return true; }
+};
+
+class CasProtocol final : public CicProtocol {
+ public:
+  using CicProtocol::CicProtocol;
+  ProtocolKind kind() const override { return ProtocolKind::kCas; }
+  bool transmits_tdv() const override { return false; }
+  bool must_force(const Piggyback&, ProcessId) const override { return false; }
+  bool checkpoint_after_send() const override { return true; }
+};
+
+class NrasProtocol final : public CicProtocol {
+ public:
+  using CicProtocol::CicProtocol;
+  ProtocolKind kind() const override { return ProtocolKind::kNras; }
+  bool transmits_tdv() const override { return false; }
+  bool must_force(const Piggyback&, ProcessId) const override {
+    return after_first_send();
+  }
+};
+
+}  // namespace rdt

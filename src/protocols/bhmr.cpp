@@ -1,0 +1,109 @@
+#include "protocols/bhmr.hpp"
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+BhmrProtocol::BhmrProtocol(int num_processes, ProcessId self, Variant variant)
+    : CicProtocol(num_processes, self),
+      variant_(variant),
+      simple_(static_cast<std::size_t>(num_processes)),
+      causal_(static_cast<std::size_t>(num_processes),
+              static_cast<std::size_t>(num_processes)) {
+  // (S0): the constructed state is the post-initial-checkpoint state of
+  // Figure 6 — simple[i] true and all other entries false; causal diagonal
+  // true (kept permanently false in the kC1Only variant, Section 5.1).
+  simple_.set(static_cast<std::size_t>(self));
+  if (variant_ != Variant::kC1Only) causal_.set_diagonal(true);
+}
+
+ProtocolKind BhmrProtocol::kind() const {
+  switch (variant_) {
+    case Variant::kFull: return ProtocolKind::kBhmr;
+    case Variant::kNoSimple: return ProtocolKind::kBhmrNoSimple;
+    case Variant::kC1Only: return ProtocolKind::kBhmrC1Only;
+  }
+  RDT_ASSERT(false);
+}
+
+bool BhmrProtocol::predicate_c1(const Piggyback& msg) const {
+  // C1: a non-causal chain from P_k to some P_j we already messaged would
+  // form, and the sender did not know a causal sibling for it.
+  for (std::size_t j = sent_to().find_next(0); j < sent_to().size();
+       j = sent_to().find_next(j + 1)) {
+    for (std::size_t k = 0; k < msg.tdv.size(); ++k)
+      if (msg.tdv[k] > tdv_[k] && !msg.causal.get(k, j)) return true;
+  }
+  return false;
+}
+
+bool BhmrProtocol::must_force(const Piggyback& msg, ProcessId) const {
+  if (predicate_c1(msg)) return true;
+  const auto self = static_cast<std::size_t>(self_);
+  switch (variant_) {
+    case Variant::kFull:
+      // C2: a causal chain left this very interval and came back non-simply
+      // (some process checkpointed between a delivery and its next send) —
+      // the signature of a chain from C_{k,z} to C_{k,z-1} only breakable
+      // here.
+      return msg.tdv[self] == tdv_[self] && !msg.simple.get(self);
+    case Variant::kNoSimple: {
+      if (msg.tdv[self] != tdv_[self]) return false;
+      for (std::size_t k = 0; k < msg.tdv.size(); ++k)
+        if (msg.tdv[k] > tdv_[k]) return true;
+      return false;
+    }
+    case Variant::kC1Only:
+      return false;
+  }
+  RDT_ASSERT(false);
+}
+
+void BhmrProtocol::fill_payload(Piggyback& out) const {
+  if (variant_ == Variant::kFull) out.simple = simple_;
+  out.causal = causal_;
+}
+
+void BhmrProtocol::merge_payload(const Piggyback& msg, ProcessId sender) {
+  RDT_REQUIRE(msg.causal.rows() == static_cast<std::size_t>(n_) &&
+                  msg.causal.cols() == static_cast<std::size_t>(n_),
+              "piggybacked causal matrix size mismatch");
+  const bool has_simple = variant_ == Variant::kFull;
+  RDT_REQUIRE(!has_simple || msg.simple.size() == static_cast<std::size_t>(n_),
+              "piggybacked simple array size mismatch");
+
+  // Figure 6, the per-k case statement (runs against the pre-merge TDV; the
+  // base class merges the TDV itself afterwards).
+  for (std::size_t k = 0; k < static_cast<std::size_t>(n_); ++k) {
+    if (msg.tdv[k] > tdv_[k]) {
+      // New dependency: knowledge about I_{k,m.TDV[k]} replaces ours.
+      if (has_simple) simple_.set(k, msg.simple.get(k));
+      causal_.row(k) = msg.causal.row(k);
+    } else if (msg.tdv[k] == tdv_[k]) {
+      // Same interval known: accumulate the sender's knowledge.
+      if (has_simple) simple_.set(k, simple_.get(k) && msg.simple.get(k));
+      causal_.row(k).or_with(msg.causal.row(k));
+    }
+  }
+  const auto self = static_cast<std::size_t>(self_);
+  if (has_simple) simple_.set(self);  // simple[i] is permanently true
+
+  // The delivery itself ends a causal chain from the sender's current
+  // interval: record it and close transitively through the sender.
+  const auto s = static_cast<std::size_t>(sender);
+  causal_.set(s, self, true);
+  for (std::size_t l = 0; l < static_cast<std::size_t>(n_); ++l)
+    if (causal_.get(l, s)) causal_.set(l, self, true);
+  if (variant_ == Variant::kC1Only) causal_.set(self, self, false);
+}
+
+void BhmrProtocol::reset_on_checkpoint(bool /*forced*/) {
+  const auto self = static_cast<std::size_t>(self_);
+  for (std::size_t j = 0; j < static_cast<std::size_t>(n_); ++j) {
+    if (j == self) continue;
+    simple_.set(j, false);
+    causal_.set(self, j, false);
+  }
+}
+
+}  // namespace rdt

@@ -1,0 +1,64 @@
+// The paper's communication-induced checkpointing protocol (Figure 6) and
+// its two weaker variants (Section 5.1).
+//
+// On top of the TDV, each process keeps
+//  * sent_to[1..n]   — destinations messaged in the current interval (base
+//                      class);
+//  * simple[1..n]    — simple[j] true iff, to P_i's knowledge, all causal
+//                      chains from C_{j,TDV[j]} to here are *simple* (no
+//                      checkpoint inside);
+//  * causal[1..n][1..n] — causal[k][j] true iff, to P_i's knowledge, there
+//                      is an on-line trackable R-path
+//                      C_{k,TDV[k]} -> C_{j,TDV[j]}.
+//
+// A forced checkpoint is taken before delivering m iff
+//   C1: exists j: sent_to[j] ^ exists k: (m.TDV[k] > TDV[k] ^ !m.causal[k][j])
+//       — a non-causal message chain from P_k to P_j, breakable here and
+//       with no *visible* causal sibling, would otherwise form;
+//   C2: m.TDV[i] = TDV[i] ^ !m.simple[i]
+//       — a non-causal chain from some C_{k,z} back to C_{k,z-1}, breakable
+//       only here, would otherwise form.
+//
+// Variants:
+//  * kFull     — C1 v C2 (piggybacks TDV + simple + causal);
+//  * kNoSimple — C1 v C2' with C2' = (m.TDV[i] = TDV[i] ^ exists k:
+//                m.TDV[k] > TDV[k]); drops the simple array;
+//  * kC1Only   — C1 alone with the causal diagonal pinned false, which makes
+//                C1 itself subsume the same-process case.
+//
+// All three satisfy (C) => (C_FDAS): they force at most as often as FDAS on
+// identical control states.
+#pragma once
+
+#include "protocols/protocol.hpp"
+
+namespace rdt {
+
+class BhmrProtocol final : public CicProtocol {
+ public:
+  enum class Variant { kFull, kNoSimple, kC1Only };
+
+  BhmrProtocol(int num_processes, ProcessId self, Variant variant);
+
+  ProtocolKind kind() const override;
+  Variant variant() const { return variant_; }
+
+  bool must_force(const Piggyback& msg, ProcessId sender) const override;
+
+  // Exposed for white-box tests of the bookkeeping rules.
+  const BitVector& simple_state() const { return simple_; }
+  const BitMatrix& causal_state() const { return causal_; }
+
+ private:
+  void fill_payload(Piggyback& out) const override;
+  void merge_payload(const Piggyback& msg, ProcessId sender) override;
+  void reset_on_checkpoint(bool forced) override;
+
+  bool predicate_c1(const Piggyback& msg) const;
+
+  Variant variant_;
+  BitVector simple_;
+  BitMatrix causal_;
+};
+
+}  // namespace rdt

@@ -1,0 +1,3 @@
+// BcsProtocol is header-only; this file keeps the component's
+// translation-unit layout uniform.
+#include "protocols/index_based.hpp"

@@ -1,0 +1,10 @@
+#include "protocols/payload.hpp"
+
+namespace rdt {
+
+std::size_t Piggyback::wire_bits() const {
+  return tdv.size() * 32 + simple.size() + causal.rows() * causal.cols() +
+         (index == kNoIndex ? 0 : 32);
+}
+
+}  // namespace rdt

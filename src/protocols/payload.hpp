@@ -1,0 +1,35 @@
+// The control information a protocol piggybacks on an application message.
+//
+// Different protocols transmit different subsets; untransmitted fields stay
+// empty so wire_bits() reports exactly what would cross the network:
+//  * tdv    — n checkpoint-interval indexes (counted as 32-bit integers);
+//  * simple — n booleans (the `simple` array of the paper's protocol);
+//  * causal — n x n booleans (the `causal` matrix).
+//
+// A protocol's forced-checkpoint predicate may read ONLY this struct plus
+// its own local state — that is the whole point of communication-induced
+// checkpointing: no extra control messages, no synchronization.
+#pragma once
+
+#include <cstddef>
+
+#include "core/tdv.hpp"
+#include "util/bit_matrix.hpp"
+
+namespace rdt {
+
+struct Piggyback {
+  Tdv tdv;            // empty if the protocol does not transmit TDVs
+  BitVector simple;   // empty if not transmitted
+  BitMatrix causal;   // 0x0 if not transmitted
+  // Scalar checkpoint "timestamp" of the index-based protocols (BCS);
+  // kNoIndex when not transmitted.
+  CkptIndex index = kNoIndex;
+
+  static constexpr CkptIndex kNoIndex = -1;
+
+  // Exact size of the transmitted control data in bits.
+  std::size_t wire_bits() const;
+};
+
+}  // namespace rdt

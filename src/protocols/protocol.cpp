@@ -1,0 +1,148 @@
+#include "protocols/protocol.hpp"
+
+#include <algorithm>
+
+#include "protocols/baselines.hpp"
+#include "protocols/bhmr.hpp"
+#include "protocols/index_based.hpp"
+#include "protocols/wang.hpp"
+#include "util/check.hpp"
+
+namespace rdt {
+
+std::string to_string(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kNoForce: return "no-force";
+    case ProtocolKind::kCbr: return "cbr";
+    case ProtocolKind::kCas: return "cas";
+    case ProtocolKind::kNras: return "nras";
+    case ProtocolKind::kFdi: return "fdi";
+    case ProtocolKind::kFdas: return "fdas";
+    case ProtocolKind::kBhmr: return "bhmr";
+    case ProtocolKind::kBhmrNoSimple: return "bhmr-v1";
+    case ProtocolKind::kBhmrC1Only: return "bhmr-v2";
+    case ProtocolKind::kBcs: return "bcs";
+  }
+  RDT_ASSERT(false);
+}
+
+ProtocolKind protocol_from_string(const std::string& name) {
+  for (ProtocolKind kind : all_protocol_kinds())
+    if (to_string(kind) == name) return kind;
+  throw std::invalid_argument("unknown protocol '" + name + "'");
+}
+
+const std::vector<ProtocolKind>& all_protocol_kinds() {
+  static const std::vector<ProtocolKind> kinds = {
+      ProtocolKind::kNoForce, ProtocolKind::kCbr,  ProtocolKind::kCas,
+      ProtocolKind::kNras,    ProtocolKind::kFdi,  ProtocolKind::kFdas,
+      ProtocolKind::kBhmr,    ProtocolKind::kBhmrNoSimple,
+      ProtocolKind::kBhmrC1Only, ProtocolKind::kBcs};
+  return kinds;
+}
+
+const std::vector<ProtocolKind>& rdt_protocol_kinds() {
+  static const std::vector<ProtocolKind> kinds = {
+      ProtocolKind::kCbr,  ProtocolKind::kCas,  ProtocolKind::kNras,
+      ProtocolKind::kFdi,  ProtocolKind::kFdas, ProtocolKind::kBhmr,
+      ProtocolKind::kBhmrNoSimple, ProtocolKind::kBhmrC1Only};
+  return kinds;
+}
+
+CicProtocol::CicProtocol(int num_processes, ProcessId self)
+    : n_(num_processes), self_(self) {
+  RDT_REQUIRE(num_processes >= 1, "need at least one process");
+  RDT_REQUIRE(self >= 0 && self < num_processes, "self id out of range");
+  // Statement (S0): all-zero TDV, take the initial checkpoint C_{self,0}
+  // (saving the zero vector), then the own entry names interval I_{self,1}.
+  tdv_.assign(static_cast<std::size_t>(n_), 0);
+  sent_to_ = BitVector(static_cast<std::size_t>(n_));
+  saved_.push_back(tdv_);
+  tdv_[static_cast<std::size_t>(self_)] = 1;
+}
+
+Piggyback CicProtocol::on_send(ProcessId dest) {
+  RDT_REQUIRE(dest >= 0 && dest < n_ && dest != self_, "bad destination");
+  sent_to_.set(static_cast<std::size_t>(dest));
+  after_first_send_ = true;
+  Piggyback out;
+  if (transmits_tdv()) out.tdv = tdv_;
+  fill_payload(out);
+  return out;
+}
+
+void CicProtocol::on_deliver(const Piggyback& msg, ProcessId sender) {
+  RDT_REQUIRE(sender >= 0 && sender < n_ && sender != self_, "bad sender");
+  RDT_REQUIRE(static_cast<int>(msg.tdv.size()) == (transmits_tdv() ? n_ : 0),
+              "piggyback size mismatch");
+  // Subclasses merge their extra control data first: the Figure 6 rules
+  // compare m.TDV against the *pre-merge* TDV_i.
+  merge_payload(msg, sender);
+  for (std::size_t k = 0; k < msg.tdv.size(); ++k)
+    tdv_[k] = std::max(tdv_[k], msg.tdv[k]);
+}
+
+void CicProtocol::take_checkpoint(bool forced) {
+  saved_.push_back(tdv_);
+  ++tdv_[static_cast<std::size_t>(self_)];
+  sent_to_.reset();
+  after_first_send_ = false;
+  (forced ? forced_ : basic_) += 1;
+  reset_on_checkpoint(forced);
+}
+
+const Tdv& CicProtocol::saved_tdv(CkptIndex x) const {
+  RDT_REQUIRE(x >= 0 && x < static_cast<CkptIndex>(saved_.size()),
+              "checkpoint index out of range");
+  return saved_[static_cast<std::size_t>(x)];
+}
+
+GlobalCkpt CicProtocol::min_global_ckpt(CkptIndex x) const {
+  RDT_REQUIRE(transmits_tdv(),
+              "this protocol does not track transitive dependencies");
+  GlobalCkpt g;
+  g.indices = saved_tdv(x);
+  g.indices[static_cast<std::size_t>(self_)] = x;
+  return g;
+}
+
+std::size_t CicProtocol::piggyback_bits() const {
+  // Build one payload and measure it; on_send is non-const (it marks
+  // sent_to), so measure through a scratch clone of the shared parts.
+  Piggyback out;
+  if (transmits_tdv()) out.tdv = tdv_;
+  fill_payload(out);
+  return out.wire_bits();
+}
+
+std::unique_ptr<CicProtocol> make_protocol(ProtocolKind kind, int num_processes,
+                                           ProcessId self) {
+  switch (kind) {
+    case ProtocolKind::kNoForce:
+      return std::make_unique<NoForceProtocol>(num_processes, self);
+    case ProtocolKind::kCbr:
+      return std::make_unique<CbrProtocol>(num_processes, self);
+    case ProtocolKind::kCas:
+      return std::make_unique<CasProtocol>(num_processes, self);
+    case ProtocolKind::kNras:
+      return std::make_unique<NrasProtocol>(num_processes, self);
+    case ProtocolKind::kFdi:
+      return std::make_unique<FdiProtocol>(num_processes, self);
+    case ProtocolKind::kFdas:
+      return std::make_unique<FdasProtocol>(num_processes, self);
+    case ProtocolKind::kBhmr:
+      return std::make_unique<BhmrProtocol>(num_processes, self,
+                                            BhmrProtocol::Variant::kFull);
+    case ProtocolKind::kBhmrNoSimple:
+      return std::make_unique<BhmrProtocol>(num_processes, self,
+                                            BhmrProtocol::Variant::kNoSimple);
+    case ProtocolKind::kBhmrC1Only:
+      return std::make_unique<BhmrProtocol>(num_processes, self,
+                                            BhmrProtocol::Variant::kC1Only);
+    case ProtocolKind::kBcs:
+      return std::make_unique<BcsProtocol>(num_processes, self);
+  }
+  RDT_ASSERT(false);
+}
+
+}  // namespace rdt

@@ -1,0 +1,131 @@
+// The communication-induced checkpointing (CIC) protocol interface.
+//
+// One CicProtocol instance embodies one process P_i of the computation. The
+// runtime (src/sim/replay.*) drives it through the three statements of the
+// paper's Figure 6:
+//   (S1) on_send(dest)            -> Piggyback to attach to the message;
+//   (S2) must_force(msg, sender)  -> take a forced checkpoint before
+//        delivery? then on_deliver(msg, sender) updates control state;
+//   plus on_basic_checkpoint() when the application decides to checkpoint.
+//
+// The base class maintains what *every* protocol variant shares: the
+// transitive dependency vector, the sent_to / after_first_send send
+// tracking, the saved per-checkpoint TDV copies (which, for RDT-ensuring
+// protocols, are the minimum consistent global checkpoints of Corollary
+// 4.5), and the basic/forced counters the experiments report.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "protocols/payload.hpp"
+
+namespace rdt {
+
+enum class ProtocolKind {
+  kNoForce,       // basic checkpoints only (baseline; violates RDT)
+  kCbr,           // Checkpoint-Before-Receive
+  kCas,           // Checkpoint-After-Send (Wu & Fuchs)
+  kNras,          // No-Receive-After-Send (Russell)
+  kFdi,           // Fixed-Dependency-Interval (Wang)
+  kFdas,          // Fixed-Dependency-After-Send (Wang)
+  kBhmr,          // the paper's protocol: predicate C1 v C2
+  kBhmrNoSimple,  // variant 1: C1 v C2' (no `simple` array piggybacked)
+  kBhmrC1Only,    // variant 2: C1 alone, `causal` diagonal pinned false
+  kBcs,           // index-based (Briatico–Ciuffoletti–Simoncini): prevents
+                  // useless checkpoints (Z-cycles) but NOT full RDT
+};
+
+std::string to_string(ProtocolKind kind);
+ProtocolKind protocol_from_string(const std::string& name);
+// All kinds, baseline-first.
+const std::vector<ProtocolKind>& all_protocol_kinds();
+// The kinds that provably ensure RDT (everything except kNoForce).
+const std::vector<ProtocolKind>& rdt_protocol_kinds();
+
+class CicProtocol {
+ public:
+  CicProtocol(int num_processes, ProcessId self);
+  virtual ~CicProtocol() = default;
+  CicProtocol(const CicProtocol&) = delete;
+  CicProtocol& operator=(const CicProtocol&) = delete;
+
+  virtual ProtocolKind kind() const = 0;
+  std::string name() const { return to_string(kind()); }
+
+  int num_processes() const { return n_; }
+  ProcessId self() const { return self_; }
+
+  // (S1) — called at each application send; returns the control data to
+  // piggyback and records the destination.
+  Piggyback on_send(ProcessId dest);
+
+  // (S2), decision half — must P_i take a forced checkpoint before
+  // delivering this message? Reads only piggybacked + local state.
+  virtual bool must_force(const Piggyback& msg, ProcessId sender) const = 0;
+
+  // (S2), update half — merge the piggybacked control data (called after
+  // the forced checkpoint, if any, exactly as in Figure 6).
+  void on_deliver(const Piggyback& msg, ProcessId sender);
+
+  // Application-driven (basic) checkpoint.
+  void on_basic_checkpoint() { take_checkpoint(/*forced=*/false); }
+  // Protocol-driven (forced) checkpoint; the runtime calls this when
+  // must_force() returned true, before on_deliver().
+  void on_forced_checkpoint() { take_checkpoint(/*forced=*/true); }
+
+  // Some protocols (CAS) checkpoint on the send side, right after sending.
+  virtual bool checkpoint_after_send() const { return false; }
+
+  // Whether this protocol piggybacks its TDV on messages. When false (the
+  // baselines whose predicates need no dependency information), the local
+  // TDV tracks only the own interval index and min_global_ckpt() is
+  // unavailable.
+  virtual bool transmits_tdv() const { return true; }
+
+  // --- observable state -----------------------------------------------------
+  // Index of the current checkpoint interval (== index of next checkpoint).
+  CkptIndex current_interval() const {
+    return tdv_[static_cast<std::size_t>(self_)];
+  }
+  const Tdv& tdv() const { return tdv_; }
+  bool after_first_send() const { return after_first_send_; }
+  const BitVector& sent_to() const { return sent_to_; }
+
+  // TDV copy saved when C_{self,x} was taken (x = 0 .. current_interval-1).
+  const Tdv& saved_tdv(CkptIndex x) const;
+  // Corollary 4.5: the minimum consistent global checkpoint containing
+  // C_{self,x}, available on the fly (meaningful for RDT-ensuring kinds).
+  GlobalCkpt min_global_ckpt(CkptIndex x) const;
+
+  long long basic_count() const { return basic_; }
+  long long forced_count() const { return forced_; }
+
+  // Control bits this protocol adds to each message (for experiment E5).
+  std::size_t piggyback_bits() const;
+
+ protected:
+  // Subclass hooks.
+  virtual void fill_payload(Piggyback& /*out*/) const {}
+  virtual void merge_payload(const Piggyback& /*msg*/, ProcessId /*sender*/) {}
+  virtual void reset_on_checkpoint(bool /*forced*/) {}
+
+  void take_checkpoint(bool forced);
+
+  int n_;
+  ProcessId self_;
+  Tdv tdv_;
+
+ private:
+  std::vector<Tdv> saved_;
+  BitVector sent_to_;
+  bool after_first_send_ = false;
+  long long basic_ = 0;
+  long long forced_ = 0;
+};
+
+std::unique_ptr<CicProtocol> make_protocol(ProtocolKind kind, int num_processes,
+                                           ProcessId self);
+
+}  // namespace rdt

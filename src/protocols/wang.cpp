@@ -1,0 +1,3 @@
+// FDI/FDAS are header-only; this file keeps the component's
+// translation-unit layout uniform.
+#include "protocols/wang.hpp"

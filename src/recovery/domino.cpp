@@ -1,0 +1,24 @@
+#include "recovery/domino.hpp"
+
+#include "ccp/builder.hpp"
+#include "util/check.hpp"
+
+namespace rdt {
+
+Pattern domino_pattern(int rounds) {
+  RDT_REQUIRE(rounds >= 1, "need at least one round");
+  PatternBuilder b(2);
+  for (int r = 0; r < rounds; ++r) {
+    const MsgId a = b.send(0, 1);  // a_r, sent after C_{0,r-1}
+    b.deliver(a);
+    b.checkpoint(1);               // C_{1,r}
+    const MsgId reply = b.send(1, 0);  // b_r, sent after C_{1,r}
+    b.deliver(reply);
+    b.checkpoint(0);               // C_{0,r}, after delivering b_r
+  }
+  // P1's trace ends with the last send, so its trailing interval is closed
+  // by a virtual final checkpoint.
+  return b.build();
+}
+
+}  // namespace rdt

@@ -1,0 +1,26 @@
+// The classic unbounded domino effect (Randell 1975), packaged as a pattern
+// generator for tests, examples and experiment E9.
+//
+// Two processes ping-pong with checkpoints placed so that *every* adjacent
+// checkpoint pair straddles a message in one direction: per round r,
+//
+//   P0:  send a_r ... deliver b_r  [C_{0,r}]
+//   P1:  deliver a_r [C_{1,r}] send b_r
+//
+// b_r is sent after C_{1,r} and delivered before C_{0,r}, so the pair
+// (C_{0,r}, C_{1,r}) is inconsistent; repairing it orphans a_r against the
+// previous pair, and the recovery line cascades all the way to the initial
+// checkpoints. Any RDT-ensuring protocol breaks the cascade by forcing
+// checkpoints at the offending deliveries.
+#pragma once
+
+#include "ccp/pattern.hpp"
+
+namespace rdt {
+
+// `rounds` ping-pong rounds (>= 1); checkpoints are basic-only, so the
+// returned pattern violates RDT and its recovery line after any failure is
+// the initial global checkpoint.
+Pattern domino_pattern(int rounds);
+
+}  // namespace rdt

@@ -1,0 +1,35 @@
+#include "recovery/gc.hpp"
+
+#include "core/global_checkpoint.hpp"
+#include "recovery/recovery_line.hpp"
+#include "util/check.hpp"
+
+namespace rdt {
+
+GcReport collect_obsolete(const Pattern& p) {
+  return collect_obsolete(p, max_consistent_leq(p, last_durable(p)));
+}
+
+GcReport collect_obsolete(const Pattern& p, const GlobalCkpt& line) {
+  validate(p, line);
+  GcReport report;
+  for (ProcessId i = 0; i < p.num_processes(); ++i) {
+    CkptIndex last = p.last_ckpt(i);
+    if (last > 0 && p.ckpt_is_virtual(i, last)) --last;  // durable only
+    RDT_REQUIRE(line.indices[static_cast<std::size_t>(i)] <= last,
+                "recovery line points past a durable checkpoint");
+    for (CkptIndex x = 0; x <= last; ++x) {
+      ++report.total_durable;
+      if (x < line.indices[static_cast<std::size_t>(i)])
+        report.obsolete.push_back({i, x});
+      else
+        report.live.push_back({i, x});
+    }
+  }
+  if (report.total_durable > 0)
+    report.obsolete_fraction = static_cast<double>(report.obsolete.size()) /
+                               static_cast<double>(report.total_durable);
+  return report;
+}
+
+}  // namespace rdt

@@ -1,0 +1,37 @@
+// Checkpoint garbage collection.
+//
+// Stable storage is finite: once the recovery line has moved past a
+// checkpoint, that checkpoint can never again be the restart point of any
+// future recovery (recovery lines only advance as the computation extends —
+// new checkpoints add restart options, never remove them), so it can be
+// discarded. The classic corollary of the domino effect is that with
+// independent checkpointing nothing is collectable (the line may stay at
+// the initial state forever), while under a protocol preventing useless
+// checkpoints the line tracks the computation and storage stays bounded.
+#pragma once
+
+#include <vector>
+
+#include "ccp/consistency.hpp"
+#include "ccp/pattern.hpp"
+
+namespace rdt {
+
+struct GcReport {
+  // Checkpoints strictly below the recovery line, per process — safe to
+  // discard (the initial checkpoint C_{i,0} is counted like any other).
+  std::vector<CkptId> obsolete;
+  // Durable checkpoints still needed (on or above the line).
+  std::vector<CkptId> live;
+  int total_durable = 0;
+  double obsolete_fraction = 0.0;  // obsolete / total durable
+};
+
+// GC report w.r.t. the current recovery line (the maximum consistent global
+// checkpoint at or below every process's last durable checkpoint).
+GcReport collect_obsolete(const Pattern& p);
+
+// Same, against an explicitly provided recovery line.
+GcReport collect_obsolete(const Pattern& p, const GlobalCkpt& line);
+
+}  // namespace rdt

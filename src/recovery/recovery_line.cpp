@@ -1,0 +1,70 @@
+#include "recovery/recovery_line.hpp"
+
+#include <algorithm>
+
+#include "core/global_checkpoint.hpp"
+#include "rgraph/rgraph.hpp"
+#include "util/check.hpp"
+
+namespace rdt {
+
+GlobalCkpt last_durable(const Pattern& p) {
+  GlobalCkpt g;
+  g.indices.resize(static_cast<std::size_t>(p.num_processes()));
+  for (ProcessId i = 0; i < p.num_processes(); ++i) {
+    CkptIndex last = p.last_ckpt(i);
+    if (last > 0 && p.ckpt_is_virtual(i, last)) --last;
+    g.indices[static_cast<std::size_t>(i)] = last;
+  }
+  return g;
+}
+
+RecoveryOutcome recover_after_failure(const Pattern& p, ProcessId failed) {
+  RDT_REQUIRE(failed >= 0 && failed < p.num_processes(), "process out of range");
+  const GlobalCkpt upper = last_durable(p);
+
+  RecoveryOutcome out;
+  out.line = max_consistent_leq(p, upper);
+  out.rollback_intervals.resize(static_cast<std::size_t>(p.num_processes()));
+  for (ProcessId i = 0; i < p.num_processes(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const CkptIndex lost = upper.indices[idx] - out.line.indices[idx];
+    out.rollback_intervals[idx] = lost;
+    out.total_rollback += lost;
+    if (upper.indices[idx] > 0)
+      out.worst_fraction = std::max(
+          out.worst_fraction, static_cast<double>(lost) /
+                                  static_cast<double>(upper.indices[idx]));
+  }
+  return out;
+}
+
+GlobalCkpt recovery_line_rgraph(const Pattern& p, const GlobalCkpt& upper) {
+  validate(p, upper);
+  const RGraph graph(p);
+
+  // Rolling P_i back to upper[i] means "before C_{i,upper[i]+1}" whenever
+  // later checkpoints exist; everything R-reachable from those seeds is
+  // invalidated.
+  BitVector invalid(static_cast<std::size_t>(p.total_ckpts()));
+  for (ProcessId i = 0; i < p.num_processes(); ++i) {
+    const CkptIndex next = upper.indices[static_cast<std::size_t>(i)] + 1;
+    if (next <= p.last_ckpt(i))
+      invalid.or_with(graph.reachable_from(p.node_id({i, next})));
+  }
+
+  GlobalCkpt line = upper;
+  for (ProcessId j = 0; j < p.num_processes(); ++j) {
+    const auto idx = static_cast<std::size_t>(j);
+    for (CkptIndex y = 0; y <= line.indices[idx]; ++y) {
+      if (invalid.get(static_cast<std::size_t>(p.node_id({j, y})))) {
+        line.indices[idx] = y - 1;  // restart below the first invalid node
+        break;
+      }
+    }
+    RDT_ASSERT(line.indices[idx] >= 0);  // C_{j,0} can never be invalidated
+  }
+  return line;
+}
+
+}  // namespace rdt

@@ -1,0 +1,48 @@
+// Rollback recovery: computing the recovery line after a failure.
+//
+// When a process fails it restarts from its last durable (non-virtual)
+// checkpoint; the system must then roll back to the *maximum consistent
+// global checkpoint* at or below every process's last durable checkpoint —
+// the recovery line. Two independent implementations are provided:
+//  * the orphan-repair fixpoint (core/global_checkpoint.hpp), and
+//  * Wang's rollback propagation over the R-graph: rolling P_i back before
+//    C_{i,x} invalidates every checkpoint R-reachable from C_{i,x}; the
+//    line's component for P_j is the largest index below its first
+//    invalidated checkpoint.
+//
+// The rollback distance per process (how many checkpoint intervals of work
+// are lost) is the metric of experiment E9: with independent (basic-only)
+// checkpointing it can grow without bound — the domino effect — whereas any
+// RDT-ensuring protocol keeps it at the minimum the failure itself forces.
+#pragma once
+
+#include <vector>
+
+#include "ccp/consistency.hpp"
+#include "ccp/pattern.hpp"
+
+namespace rdt {
+
+struct RecoveryOutcome {
+  GlobalCkpt line;                         // where each process restarts
+  std::vector<CkptIndex> rollback_intervals;  // work lost per process
+  long long total_rollback = 0;            // sum of the above
+
+  // Fraction of its durable checkpoints the worst-hit process lost.
+  double worst_fraction = 0.0;
+};
+
+// Last durable checkpoint of every process (virtual final checkpoints are
+// volatile state, not stable storage).
+GlobalCkpt last_durable(const Pattern& p);
+
+// Recovery line after `failed` crashes past its last durable checkpoint,
+// via the orphan-repair fixpoint. The surviving processes also restart from
+// durable checkpoints (the classic checkpoint-only recovery model).
+RecoveryOutcome recover_after_failure(const Pattern& p, ProcessId failed);
+
+// Same line computed by rollback propagation on the R-graph (used to
+// cross-validate the fixpoint and as the textbook algorithm).
+GlobalCkpt recovery_line_rgraph(const Pattern& p, const GlobalCkpt& upper);
+
+}  // namespace rdt

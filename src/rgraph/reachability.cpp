@@ -1,0 +1,64 @@
+#include "rgraph/reachability.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+ReachabilityClosure::ReachabilityClosure(const RGraph& graph) : graph_(&graph) {
+  const auto nodes = static_cast<std::size_t>(graph.num_nodes());
+  reach_ = BitMatrix(nodes, nodes);
+  for (std::size_t u = 0; u < nodes; ++u)
+    for (int v : graph.successors(static_cast<int>(u)))
+      reach_.set(u, static_cast<std::size_t>(v));
+  reach_.close_transitively();
+
+  // msg_reach(a, b) iff some message edge (u, v) has reach(a, u) and
+  // reach(v, b). Build it by OR-ing, for every message edge, v's reach row
+  // into the msg_reach row of every a that reaches u. To keep this
+  // word-parallel we iterate nodes a and collect message edges whose source
+  // is reachable from a.
+  msg_reach_ = BitMatrix(nodes, nodes);
+  const Pattern& p = graph.pattern();
+  // Deduplicate message edges (many messages can induce the same edge).
+  std::vector<std::pair<int, int>> msg_edges;
+  msg_edges.reserve(p.messages().size());
+  for (const Message& m : p.messages())
+    msg_edges.emplace_back(p.node_id({m.sender, m.send_interval}),
+                           p.node_id({m.receiver, m.deliver_interval}));
+  std::sort(msg_edges.begin(), msg_edges.end());
+  msg_edges.erase(std::unique(msg_edges.begin(), msg_edges.end()), msg_edges.end());
+
+  for (std::size_t a = 0; a < nodes; ++a) {
+    const BitVector& from_a = reach_.row(a);
+    BitVector& out = msg_reach_.row(a);
+    for (const auto& [u, v] : msg_edges)
+      if (from_a.get(static_cast<std::size_t>(u)))
+        out.or_with(reach_.row(static_cast<std::size_t>(v)));
+  }
+}
+
+bool ReachabilityClosure::reach(int from, int to) const {
+  RDT_REQUIRE(from >= 0 && from < graph_->num_nodes(), "node id out of range");
+  RDT_REQUIRE(to >= 0 && to < graph_->num_nodes(), "node id out of range");
+  return reach_.get(static_cast<std::size_t>(from), static_cast<std::size_t>(to));
+}
+
+bool ReachabilityClosure::reach(const CkptId& from, const CkptId& to) const {
+  return reach(graph_->node(from), graph_->node(to));
+}
+
+bool ReachabilityClosure::msg_reach(int from, int to) const {
+  RDT_REQUIRE(from >= 0 && from < graph_->num_nodes(), "node id out of range");
+  RDT_REQUIRE(to >= 0 && to < graph_->num_nodes(), "node id out of range");
+  return msg_reach_.get(static_cast<std::size_t>(from), static_cast<std::size_t>(to));
+}
+
+bool ReachabilityClosure::msg_reach(const CkptId& from, const CkptId& to) const {
+  return msg_reach(graph_->node(from), graph_->node(to));
+}
+
+}  // namespace rdt

@@ -1,0 +1,48 @@
+// All-pairs reachability closures over the R-graph.
+//
+// Two relations are pre-computed:
+//  * reach(a, b)     — an R-path (possibly empty) from a to b;
+//  * msg_reach(a, b) — an R-path from a to b containing at least one message
+//                      edge, i.e. an actual message chain (Z-path) leaving an
+//                      interval at or after a and entering one at or before b.
+//
+// msg_reach is the relation Z-path theory needs: reflexivity and pure
+// process-edge paths carry no rollback dependency through messages, so e.g.
+// Z-cycle detection (msg_reach(c, c)) and Netzer–Xu compatibility must
+// exclude them.
+#pragma once
+
+#include "rgraph/rgraph.hpp"
+#include "util/bit_matrix.hpp"
+
+namespace rdt {
+
+class ReachabilityClosure {
+ public:
+  explicit ReachabilityClosure(const RGraph& graph);
+  // The closure keeps a reference to the graph; a temporary would dangle.
+  explicit ReachabilityClosure(RGraph&&) = delete;
+
+  const RGraph& graph() const { return *graph_; }
+
+  // R-path (reflexive-transitive) from `from` to `to`?
+  bool reach(const CkptId& from, const CkptId& to) const;
+  bool reach(int from, int to) const;
+
+  // R-path with >= 1 message edge from `from` to `to`?
+  bool msg_reach(const CkptId& from, const CkptId& to) const;
+  bool msg_reach(int from, int to) const;
+
+  // Rows for bulk consumers.
+  const BitVector& reach_row(int from) const { return reach_.row(static_cast<std::size_t>(from)); }
+  const BitVector& msg_reach_row(int from) const {
+    return msg_reach_.row(static_cast<std::size_t>(from));
+  }
+
+ private:
+  const RGraph* graph_;
+  BitMatrix reach_;      // reflexive-transitive closure
+  BitMatrix msg_reach_;  // closure restricted to paths using a message edge
+};
+
+}  // namespace rdt

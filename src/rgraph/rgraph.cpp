@@ -1,0 +1,87 @@
+#include "rgraph/rgraph.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+namespace {
+
+void dedupe(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+BitVector bfs(const std::vector<std::vector<int>>& adj, int start) {
+  BitVector seen(adj.size());
+  std::vector<int> stack{start};
+  seen.set(static_cast<std::size_t>(start));
+  while (!stack.empty()) {
+    const int u = stack.back();
+    stack.pop_back();
+    for (int v : adj[static_cast<std::size_t>(u)]) {
+      if (!seen.get(static_cast<std::size_t>(v))) {
+        seen.set(static_cast<std::size_t>(v));
+        stack.push_back(v);
+      }
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+RGraph::RGraph(const Pattern& pattern) : pattern_(&pattern) {
+  const int nodes = pattern.total_ckpts();
+  succ_.resize(static_cast<std::size_t>(nodes));
+  pred_.resize(static_cast<std::size_t>(nodes));
+
+  auto add_edge = [&](int u, int v) {
+    succ_[static_cast<std::size_t>(u)].push_back(v);
+    pred_[static_cast<std::size_t>(v)].push_back(u);
+  };
+
+  // Process edges.
+  for (ProcessId i = 0; i < pattern.num_processes(); ++i)
+    for (CkptIndex x = 0; x < pattern.last_ckpt(i); ++x)
+      add_edge(pattern.node_id({i, x}), pattern.node_id({i, x + 1}));
+
+  // Message edges: C_{sender,send_interval} -> C_{receiver,deliver_interval}.
+  for (const Message& m : pattern.messages())
+    add_edge(pattern.node_id({m.sender, m.send_interval}),
+             pattern.node_id({m.receiver, m.deliver_interval}));
+
+  for (auto& v : succ_) dedupe(v);
+  for (auto& v : pred_) dedupe(v);
+  for (const auto& v : succ_) num_edges_ += static_cast<int>(v.size());
+}
+
+const std::vector<int>& RGraph::successors(int node) const {
+  RDT_REQUIRE(node >= 0 && node < num_nodes(), "node id out of range");
+  return succ_[static_cast<std::size_t>(node)];
+}
+
+const std::vector<int>& RGraph::predecessors(int node) const {
+  RDT_REQUIRE(node >= 0 && node < num_nodes(), "node id out of range");
+  return pred_[static_cast<std::size_t>(node)];
+}
+
+bool RGraph::has_edge(const CkptId& from, const CkptId& to) const {
+  const int u = node(from);
+  const int v = node(to);
+  const auto& out = succ_[static_cast<std::size_t>(u)];
+  return std::binary_search(out.begin(), out.end(), v);
+}
+
+BitVector RGraph::reachable_from(int from) const {
+  RDT_REQUIRE(from >= 0 && from < num_nodes(), "node id out of range");
+  return bfs(succ_, from);
+}
+
+BitVector RGraph::reaching_to(int to) const {
+  RDT_REQUIRE(to >= 0 && to < num_nodes(), "node id out of range");
+  return bfs(pred_, to);
+}
+
+}  // namespace rdt

@@ -1,0 +1,59 @@
+// Wang's Rollback-Dependency Graph (R-graph) — Section 3.1 of the paper.
+//
+// Nodes are the local checkpoints C_{i,x} (including each initial C_{i,0}
+// and the final — possibly virtual — checkpoint of every process). Edges:
+//   * process edges   C_{i,x} -> C_{i,x+1};
+//   * message edges   C_{i,x} -> C_{j,y} whenever some message is sent in
+//     I_{i,x} and delivered in I_{j,y} (i != j).
+//
+// The operational meaning of a path C_{i,x} ->* C_{j,y}: if P_i rolls back
+// to a checkpoint preceding C_{i,x} then P_j must roll back to a checkpoint
+// preceding C_{j,y}. An R-path with at least one message edge from C_{i,x}
+// to C_{j,y} exists iff there is a message chain (Z-path) leaving some
+// interval I_{i,s} with s >= x and entering some interval I_{j,t} with
+// t <= y.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "ccp/pattern.hpp"
+#include "util/bit_matrix.hpp"
+
+namespace rdt {
+
+class RGraph {
+ public:
+  explicit RGraph(const Pattern& pattern);
+  // The graph keeps a reference to the pattern; a temporary would dangle.
+  explicit RGraph(Pattern&&) = delete;
+
+  const Pattern& pattern() const { return *pattern_; }
+  int num_nodes() const { return static_cast<int>(succ_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  // Successor node ids of `node` (deduplicated).
+  const std::vector<int>& successors(int node) const;
+  // Predecessor node ids of `node` (deduplicated).
+  const std::vector<int>& predecessors(int node) const;
+
+  bool has_edge(const CkptId& from, const CkptId& to) const;
+
+  // All nodes reachable from `from` following edges forward (reflexive:
+  // `from` itself is included).
+  BitVector reachable_from(int from) const;
+  // All nodes that reach `to` (reflexive).
+  BitVector reaching_to(int to) const;
+
+  // Convenience wrappers over Pattern's dense node numbering.
+  int node(const CkptId& c) const { return pattern_->node_id(c); }
+  CkptId ckpt(int node) const { return pattern_->node_ckpt(node); }
+
+ private:
+  const Pattern* pattern_;
+  std::vector<std::vector<int>> succ_;
+  std::vector<std::vector<int>> pred_;
+  int num_edges_ = 0;
+};
+
+}  // namespace rdt

@@ -1,0 +1,32 @@
+#include "rgraph/zigzag.hpp"
+
+namespace rdt {
+
+bool zigzag_to(const ReachabilityClosure& closure, const CkptId& a, const CkptId& b) {
+  const Pattern& p = closure.graph().pattern();
+  // Sends after C_{a.process, a.index} live in intervals >= a.index + 1; the
+  // chain relation with those endpoints is msg_reach from node (a.p, a.x+1).
+  if (a.index + 1 > p.last_ckpt(a.process)) return false;
+  return closure.msg_reach({a.process, a.index + 1}, b);
+}
+
+bool zigzag_compatible(const ReachabilityClosure& closure, const CkptId& a,
+                       const CkptId& b) {
+  if (a.process == b.process) return a.index == b.index;
+  return !zigzag_to(closure, a, b) && !zigzag_to(closure, b, a);
+}
+
+bool on_zigzag_cycle(const ReachabilityClosure& closure, const CkptId& c) {
+  return zigzag_to(closure, c, c);
+}
+
+std::vector<CkptId> useless_checkpoints(const ReachabilityClosure& closure) {
+  const Pattern& p = closure.graph().pattern();
+  std::vector<CkptId> result;
+  for (ProcessId i = 0; i < p.num_processes(); ++i)
+    for (CkptIndex x = 0; x <= p.last_ckpt(i); ++x)
+      if (on_zigzag_cycle(closure, {i, x})) result.push_back({i, x});
+  return result;
+}
+
+}  // namespace rdt

@@ -1,0 +1,37 @@
+// Netzer–Xu zigzag relations, expressed on top of the R-graph closures.
+//
+// A *zigzag path from C_{i,x} to C_{j,y}* (Netzer & Xu 1995) is a message
+// chain whose first send happens after C_{i,x} (send interval >= x+1) and
+// whose last delivery happens before C_{j,y} (delivery interval <= y). Their
+// theorem: two local checkpoints can belong to the same consistent global
+// checkpoint iff no zigzag path connects them in either direction; a
+// checkpoint on a zigzag cycle ("useless" checkpoint) belongs to no
+// consistent global checkpoint at all.
+//
+// Note the indexing offset w.r.t. the paper's message chains: a chain *from
+// C_{i,x}* in the paper leaves interval I_{i,x} (send *before* C_{i,x}),
+// which is exactly a Netzer–Xu zigzag path from C_{i,x-1}.
+#pragma once
+
+#include <vector>
+
+#include "rgraph/reachability.hpp"
+
+namespace rdt {
+
+// Zigzag path from a to b (send strictly after a, delivery before b)?
+bool zigzag_to(const ReachabilityClosure& closure, const CkptId& a, const CkptId& b);
+
+// Netzer–Xu: can a and b belong to a common consistent global checkpoint?
+// (true for a == b; requires distinct processes otherwise meaningfulness,
+// but same-process pairs are answered consistently: only a == b qualifies.)
+bool zigzag_compatible(const ReachabilityClosure& closure, const CkptId& a,
+                       const CkptId& b);
+
+// Is c on a zigzag cycle (a "useless" checkpoint)?
+bool on_zigzag_cycle(const ReachabilityClosure& closure, const CkptId& c);
+
+// All checkpoints lying on some zigzag cycle.
+std::vector<CkptId> useless_checkpoints(const ReachabilityClosure& closure);
+
+}  // namespace rdt

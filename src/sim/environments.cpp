@@ -1,0 +1,149 @@
+#include "sim/environments.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace rdt {
+
+namespace {
+
+// Poisson basic-checkpoint stream for every process over [0, horizon].
+void add_basic_ckpts(TraceBuilder& builder, int num_processes, double horizon,
+                     double mean, Rng& rng) {
+  for (ProcessId p = 0; p < num_processes; ++p) {
+    double t = rng.exponential(mean);
+    while (t < horizon) {
+      builder.basic_ckpt(p, t);
+      t += rng.exponential(mean);
+    }
+  }
+}
+
+double transit(double delay_min, double delay_mean, Rng& rng) {
+  return delay_min + rng.exponential(delay_mean);
+}
+
+}  // namespace
+
+Trace random_environment(const RandomEnvConfig& config) {
+  RDT_REQUIRE(config.num_processes >= 2, "need at least two processes");
+  RDT_REQUIRE(config.duration > 0 && config.send_gap_mean > 0 &&
+                  config.delay_mean > 0 && config.basic_ckpt_mean > 0,
+              "rates must be positive");
+  Rng rng(config.seed);
+  TraceBuilder builder(config.num_processes);
+
+  // last_delivery[p][dest]: FIFO clamp per directed channel.
+  std::vector<std::vector<double>> last_delivery(
+      static_cast<std::size_t>(config.num_processes),
+      std::vector<double>(static_cast<std::size_t>(config.num_processes), 0.0));
+  for (ProcessId p = 0; p < config.num_processes; ++p) {
+    double t = rng.exponential(config.send_gap_mean);
+    while (t < config.duration) {
+      ProcessId dest =
+          static_cast<ProcessId>(rng.below(static_cast<std::uint64_t>(
+              config.num_processes - 1)));
+      if (dest >= p) ++dest;  // uniform over the other processes
+      double arrive = t + transit(config.delay_min, config.delay_mean, rng);
+      if (config.fifo_channels) {
+        auto& last = last_delivery[static_cast<std::size_t>(p)]
+                                  [static_cast<std::size_t>(dest)];
+        arrive = std::max(arrive, last + 1e-9);
+        last = arrive;
+      }
+      builder.send(p, dest, t, arrive);
+      t += rng.exponential(config.send_gap_mean);
+    }
+  }
+  add_basic_ckpts(builder, config.num_processes, config.duration,
+                  config.basic_ckpt_mean, rng);
+  return builder.build();
+}
+
+Trace group_environment(const GroupEnvConfig& config) {
+  RDT_REQUIRE(config.num_groups >= 1 && config.group_size >= 2,
+              "groups must have at least two members");
+  RDT_REQUIRE(config.overlap >= 0 && config.overlap < config.group_size,
+              "overlap must be smaller than the group size");
+  const int n = config.num_processes();
+  RDT_REQUIRE(n >= 2, "need at least two processes");
+  RDT_REQUIRE(config.duration > 0 && config.send_gap_mean > 0 &&
+                  config.delay_mean > 0 && config.basic_ckpt_mean > 0,
+              "rates must be positive");
+
+  // Group g covers `group_size` consecutive processes starting at
+  // g * (group_size - overlap), wrapping around the ring, so neighbouring
+  // groups share exactly `overlap` members.
+  std::vector<std::vector<ProcessId>> peers(static_cast<std::size_t>(n));
+  const int stride = config.group_size - config.overlap;
+  for (int g = 0; g < config.num_groups; ++g) {
+    for (int a = 0; a < config.group_size; ++a) {
+      const ProcessId pa = static_cast<ProcessId>((g * stride + a) % n);
+      for (int b = 0; b < config.group_size; ++b) {
+        const ProcessId pb = static_cast<ProcessId>((g * stride + b) % n);
+        if (pa != pb) peers[static_cast<std::size_t>(pa)].push_back(pb);
+      }
+    }
+  }
+  for (auto& v : peers) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    RDT_ASSERT(!v.empty());
+  }
+
+  Rng rng(config.seed);
+  TraceBuilder builder(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    const auto& mine = peers[static_cast<std::size_t>(p)];
+    double t = rng.exponential(config.send_gap_mean);
+    while (t < config.duration) {
+      const ProcessId dest = mine[rng.index(mine.size())];
+      builder.send(p, dest, t, t + transit(config.delay_min, config.delay_mean, rng));
+      t += rng.exponential(config.send_gap_mean);
+    }
+  }
+  add_basic_ckpts(builder, n, config.duration, config.basic_ckpt_mean, rng);
+  return builder.build();
+}
+
+Trace client_server_environment(const ClientServerEnvConfig& config) {
+  RDT_REQUIRE(config.num_servers >= 1, "need at least one server");
+  RDT_REQUIRE(config.num_requests >= 1, "need at least one request");
+  RDT_REQUIRE(config.forward_prob >= 0.0 && config.forward_prob <= 1.0,
+              "forward probability out of range");
+  Rng rng(config.seed);
+  const int n = config.num_processes();
+  TraceBuilder builder(n);
+
+  // Recursive synchronous request handling: server k (process id k) either
+  // replies to its caller or forwards to k+1 and waits. Returns the time the
+  // caller receives the reply.
+  auto handle = [&](auto&& self, ProcessId caller, int server,
+                    double send_time) -> double {
+    const double arrive =
+        send_time + transit(config.delay_min, config.delay_mean, rng);
+    builder.send(caller, server, send_time, arrive);
+    double done = arrive + rng.exponential(config.service_mean);
+    if (server < config.num_servers && rng.bernoulli(config.forward_prob))
+      done = self(self, server, server + 1, done) +
+             rng.exponential(config.service_mean);
+    const double reply_arrive =
+        done + transit(config.delay_min, config.delay_mean, rng);
+    builder.send(server, caller, done, reply_arrive);
+    return reply_arrive;
+  };
+
+  double t = rng.exponential(config.request_gap_mean);
+  for (int r = 0; r < config.num_requests; ++r) {
+    t = handle(handle, /*caller=*/0, /*server=*/1, t);
+    t += rng.exponential(config.request_gap_mean);
+  }
+
+  add_basic_ckpts(builder, n, t, config.basic_ckpt_mean, rng);
+  return builder.build();
+}
+
+}  // namespace rdt

@@ -1,0 +1,78 @@
+// The three computational environments of the papers' simulation study.
+//
+//  * Random (uniform) — every process alternates local computation with
+//    sends to uniformly random peers; the anonymous point-to-point
+//    environment of the study's first figure.
+//  * Overlapping groups — processes belong to groups arranged in a ring
+//    with `overlap` members shared between neighbouring groups; a process
+//    only messages co-members. Models group-based middleware: traffic is
+//    localized but dependencies leak across group boundaries through the
+//    shared members (the study's Figure 8).
+//  * Client/server — an external client (modeled as process 0) sends a
+//    request to server S_1; each server either replies to its caller or,
+//    with probability `forward_prob`, synchronously forwards the request to
+//    the next server and waits. The causal past of a late message contains
+//    almost the whole computation — the hardest case for dependency
+//    tracking (the study's Figure 9).
+//
+// Basic (application-driven) checkpoints fire per process as a Poisson
+// process with mean interval `basic_ckpt_mean`. All generation is
+// deterministic in `seed`.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/trace.hpp"
+
+namespace rdt {
+
+struct RandomEnvConfig {
+  int num_processes = 8;
+  double duration = 1000.0;        // simulated time horizon for sends
+  double send_gap_mean = 1.0;      // mean time between two sends of a process
+  double delay_min = 0.05;         // minimum message transit time
+  double delay_mean = 1.0;         // mean additional transit time
+  double basic_ckpt_mean = 20.0;   // mean time between basic checkpoints
+  // The model assumes nothing about channel order; setting this clamps each
+  // channel's delivery times to be monotone (FIFO links) for the E1 channel-
+  // discipline ablation.
+  bool fifo_channels = false;
+  std::uint64_t seed = 1;
+};
+
+Trace random_environment(const RandomEnvConfig& config);
+
+struct GroupEnvConfig {
+  int num_groups = 4;
+  int group_size = 4;
+  int overlap = 1;                 // members shared by neighbouring groups
+  double duration = 1000.0;
+  double send_gap_mean = 1.0;
+  double delay_min = 0.05;
+  double delay_mean = 1.0;
+  double basic_ckpt_mean = 20.0;
+  std::uint64_t seed = 1;
+
+  // Ring of groups sharing `overlap` members: n = groups * (size - overlap).
+  int num_processes() const { return num_groups * (group_size - overlap); }
+};
+
+Trace group_environment(const GroupEnvConfig& config);
+
+struct ClientServerEnvConfig {
+  int num_servers = 8;             // S_1..S_n; the client is process 0
+  int num_requests = 200;
+  double forward_prob = 0.5;       // chance a server forwards down the chain
+  double service_mean = 1.0;       // local processing time at each server
+  double delay_min = 0.05;
+  double delay_mean = 0.5;
+  double request_gap_mean = 2.0;   // client think time between requests
+  double basic_ckpt_mean = 20.0;
+  std::uint64_t seed = 1;
+
+  int num_processes() const { return num_servers + 1; }
+};
+
+Trace client_server_environment(const ClientServerEnvConfig& config);
+
+}  // namespace rdt

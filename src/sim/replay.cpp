@@ -1,0 +1,81 @@
+#include "sim/replay.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "ccp/builder.hpp"
+#include "util/check.hpp"
+
+namespace rdt {
+
+ReplayResult replay(const Trace& trace, ProtocolKind kind) {
+  RDT_REQUIRE(trace.num_processes >= 1, "empty trace");
+
+  std::vector<std::unique_ptr<CicProtocol>> procs;
+  procs.reserve(static_cast<std::size_t>(trace.num_processes));
+  for (ProcessId i = 0; i < trace.num_processes; ++i)
+    procs.push_back(make_protocol(kind, trace.num_processes, i));
+
+  PatternBuilder builder(trace.num_processes);
+  std::vector<Piggyback> payloads(static_cast<std::size_t>(trace.num_messages()));
+  std::vector<MsgId> msg_map(static_cast<std::size_t>(trace.num_messages()), kNoMsg);
+
+  ReplayResult result;
+  result.kind = kind;
+  result.messages = trace.num_messages();
+
+  for (const TraceOp& op : trace.ops) {
+    CicProtocol& self = *procs[static_cast<std::size_t>(op.process)];
+    switch (op.kind) {
+      case TraceOpKind::kSend: {
+        const TraceMessage& m = trace.messages[static_cast<std::size_t>(op.msg)];
+        RDT_ASSERT(m.sender == op.process);
+        Piggyback payload = self.on_send(m.receiver);
+        result.piggyback_bits_total +=
+            static_cast<double>(payload.wire_bits());
+        payloads[static_cast<std::size_t>(op.msg)] = std::move(payload);
+        msg_map[static_cast<std::size_t>(op.msg)] =
+            builder.send(m.sender, m.receiver);
+        if (self.checkpoint_after_send()) {
+          self.on_forced_checkpoint();
+          result.forced_ckpts.push_back(
+              {op.process, builder.checkpoint(op.process)});
+        }
+        break;
+      }
+      case TraceOpKind::kDeliver: {
+        const TraceMessage& m = trace.messages[static_cast<std::size_t>(op.msg)];
+        RDT_ASSERT(m.receiver == op.process);
+        const Piggyback& payload = payloads[static_cast<std::size_t>(op.msg)];
+        if (self.must_force(payload, m.sender)) {
+          self.on_forced_checkpoint();
+          result.forced_ckpts.push_back(
+              {op.process, builder.checkpoint(op.process)});
+        }
+        self.on_deliver(payload, m.sender);
+        builder.deliver(msg_map[static_cast<std::size_t>(op.msg)]);
+        break;
+      }
+      case TraceOpKind::kBasicCkpt:
+        self.on_basic_checkpoint();
+        builder.checkpoint(op.process);
+        break;
+    }
+  }
+
+  result.pattern = builder.build();
+  result.saved_tdvs.resize(static_cast<std::size_t>(trace.num_processes));
+  for (ProcessId i = 0; i < trace.num_processes; ++i) {
+    const CicProtocol& p = *procs[static_cast<std::size_t>(i)];
+    result.basic += p.basic_count();
+    result.forced += p.forced_count();
+    if (p.transmits_tdv()) {
+      auto& row = result.saved_tdvs[static_cast<std::size_t>(i)];
+      for (CkptIndex x = 0; x < p.current_interval(); ++x)
+        row.push_back(p.saved_tdv(x));
+    }
+  }
+  return result;
+}
+
+}  // namespace rdt

@@ -1,0 +1,57 @@
+// Replay engine: runs a checkpointing protocol over an application trace.
+//
+// Walks the trace's global order once, driving one CicProtocol instance per
+// process exactly as the paper's Figure 6 prescribes — payload capture at
+// send, forced-checkpoint decision *before* each delivery, control-state
+// merge after — and materializes the resulting checkpoint-and-communication
+// pattern for offline analysis. Because the trace fixes the application
+// behaviour, replaying different protocols over the same trace yields
+// directly comparable forced-checkpoint counts.
+#pragma once
+
+#include <vector>
+
+#include "ccp/pattern.hpp"
+#include "protocols/protocol.hpp"
+#include "sim/trace.hpp"
+
+namespace rdt {
+
+struct ReplayResult {
+  ProtocolKind kind = ProtocolKind::kNoForce;
+  Pattern pattern;  // includes basic + forced (+ virtual final) checkpoints
+
+  long long messages = 0;
+  long long basic = 0;
+  long long forced = 0;
+  double piggyback_bits_total = 0;  // sum over sent messages
+
+  // The forced checkpoints, as (process, index) into `pattern` — input for
+  // hindsight/ablation analyses (e.g. experiment E12).
+  std::vector<CkptId> forced_ckpts;
+
+  // saved_tdvs[i][x] = the TDV copy saved at C_{i,x} (empty per process for
+  // protocols that do not track dependencies). Under an RDT-ensuring,
+  // TDV-carrying protocol this is the minimum consistent global checkpoint
+  // containing C_{i,x} (Corollary 4.5).
+  std::vector<std::vector<Tdv>> saved_tdvs;
+
+  // The paper's overhead metric R plus companions.
+  double forced_per_basic() const {
+    return basic > 0 ? static_cast<double>(forced) / static_cast<double>(basic)
+                     : 0.0;
+  }
+  double forced_per_message() const {
+    return messages > 0
+               ? static_cast<double>(forced) / static_cast<double>(messages)
+               : 0.0;
+  }
+  double piggyback_bits_per_message() const {
+    return messages > 0 ? piggyback_bits_total / static_cast<double>(messages)
+                        : 0.0;
+  }
+};
+
+ReplayResult replay(const Trace& trace, ProtocolKind kind);
+
+}  // namespace rdt

@@ -1,0 +1,117 @@
+#include "sim/runner.hpp"
+
+#include <atomic>
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+namespace {
+
+struct SeedMetrics {
+  double r = 0.0;
+  double fpm = 0.0;
+  double bits = 0.0;
+  long long messages = 0;
+  long long basic = 0;
+  long long forced = 0;
+};
+
+SeedMetrics measure(const Trace& trace, ProtocolKind kind) {
+  const ReplayResult res = replay(trace, kind);
+  return {res.forced_per_basic(), res.forced_per_message(),
+          res.piggyback_bits_per_message(), res.messages,
+          res.basic,              res.forced};
+}
+
+// Folds the per-seed metric matrix (seed-major) into aggregate statistics;
+// folding in seed order makes serial and parallel sweeps bit-identical.
+std::vector<ProtocolStats> fold(std::span<const ProtocolKind> kinds,
+                                const std::vector<std::vector<SeedMetrics>>& m) {
+  std::vector<RunningStats> r(kinds.size());
+  std::vector<RunningStats> fpm(kinds.size());
+  std::vector<RunningStats> bits(kinds.size());
+  std::vector<ProtocolStats> out(kinds.size());
+  for (std::size_t i = 0; i < kinds.size(); ++i) out[i].kind = kinds[i];
+  for (const auto& row : m) {
+    RDT_ASSERT(row.size() == kinds.size());
+    for (std::size_t i = 0; i < kinds.size(); ++i) {
+      r[i].add(row[i].r);
+      fpm[i].add(row[i].fpm);
+      bits[i].add(row[i].bits);
+      out[i].total_messages += row[i].messages;
+      out[i].total_basic += row[i].basic;
+      out[i].total_forced += row[i].forced;
+    }
+  }
+  for (std::size_t i = 0; i < kinds.size(); ++i) {
+    out[i].r_forced_per_basic = r[i].summary();
+    out[i].forced_per_message = fpm[i].summary();
+    out[i].piggyback_bits = bits[i].summary();
+  }
+  return out;
+}
+
+std::vector<SeedMetrics> measure_seed(
+    const std::function<Trace(std::uint64_t)>& generate,
+    std::span<const ProtocolKind> kinds, std::uint64_t seed) {
+  const Trace trace = generate(seed);
+  std::vector<SeedMetrics> row;
+  row.reserve(kinds.size());
+  for (ProtocolKind kind : kinds) row.push_back(measure(trace, kind));
+  return row;
+}
+
+}  // namespace
+
+std::vector<ProtocolStats> sweep(
+    const std::function<Trace(std::uint64_t seed)>& generate,
+    std::span<const ProtocolKind> kinds, int num_seeds, std::uint64_t seed0) {
+  RDT_REQUIRE(num_seeds >= 1, "need at least one seed");
+  std::vector<std::vector<SeedMetrics>> matrix(
+      static_cast<std::size_t>(num_seeds));
+  for (int s = 0; s < num_seeds; ++s)
+    matrix[static_cast<std::size_t>(s)] =
+        measure_seed(generate, kinds, seed0 + static_cast<std::uint64_t>(s));
+  return fold(kinds, matrix);
+}
+
+std::vector<ProtocolStats> sweep_parallel(
+    const std::function<Trace(std::uint64_t seed)>& generate,
+    std::span<const ProtocolKind> kinds, int num_seeds, int threads,
+    std::uint64_t seed0) {
+  RDT_REQUIRE(num_seeds >= 1, "need at least one seed");
+  RDT_REQUIRE(threads >= 1, "need at least one thread");
+  std::vector<std::vector<SeedMetrics>> matrix(
+      static_cast<std::size_t>(num_seeds));
+  std::atomic<int> next{0};
+  auto worker = [&] {
+    for (int s = next.fetch_add(1); s < num_seeds; s = next.fetch_add(1))
+      matrix[static_cast<std::size_t>(s)] =
+          measure_seed(generate, kinds, seed0 + static_cast<std::uint64_t>(s));
+  };
+  {
+    std::vector<std::jthread> pool;
+    const int spawn = std::min(threads, num_seeds);
+    pool.reserve(static_cast<std::size_t>(spawn));
+    for (int t = 0; t < spawn; ++t) pool.emplace_back(worker);
+  }  // jthreads join here
+  return fold(kinds, matrix);
+}
+
+double forced_reduction_percent(std::span<const ProtocolStats> stats,
+                                ProtocolKind kind, ProtocolKind baseline) {
+  const ProtocolStats* a = nullptr;
+  const ProtocolStats* b = nullptr;
+  for (const ProtocolStats& s : stats) {
+    if (s.kind == kind) a = &s;
+    if (s.kind == baseline) b = &s;
+  }
+  RDT_REQUIRE(a != nullptr && b != nullptr, "protocol not present in sweep");
+  if (b->total_forced == 0) return 0.0;
+  return 100.0 * (1.0 - static_cast<double>(a->total_forced) /
+                            static_cast<double>(b->total_forced));
+}
+
+}  // namespace rdt

@@ -1,0 +1,46 @@
+// Multi-seed experiment driver shared by the benchmark harnesses: generate
+// a trace per seed, replay every requested protocol over it, aggregate the
+// overhead metrics across seeds.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "sim/replay.hpp"
+#include "util/stats.hpp"
+
+namespace rdt {
+
+struct ProtocolStats {
+  ProtocolKind kind = ProtocolKind::kNoForce;
+  Summary r_forced_per_basic;     // the papers' R metric
+  Summary forced_per_message;
+  Summary piggyback_bits;         // control bits per message
+  long long total_messages = 0;   // across seeds
+  long long total_basic = 0;
+  long long total_forced = 0;
+};
+
+// Runs `num_seeds` independent traces (seeds seed0, seed0+1, ...) through
+// every protocol in `kinds`. The generator must honour its seed argument.
+std::vector<ProtocolStats> sweep(
+    const std::function<Trace(std::uint64_t seed)>& generate,
+    std::span<const ProtocolKind> kinds, int num_seeds, std::uint64_t seed0 = 1);
+
+// Same computation fanned out over `threads` worker threads (seeds are
+// independent, so the partition is by seed; per-seed results are merged in
+// seed order, making the aggregate identical to the serial sweep). The
+// generator must be callable concurrently — the built-in environments are,
+// since each call owns its Rng.
+std::vector<ProtocolStats> sweep_parallel(
+    const std::function<Trace(std::uint64_t seed)>& generate,
+    std::span<const ProtocolKind> kinds, int num_seeds, int threads,
+    std::uint64_t seed0 = 1);
+
+// Percentage reduction of forced checkpoints of `kind` w.r.t. `baseline`
+// within a sweep result (positive = kind forces fewer).
+double forced_reduction_percent(std::span<const ProtocolStats> stats,
+                                ProtocolKind kind, ProtocolKind baseline);
+
+}  // namespace rdt

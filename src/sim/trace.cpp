@@ -1,0 +1,96 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+long long Trace::basic_ckpts() const {
+  return std::count_if(ops.begin(), ops.end(), [](const TraceOp& op) {
+    return op.kind == TraceOpKind::kBasicCkpt;
+  });
+}
+
+Trace truncate_flush(const Trace& trace, double t) {
+  TraceBuilder builder(trace.num_processes);
+  for (const TraceOp& op : trace.ops) {
+    switch (op.kind) {
+      case TraceOpKind::kSend:
+        if (op.time <= t) {
+          const TraceMessage& m = trace.messages[static_cast<std::size_t>(op.msg)];
+          builder.send(m.sender, m.receiver, m.send_time, m.deliver_time);
+        }
+        break;
+      case TraceOpKind::kBasicCkpt:
+        if (op.time <= t) builder.basic_ckpt(op.process, op.time);
+        break;
+      case TraceOpKind::kDeliver:
+        break;  // implied by the kept sends
+    }
+  }
+  return builder.build();
+}
+
+TraceBuilder::TraceBuilder(int num_processes) : n_(num_processes) {
+  RDT_REQUIRE(num_processes >= 1, "need at least one process");
+}
+
+MsgId TraceBuilder::send(ProcessId from, ProcessId to, double send_time,
+                         double deliver_time) {
+  RDT_REQUIRE(from >= 0 && from < n_, "sender out of range");
+  RDT_REQUIRE(to >= 0 && to < n_, "receiver out of range");
+  RDT_REQUIRE(from != to, "channels connect distinct processes");
+  RDT_REQUIRE(deliver_time > send_time, "delivery must follow the send");
+  const MsgId id = static_cast<MsgId>(messages_.size());
+  messages_.push_back({from, to, send_time, deliver_time});
+  ops_.push_back({TraceOpKind::kSend, send_time, from, id});
+  seqs_.push_back(seq_++);
+  ops_.push_back({TraceOpKind::kDeliver, deliver_time, to, id});
+  seqs_.push_back(seq_++);
+  return id;
+}
+
+void TraceBuilder::basic_ckpt(ProcessId p, double time) {
+  RDT_REQUIRE(p >= 0 && p < n_, "process out of range");
+  ops_.push_back({TraceOpKind::kBasicCkpt, time, p, kNoMsg});
+  seqs_.push_back(seq_++);
+}
+
+Trace TraceBuilder::build() {
+  // Order by time; break ties by creation order so builds are deterministic
+  // and a send always precedes its delivery (strictly later time).
+  std::vector<std::size_t> order(ops_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (ops_[a].time != ops_[b].time) return ops_[a].time < ops_[b].time;
+    return seqs_[a] < seqs_[b];
+  });
+
+  Trace trace;
+  trace.num_processes = n_;
+  trace.ops.reserve(ops_.size());
+  for (std::size_t idx : order) trace.ops.push_back(ops_[idx]);
+
+  // Renumber messages in global send order so message ids coincide with the
+  // ids a consumer assigning them in stream order (e.g. replay's
+  // PatternBuilder) would produce.
+  std::vector<MsgId> remap(messages_.size(), kNoMsg);
+  MsgId next = 0;
+  for (TraceOp& op : trace.ops)
+    if (op.kind == TraceOpKind::kSend) remap[static_cast<std::size_t>(op.msg)] = next++;
+  trace.messages.resize(messages_.size());
+  for (std::size_t old = 0; old < messages_.size(); ++old)
+    trace.messages[static_cast<std::size_t>(remap[old])] = messages_[old];
+  for (TraceOp& op : trace.ops)
+    if (op.msg != kNoMsg) op.msg = remap[static_cast<std::size_t>(op.msg)];
+
+  ops_.clear();
+  seqs_.clear();
+  messages_.clear();
+  seq_ = 0;
+  return trace;
+}
+
+}  // namespace rdt

@@ -1,0 +1,87 @@
+#include "sim/trace_io.hpp"
+
+#include <iomanip>
+#include <memory>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+void write_trace(std::ostream& os, const Trace& trace) {
+  os << "trace " << trace.num_processes << '\n';
+  // Full round-trip precision for the times.
+  os << std::setprecision(17);
+  for (const TraceOp& op : trace.ops) {
+    switch (op.kind) {
+      case TraceOpKind::kSend: {
+        const TraceMessage& m = trace.messages[static_cast<std::size_t>(op.msg)];
+        os << "msg " << m.send_time << ' ' << m.deliver_time << ' ' << m.sender
+           << ' ' << m.receiver << '\n';
+        break;
+      }
+      case TraceOpKind::kBasicCkpt:
+        os << "ckpt " << op.time << ' ' << op.process << '\n';
+        break;
+      case TraceOpKind::kDeliver:
+        break;  // implied by msg lines
+    }
+  }
+}
+
+Trace read_trace(std::istream& is) {
+  std::string line;
+  int line_no = 0;
+  std::unique_ptr<TraceBuilder> builder;
+  auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("trace parse error at line " +
+                                std::to_string(line_no) + ": " + what);
+  };
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;
+    if (word == "trace") {
+      if (builder) fail("duplicate 'trace' directive");
+      int n = 0;
+      if (!(ls >> n) || n < 1) fail("invalid process count");
+      builder = std::make_unique<TraceBuilder>(n);
+      continue;
+    }
+    if (!builder) fail("'trace' directive must come first");
+    if (word == "msg") {
+      double send_t = 0, deliver_t = 0;
+      ProcessId from = -1, to = -1;
+      if (!(ls >> send_t >> deliver_t >> from >> to))
+        fail("msg needs <send-t> <deliver-t> <from> <to>");
+      builder->send(from, to, send_t, deliver_t);
+    } else if (word == "ckpt") {
+      double t = 0;
+      ProcessId p = -1;
+      if (!(ls >> t >> p)) fail("ckpt needs <time> <process>");
+      builder->basic_ckpt(p, t);
+    } else {
+      fail("unknown directive '" + word + "'");
+    }
+  }
+  if (!builder) throw std::invalid_argument("trace parse error: empty input");
+  return builder->build();
+}
+
+std::string trace_to_string(const Trace& trace) {
+  std::ostringstream os;
+  write_trace(os, trace);
+  return os.str();
+}
+
+Trace trace_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_trace(is);
+}
+
+}  // namespace rdt

@@ -1,0 +1,25 @@
+// Textual serialization of application traces, so simulated workloads can
+// be saved, shared and replayed across protocols later:
+//
+//   trace 3                         # process count
+//   msg 1.5 2.25 0 2                # send-time deliver-time from to
+//   ckpt 3.0 1                      # time process
+//
+// Round-tripping preserves the global operation order exactly (times and
+// the builder's canonical renumbering are deterministic).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/trace.hpp"
+
+namespace rdt {
+
+void write_trace(std::ostream& os, const Trace& trace);
+Trace read_trace(std::istream& is);
+
+std::string trace_to_string(const Trace& trace);
+Trace trace_from_string(const std::string& text);
+
+}  // namespace rdt

@@ -1,0 +1,144 @@
+// Dense bit vectors and bit matrices.
+//
+// These back the boolean control structures the checkpointing protocols
+// piggyback on messages (the `causal` n×n matrix, the `simple` and `sent_to`
+// arrays) as well as the reachability closures computed on R-graphs, where a
+// row-per-node bitset makes transitive closure an O(V^3 / 64) word-parallel
+// sweep.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+// Fixed-size vector of bits with word-parallel bulk operations.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(std::size_t size, bool value = false)
+      : size_(size), words_((size + 63) / 64, value ? ~0ULL : 0ULL) {
+    trim();
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool get(std::size_t i) const {
+    RDT_REQUIRE(i < size_, "bit index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void set(std::size_t i, bool value = true) {
+    RDT_REQUIRE(i < size_, "bit index out of range");
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+  void reset() {
+    for (auto& w : words_) w = 0;
+  }
+  void fill(bool value) {
+    for (auto& w : words_) w = value ? ~0ULL : 0ULL;
+    trim();
+  }
+
+  // *this |= other; returns true iff any bit changed.
+  bool or_with(const BitVector& other) {
+    RDT_REQUIRE(other.size_ == size_, "size mismatch");
+    bool changed = false;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      const std::uint64_t merged = words_[w] | other.words_[w];
+      changed |= merged != words_[w];
+      words_[w] = merged;
+    }
+    return changed;
+  }
+
+  void and_with(const BitVector& other) {
+    RDT_REQUIRE(other.size_ == size_, "size mismatch");
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
+  }
+
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  bool any() const {
+    for (auto w : words_)
+      if (w) return true;
+    return false;
+  }
+
+  // Index of first set bit at or after `from`, or size() if none.
+  std::size_t find_next(std::size_t from) const;
+
+  friend bool operator==(const BitVector&, const BitVector&) = default;
+
+ private:
+  void trim() {
+    if (size_ % 64 != 0 && !words_.empty())
+      words_.back() &= (1ULL << (size_ % 64)) - 1;
+  }
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+// Row-major matrix of bits. Rows are BitVector-compatible so closure
+// algorithms can OR whole rows together.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(std::size_t rows, std::size_t cols, bool value = false)
+      : rows_(rows), cols_(cols), data_(rows, BitVector(cols, value)) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  bool get(std::size_t r, std::size_t c) const { return row(r).get(c); }
+  void set(std::size_t r, std::size_t c, bool value = true) { row(r).set(c, value); }
+
+  const BitVector& row(std::size_t r) const {
+    RDT_REQUIRE(r < rows_, "row index out of range");
+    return data_[r];
+  }
+  BitVector& row(std::size_t r) {
+    RDT_REQUIRE(r < rows_, "row index out of range");
+    return data_[r];
+  }
+
+  void fill(bool value) {
+    for (auto& r : data_) r.fill(value);
+  }
+
+  void set_diagonal(bool value) {
+    RDT_REQUIRE(rows_ == cols_, "diagonal requires a square matrix");
+    for (std::size_t i = 0; i < rows_; ++i) data_[i].set(i, value);
+  }
+
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (const auto& r : data_) total += r.count();
+    return total;
+  }
+
+  // Reflexive-transitive closure of the adjacency matrix (Warshall with
+  // word-parallel row OR). Requires a square matrix.
+  void close_transitively();
+
+  friend bool operator==(const BitMatrix&, const BitMatrix&) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<BitVector> data_;
+};
+
+}  // namespace rdt

@@ -1,0 +1,44 @@
+// Lightweight precondition / invariant checking for librdt.
+//
+// RDT_REQUIRE is used to validate arguments at public API boundaries; it
+// throws std::invalid_argument so callers can react. RDT_ASSERT guards
+// internal invariants and throws std::logic_error: a failure indicates a bug
+// in librdt itself, never bad user input.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rdt {
+
+namespace detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assert(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << expr << ") at " << file << ':' << line
+     << " — this is a bug in librdt, please report it";
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace rdt
+
+#define RDT_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) ::rdt::detail::throw_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define RDT_ASSERT(expr)                                                    \
+  do {                                                                      \
+    if (!(expr)) ::rdt::detail::throw_assert(#expr, __FILE__, __LINE__);    \
+  } while (false)

@@ -1,0 +1,93 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  RDT_REQUIRE(bound > 0, "bound must be positive");
+  // Lemire's nearly-divisionless unbiased method.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  RDT_REQUIRE(lo <= hi, "empty range");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range; next() is already uniform there.
+  if (span == 0) return static_cast<std::int64_t>(next());
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::uniform() {
+  // 53 random bits mapped to [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  RDT_REQUIRE(lo <= hi, "empty range");
+  return lo + (hi - lo) * uniform();
+}
+
+bool Rng::bernoulli(double p) {
+  RDT_REQUIRE(p >= 0.0 && p <= 1.0, "probability out of range");
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+  RDT_REQUIRE(mean > 0.0, "mean must be positive");
+  // Inverse CDF; 1 - uniform() is in (0, 1] so the log is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+std::size_t Rng::index(std::size_t size) {
+  RDT_REQUIRE(size > 0, "cannot pick from an empty container");
+  return static_cast<std::size_t>(below(size));
+}
+
+Rng Rng::split() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace rdt

@@ -1,0 +1,45 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rdt {
+
+Summary summarize(const std::vector<double>& samples) {
+  RunningStats acc;
+  for (double x : samples) acc.add(x);
+  return acc.summary();
+}
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Summary RunningStats::summary() const {
+  Summary s;
+  s.count = count_;
+  s.mean = mean_;
+  s.stddev = stddev();
+  s.ci95 = count_ > 0 ? 1.96 * s.stddev / std::sqrt(static_cast<double>(count_)) : 0.0;
+  s.min = min_;
+  s.max = max_;
+  return s;
+}
+
+}  // namespace rdt

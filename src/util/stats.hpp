@@ -1,0 +1,41 @@
+// Small descriptive-statistics helpers used by the benchmark harnesses to
+// aggregate per-seed simulation results (mean, stddev, 95% confidence
+// half-width under a normal approximation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rdt {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;   // sample standard deviation
+  double ci95 = 0.0;     // 95% confidence half-width (1.96 * stderr)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+// Computes a Summary over the samples; an empty input yields all zeros.
+Summary summarize(const std::vector<double>& samples);
+
+// Welford-style online accumulator for streaming settings.
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  double variance() const;  // sample variance, 0 if fewer than 2 samples
+  double stddev() const;
+  Summary summary() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace rdt

@@ -1,0 +1,39 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every experiment binary prints the series the paper's figures/tables show
+// as an aligned ASCII table (human-readable) and can also emit CSV so results
+// can be re-plotted. Keeping this in one place guarantees all experiments
+// report in a uniform format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rdt {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Start a new row; subsequent add() calls fill it left to right.
+  Table& begin_row();
+  Table& add(const std::string& cell);
+  Table& add(double value, int precision = 4);
+  Table& add(long long value);
+  Table& add(int value) { return add(static_cast<long long>(value)); }
+  Table& add(std::size_t value) { return add(static_cast<long long>(value)); }
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Aligned, boxed ASCII rendering.
+  void print(std::ostream& os) const;
+  // RFC-4180-ish CSV (cells containing commas/quotes are quoted).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rdt

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "causality/lamport.hpp"
+#include "causality/vector_clock.hpp"
+
+namespace rdt {
+namespace {
+
+TEST(VectorClock, StartsAtZero) {
+  VectorClock vc(4);
+  EXPECT_EQ(vc.size(), 4);
+  for (ProcessId p = 0; p < 4; ++p) EXPECT_EQ(vc.get(p), 0);
+}
+
+TEST(VectorClock, TickAdvancesOwnComponent) {
+  VectorClock vc(3);
+  vc.tick(1);
+  vc.tick(1);
+  vc.tick(2);
+  EXPECT_EQ(vc.get(0), 0);
+  EXPECT_EQ(vc.get(1), 2);
+  EXPECT_EQ(vc.get(2), 1);
+}
+
+TEST(VectorClock, MergeTakesComponentwiseMax) {
+  VectorClock a(3);
+  VectorClock b(3);
+  a.set(0, 5);
+  a.set(1, 1);
+  b.set(1, 4);
+  b.set(2, 2);
+  a.merge(b);
+  EXPECT_EQ(a.get(0), 5);
+  EXPECT_EQ(a.get(1), 4);
+  EXPECT_EQ(a.get(2), 2);
+}
+
+TEST(VectorClock, CompareEqual) {
+  VectorClock a(2);
+  VectorClock b(2);
+  a.set(0, 3);
+  b.set(0, 3);
+  EXPECT_EQ(a.compare(b), CausalOrder::kEqual);
+}
+
+TEST(VectorClock, CompareBeforeAfter) {
+  VectorClock a(2);
+  VectorClock b(2);
+  b.set(0, 1);
+  b.set(1, 2);
+  EXPECT_EQ(a.compare(b), CausalOrder::kBefore);
+  EXPECT_EQ(b.compare(a), CausalOrder::kAfter);
+  EXPECT_TRUE(a.happened_before(b));
+  EXPECT_FALSE(b.happened_before(a));
+}
+
+TEST(VectorClock, CompareConcurrent) {
+  VectorClock a(2);
+  VectorClock b(2);
+  a.set(0, 1);
+  b.set(1, 1);
+  EXPECT_EQ(a.compare(b), CausalOrder::kConcurrent);
+  EXPECT_TRUE(a.concurrent_with(b));
+  EXPECT_FALSE(a.happened_before(b));
+}
+
+TEST(VectorClock, DominatedByIncludesEqual) {
+  VectorClock a(2);
+  VectorClock b(2);
+  EXPECT_TRUE(a.dominated_by(b));
+  b.set(1, 1);
+  EXPECT_TRUE(a.dominated_by(b));
+  EXPECT_FALSE(b.dominated_by(a));
+}
+
+TEST(VectorClock, SizeMismatchThrows) {
+  VectorClock a(2);
+  VectorClock b(3);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.compare(b), std::invalid_argument);
+}
+
+TEST(VectorClock, IndexOutOfRangeThrows) {
+  VectorClock a(2);
+  EXPECT_THROW(a.get(2), std::invalid_argument);
+  EXPECT_THROW(a.tick(-1), std::invalid_argument);
+}
+
+TEST(VectorClock, StreamFormat) {
+  VectorClock a(3);
+  a.set(0, 1);
+  a.set(2, 7);
+  std::ostringstream os;
+  os << a;
+  EXPECT_EQ(os.str(), "[1 0 7]");
+}
+
+// A three-process message diamond exercised with both clock types: Lamport
+// timestamps must respect the vector-clock happened-before order.
+TEST(Clocks, LamportConsistentWithVectorOrder) {
+  // P0: a(send x) ; P1: b(recv x), c(send y) ; P2: d(recv y).
+  VectorClock v0(3), v1(3), v2(3);
+  LamportClock l0, l1, l2;
+
+  v0.tick(0);
+  const auto la = l0.tick();
+  const VectorClock va = v0;
+
+  v1.merge(va);
+  v1.tick(1);
+  const auto lb = l1.receive(la);
+  const VectorClock vb = v1;
+
+  v1.tick(1);
+  const auto lc = l1.tick();
+  const VectorClock vc = v1;
+
+  v2.merge(vc);
+  v2.tick(2);
+  const auto ld = l2.receive(lc);
+  const VectorClock vd = v2;
+
+  EXPECT_TRUE(va.happened_before(vb));
+  EXPECT_TRUE(vb.happened_before(vc));
+  EXPECT_TRUE(va.happened_before(vd));
+  EXPECT_LT(la, lb);
+  EXPECT_LT(lb, lc);
+  EXPECT_LT(lc, ld);
+}
+
+TEST(LamportClock, ReceiveJumpsPastSender) {
+  LamportClock c;
+  EXPECT_EQ(c.tick(), 1);
+  EXPECT_EQ(c.receive(10), 11);
+  EXPECT_EQ(c.now(), 11);
+  EXPECT_EQ(c.receive(5), 12);  // already ahead: simple increment
+}
+
+}  // namespace
+}  // namespace rdt

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include "core/chains.hpp"
+#include "fixtures.hpp"
+#include "rgraph/reachability.hpp"
+#include "util/rng.hpp"
+
+namespace rdt {
+namespace {
+
+using test::Figure1;
+
+TEST(Junction, Classification) {
+  // Within one process interval: send-then-deliver is non-causal,
+  // deliver-then-send is causal; across a checkpoint only deliver-then-send
+  // composes.
+  PatternBuilder b(3);
+  const MsgId in1 = b.send(0, 1);    // delivered at P1
+  const MsgId out1 = b.send(1, 2);   // sent by P1 before the delivery
+  b.deliver(in1);
+  const MsgId out2 = b.send(1, 2);   // sent after the delivery, same interval
+  b.checkpoint(1);
+  const MsgId out3 = b.send(1, 2);   // sent after the delivery, next interval
+  b.deliver(out1);
+  b.deliver(out2);
+  b.deliver(out3);
+  const Pattern p = b.build();
+  const ChainAnalysis chains(p);
+  EXPECT_TRUE(chains.noncausal_junction(in1, out1));
+  EXPECT_TRUE(chains.causal_junction(in1, out2));
+  EXPECT_TRUE(chains.causal_junction(in1, out3));
+  EXPECT_FALSE(chains.noncausal_junction(in1, out2));
+  EXPECT_FALSE(chains.causal_junction(in1, out1));
+  // A send before the delivery but in an *earlier* interval does not
+  // compose at all (s <= t fails).
+  PatternBuilder b2(3);
+  const MsgId early = b2.send(1, 2);  // I_{1,1}
+  b2.checkpoint(1);
+  const MsgId in2 = b2.send(0, 1);
+  b2.deliver(in2);                    // I_{1,2}
+  b2.deliver(early);
+  const Pattern p2 = b2.build();
+  const ChainAnalysis chains2(p2);
+  EXPECT_FALSE(chains2.junction(in2, early));
+}
+
+TEST(CausalStarts, IncludeTrivialChain) {
+  const auto f = test::figure1();
+  const ChainAnalysis chains(f.pattern);
+  const Pattern& p = f.pattern;
+  // Every message's own send interval is a start of the chain [m].
+  for (const Message& m : p.messages())
+    EXPECT_TRUE(chains.causal_starts(m.id).get(
+        static_cast<std::size_t>(p.node_id({m.sender, m.send_interval}))));
+}
+
+TEST(CausalStarts, Figure1Inventory) {
+  const auto f = test::figure1();
+  const ChainAnalysis chains(f.pattern);
+  const Pattern& p = f.pattern;
+  auto starts_of = [&](MsgId m) {
+    std::vector<CkptId> out;
+    const BitVector& bits = chains.causal_starts(m);
+    for (std::size_t node = bits.find_next(0); node < bits.size();
+         node = bits.find_next(node + 1))
+      out.push_back(p.node_ckpt(static_cast<int>(node)));
+    return out;
+  };
+  // m2 is sent before m3 is delivered, so its only upstream delivery is m1.
+  EXPECT_EQ(starts_of(f.m2),
+            (std::vector<CkptId>{{Figure1::i, 1}, {Figure1::j, 1}}));
+  // m5 extends [m2] and [m1, m2].
+  EXPECT_EQ(starts_of(f.m5),
+            (std::vector<CkptId>{{Figure1::i, 1}, {Figure1::i, 3}, {Figure1::j, 1}}));
+  // m6 is sent after deliver(m5): it sees everything m5 saw, everything m3
+  // brought into I_j1, plus its own interval (j,2).
+  EXPECT_EQ(starts_of(f.m6),
+            (std::vector<CkptId>{{Figure1::i, 1},
+                                 {Figure1::i, 3},
+                                 {Figure1::j, 1},
+                                 {Figure1::j, 2},
+                                 {Figure1::k, 1}}));
+  // m4 is sent before deliver(m5): only I_j1's deliveries flow into it.
+  EXPECT_EQ(starts_of(f.m4),
+            (std::vector<CkptId>{{Figure1::i, 1}, {Figure1::j, 2}, {Figure1::k, 1}}));
+}
+
+TEST(SimpleStarts, ResetAtCheckpoints) {
+  const auto f = test::figure1();
+  const ChainAnalysis chains(f.pattern);
+  const Pattern& p = f.pattern;
+  // m4 (sent in I_j2) follows deliveries of m1/m3 in I_j1 across C_j1: those
+  // chains are causal but NOT simple, so the simple starts of m4 are only
+  // its own send interval.
+  const BitVector& simple = chains.simple_causal_starts(f.m4);
+  EXPECT_EQ(simple.count(), 1u);
+  EXPECT_TRUE(simple.get(
+      static_cast<std::size_t>(p.node_id({Figure1::j, 2}))));
+  // m6 follows deliver(m5) within I_j2: [m5, m6] is simple.
+  EXPECT_TRUE(chains.simple_causal_starts(f.m6).get(
+      static_cast<std::size_t>(p.node_id({Figure1::i, 3}))));
+}
+
+TEST(SimpleStarts, SubsetOfCausalStarts) {
+  Rng rng(11);
+  for (int round = 0; round < 10; ++round) {
+    const Pattern p = test::random_pattern(rng, 4, 120);
+    const ChainAnalysis chains(p);
+    for (MsgId m = 0; m < p.num_messages(); ++m) {
+      BitVector merged = chains.simple_causal_starts(m);
+      merged.or_with(chains.causal_starts(m));
+      EXPECT_EQ(merged, chains.causal_starts(m)) << "message " << m;
+    }
+  }
+}
+
+TEST(CausalStarts, MatchAtOrAfterQueries) {
+  const auto f = test::figure1();
+  const ChainAnalysis chains(f.pattern);
+  EXPECT_TRUE(chains.causal_start_at_or_after(f.m5, Figure1::i, 2));  // (i,3)
+  EXPECT_TRUE(chains.causal_start_at_or_after(f.m5, Figure1::i, 3));
+  EXPECT_FALSE(chains.causal_start_at_or_after(f.m5, Figure1::i, 4));
+  EXPECT_FALSE(chains.causal_start_at_or_after(f.m5, Figure1::k, 1));
+  EXPECT_EQ(chains.max_causal_start(f.m5, Figure1::i), 3);
+  EXPECT_EQ(chains.max_causal_start(f.m5, Figure1::k), 0);
+  // z <= 0 clamps to 1 (chain starts live in intervals >= 1).
+  EXPECT_TRUE(chains.causal_start_at_or_after(f.m5, Figure1::j, 0));
+}
+
+TEST(ZReach, AgreesWithRGraphMsgReach) {
+  // The brute-force junction-graph fixpoint and the R-graph closure define
+  // the same chain reachability: msg_reach(C_{i,x} -> C_{j,y}) iff some
+  // chain runs from an interval >= x of P_i to an interval <= y of P_j.
+  Rng rng(12);
+  for (int round = 0; round < 10; ++round) {
+    const Pattern p = test::random_pattern(rng, 3, 60);
+    const ChainAnalysis chains(p);
+    const RGraph g(p);
+    const ReachabilityClosure closure(g);
+    for (ProcessId i = 0; i < p.num_processes(); ++i)
+      for (CkptIndex x = 0; x <= p.last_ckpt(i); ++x)
+        for (ProcessId j = 0; j < p.num_processes(); ++j)
+          for (CkptIndex y = 0; y <= p.last_ckpt(j); ++y) {
+            bool chain = false;
+            for (CkptIndex s = std::max(x, 1); s <= p.last_ckpt(i) && !chain; ++s)
+              for (CkptIndex t = 1; t <= y && !chain; ++t)
+                chain = chains.zpath_between_intervals({i, s}, {j, t});
+            EXPECT_EQ(closure.msg_reach({i, x}, {j, y}), chain)
+                << "C(" << i << ',' << x << ") -> C(" << j << ',' << y << ")";
+          }
+  }
+}
+
+TEST(ZReach, CausalSubsetOfGeneral) {
+  Rng rng(13);
+  const Pattern p = test::random_pattern(rng, 3, 80);
+  const ChainAnalysis chains(p);
+  for (ProcessId i = 0; i < p.num_processes(); ++i)
+    for (CkptIndex s = 1; s <= p.last_ckpt(i); ++s)
+      for (ProcessId j = 0; j < p.num_processes(); ++j)
+        for (CkptIndex t = 1; t <= p.last_ckpt(j); ++t)
+          if (chains.zpath_between_intervals({i, s}, {j, t}, true)) {
+            EXPECT_TRUE(chains.zpath_between_intervals({i, s}, {j, t}, false));
+          }
+}
+
+TEST(FindChain, RecoversThePaperChains) {
+  const auto f = test::figure1();
+  const ChainAnalysis chains(f.pattern);
+  // The hidden-dependency chain [m3, m2] from I_k1 to I_i2.
+  const auto hidden = chains.find_chain({Figure1::k, 1}, {Figure1::i, 2});
+  ASSERT_TRUE(hidden.has_value());
+  EXPECT_EQ(*hidden, (std::vector<MsgId>{f.m3, f.m2}));
+  // Its causal counterpart does not exist.
+  EXPECT_FALSE(chains.find_chain({Figure1::k, 1}, {Figure1::i, 2},
+                                 /*causal_only=*/true));
+  // The causal sibling [m5, m6] from I_i3 to I_k2 (BFS prefers the shortest;
+  // both [m5,m4] and [m5,m6] have length 2, so just validate the witness).
+  const auto sibling =
+      chains.find_chain({Figure1::i, 3}, {Figure1::k, 2}, /*causal_only=*/true);
+  ASSERT_TRUE(sibling.has_value());
+  EXPECT_EQ(*sibling, (std::vector<MsgId>{f.m5, f.m6}));
+}
+
+TEST(FindChain, WitnessIsAlwaysAValidChain) {
+  Rng rng(271828);
+  for (int round = 0; round < 8; ++round) {
+    const Pattern p = test::random_pattern(rng, 3, 60);
+    const ChainAnalysis chains(p);
+    for (ProcessId i = 0; i < p.num_processes(); ++i)
+      for (CkptIndex s = 1; s <= p.last_ckpt(i); ++s)
+        for (ProcessId j = 0; j < p.num_processes(); ++j)
+          for (CkptIndex t = 1; t <= p.last_ckpt(j); ++t)
+            for (bool causal : {false, true}) {
+              const auto chain = chains.find_chain({i, s}, {j, t}, causal);
+              // Witness exists iff reachability says so.
+              EXPECT_EQ(chain.has_value(),
+                        chains.zpath_between_intervals({i, s}, {j, t}, causal));
+              if (!chain) continue;
+              // And it really is a chain with the right endpoints.
+              const Message& first = p.message(chain->front());
+              const Message& last = p.message(chain->back());
+              EXPECT_EQ(first.sender, i);
+              EXPECT_EQ(first.send_interval, s);
+              EXPECT_EQ(last.receiver, j);
+              EXPECT_EQ(last.deliver_interval, t);
+              for (std::size_t q = 0; q + 1 < chain->size(); ++q) {
+                if (causal) {
+                  EXPECT_TRUE(chains.causal_junction((*chain)[q], (*chain)[q + 1]));
+                } else {
+                  EXPECT_TRUE(chains.junction((*chain)[q], (*chain)[q + 1]));
+                }
+              }
+            }
+  }
+}
+
+TEST(ZReach, RangeChecks) {
+  const auto f = test::figure1();
+  const ChainAnalysis chains(f.pattern);
+  EXPECT_THROW(chains.zpath_between_intervals({0, 0}, {1, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(chains.zpath_between_intervals({0, 1}, {1, 9}),
+               std::invalid_argument);
+  EXPECT_THROW(chains.causal_starts(-1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rdt

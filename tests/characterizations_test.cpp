@@ -1,0 +1,195 @@
+// The characterization hierarchy — the paper's core theory — validated on
+// hand-built witnesses and randomized sweeps:
+//
+//   { VCM <=> VPCM }  =>  { RDT_def <=> CM <=> PCM <=> MM }  =>  no Z-cycle
+//
+// with both implications strict.
+#include <gtest/gtest.h>
+
+#include "core/rdt_checker.hpp"
+#include "fixtures.hpp"
+#include "recovery/domino.hpp"
+#include "util/rng.hpp"
+
+namespace rdt {
+namespace {
+
+// ------------------------------------------------------------ hand witnesses
+
+TEST(Characterizations, EmptyishPatternsSatisfyEverything) {
+  PatternBuilder b(2);
+  const MsgId m = b.send(0, 1);
+  b.deliver(m);
+  b.checkpoint(1);
+  const RdtReport r = analyze_rdt(b.build());
+  EXPECT_TRUE(r.definitional.ok);
+  EXPECT_TRUE(r.cm.ok);
+  EXPECT_TRUE(r.pcm.ok);
+  EXPECT_TRUE(r.mm.ok);
+  EXPECT_TRUE(r.vcm.ok);
+  EXPECT_TRUE(r.vpcm.ok);
+  EXPECT_TRUE(r.no_z_cycle.ok);
+}
+
+TEST(Characterizations, CausalSiblingMakesAJunctionHarmless) {
+  // P0 sends mp to P2, then delivers mc from P1 — a non-causal junction.
+  // P1 also sent a sibling md to P2 *before* mc, delivered before mp, so the
+  // dependency is causally doubled and visible at the junction.
+  PatternBuilder b(3);
+  const MsgId md = b.send(1, 2);
+  const MsgId mc = b.send(1, 0);
+  const MsgId mp = b.send(0, 2);
+  b.deliver(md);
+  b.deliver(mc);
+  b.deliver(mp);
+  const RdtReport r = analyze_rdt(b.build());
+  EXPECT_TRUE(r.definitional.ok);
+  EXPECT_TRUE(r.vcm.ok);
+}
+
+TEST(Characterizations, InvisibleDoublingSeparatesVcmFromRdt) {
+  // The doubling chain exists (pattern is RDT) but was not in the causal
+  // past of the junction decision: VCM and VPCM reject, everything in the
+  // RDT-equivalent block accepts.
+  const RdtReport r = analyze_rdt(test::rdt_but_not_visibly_doubled());
+  EXPECT_TRUE(r.definitional.ok);
+  EXPECT_TRUE(r.cm.ok);
+  EXPECT_TRUE(r.pcm.ok);
+  EXPECT_TRUE(r.mm.ok);
+  EXPECT_TRUE(r.no_z_cycle.ok);
+  EXPECT_FALSE(r.vcm.ok);
+  EXPECT_FALSE(r.vpcm.ok);
+}
+
+TEST(Characterizations, Figure1SeparatesNoZCycleFromRdt) {
+  const RdtReport r = analyze_rdt(test::figure1().pattern);
+  EXPECT_TRUE(r.no_z_cycle.ok);
+  EXPECT_FALSE(r.definitional.ok);
+}
+
+TEST(Characterizations, DominoPatternFailsEverything) {
+  const RdtReport r = analyze_rdt(domino_pattern(3));
+  EXPECT_FALSE(r.definitional.ok);
+  EXPECT_FALSE(r.cm.ok);
+  EXPECT_FALSE(r.pcm.ok);
+  EXPECT_FALSE(r.mm.ok);
+  EXPECT_FALSE(r.vcm.ok);
+  EXPECT_FALSE(r.vpcm.ok);
+  EXPECT_FALSE(r.no_z_cycle.ok);
+}
+
+TEST(Characterizations, SameProcessHiddenDependency) {
+  // A chain from C_{k,2} back to C_{k,1}: undoublable by definition, the
+  // situation predicate C2 guards against (Section 4.1, k = j case).
+  //   P0 (k): D(m3) [C_01] S(m1)
+  //   P1:     S(m2) D(m1)        <- junction (m1, m2)
+  //   P2:     S(m3) D(m2)        <- junction (m2, m3)
+  PatternBuilder b(3);
+  const MsgId m2 = b.send(1, 2);
+  const MsgId m3 = b.send(2, 0);
+  b.deliver(m3);
+  b.checkpoint(0);
+  const MsgId m1 = b.send(0, 1);
+  b.deliver(m1);
+  b.deliver(m2);
+  const Pattern p = b.build();
+  const RdtReport r = analyze_rdt(p);
+  EXPECT_FALSE(r.definitional.ok);
+  // The Z-path is a zigzag cycle at C_{0,1}: send after it, delivery before.
+  EXPECT_FALSE(r.no_z_cycle.ok);
+  ASSERT_TRUE(r.no_z_cycle.witness.has_value());
+  EXPECT_EQ(r.no_z_cycle.witness->from, (CkptId{0, 1}));
+  EXPECT_EQ(r.no_z_cycle.witness->to, (CkptId{0, 1}));
+  // The same-process dependency C_{0,2} -> C_{0,1} itself is untrackable.
+  const TdvAnalysis tdv(p);
+  EXPECT_FALSE(tdv.trackable({0, 2}, {0, 1}));
+}
+
+TEST(Characterizations, WitnessDescribesJunction) {
+  const auto f = test::figure1();
+  const RdtAnalyses analyses(f.pattern);
+  const CheckResult cm = check_cm_doubled(analyses);
+  ASSERT_TRUE(cm.witness.has_value());
+  const std::string text = cm.witness->describe();
+  EXPECT_NE(text.find("not on-line trackable"), std::string::npos);
+  EXPECT_NE(text.find("non-causal junction"), std::string::npos);
+}
+
+TEST(Characterizations, ReportSummaryMentionsEveryChecker) {
+  const std::string s = analyze_rdt(test::figure1().pattern).summary();
+  EXPECT_NE(s.find("violates"), std::string::npos);
+  EXPECT_NE(s.find("definitional"), std::string::npos);
+  EXPECT_NE(s.find("MM-paths"), std::string::npos);
+  EXPECT_NE(s.find("visibly doubled"), std::string::npos);
+  EXPECT_NE(s.find("zigzag"), std::string::npos);
+}
+
+// ------------------------------------------------------------ random sweeps
+
+class HierarchySweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HierarchySweep, ImplicationsHoldOnRandomPatterns) {
+  Rng rng(GetParam());
+  int violated = 0;
+  int satisfied = 0;
+  for (int round = 0; round < 150; ++round) {
+    const int n = 2 + static_cast<int>(rng.below(4));
+    const int steps = 20 + static_cast<int>(rng.below(140));
+    const double p_ckpt = 0.03 + rng.uniform() * 0.25;
+    const Pattern p = test::random_pattern(rng, n, steps, 0.35, 0.4, p_ckpt);
+    const RdtReport r = analyze_rdt(p);
+    (r.definitional.ok ? satisfied : violated) += 1;
+
+    // The RDT-equivalent block moves together.
+    EXPECT_EQ(r.cm.ok, r.definitional.ok);
+    EXPECT_EQ(r.pcm.ok, r.definitional.ok);
+    EXPECT_EQ(r.mm.ok, r.definitional.ok);  // Wang's elementary form
+    // Visible doubling is sufficient (and prime-visible == visible).
+    if (r.vcm.ok) {
+      EXPECT_TRUE(r.definitional.ok);
+    }
+    EXPECT_EQ(r.vpcm.ok, r.vcm.ok);
+    // No Z-cycle is necessary.
+    if (r.definitional.ok) {
+      EXPECT_TRUE(r.no_z_cycle.ok);
+    }
+    // Counting sanity: ok iff all checked paths satisfied.
+    for (const CheckResult* c :
+         {&r.definitional, &r.cm, &r.pcm, &r.mm, &r.vcm, &r.vpcm,
+          &r.no_z_cycle}) {
+      EXPECT_EQ(c->ok, c->paths_checked == c->paths_satisfied);
+      EXPECT_LE(c->paths_satisfied, c->paths_checked);
+      EXPECT_EQ(c->ok, !c->witness.has_value());
+    }
+    // The prime family is never larger than the full CM family.
+    EXPECT_LE(r.pcm.paths_checked, r.cm.paths_checked);
+    // MM checks exactly one start per junction.
+    EXPECT_LE(r.mm.paths_checked, r.cm.paths_checked);
+  }
+  // The generator must exercise both outcomes for the sweep to mean much.
+  EXPECT_GT(violated, 0);
+  EXPECT_GT(satisfied, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HierarchySweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(Characterizations, StrictnessWitnessesExistInRandomSweep) {
+  // Over a sweep we must find patterns that are RDT but not VCM (visibility
+  // is strictly stronger) and patterns that are cycle-free but not RDT
+  // (no-Z-cycle is strictly weaker).
+  Rng rng(424242);
+  int rdt_not_vcm = 0;
+  int cyclefree_not_rdt = 0;
+  for (int round = 0; round < 400; ++round) {
+    const Pattern p = test::random_pattern(rng, 3, 60);
+    const RdtReport r = analyze_rdt(p);
+    rdt_not_vcm += r.definitional.ok && !r.vcm.ok;
+    cyclefree_not_rdt += r.no_z_cycle.ok && !r.definitional.ok;
+  }
+  EXPECT_GT(rdt_not_vcm, 0);
+  EXPECT_GT(cyclefree_not_rdt, 0);
+}
+
+}  // namespace
+}  // namespace rdt

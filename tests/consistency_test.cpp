@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "ccp/consistency.hpp"
+#include "fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace rdt {
+namespace {
+
+using test::Figure1;
+
+TEST(Orphan, Definition) {
+  // Single message across a checkpoint: orphan iff the receiver's checkpoint
+  // includes the delivery while the sender's excludes the send.
+  PatternBuilder b(2);
+  const MsgId m = b.send(0, 1);  // in I_{0,1}
+  b.deliver(m);                  // in I_{1,1}
+  b.checkpoint(0);
+  b.checkpoint(1);
+  const Pattern p = b.build(PatternBuilder::FinalCkpts::kRequireClosed);
+  EXPECT_FALSE(is_orphan(p, m, 1, 1));  // send included
+  EXPECT_FALSE(is_orphan(p, m, 0, 0));  // delivery not included
+  EXPECT_TRUE(is_orphan(p, m, 0, 1));   // the orphan case
+  EXPECT_FALSE(is_orphan(p, m, 1, 0));
+}
+
+TEST(Orphan, RangeChecks) {
+  PatternBuilder b(2);
+  const MsgId m = b.send(0, 1);
+  b.deliver(m);
+  const Pattern p = b.build();
+  EXPECT_THROW(is_orphan(p, m, 5, 0), std::invalid_argument);
+  EXPECT_THROW(is_orphan(p, m, 0, -1), std::invalid_argument);
+  EXPECT_THROW(is_orphan(p, 42, 0, 0), std::invalid_argument);
+}
+
+TEST(PairConsistency, PaperExamples) {
+  const auto f = test::figure1();
+  // "(C_k1, C_j1) is consistent, while the pair (C_i2, C_j2) is
+  //  inconsistent (because of orphan message m5)."
+  EXPECT_TRUE(pair_consistent(f.pattern, {Figure1::k, 1}, {Figure1::j, 1}));
+  EXPECT_FALSE(pair_consistent(f.pattern, {Figure1::i, 2}, {Figure1::j, 2}));
+  EXPECT_TRUE(is_orphan(f.pattern, f.m5, 2, 2));
+}
+
+TEST(PairConsistency, SymmetricInArguments) {
+  const auto f = test::figure1();
+  EXPECT_EQ(pair_consistent(f.pattern, {Figure1::i, 2}, {Figure1::j, 2}),
+            pair_consistent(f.pattern, {Figure1::j, 2}, {Figure1::i, 2}));
+  EXPECT_THROW(pair_consistent(f.pattern, {0, 1}, {0, 2}), std::invalid_argument);
+}
+
+TEST(GlobalConsistency, PaperExamples) {
+  const auto f = test::figure1();
+  // "{C_i1, C_j1, C_k1} is a consistent global checkpoint, while
+  //  {C_i2, C_j2, C_k1} is not."
+  EXPECT_TRUE(consistent(f.pattern, GlobalCkpt{{1, 1, 1}}));
+  EXPECT_FALSE(consistent(f.pattern, GlobalCkpt{{2, 2, 1}}));
+  const auto orphans = orphan_messages(f.pattern, GlobalCkpt{{2, 2, 1}});
+  EXPECT_EQ(orphans, std::vector<MsgId>{f.m5});
+}
+
+TEST(GlobalConsistency, InitialAndFinalAlwaysConsistent) {
+  Rng rng(404);
+  for (int round = 0; round < 30; ++round) {
+    const Pattern p = test::random_pattern(rng, 2 + static_cast<int>(rng.below(4)),
+                                           60);
+    GlobalCkpt initial;
+    GlobalCkpt final_;
+    initial.indices.assign(static_cast<std::size_t>(p.num_processes()), 0);
+    for (ProcessId i = 0; i < p.num_processes(); ++i)
+      final_.indices.push_back(p.last_ckpt(i));
+    EXPECT_TRUE(consistent(p, initial));
+    EXPECT_TRUE(consistent(p, final_));
+  }
+}
+
+TEST(GlobalConsistency, ConsistentIffAllPairsConsistent) {
+  Rng rng(505);
+  const Pattern p = test::random_pattern(rng, 3, 80);
+  for (int trial = 0; trial < 200; ++trial) {
+    GlobalCkpt g;
+    for (ProcessId i = 0; i < p.num_processes(); ++i)
+      g.indices.push_back(static_cast<CkptIndex>(
+          rng.below(static_cast<std::uint64_t>(p.last_ckpt(i) + 1))));
+    bool all_pairs = true;
+    for (ProcessId a = 0; a < p.num_processes(); ++a)
+      for (ProcessId bq = a + 1; bq < p.num_processes(); ++bq)
+        all_pairs &= pair_consistent(
+            p, {a, g.indices[static_cast<std::size_t>(a)]},
+            {bq, g.indices[static_cast<std::size_t>(bq)]});
+    EXPECT_EQ(consistent(p, g), all_pairs);
+    EXPECT_EQ(consistent(p, g), orphan_messages(p, g).empty());
+  }
+}
+
+TEST(GlobalConsistency, LatticeClosure) {
+  // Consistent global checkpoints are closed under componentwise min/max —
+  // the lattice property min/max computations rely on.
+  Rng rng(606);
+  const Pattern p = test::random_pattern(rng, 3, 100);
+  std::vector<GlobalCkpt> consistent_set;
+  for (int trial = 0; trial < 400 && consistent_set.size() < 30; ++trial) {
+    GlobalCkpt g;
+    for (ProcessId i = 0; i < p.num_processes(); ++i)
+      g.indices.push_back(static_cast<CkptIndex>(
+          rng.below(static_cast<std::uint64_t>(p.last_ckpt(i) + 1))));
+    if (consistent(p, g)) consistent_set.push_back(g);
+  }
+  ASSERT_GE(consistent_set.size(), 2u);
+  for (std::size_t a = 0; a < consistent_set.size(); ++a)
+    for (std::size_t b = a + 1; b < consistent_set.size(); ++b) {
+      EXPECT_TRUE(consistent(
+          p, componentwise_min(consistent_set[a], consistent_set[b])));
+      EXPECT_TRUE(consistent(
+          p, componentwise_max(consistent_set[a], consistent_set[b])));
+    }
+}
+
+TEST(GlobalCkpt, ValidateRejectsBadShapes) {
+  const auto f = test::figure1();
+  EXPECT_THROW(validate(f.pattern, GlobalCkpt{{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(validate(f.pattern, GlobalCkpt{{1, 1, 99}}), std::invalid_argument);
+  EXPECT_THROW(validate(f.pattern, GlobalCkpt{{-1, 1, 1}}), std::invalid_argument);
+}
+
+TEST(GlobalCkpt, ComponentwiseHelpers) {
+  const GlobalCkpt a{{1, 4, 2}};
+  const GlobalCkpt b{{3, 0, 2}};
+  EXPECT_EQ(componentwise_min(a, b), (GlobalCkpt{{1, 0, 2}}));
+  EXPECT_EQ(componentwise_max(a, b), (GlobalCkpt{{3, 4, 2}}));
+  EXPECT_TRUE(leq(componentwise_min(a, b), a));
+  EXPECT_TRUE(leq(a, componentwise_max(a, b)));
+  EXPECT_FALSE(leq(a, b));
+  EXPECT_THROW(leq(a, GlobalCkpt{{1, 2}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rdt

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "sim/environments.hpp"
+#include "sim/trace.hpp"
+
+namespace rdt {
+namespace {
+
+// ------------------------------------------------------------ TraceBuilder
+
+TEST(TraceBuilder, ValidatesArguments) {
+  TraceBuilder b(2);
+  EXPECT_THROW(b.send(0, 0, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(b.send(0, 2, 1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(b.send(0, 1, 2.0, 2.0), std::invalid_argument);  // zero delay
+  EXPECT_THROW(b.send(0, 1, 3.0, 2.0), std::invalid_argument);  // backwards
+  EXPECT_THROW(b.basic_ckpt(2, 1.0), std::invalid_argument);
+  EXPECT_THROW(TraceBuilder(0), std::invalid_argument);
+}
+
+TEST(TraceBuilder, GlobalOrderSortsByTime) {
+  TraceBuilder b(2);
+  b.basic_ckpt(0, 5.0);
+  b.send(0, 1, 1.0, 3.0);
+  b.basic_ckpt(1, 2.0);
+  const Trace t = b.build();
+  ASSERT_EQ(t.ops.size(), 4u);
+  for (std::size_t i = 1; i < t.ops.size(); ++i)
+    EXPECT_LE(t.ops[i - 1].time, t.ops[i].time);
+  EXPECT_EQ(t.ops[0].kind, TraceOpKind::kSend);
+  EXPECT_EQ(t.ops[1].kind, TraceOpKind::kBasicCkpt);
+  EXPECT_EQ(t.ops[1].process, 1);
+  EXPECT_EQ(t.basic_ckpts(), 2);
+}
+
+TEST(TraceBuilder, TieBreaksByCreationOrder) {
+  TraceBuilder b(3);
+  b.basic_ckpt(0, 1.0);
+  b.basic_ckpt(1, 1.0);
+  b.basic_ckpt(2, 1.0);
+  const Trace t = b.build();
+  EXPECT_EQ(t.ops[0].process, 0);
+  EXPECT_EQ(t.ops[1].process, 1);
+  EXPECT_EQ(t.ops[2].process, 2);
+}
+
+// Shared structural invariants every generated trace must satisfy.
+void check_trace_invariants(const Trace& t) {
+  std::set<MsgId> sent;
+  std::set<MsgId> delivered;
+  double last_time = -1.0;
+  for (const TraceOp& op : t.ops) {
+    EXPECT_GE(op.time, last_time);
+    last_time = op.time;
+    EXPECT_GE(op.process, 0);
+    EXPECT_LT(op.process, t.num_processes);
+    switch (op.kind) {
+      case TraceOpKind::kSend:
+        EXPECT_TRUE(sent.insert(op.msg).second);
+        EXPECT_EQ(t.messages[static_cast<std::size_t>(op.msg)].sender,
+                  op.process);
+        break;
+      case TraceOpKind::kDeliver:
+        EXPECT_TRUE(sent.contains(op.msg));  // send came first
+        EXPECT_TRUE(delivered.insert(op.msg).second);
+        EXPECT_EQ(t.messages[static_cast<std::size_t>(op.msg)].receiver,
+                  op.process);
+        break;
+      case TraceOpKind::kBasicCkpt:
+        break;
+    }
+  }
+  EXPECT_EQ(static_cast<int>(sent.size()), t.num_messages());
+  EXPECT_EQ(delivered.size(), sent.size());  // reliable channels
+  for (const TraceMessage& m : t.messages) {
+    EXPECT_NE(m.sender, m.receiver);
+    EXPECT_LT(m.send_time, m.deliver_time);
+  }
+}
+
+// ------------------------------------------------------------ environments
+
+TEST(RandomEnv, InvariantsAndDeterminism) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 6;
+  cfg.duration = 200;
+  cfg.seed = 42;
+  const Trace a = random_environment(cfg);
+  const Trace b = random_environment(cfg);
+  check_trace_invariants(a);
+  EXPECT_EQ(a.ops.size(), b.ops.size());
+  EXPECT_EQ(a.num_messages(), b.num_messages());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].kind, b.ops[i].kind);
+    EXPECT_EQ(a.ops[i].process, b.ops[i].process);
+    EXPECT_DOUBLE_EQ(a.ops[i].time, b.ops[i].time);
+  }
+  cfg.seed = 43;
+  const Trace c = random_environment(cfg);
+  EXPECT_NE(a.ops.size(), c.ops.size());  // overwhelmingly likely
+}
+
+TEST(RandomEnv, ProducesWorkAtExpectedRates) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 4;
+  cfg.duration = 1000;
+  cfg.send_gap_mean = 1.0;
+  cfg.basic_ckpt_mean = 10.0;
+  cfg.seed = 7;
+  const Trace t = random_environment(cfg);
+  // ~1000 sends and ~100 basic checkpoints per process.
+  EXPECT_NEAR(t.num_messages(), 4000, 400);
+  EXPECT_NEAR(static_cast<double>(t.basic_ckpts()), 400.0, 80.0);
+}
+
+TEST(RandomEnv, AllPairsEventuallyCommunicate) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 4;
+  cfg.duration = 500;
+  cfg.seed = 3;
+  const Trace t = random_environment(cfg);
+  std::set<std::pair<ProcessId, ProcessId>> pairs;
+  for (const TraceMessage& m : t.messages) pairs.insert({m.sender, m.receiver});
+  EXPECT_EQ(pairs.size(), 12u);  // all ordered pairs
+}
+
+TEST(RandomEnv, FifoChannelsDeliverInOrder) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 4;
+  cfg.duration = 300;
+  cfg.fifo_channels = true;
+  cfg.seed = 8;
+  const Trace t = random_environment(cfg);
+  check_trace_invariants(t);
+  // Per directed channel, delivery times are strictly increasing in send
+  // order.
+  std::map<std::pair<ProcessId, ProcessId>, double> last;
+  for (const TraceOp& op : t.ops) {
+    if (op.kind != TraceOpKind::kSend) continue;
+    const TraceMessage& m = t.messages[static_cast<std::size_t>(op.msg)];
+    auto& prev = last[{m.sender, m.receiver}];
+    EXPECT_GT(m.deliver_time, prev);
+    prev = m.deliver_time;
+  }
+  // The default (non-FIFO) environment does reorder somewhere.
+  cfg.fifo_channels = false;
+  const Trace loose = random_environment(cfg);
+  bool reordered = false;
+  last.clear();
+  for (const TraceOp& op : loose.ops) {
+    if (op.kind != TraceOpKind::kSend) continue;
+    const TraceMessage& m = loose.messages[static_cast<std::size_t>(op.msg)];
+    auto& prev = last[{m.sender, m.receiver}];
+    reordered |= m.deliver_time < prev;
+    prev = std::max(prev, m.deliver_time);
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(RandomEnv, RejectsBadConfig) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 1;
+  EXPECT_THROW(random_environment(cfg), std::invalid_argument);
+  cfg.num_processes = 3;
+  cfg.duration = 0;
+  EXPECT_THROW(random_environment(cfg), std::invalid_argument);
+}
+
+TEST(GroupEnv, MessagesStayWithinGroups) {
+  GroupEnvConfig cfg;
+  cfg.num_groups = 4;
+  cfg.group_size = 4;
+  cfg.overlap = 1;
+  cfg.duration = 300;
+  cfg.seed = 9;
+  const int n = cfg.num_processes();
+  EXPECT_EQ(n, 12);
+  const Trace trace = group_environment(cfg);
+  check_trace_invariants(trace);
+  // Recompute the ring membership and check every message respects it.
+  const int stride = cfg.group_size - cfg.overlap;
+  std::set<std::pair<ProcessId, ProcessId>> allowed;
+  for (int g = 0; g < cfg.num_groups; ++g)
+    for (int a = 0; a < cfg.group_size; ++a)
+      for (int b2 = 0; b2 < cfg.group_size; ++b2) {
+        const ProcessId pa = (g * stride + a) % n;
+        const ProcessId pb = (g * stride + b2) % n;
+        if (pa != pb) allowed.insert({pa, pb});
+      }
+  for (const TraceMessage& m : trace.messages)
+    EXPECT_TRUE(allowed.contains({m.sender, m.receiver}))
+        << m.sender << " -> " << m.receiver;
+  // Locality is real: far-apart processes never talk directly.
+  EXPECT_FALSE(allowed.contains({0, 6}));
+}
+
+TEST(GroupEnv, OverlapSharingIsExact) {
+  GroupEnvConfig cfg;
+  cfg.num_groups = 3;
+  cfg.group_size = 5;
+  cfg.overlap = 2;
+  EXPECT_EQ(cfg.num_processes(), 9);
+  cfg.duration = 50;
+  const Trace t = group_environment(cfg);
+  check_trace_invariants(t);
+}
+
+TEST(GroupEnv, RejectsBadConfig) {
+  GroupEnvConfig cfg;
+  cfg.overlap = 4;
+  cfg.group_size = 4;
+  EXPECT_THROW(group_environment(cfg), std::invalid_argument);
+  cfg.group_size = 1;
+  cfg.overlap = 0;
+  EXPECT_THROW(group_environment(cfg), std::invalid_argument);
+}
+
+TEST(ClientServerEnv, InvariantsAndShape) {
+  ClientServerEnvConfig cfg;
+  cfg.num_servers = 5;
+  cfg.num_requests = 100;
+  cfg.seed = 11;
+  const Trace t = client_server_environment(cfg);
+  check_trace_invariants(t);
+  EXPECT_EQ(t.num_processes, 6);
+  // Messages only flow between chain neighbours (client <-> S1, S_k <-> S_k+1).
+  for (const TraceMessage& m : t.messages)
+    EXPECT_EQ(std::abs(m.sender - m.receiver), 1)
+        << m.sender << " -> " << m.receiver;
+  // Every request produces at least request+reply on the client link.
+  int client_sends = 0;
+  for (const TraceMessage& m : t.messages) client_sends += m.sender == 0;
+  EXPECT_EQ(client_sends, cfg.num_requests);
+}
+
+TEST(ClientServerEnv, RequestsAreSynchronous) {
+  // The client never has two outstanding requests: its send times and the
+  // matching replies alternate strictly.
+  ClientServerEnvConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_requests = 50;
+  cfg.seed = 13;
+  const Trace t = client_server_environment(cfg);
+  double last_reply = -1.0;
+  for (const TraceMessage& m : t.messages) {
+    if (m.sender == 0) {  // request leaves the client
+      EXPECT_GT(m.send_time, last_reply);
+    }
+    if (m.receiver == 0) last_reply = m.deliver_time;
+  }
+}
+
+TEST(ClientServerEnv, ForwardProbZeroMeansOnlyS1) {
+  ClientServerEnvConfig cfg;
+  cfg.num_servers = 5;
+  cfg.num_requests = 30;
+  cfg.forward_prob = 0.0;
+  const Trace t = client_server_environment(cfg);
+  for (const TraceMessage& m : t.messages)
+    EXPECT_TRUE((m.sender == 0 && m.receiver == 1) ||
+                (m.sender == 1 && m.receiver == 0));
+}
+
+TEST(ClientServerEnv, ForwardProbOneReachesLastServer) {
+  ClientServerEnvConfig cfg;
+  cfg.num_servers = 4;
+  cfg.num_requests = 5;
+  cfg.forward_prob = 1.0;
+  const Trace t = client_server_environment(cfg);
+  bool last_reached = false;
+  for (const TraceMessage& m : t.messages)
+    last_reached |= m.receiver == cfg.num_servers;
+  EXPECT_TRUE(last_reached);
+}
+
+}  // namespace
+}  // namespace rdt

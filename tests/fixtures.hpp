@@ -1,0 +1,114 @@
+// Shared test fixtures: the paper's Figure 1 pattern, hand-crafted witness
+// patterns for the characterization hierarchy, and randomized pattern /
+// trace generators for property tests.
+#pragma once
+
+#include <vector>
+
+#include "ccp/builder.hpp"
+#include "ccp/pattern.hpp"
+#include "util/rng.hpp"
+
+namespace rdt::test {
+
+// Message ids of the Figure 1 pattern, named as in the paper (m1..m7).
+struct Figure1 {
+  Pattern pattern;
+  MsgId m1, m2, m3, m4, m5, m6, m7;
+  // Paper processes P_i, P_j, P_k as ids.
+  static constexpr ProcessId i = 0, j = 1, k = 2;
+};
+
+// The checkpoint-and-communication pattern of the paper's Figure 1:
+//
+//   P_i: [0]  S(m1)        [1]  D(m2)  [2]  S(m5)                 [3]
+//   P_j: [0]  D(m1) S(m2) D(m3) [1]  S(m4) D(m5) S(m6) [2] D(m7)  [3]
+//   P_k: [0]  S(m3)        [1]  D(m4) D(m6) S(m7)       [2]       [3]
+//
+// Known facts asserted throughout the tests: (C_k1, C_j1) consistent,
+// (C_i2, C_j2) inconsistent (orphan m5); [m3,m2] is a non-causal chain from
+// C_k1 to C_i2 with no causal sibling (the hidden dependency); [m5,m6] is a
+// causal sibling of [m5,m4].
+inline Figure1 figure1() {
+  PatternBuilder b(3);
+  Figure1 f;
+  f.m1 = b.send(Figure1::i, Figure1::j);   // in I_i1
+  f.m3 = b.send(Figure1::k, Figure1::j);   // in I_k1
+  b.deliver(f.m1);                         // in I_j1
+  f.m2 = b.send(Figure1::j, Figure1::i);   // in I_j1, before deliver(m3)
+  b.deliver(f.m3);                         // in I_j1 -> junction (m3, m2)
+  b.checkpoint(Figure1::i);                // C_i1
+  b.checkpoint(Figure1::j);                // C_j1
+  b.checkpoint(Figure1::k);                // C_k1
+  b.deliver(f.m2);                         // in I_i2
+  b.checkpoint(Figure1::i);                // C_i2
+  f.m5 = b.send(Figure1::i, Figure1::j);   // in I_i3
+  f.m4 = b.send(Figure1::j, Figure1::k);   // in I_j2, before deliver(m5)
+  b.deliver(f.m5);                         // in I_j2 -> junction (m5, m4)
+  f.m6 = b.send(Figure1::j, Figure1::k);   // in I_j2, after deliver(m5)
+  b.checkpoint(Figure1::j);                // C_j2
+  b.deliver(f.m4);                         // in I_k2
+  b.deliver(f.m6);                         // in I_k2
+  f.m7 = b.send(Figure1::k, Figure1::j);   // in I_k2
+  b.checkpoint(Figure1::k);                // C_k2
+  b.checkpoint(Figure1::i);                // C_i3
+  b.deliver(f.m7);                         // in I_j3
+  b.checkpoint(Figure1::j);                // C_j3
+  b.checkpoint(Figure1::k);                // C_k3
+  f.pattern = b.build(PatternBuilder::FinalCkpts::kRequireClosed);
+  return f;
+}
+
+// A pattern that satisfies RDT but is not VCM (visibly doubled): the
+// doubling chain [mD] exists but its send is concurrent with the junction's
+// delivery, so no protocol sitting at the junction could know it.
+//   P0 (k): S(mc) S(mD)
+//   P1 (i): S(mp) D(mc)      <- junction (mc, mp)
+//   P2 (j): D(mD) D(mp)
+inline Pattern rdt_but_not_visibly_doubled() {
+  PatternBuilder b(3);
+  const MsgId mc = b.send(0, 1);
+  const MsgId md = b.send(0, 2);
+  const MsgId mp = b.send(1, 2);
+  b.deliver(mc);
+  b.deliver(md);
+  b.deliver(mp);
+  return b.build();
+}
+
+// Uniformly random pattern: at each step a random process either sends to a
+// random peer, delivers a pending message, takes a checkpoint, or computes
+// locally. Useful as an unbiased source of (mostly RDT-violating) patterns.
+inline Pattern random_pattern(Rng& rng, int num_processes, int steps,
+                              double p_send = 0.35, double p_deliver = 0.40,
+                              double p_ckpt = 0.12) {
+  PatternBuilder b(num_processes);
+  std::vector<std::vector<MsgId>> pending(
+      static_cast<std::size_t>(num_processes));  // per receiver
+  for (int s = 0; s < steps; ++s) {
+    const auto p = static_cast<ProcessId>(rng.below(
+        static_cast<std::uint64_t>(num_processes)));
+    const double roll = rng.uniform();
+    auto& inbox = pending[static_cast<std::size_t>(p)];
+    if (roll < p_send && num_processes > 1) {
+      auto dest = static_cast<ProcessId>(
+          rng.below(static_cast<std::uint64_t>(num_processes - 1)));
+      if (dest >= p) ++dest;
+      pending[static_cast<std::size_t>(dest)].push_back(b.send(p, dest));
+    } else if (roll < p_send + p_deliver && !inbox.empty()) {
+      const std::size_t pick = rng.index(inbox.size());
+      b.deliver(inbox[pick]);
+      inbox.erase(inbox.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (roll < p_send + p_deliver + p_ckpt) {
+      b.checkpoint(p);
+    } else {
+      b.internal(p);
+    }
+  }
+  // Drain in-flight messages so the computation is complete.
+  for (auto& inbox : pending)
+    for (MsgId m : inbox) b.deliver(m);
+  return b.build();
+}
+
+}  // namespace rdt::test

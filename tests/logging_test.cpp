@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "core/global_checkpoint.hpp"
+#include "fixtures.hpp"
+#include "logging/message_log.hpp"
+#include "recovery/recovery_line.hpp"
+#include "sim/environments.hpp"
+#include "sim/replay.hpp"
+
+namespace rdt {
+namespace {
+
+Pattern sample_pattern(std::uint64_t seed, int n = 4) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = n;
+  cfg.duration = 80;
+  cfg.basic_ckpt_mean = 8.0;
+  cfg.seed = seed;
+  return replay(random_environment(cfg), ProtocolKind::kNoForce).pattern;
+}
+
+TEST(ReplayPlan, SingleFailureReplaysCompletely) {
+  // With sender-based logging, a lone crash loses nothing: every
+  // determinant lives at a surviving sender.
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Pattern p = sample_pattern(seed);
+    for (ProcessId f = 0; f < p.num_processes(); ++f) {
+      const std::vector<ProcessId> failed{f};
+      const GlobalCkpt durable = last_durable(p);
+      const ReplayPlan plan = plan_replay(
+          p, f, durable.indices[static_cast<std::size_t>(f)], failed);
+      EXPECT_TRUE(plan.complete()) << "P" << f << " seed " << seed;
+      EXPECT_EQ(plan.resume_pos, p.num_events(f));
+      // Every post-checkpoint delivery is replayed, in original order.
+      std::vector<MsgId> expected;
+      for (EventIndex pos = p.ckpt_pos(f, plan.from_ckpt) + 1;
+           pos < p.num_events(f); ++pos)
+        if (p.event(f, pos).kind == EventKind::kDeliver)
+          expected.push_back(p.event(f, pos).msg);
+      EXPECT_EQ(plan.replayable, expected);
+    }
+  }
+}
+
+TEST(ReplayPlan, CoFailedSenderCutsTheReplay) {
+  // P0 delivers from P1 (co-failed) after its checkpoint: the replay stops
+  // right there, and the later delivery from the survivor P2 is unusable.
+  PatternBuilder b(3);
+  const MsgId from_survivor1 = b.send(2, 0);
+  b.deliver(from_survivor1);
+  b.checkpoint(0);  // restart point
+  const MsgId from_survivor2 = b.send(2, 0);
+  b.deliver(from_survivor2);
+  const MsgId from_cofailed = b.send(1, 0);
+  b.deliver(from_cofailed);
+  const MsgId late = b.send(2, 0);
+  b.deliver(late);
+  const Pattern p = b.build();
+
+  const std::vector<ProcessId> failed{0, 1};
+  const ReplayPlan plan = plan_replay(p, 0, 1, failed);
+  EXPECT_FALSE(plan.complete());
+  EXPECT_EQ(plan.replayable, std::vector<MsgId>{from_survivor2});
+  EXPECT_EQ(plan.lost, (std::vector<MsgId>{from_cofailed, late}));
+  // resume_pos points at the lost delivery (1 event re-executed after C_01).
+  EXPECT_EQ(plan.replayed_events(p), 1);
+  EXPECT_EQ(plan.last_restored_ckpt, 1);
+}
+
+TEST(ReplayPlan, RestoredCheckpointsAdvanceTheRestartPoint) {
+  PatternBuilder b(2);
+  const MsgId m1 = b.send(1, 0);
+  b.deliver(m1);
+  b.checkpoint(0);  // C_01 = durable restart
+  const MsgId m2 = b.send(1, 0);
+  b.deliver(m2);
+  b.checkpoint(0);  // C_02, re-established during replay
+  b.internal(0);
+  const Pattern p = b.build();
+  const std::vector<ProcessId> failed{0};
+  const ReplayPlan plan = plan_replay(p, 0, 1, failed);
+  EXPECT_TRUE(plan.complete());
+  EXPECT_EQ(plan.last_restored_ckpt, 2);
+  // Virtual final checkpoints are not "restored" (they were never taken).
+  EXPECT_EQ(p.last_ckpt(0), 3);
+  EXPECT_TRUE(p.ckpt_is_virtual(0, 3));
+}
+
+TEST(ReplayPlan, Validation) {
+  const Pattern p = sample_pattern(1);
+  const std::vector<ProcessId> failed{0};
+  EXPECT_THROW(plan_replay(p, 99, 0, failed), std::invalid_argument);
+  EXPECT_THROW(plan_replay(p, 0, 999, failed), std::invalid_argument);
+  const std::vector<ProcessId> bad{99};
+  EXPECT_THROW(plan_replay(p, 0, 0, bad), std::invalid_argument);
+}
+
+TEST(LoggedRecovery, SingleFailureCostsNoRollback) {
+  // The punchline: checkpointing alone loses work (recovery line), while
+  // checkpointing + sender-based logging merely re-executes it.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const Pattern p = sample_pattern(seed, 5);
+    const std::vector<ProcessId> failed{1};
+    const LoggedRecoveryOutcome logged = recover_with_logging(p, failed);
+    EXPECT_EQ(logged.rollback.total_rollback, 0) << "seed " << seed;
+    EXPECT_TRUE(logged.plans[0].complete());
+    // The plain-checkpoint recovery on the same pattern generally loses
+    // work (it is the domino-prone baseline).
+    const RecoveryOutcome plain = recover_after_failure(p, 1);
+    EXPECT_GE(plain.total_rollback, logged.rollback.total_rollback);
+  }
+}
+
+TEST(LoggedRecovery, TotalReplayAccounting) {
+  const Pattern p = sample_pattern(3, 4);
+  const std::vector<ProcessId> failed{2};
+  const LoggedRecoveryOutcome out = recover_with_logging(p, failed);
+  ASSERT_EQ(out.plans.size(), 1u);
+  EXPECT_EQ(out.total_replayed, out.plans[0].replayed_events(p));
+  EXPECT_GE(out.total_replayed, 0);
+}
+
+TEST(LoggedRecovery, OverlappingFailuresFallBackGracefully) {
+  // Two processes that talk to each other crash together: each replay cuts
+  // at the first message from the other, and the residual rollback is still
+  // no worse than recovering both without any logs.
+  int incomplete_seen = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Pattern p = sample_pattern(seed, 4);
+    const std::vector<ProcessId> failed{0, 1};
+    const LoggedRecoveryOutcome logged = recover_with_logging(p, failed);
+    for (const ReplayPlan& plan : logged.plans) {
+      incomplete_seen += !plan.complete();
+      if (!plan.lost.empty()) {
+        // The replay cut is always triggered by a co-failed sender's lost
+        // log (later entries are collateral: unusable, whoever sent them).
+        const ProcessId s = p.message(plan.lost.front()).sender;
+        EXPECT_TRUE(s == 0 || s == 1);
+      }
+    }
+    // Residual rollback never exceeds the no-logging recovery from the same
+    // failure (upper bound: both roll to last durable and propagate).
+    GlobalCkpt upper = top_global_ckpt(p);
+    const GlobalCkpt durable = last_durable(p);
+    upper.indices[0] = durable.indices[0];
+    upper.indices[1] = durable.indices[1];
+    const GlobalCkpt no_log_line = max_consistent_leq(p, upper);
+    EXPECT_TRUE(leq(no_log_line, logged.rollback.line)) << "seed " << seed;
+  }
+  EXPECT_GT(incomplete_seen, 0);
+}
+
+TEST(LoggedRecovery, RequiresAFailure) {
+  const Pattern p = sample_pattern(1);
+  EXPECT_THROW(recover_with_logging(p, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rdt

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "ccp/pattern_io.hpp"
+#include "fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace rdt {
+namespace {
+
+// Structural equality of two patterns (events, messages, checkpoints), up
+// to message-id renumbering: serialization orders sends topologically, so a
+// round trip relabels message ids while preserving the computation.
+void expect_same_pattern(const Pattern& a, const Pattern& b) {
+  ASSERT_EQ(a.num_processes(), b.num_processes());
+  ASSERT_EQ(a.num_messages(), b.num_messages());
+  std::vector<MsgId> a_to_b(static_cast<std::size_t>(a.num_messages()), kNoMsg);
+  for (ProcessId i = 0; i < a.num_processes(); ++i) {
+    ASSERT_EQ(a.num_events(i), b.num_events(i)) << "process " << i;
+    ASSERT_EQ(a.last_ckpt(i), b.last_ckpt(i)) << "process " << i;
+    for (EventIndex pos = 0; pos < a.num_events(i); ++pos) {
+      const Event& ea = a.event(i, pos);
+      const Event& eb = b.event(i, pos);
+      ASSERT_EQ(ea.kind, eb.kind) << "event (" << i << "," << pos << ")";
+      EXPECT_EQ(ea.interval, eb.interval);
+      EXPECT_EQ(ea.ckpt, eb.ckpt);
+      if (ea.kind == EventKind::kSend) {
+        auto& mapped = a_to_b[static_cast<std::size_t>(ea.msg)];
+        ASSERT_EQ(mapped, kNoMsg);
+        mapped = eb.msg;
+      }
+    }
+  }
+  for (MsgId m = 0; m < a.num_messages(); ++m) {
+    const Message& ma = a.message(m);
+    const Message& mb = b.message(a_to_b[static_cast<std::size_t>(m)]);
+    EXPECT_EQ(ma.sender, mb.sender);
+    EXPECT_EQ(ma.receiver, mb.receiver);
+    EXPECT_EQ(ma.send_pos, mb.send_pos);
+    EXPECT_EQ(ma.deliver_pos, mb.deliver_pos);
+    EXPECT_EQ(ma.send_interval, mb.send_interval);
+    EXPECT_EQ(ma.deliver_interval, mb.deliver_interval);
+  }
+}
+
+TEST(PatternIo, Figure1RoundTrips) {
+  const Pattern p = test::figure1().pattern;
+  const Pattern q = pattern_from_string(pattern_to_string(p));
+  expect_same_pattern(p, q);
+}
+
+TEST(PatternIo, RandomPatternsRoundTrip) {
+  Rng rng(5150);
+  for (int round = 0; round < 25; ++round) {
+    const Pattern p = test::random_pattern(rng, 2 + static_cast<int>(rng.below(4)),
+                                           30 + static_cast<int>(rng.below(100)));
+    const Pattern q = pattern_from_string(pattern_to_string(p));
+    expect_same_pattern(p, q);
+  }
+}
+
+TEST(PatternIo, SerializationMentionsAllDirectives) {
+  PatternBuilder b(2);
+  const MsgId m = b.send(0, 1);
+  b.internal(1);
+  b.deliver(m);
+  b.checkpoint(0);
+  const std::string text = pattern_to_string(b.build());
+  EXPECT_NE(text.find("processes 2"), std::string::npos);
+  EXPECT_NE(text.find("send 0 0 1"), std::string::npos);
+  EXPECT_NE(text.find("deliver 0"), std::string::npos);
+  EXPECT_NE(text.find("internal 1"), std::string::npos);
+  EXPECT_NE(text.find("checkpoint 0"), std::string::npos);
+}
+
+TEST(PatternIo, VirtualFinalCheckpointsNotSerialized) {
+  PatternBuilder b(2);
+  const MsgId m = b.send(0, 1);
+  b.deliver(m);
+  const Pattern p = b.build();  // appends virtual finals
+  const std::string text = pattern_to_string(p);
+  EXPECT_EQ(text.find("checkpoint"), std::string::npos);
+  // Round trip regenerates them.
+  const Pattern q = pattern_from_string(text);
+  EXPECT_TRUE(q.ckpt_is_virtual(0, 1));
+}
+
+TEST(PatternIo, ParsesCommentsAndBlankLines) {
+  const Pattern p = pattern_from_string(
+      "# a comment\n"
+      "processes 2\n"
+      "\n"
+      "send 7 0 1   # arbitrary file-side id\n"
+      "deliver 7\n");
+  EXPECT_EQ(p.num_messages(), 1);
+  EXPECT_EQ(p.message(0).sender, 0);
+}
+
+TEST(PatternIo, ParseErrors) {
+  EXPECT_THROW(pattern_from_string(""), std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("send 0 0 1\n"), std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes 0\n"), std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes 2\nprocesses 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes 2\nfrobnicate 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes 2\ndeliver 3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes 2\nsend 0 0 1\nsend 0 1 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes 2\nsend 0 0\n"),
+               std::invalid_argument);
+}
+
+TEST(PatternIo, AsciiRenderShowsEveryEvent) {
+  const auto f = test::figure1();
+  const std::string art = render_ascii(f.pattern);
+  EXPECT_NE(art.find("P0"), std::string::npos);
+  EXPECT_NE(art.find("P2"), std::string::npos);
+  for (MsgId m = 0; m < f.pattern.num_messages(); ++m) {
+    EXPECT_NE(art.find("S" + std::to_string(m)), std::string::npos);
+    EXPECT_NE(art.find("D" + std::to_string(m)), std::string::npos);
+  }
+  EXPECT_NE(art.find("[1]"), std::string::npos);
+  EXPECT_NE(art.find("legend"), std::string::npos);
+}
+
+TEST(PatternIo, AsciiMarksVirtualCheckpoints) {
+  PatternBuilder b(2);
+  const MsgId m = b.send(0, 1);
+  b.deliver(m);
+  const std::string art = render_ascii(b.build());
+  EXPECT_NE(art.find("(1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rdt

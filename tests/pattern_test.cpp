@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include "ccp/builder.hpp"
+#include "fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace rdt {
+namespace {
+
+TEST(Builder, RejectsBadArguments) {
+  EXPECT_THROW(PatternBuilder(0), std::invalid_argument);
+  PatternBuilder b(2);
+  EXPECT_THROW(b.send(0, 0), std::invalid_argument);   // self message
+  EXPECT_THROW(b.send(0, 2), std::invalid_argument);   // unknown process
+  EXPECT_THROW(b.send(-1, 0), std::invalid_argument);
+  EXPECT_THROW(b.deliver(0), std::invalid_argument);   // unknown message
+  EXPECT_THROW(b.checkpoint(5), std::invalid_argument);
+}
+
+TEST(Builder, RejectsDoubleDelivery) {
+  PatternBuilder b(2);
+  const MsgId m = b.send(0, 1);
+  b.deliver(m);
+  EXPECT_THROW(b.deliver(m), std::invalid_argument);
+}
+
+TEST(Builder, RejectsUndeliveredAtBuild) {
+  PatternBuilder b(2);
+  b.send(0, 1);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(Builder, RequireClosedPolicyThrowsOnOpenInterval) {
+  PatternBuilder b(2);
+  const MsgId m = b.send(0, 1);
+  b.deliver(m);
+  EXPECT_THROW(b.build(PatternBuilder::FinalCkpts::kRequireClosed),
+               std::invalid_argument);
+}
+
+TEST(Builder, AppendsVirtualFinalCheckpoints) {
+  PatternBuilder b(2);
+  const MsgId m = b.send(0, 1);
+  b.deliver(m);
+  const Pattern p = b.build();
+  EXPECT_EQ(p.last_ckpt(0), 1);
+  EXPECT_EQ(p.last_ckpt(1), 1);
+  EXPECT_TRUE(p.ckpt_is_virtual(0, 1));
+  EXPECT_TRUE(p.ckpt_is_virtual(1, 1));
+  EXPECT_FALSE(p.ckpt_is_virtual(0, 0));
+}
+
+TEST(Builder, ProcessWithNoEventsHasOnlyInitialCheckpoint) {
+  PatternBuilder b(3);
+  const MsgId m = b.send(0, 1);
+  b.deliver(m);
+  const Pattern p = b.build();
+  EXPECT_EQ(p.last_ckpt(2), 0);
+  EXPECT_EQ(p.num_events(2), 0);
+  EXPECT_EQ(p.num_ckpts(2), 1);
+}
+
+TEST(Builder, ExplicitFinalCheckpointIsNotVirtual) {
+  PatternBuilder b(2);
+  const MsgId m = b.send(0, 1);
+  b.deliver(m);
+  b.checkpoint(0);
+  b.checkpoint(1);
+  const Pattern p = b.build(PatternBuilder::FinalCkpts::kRequireClosed);
+  EXPECT_FALSE(p.ckpt_is_virtual(0, 1));
+  EXPECT_FALSE(p.ckpt_is_virtual(1, 1));
+}
+
+TEST(Builder, IntervalAssignment) {
+  PatternBuilder b(2);
+  const MsgId m1 = b.send(0, 1);  // I_{0,1}
+  b.checkpoint(0);                // C_{0,1}
+  const MsgId m2 = b.send(0, 1);  // I_{0,2}
+  b.deliver(m1);                  // I_{1,1}
+  b.deliver(m2);                  // I_{1,1}
+  const Pattern p = b.build();
+  EXPECT_EQ(p.message(m1).send_interval, 1);
+  EXPECT_EQ(p.message(m2).send_interval, 2);
+  EXPECT_EQ(p.message(m1).deliver_interval, 1);
+  EXPECT_EQ(p.message(m2).deliver_interval, 1);
+}
+
+TEST(Builder, CheckpointIndicesAreSequential) {
+  PatternBuilder b(1);
+  EXPECT_EQ(b.checkpoint(0), 1);
+  b.internal(0);
+  EXPECT_EQ(b.checkpoint(0), 2);
+  const Pattern p = b.build(PatternBuilder::FinalCkpts::kRequireClosed);
+  EXPECT_EQ(p.last_ckpt(0), 2);
+  EXPECT_EQ(p.ckpt_pos(0, 0), -1);
+  EXPECT_EQ(p.ckpt_pos(0, 1), 0);
+  EXPECT_EQ(p.ckpt_pos(0, 2), 2);
+}
+
+TEST(Pattern, IntervalSpan) {
+  PatternBuilder b(1);
+  b.internal(0);  // I_{0,1}
+  b.internal(0);
+  b.checkpoint(0);  // C_{0,1} at pos 2
+  b.internal(0);    // I_{0,2}
+  b.checkpoint(0);  // C_{0,2} at pos 4
+  const Pattern p = b.build(PatternBuilder::FinalCkpts::kRequireClosed);
+  EXPECT_EQ(p.interval_span(0, 1), (std::pair<EventIndex, EventIndex>{0, 2}));
+  EXPECT_EQ(p.interval_span(0, 2), (std::pair<EventIndex, EventIndex>{3, 4}));
+  EXPECT_THROW(p.interval_span(0, 0), std::invalid_argument);
+  EXPECT_THROW(p.interval_span(0, 3), std::invalid_argument);
+}
+
+TEST(Pattern, NodeNumberingRoundTrips) {
+  const auto f = test::figure1();
+  const Pattern& p = f.pattern;
+  int seen = 0;
+  for (ProcessId i = 0; i < p.num_processes(); ++i)
+    for (CkptIndex x = 0; x <= p.last_ckpt(i); ++x) {
+      const int node = p.node_id({i, x});
+      EXPECT_EQ(p.node_ckpt(node), (CkptId{i, x}));
+      ++seen;
+    }
+  EXPECT_EQ(seen, p.total_ckpts());
+  EXPECT_THROW(p.node_ckpt(p.total_ckpts()), std::invalid_argument);
+  EXPECT_THROW(p.node_id({0, 99}), std::invalid_argument);
+}
+
+TEST(Pattern, TopologicalOrderRespectsCausality) {
+  Rng rng(2024);
+  for (int round = 0; round < 20; ++round) {
+    const Pattern p = test::random_pattern(rng, 4, 120);
+    std::vector<std::vector<int>> rank(
+        static_cast<std::size_t>(p.num_processes()));
+    for (ProcessId i = 0; i < p.num_processes(); ++i)
+      rank[static_cast<std::size_t>(i)].resize(
+          static_cast<std::size_t>(p.num_events(i)));
+    int r = 0;
+    for (const EventRef& e : p.topological_order())
+      rank[static_cast<std::size_t>(e.process)]
+          [static_cast<std::size_t>(e.pos)] = r++;
+    EXPECT_EQ(r, p.total_events());
+    // Program order.
+    for (ProcessId i = 0; i < p.num_processes(); ++i)
+      for (EventIndex pos = 1; pos < p.num_events(i); ++pos)
+        EXPECT_LT(rank[static_cast<std::size_t>(i)]
+                      [static_cast<std::size_t>(pos - 1)],
+                  rank[static_cast<std::size_t>(i)]
+                      [static_cast<std::size_t>(pos)]);
+    // Send before delivery.
+    for (const Message& m : p.messages())
+      EXPECT_LT(rank[static_cast<std::size_t>(m.sender)]
+                    [static_cast<std::size_t>(m.send_pos)],
+                rank[static_cast<std::size_t>(m.receiver)]
+                    [static_cast<std::size_t>(m.deliver_pos)]);
+  }
+}
+
+TEST(Pattern, ClocksMatchDefinition) {
+  // The vector clock of an event counts, per process, the events in its
+  // causal past (inclusive). Validate against an explicit reachability
+  // computation on random patterns.
+  Rng rng(77);
+  const Pattern p = test::random_pattern(rng, 3, 60);
+  for (ProcessId a = 0; a < p.num_processes(); ++a) {
+    for (EventIndex ap = 0; ap < p.num_events(a); ++ap) {
+      const VectorClock& clk = p.clock({a, ap});
+      // Own component equals own position + 1.
+      EXPECT_EQ(clk.get(a), ap + 1);
+      for (ProcessId q = 0; q < p.num_processes(); ++q) {
+        // Count events of q that happened-before (or equal) this event.
+        int count = 0;
+        for (EventIndex qp = 0; qp < p.num_events(q); ++qp)
+          if ((q == a && qp <= ap) || p.happened_before({q, qp}, {a, ap}))
+            ++count;
+        EXPECT_EQ(clk.get(q), count)
+            << "event (" << a << "," << ap << ") vs process " << q;
+      }
+    }
+  }
+}
+
+TEST(Pattern, HappenedBeforeIsStrictPartialOrder) {
+  Rng rng(88);
+  const Pattern p = test::random_pattern(rng, 4, 80);
+  std::vector<EventRef> events;
+  for (ProcessId i = 0; i < p.num_processes(); ++i)
+    for (EventIndex pos = 0; pos < p.num_events(i); ++pos)
+      events.push_back({i, pos});
+  for (const EventRef& a : events) {
+    EXPECT_FALSE(p.happened_before(a, a));  // irreflexive
+    for (const EventRef& b : events) {
+      if (p.happened_before(a, b)) {
+        EXPECT_FALSE(p.happened_before(b, a));
+      }
+    }
+  }
+}
+
+TEST(Pattern, MessageEndpointsRecorded) {
+  const auto f = test::figure1();
+  const Message& m5 = f.pattern.message(f.m5);
+  EXPECT_EQ(m5.sender, test::Figure1::i);
+  EXPECT_EQ(m5.receiver, test::Figure1::j);
+  EXPECT_EQ(m5.send_interval, 3);
+  EXPECT_EQ(m5.deliver_interval, 2);
+}
+
+TEST(Pattern, EmptyPattern) {
+  const Pattern p;
+  EXPECT_EQ(p.num_processes(), 0);
+  EXPECT_EQ(p.total_events(), 0);
+  EXPECT_EQ(p.total_ckpts(), 0);
+}
+
+}  // namespace
+}  // namespace rdt

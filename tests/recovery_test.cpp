@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "core/global_checkpoint.hpp"
+#include "fixtures.hpp"
+#include "recovery/domino.hpp"
+#include "recovery/gc.hpp"
+#include "recovery/recovery_line.hpp"
+#include "sim/environments.hpp"
+#include "sim/replay.hpp"
+#include "util/rng.hpp"
+
+namespace rdt {
+namespace {
+
+TEST(LastDurable, ExcludesVirtualFinals) {
+  PatternBuilder b(2);
+  const MsgId m = b.send(0, 1);
+  b.deliver(m);
+  b.checkpoint(0);  // explicit C_{0,1}; P1 gets a virtual final
+  const Pattern p = b.build();
+  const GlobalCkpt g = last_durable(p);
+  EXPECT_EQ(g.indices[0], 1);
+  EXPECT_EQ(g.indices[1], 0);
+}
+
+TEST(Domino, UnboundedRollbackToTheBeginning) {
+  for (int rounds : {1, 3, 6, 10}) {
+    const Pattern p = domino_pattern(rounds);
+    const RecoveryOutcome out = recover_after_failure(p, 0);
+    // The cascade wipes everything: both processes restart from scratch.
+    EXPECT_EQ(out.line, bottom_global_ckpt(p)) << rounds << " rounds";
+    EXPECT_EQ(out.rollback_intervals[0], rounds);
+    EXPECT_EQ(out.total_rollback, 2 * rounds);
+    EXPECT_DOUBLE_EQ(out.worst_fraction, 1.0);
+  }
+}
+
+TEST(Domino, RollbackGrowsWithComputationLength) {
+  // The defining symptom of the domino effect: the work lost grows linearly
+  // with how long the computation has been running.
+  EXPECT_LT(recover_after_failure(domino_pattern(2), 0).total_rollback,
+            recover_after_failure(domino_pattern(8), 0).total_rollback);
+}
+
+TEST(RecoveryLine, RGraphPropagationMatchesFixpoint) {
+  Rng rng(31);
+  for (int round = 0; round < 40; ++round) {
+    const Pattern p = test::random_pattern(rng, 4, 120);
+    const GlobalCkpt upper = last_durable(p);
+    const GlobalCkpt line = max_consistent_leq(p, upper);
+    EXPECT_EQ(recovery_line_rgraph(p, upper), line) << "round " << round;
+    EXPECT_TRUE(consistent(p, line));
+    EXPECT_TRUE(leq(line, upper));
+  }
+}
+
+TEST(RecoveryLine, RGraphPropagationMatchesFixpointFromArbitraryUpper) {
+  Rng rng(32);
+  for (int round = 0; round < 30; ++round) {
+    const Pattern p = test::random_pattern(rng, 3, 80);
+    GlobalCkpt upper;
+    for (ProcessId i = 0; i < p.num_processes(); ++i)
+      upper.indices.push_back(static_cast<CkptIndex>(
+          rng.below(static_cast<std::uint64_t>(p.last_ckpt(i) + 1))));
+    EXPECT_EQ(recovery_line_rgraph(p, upper), max_consistent_leq(p, upper));
+  }
+}
+
+TEST(RecoveryLine, RdtProtocolsAvoidTotalRollback) {
+  // RDT does not promise zero rollback — it promises trackable
+  // dependencies and no useless checkpoints, which keeps the recovery line
+  // recent. On random traces the forced checkpoints must keep every
+  // process's loss to a small fraction of its history, whereas the no-force
+  // baseline routinely loses much more.
+  RandomEnvConfig cfg;
+  cfg.num_processes = 5;
+  cfg.duration = 100;
+  cfg.basic_ckpt_mean = 8.0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    cfg.seed = seed;
+    const Trace t = random_environment(cfg);
+    for (ProtocolKind kind : {ProtocolKind::kBhmr, ProtocolKind::kFdas}) {
+      const ReplayResult r = replay(t, kind);
+      const RecoveryOutcome out = recover_after_failure(r.pattern, 0);
+      EXPECT_NE(out.line, bottom_global_ckpt(r.pattern))
+          << to_string(kind) << " seed " << seed;
+      EXPECT_LT(out.worst_fraction, 0.5)
+          << to_string(kind) << " seed " << seed;
+    }
+  }
+}
+
+TEST(RecoveryLine, NoForceBaselineLosesWork) {
+  // The same traces replayed without forced checkpoints do lose work.
+  RandomEnvConfig cfg;
+  cfg.num_processes = 5;
+  cfg.duration = 100;
+  cfg.basic_ckpt_mean = 8.0;
+  long long lost = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    cfg.seed = seed;
+    const ReplayResult r = replay(random_environment(cfg), ProtocolKind::kNoForce);
+    lost += recover_after_failure(r.pattern, 0).total_rollback;
+  }
+  EXPECT_GT(lost, 0);
+}
+
+TEST(Gc, DominoPatternCollectsNothing) {
+  // The recovery line never leaves the initial state, so no checkpoint is
+  // ever safe to discard — unbounded stable-storage growth, the operational
+  // face of the domino effect.
+  const GcReport report = collect_obsolete(domino_pattern(5));
+  EXPECT_TRUE(report.obsolete.empty());
+  EXPECT_DOUBLE_EQ(report.obsolete_fraction, 0.0);
+  EXPECT_EQ(report.live.size(), static_cast<std::size_t>(report.total_durable));
+}
+
+TEST(Gc, RdtProtocolKeepsStorageBounded) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 5;
+  cfg.duration = 150;
+  cfg.basic_ckpt_mean = 8.0;
+  cfg.seed = 11;
+  const Trace t = random_environment(cfg);
+  const GcReport good = collect_obsolete(replay(t, ProtocolKind::kBhmr).pattern);
+  // Almost everything behind the (recent) line is collectable.
+  EXPECT_GT(good.obsolete_fraction, 0.8);
+  // Partition sanity.
+  EXPECT_EQ(good.obsolete.size() + good.live.size(),
+            static_cast<std::size_t>(good.total_durable));
+  // Live checkpoints per process = durable ones at or above the line.
+  const Pattern p = replay(t, ProtocolKind::kBhmr).pattern;
+  for (const CkptId& c : good.live) EXPECT_LE(c.index, p.last_ckpt(c.process));
+}
+
+TEST(Gc, AgainstExplicitLine) {
+  const auto f = test::figure1();
+  // Against the line {C_i1, C_j1, C_k1}: the three initial checkpoints are
+  // obsolete.
+  const GcReport report = collect_obsolete(f.pattern, GlobalCkpt{{1, 1, 1}});
+  EXPECT_EQ(report.obsolete,
+            (std::vector<CkptId>{{0, 0}, {1, 0}, {2, 0}}));
+  EXPECT_EQ(report.total_durable, 12);
+  EXPECT_THROW(collect_obsolete(f.pattern, GlobalCkpt{{1, 1}}),
+               std::invalid_argument);
+}
+
+TEST(RecoveryLine, OutOfRangeFailedProcessThrows) {
+  const Pattern p = domino_pattern(2);
+  EXPECT_THROW(recover_after_failure(p, 2), std::invalid_argument);
+  EXPECT_THROW(recover_after_failure(p, -1), std::invalid_argument);
+}
+
+TEST(RecoveryLine, RdtBoundsWorstCaseFraction) {
+  // Quantified domino comparison on a ping-pong style trace: replaying with
+  // an RDT protocol bounds the worst-hit process's loss, the baseline
+  // loses everything.
+  TraceBuilder tb(2);
+  double t = 0;
+  for (int round = 0; round < 8; ++round) {
+    tb.send(0, 1, t + 0.1, t + 0.4);      // a_r
+    tb.basic_ckpt(1, t + 0.5);
+    tb.send(1, 0, t + 0.6, t + 0.9);      // b_r
+    tb.basic_ckpt(0, t + 1.0);
+    t += 1.0;
+  }
+  const Trace trace = tb.build();
+  const RecoveryOutcome bad =
+      recover_after_failure(replay(trace, ProtocolKind::kNoForce).pattern, 0);
+  const RecoveryOutcome good =
+      recover_after_failure(replay(trace, ProtocolKind::kBhmr).pattern, 0);
+  // The baseline dominoes to the start; the RDT protocol's forced
+  // checkpoints cap the loss at a constant independent of the length.
+  EXPECT_DOUBLE_EQ(bad.worst_fraction, 1.0);
+  EXPECT_GE(bad.total_rollback, 16);
+  EXPECT_LE(good.total_rollback, 3);
+}
+
+}  // namespace
+}  // namespace rdt

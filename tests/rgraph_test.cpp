@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "fixtures.hpp"
+#include "rgraph/reachability.hpp"
+#include "rgraph/rgraph.hpp"
+#include "util/rng.hpp"
+
+namespace rdt {
+namespace {
+
+using test::Figure1;
+
+TEST(RGraph, NodeCountMatchesPattern) {
+  const auto f = test::figure1();
+  const RGraph g(f.pattern);
+  EXPECT_EQ(g.num_nodes(), f.pattern.total_ckpts());
+  EXPECT_EQ(g.num_nodes(), 12);  // 3 processes x 4 checkpoints
+}
+
+TEST(RGraph, SuccessorsAndPredecessorsAgree) {
+  Rng rng(1);
+  const Pattern p = test::random_pattern(rng, 4, 150);
+  const RGraph g(p);
+  for (int u = 0; u < g.num_nodes(); ++u)
+    for (int v : g.successors(u)) {
+      const auto& preds = g.predecessors(v);
+      EXPECT_NE(std::find(preds.begin(), preds.end(), u), preds.end());
+    }
+}
+
+TEST(RGraph, EdgesAreDeduplicated) {
+  // Two messages with identical interval endpoints induce one edge.
+  PatternBuilder b(2);
+  const MsgId m1 = b.send(0, 1);
+  const MsgId m2 = b.send(0, 1);
+  b.deliver(m1);
+  b.deliver(m2);
+  const Pattern p = b.build();
+  const RGraph g(p);
+  EXPECT_EQ(g.successors(p.node_id({0, 1})).size(), 1u);
+}
+
+TEST(RGraph, ReachableFromFollowsPaths) {
+  const auto f = test::figure1();
+  const RGraph g(f.pattern);
+  const BitVector from_k1 = g.reachable_from(g.node({Figure1::k, 1}));
+  // C_k1 -> C_j1 (m3) -> C_i2 (m2) and onward through process edges.
+  EXPECT_TRUE(from_k1.get(static_cast<std::size_t>(g.node({Figure1::k, 1}))));
+  EXPECT_TRUE(from_k1.get(static_cast<std::size_t>(g.node({Figure1::j, 1}))));
+  EXPECT_TRUE(from_k1.get(static_cast<std::size_t>(g.node({Figure1::i, 2}))));
+  EXPECT_TRUE(from_k1.get(static_cast<std::size_t>(g.node({Figure1::i, 3}))));
+  // But not backwards.
+  EXPECT_FALSE(from_k1.get(static_cast<std::size_t>(g.node({Figure1::i, 1}))));
+  EXPECT_FALSE(from_k1.get(static_cast<std::size_t>(g.node({Figure1::k, 0}))));
+}
+
+TEST(RGraph, ReachingToIsReverse) {
+  Rng rng(2);
+  const Pattern p = test::random_pattern(rng, 3, 100);
+  const RGraph g(p);
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    const BitVector fwd = g.reachable_from(u);
+    for (std::size_t v = fwd.find_next(0); v < fwd.size(); v = fwd.find_next(v + 1))
+      EXPECT_TRUE(g.reaching_to(static_cast<int>(v))
+                      .get(static_cast<std::size_t>(u)));
+  }
+}
+
+TEST(Closure, MatchesBfs) {
+  Rng rng(3);
+  for (int round = 0; round < 10; ++round) {
+    const Pattern p = test::random_pattern(rng, 3, 80);
+    const RGraph g(p);
+    const ReachabilityClosure closure(g);
+    for (int u = 0; u < g.num_nodes(); ++u) {
+      const BitVector bfs = g.reachable_from(u);
+      for (int v = 0; v < g.num_nodes(); ++v)
+        EXPECT_EQ(closure.reach(u, v), bfs.get(static_cast<std::size_t>(v)))
+            << u << " -> " << v;
+    }
+  }
+}
+
+TEST(Closure, ReachIsReflexiveAndTransitive) {
+  Rng rng(4);
+  const Pattern p = test::random_pattern(rng, 3, 60);
+  const RGraph g(p);
+  const ReachabilityClosure closure(g);
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    EXPECT_TRUE(closure.reach(u, u));
+    for (int v = 0; v < g.num_nodes(); ++v)
+      for (int w = 0; w < g.num_nodes(); ++w)
+        if (closure.reach(u, v) && closure.reach(v, w)) {
+          EXPECT_TRUE(closure.reach(u, w));
+        }
+  }
+}
+
+TEST(Closure, MsgReachRequiresAMessageEdge) {
+  const auto f = test::figure1();
+  const RGraph g(f.pattern);
+  const ReachabilityClosure closure(g);
+  // The chain [m1, m2] leaves I_i1 and re-enters P_i at I_i2, so even the
+  // same-process pair (i,0) -> (i,3) is message-reachable...
+  EXPECT_TRUE(closure.msg_reach({Figure1::i, 0}, {Figure1::i, 3}));
+  // ...but pairs whose only connection is process edges are not: P_k sends
+  // nothing after I_k2 and P_j nothing after I_j2.
+  EXPECT_TRUE(closure.reach({Figure1::k, 2}, {Figure1::k, 3}));
+  EXPECT_FALSE(closure.msg_reach({Figure1::k, 2}, {Figure1::k, 3}));
+  EXPECT_TRUE(closure.reach({Figure1::j, 3}, {Figure1::j, 3}));
+  EXPECT_FALSE(closure.msg_reach({Figure1::j, 3}, {Figure1::j, 3}));
+  // Reflexive reach, but no message cycle at C_i1.
+  EXPECT_TRUE(closure.reach({Figure1::i, 1}, {Figure1::i, 1}));
+  EXPECT_FALSE(closure.msg_reach({Figure1::i, 1}, {Figure1::i, 1}));
+  // Paths through messages appear in both.
+  EXPECT_TRUE(closure.reach({Figure1::k, 1}, {Figure1::i, 2}));
+  EXPECT_TRUE(closure.msg_reach({Figure1::k, 1}, {Figure1::i, 2}));
+  // Message chains tolerate leading/trailing process edges.
+  EXPECT_TRUE(closure.msg_reach({Figure1::k, 0}, {Figure1::i, 3}));
+}
+
+TEST(Closure, MsgReachSubsetOfReach) {
+  Rng rng(5);
+  const Pattern p = test::random_pattern(rng, 4, 120);
+  const RGraph g(p);
+  const ReachabilityClosure closure(g);
+  for (int u = 0; u < g.num_nodes(); ++u)
+    for (int v = 0; v < g.num_nodes(); ++v)
+      if (closure.msg_reach(u, v)) {
+        EXPECT_TRUE(closure.reach(u, v));
+      }
+}
+
+TEST(Closure, OutOfRangeThrows) {
+  const auto f = test::figure1();
+  const RGraph g(f.pattern);
+  const ReachabilityClosure closure(g);
+  EXPECT_THROW(closure.reach(-1, 0), std::invalid_argument);
+  EXPECT_THROW(closure.reach(0, g.num_nodes()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rdt

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "ccp/shrink.hpp"
+#include "core/chains.hpp"
+#include "core/rdt_checker.hpp"
+#include "fixtures.hpp"
+#include "recovery/domino.hpp"
+#include "util/rng.hpp"
+
+namespace rdt {
+namespace {
+
+using test::Figure1;
+
+TEST(DropElements, RemovesAMessage) {
+  const auto f = test::figure1();
+  const Pattern p = drop_elements(f.pattern, {f.m7}, {});
+  EXPECT_EQ(p.num_messages(), 6);
+  // Everything else intact: same checkpoints per process.
+  for (ProcessId i = 0; i < 3; ++i)
+    EXPECT_EQ(p.last_ckpt(i), f.pattern.last_ckpt(i));
+}
+
+TEST(DropElements, RemovingACheckpointMergesIntervals) {
+  const auto f = test::figure1();
+  // Drop C_i2: m5 (previously sent in I_i3) now sits in I_i2.
+  const Pattern p = drop_elements(f.pattern, {}, {{Figure1::i, 2}});
+  EXPECT_EQ(p.last_ckpt(Figure1::i), 2);
+  // m5 is message id 3 in construction order after renumbering... locate it
+  // structurally: the message from P_i delivered into P_j's second interval.
+  bool found = false;
+  for (const Message& m : p.messages())
+    if (m.sender == Figure1::i && m.receiver == Figure1::j &&
+        m.deliver_interval == 2 && m.send_interval == 2)
+      found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(DropElements, Validation) {
+  const auto f = test::figure1();
+  EXPECT_THROW(drop_elements(f.pattern, {99}, {}), std::invalid_argument);
+  EXPECT_THROW(drop_elements(f.pattern, {}, {{0, 0}}), std::invalid_argument);
+  EXPECT_THROW(drop_elements(f.pattern, {}, {{0, 9}}), std::invalid_argument);
+}
+
+TEST(Shrink, RequiresHoldingPredicate) {
+  const auto f = test::figure1();
+  EXPECT_THROW(
+      shrink_pattern(f.pattern, [](const Pattern&) { return false; }),
+      std::invalid_argument);
+}
+
+TEST(Shrink, Figure1ShrinksToTheHiddenDependencyCore) {
+  // Shrinking Figure 1 while "violates RDT" holds must isolate the m3/m2
+  // junction: two messages and the checkpoints framing the dependency.
+  const auto f = test::figure1();
+  const ShrinkResult r = shrink_pattern(
+      f.pattern, [](const Pattern& p) { return !satisfies_rdt(p); });
+  EXPECT_FALSE(satisfies_rdt(r.pattern));
+  EXPECT_EQ(r.pattern.num_messages(), 2);
+  EXPECT_EQ(r.removed_messages, 5);
+  // Local minimality: removing either remaining message restores RDT.
+  for (MsgId m = 0; m < r.pattern.num_messages(); ++m)
+    EXPECT_TRUE(satisfies_rdt(drop_elements(r.pattern, {m}, {})));
+}
+
+TEST(Shrink, DominoShrinksToOneRound) {
+  const ShrinkResult r = shrink_pattern(
+      domino_pattern(5), [](const Pattern& p) { return !satisfies_rdt(p); });
+  EXPECT_FALSE(satisfies_rdt(r.pattern));
+  EXPECT_LE(r.pattern.num_messages(), 2);
+}
+
+TEST(Shrink, RandomViolationsShrinkSmall) {
+  // Whatever mess the generator produces, the RDT-violating core is tiny —
+  // a junction plus its undoubled chain.
+  Rng rng(404);
+  int shrunk = 0;
+  for (int round = 0; round < 30 && shrunk < 5; ++round) {
+    const Pattern p = test::random_pattern(rng, 3, 60);
+    if (satisfies_rdt(p)) continue;
+    ++shrunk;
+    const ShrinkResult r = shrink_pattern(
+        p, [](const Pattern& q) { return !satisfies_rdt(q); });
+    EXPECT_FALSE(satisfies_rdt(r.pattern));
+    EXPECT_LE(r.pattern.num_messages(), 3) << "round " << round;
+    EXPECT_EQ(r.pattern.total_events(),
+              2 * r.pattern.num_messages() +
+                  [&] {
+                    int ckpts = 0;
+                    for (ProcessId i = 0; i < r.pattern.num_processes(); ++i)
+                      for (CkptIndex x = 1; x <= r.pattern.last_ckpt(i); ++x)
+                        ++ckpts;
+                    return ckpts;
+                  }());  // no internal events survive
+  }
+  EXPECT_GE(shrunk, 5);
+}
+
+TEST(Shrink, PreservesOtherProperties) {
+  // Shrinking under "has a non-causal junction" keeps exactly one junction.
+  Rng rng(505);
+  const Pattern p = test::random_pattern(rng, 3, 80);
+  const auto has_junction = [](const Pattern& q) {
+    return !ChainAnalysis(q).noncausal_junctions().empty();
+  };
+  if (!has_junction(p)) GTEST_SKIP() << "generator produced no junction";
+  const ShrinkResult r = shrink_pattern(p, has_junction);
+  // Two messages can form one junction (or two mutual ones).
+  const auto junctions = ChainAnalysis(r.pattern).noncausal_junctions().size();
+  EXPECT_GE(junctions, 1u);
+  EXPECT_LE(junctions, 2u);
+  EXPECT_EQ(r.pattern.num_messages(), 2);
+}
+
+}  // namespace
+}  // namespace rdt

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/chains.hpp"
+#include "core/tdv.hpp"
+#include "fixtures.hpp"
+#include "util/rng.hpp"
+
+namespace rdt {
+namespace {
+
+TEST(Tdv, OwnEntryEqualsCheckpointIndex) {
+  Rng rng(1);
+  const Pattern p = test::random_pattern(rng, 4, 150);
+  const TdvAnalysis tdv(p);
+  for (ProcessId i = 0; i < p.num_processes(); ++i)
+    for (CkptIndex x = 0; x <= p.last_ckpt(i); ++x)
+      EXPECT_EQ(tdv.at_ckpt({i, x})[static_cast<std::size_t>(i)], x);
+}
+
+TEST(Tdv, EntriesAreMonotoneAlongAProcess) {
+  Rng rng(2);
+  const Pattern p = test::random_pattern(rng, 4, 150);
+  const TdvAnalysis tdv(p);
+  for (ProcessId i = 0; i < p.num_processes(); ++i)
+    for (CkptIndex x = 1; x <= p.last_ckpt(i); ++x) {
+      const Tdv& prev = tdv.at_ckpt({i, x - 1});
+      const Tdv& cur = tdv.at_ckpt({i, x});
+      for (std::size_t q = 0; q < prev.size(); ++q)
+        EXPECT_LE(prev[q], cur[q]);
+    }
+}
+
+TEST(Tdv, EntryNeverExceedsPartnersCurrentInterval) {
+  // TDV_i[j] records an interval index P_j has actually started.
+  Rng rng(3);
+  const Pattern p = test::random_pattern(rng, 4, 150);
+  const TdvAnalysis tdv(p);
+  for (ProcessId i = 0; i < p.num_processes(); ++i)
+    for (CkptIndex x = 0; x <= p.last_ckpt(i); ++x)
+      for (ProcessId j = 0; j < p.num_processes(); ++j)
+        EXPECT_LE(tdv.at_ckpt({i, x})[static_cast<std::size_t>(j)],
+                  p.last_ckpt(j));
+}
+
+TEST(Tdv, MessageCarriesSendersVector) {
+  const auto f = test::figure1();
+  const TdvAnalysis tdv(f.pattern);
+  // m4 is sent by P_j in I_j2 right after C_j1: the piggybacked vector is
+  // the post-checkpoint TDV.
+  EXPECT_EQ(tdv.on_msg(f.m4), (Tdv{1, 2, 1}));
+}
+
+TEST(Tdv, TrackableSameProcessIsPositional) {
+  const auto f = test::figure1();
+  const TdvAnalysis tdv(f.pattern);
+  EXPECT_TRUE(tdv.trackable({0, 1}, {0, 1}));
+  EXPECT_TRUE(tdv.trackable({0, 1}, {0, 3}));
+  EXPECT_FALSE(tdv.trackable({0, 2}, {0, 1}));
+}
+
+TEST(Tdv, TrackableMatchesCausalChains) {
+  // The TDV theorem: C_{i,x} -> C_{j,y} is trackable iff some causal chain
+  // leaves an interval of P_i at or after I_{i,x} and enters P_j at or
+  // before C_{j,y}. Cross-validated against the brute-force causal Z-path
+  // enumeration.
+  Rng rng(4);
+  for (int round = 0; round < 15; ++round) {
+    const Pattern p = test::random_pattern(rng, 3, 60);
+    const TdvAnalysis tdv(p);
+    const ChainAnalysis chains(p);
+    for (ProcessId i = 0; i < p.num_processes(); ++i)
+      for (CkptIndex x = 0; x <= p.last_ckpt(i); ++x)
+        for (ProcessId j = 0; j < p.num_processes(); ++j) {
+          if (i == j) continue;
+          for (CkptIndex y = 0; y <= p.last_ckpt(j); ++y) {
+            if (x == 0) {
+              // Dependencies on an initial checkpoint are vacuous: TDV
+              // entries start at 0, so they are always trackable.
+              EXPECT_TRUE(tdv.trackable({i, x}, {j, y}));
+              continue;
+            }
+            bool chain = false;
+            for (CkptIndex s = x; s <= p.last_ckpt(i) && !chain; ++s)
+              for (CkptIndex t = 1; t <= y && !chain; ++t)
+                chain = chains.zpath_between_intervals({i, s}, {j, t},
+                                                       /*causal_only=*/true);
+            EXPECT_EQ(tdv.trackable({i, x}, {j, y}), chain)
+                << "C(" << i << ',' << x << ") -> C(" << j << ',' << y
+                << ") round " << round;
+          }
+        }
+  }
+}
+
+TEST(Tdv, MinGlobalCkptSubstitutesOwnIndex) {
+  const auto f = test::figure1();
+  const TdvAnalysis tdv(f.pattern);
+  const GlobalCkpt g = tdv.min_global_ckpt({test::Figure1::j, 2});
+  EXPECT_EQ(g, (GlobalCkpt{{3, 2, 1}}));
+}
+
+TEST(Tdv, RangeChecks) {
+  const auto f = test::figure1();
+  const TdvAnalysis tdv(f.pattern);
+  EXPECT_THROW(tdv.at_ckpt({0, 42}), std::invalid_argument);
+  EXPECT_THROW(tdv.on_msg(99), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rdt

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "sim/environments.hpp"
+#include "sim/replay.hpp"
+#include "core/global_checkpoint.hpp"
+#include "recovery/recovery_line.hpp"
+#include "sim/trace_io.hpp"
+
+namespace rdt {
+namespace {
+
+void expect_same_trace(const Trace& a, const Trace& b) {
+  ASSERT_EQ(a.num_processes, b.num_processes);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  ASSERT_EQ(a.num_messages(), b.num_messages());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].kind, b.ops[i].kind);
+    EXPECT_EQ(a.ops[i].process, b.ops[i].process);
+    EXPECT_EQ(a.ops[i].msg, b.ops[i].msg);
+    EXPECT_DOUBLE_EQ(a.ops[i].time, b.ops[i].time);
+  }
+  for (int m = 0; m < a.num_messages(); ++m) {
+    const auto& ma = a.messages[static_cast<std::size_t>(m)];
+    const auto& mb = b.messages[static_cast<std::size_t>(m)];
+    EXPECT_EQ(ma.sender, mb.sender);
+    EXPECT_EQ(ma.receiver, mb.receiver);
+    EXPECT_DOUBLE_EQ(ma.send_time, mb.send_time);
+    EXPECT_DOUBLE_EQ(ma.deliver_time, mb.deliver_time);
+  }
+}
+
+TEST(TraceIo, RoundTripsEveryEnvironment) {
+  RandomEnvConfig rnd;
+  rnd.num_processes = 4;
+  rnd.duration = 40;
+  rnd.seed = 3;
+  expect_same_trace(random_environment(rnd),
+                    trace_from_string(trace_to_string(random_environment(rnd))));
+
+  GroupEnvConfig grp;
+  grp.num_groups = 2;
+  grp.group_size = 3;
+  grp.overlap = 1;
+  grp.duration = 40;
+  grp.seed = 3;
+  expect_same_trace(group_environment(grp),
+                    trace_from_string(trace_to_string(group_environment(grp))));
+
+  ClientServerEnvConfig cs;
+  cs.num_servers = 3;
+  cs.num_requests = 10;
+  cs.seed = 3;
+  expect_same_trace(
+      client_server_environment(cs),
+      trace_from_string(trace_to_string(client_server_environment(cs))));
+}
+
+TEST(TraceIo, ReplayOfRoundTripMatches) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 5;
+  cfg.duration = 60;
+  cfg.seed = 9;
+  const Trace original = random_environment(cfg);
+  const Trace reloaded = trace_from_string(trace_to_string(original));
+  const ReplayResult a = replay(original, ProtocolKind::kBhmr);
+  const ReplayResult b = replay(reloaded, ProtocolKind::kBhmr);
+  EXPECT_EQ(a.forced, b.forced);
+  EXPECT_EQ(a.basic, b.basic);
+  EXPECT_EQ(a.saved_tdvs, b.saved_tdvs);
+}
+
+TEST(TraceIo, ParseErrors) {
+  EXPECT_THROW(trace_from_string(""), std::invalid_argument);
+  EXPECT_THROW(trace_from_string("msg 1 2 0 1\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace 0\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace 2\ntrace 2\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace 2\nmsg 2 1 0 1\n"),
+               std::invalid_argument);  // delivery before send
+  EXPECT_THROW(trace_from_string("trace 2\nwat 1\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace 2\nckpt 1\n"), std::invalid_argument);
+}
+
+TEST(TraceIo, CommentsAndBlanksIgnored) {
+  const Trace t = trace_from_string(
+      "# header\n"
+      "trace 2\n"
+      "\n"
+      "msg 1.0 2.0 0 1  # hello\n"
+      "ckpt 1.5 1\n");
+  EXPECT_EQ(t.num_messages(), 1);
+  EXPECT_EQ(t.basic_ckpts(), 1);
+}
+
+// ------------------------------------------------------------ truncate_flush
+
+TEST(TruncateFlush, KeepsPrefixAndFlushesInFlight) {
+  TraceBuilder b(2);
+  b.send(0, 1, 1.0, 5.0);   // in flight at t=2: kept, delivery at 5 kept
+  b.send(1, 0, 3.0, 4.0);   // sent after t=2: dropped entirely
+  b.basic_ckpt(0, 1.5);
+  b.basic_ckpt(1, 2.5);     // after t=2: dropped
+  const Trace full = b.build();
+  const Trace cut = truncate_flush(full, 2.0);
+  EXPECT_EQ(cut.num_messages(), 1);
+  EXPECT_EQ(cut.basic_ckpts(), 1);
+  EXPECT_DOUBLE_EQ(cut.messages[0].deliver_time, 5.0);
+}
+
+TEST(TruncateFlush, FullHorizonIsIdentity) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 4;
+  cfg.duration = 30;
+  cfg.seed = 12;
+  const Trace t = random_environment(cfg);
+  double last = 0;
+  for (const TraceOp& op : t.ops) last = std::max(last, op.time);
+  expect_same_trace(t, truncate_flush(t, last));
+}
+
+TEST(TruncateFlush, PrefixGrowsMonotonically) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 4;
+  cfg.duration = 50;
+  cfg.seed = 21;
+  const Trace t = random_environment(cfg);
+  int prev_msgs = -1;
+  long long prev_ckpts = -1;
+  for (double cut : {10.0, 20.0, 30.0, 40.0, 50.0}) {
+    const Trace part = truncate_flush(t, cut);
+    EXPECT_GE(part.num_messages(), prev_msgs);
+    EXPECT_GE(part.basic_ckpts(), prev_ckpts);
+    prev_msgs = part.num_messages();
+    prev_ckpts = part.basic_ckpts();
+    // Sends and checkpoints respect the cut; deliveries may trail.
+    for (const TraceOp& op : part.ops) {
+      if (op.kind != TraceOpKind::kDeliver) {
+        EXPECT_LE(op.time, cut);
+      }
+    }
+  }
+}
+
+TEST(TruncateFlush, RecoveryLineLagStaysBoundedUnderRdtProtocols) {
+  // As the computation unfolds, the recovery line must track the frontier
+  // under an RDT protocol (bounded lag at every prefix), while independent
+  // checkpointing on an adversarial workload falls arbitrarily far behind.
+  TraceBuilder tb(2);
+  double t = 0;
+  for (int round = 0; round < 30; ++round) {
+    tb.send(0, 1, t + 0.1, t + 0.4);
+    tb.basic_ckpt(1, t + 0.5);
+    tb.send(1, 0, t + 0.6, t + 0.9);
+    tb.basic_ckpt(0, t + 1.0);
+    t += 1.0;
+  }
+  const Trace trace = tb.build();
+  long long max_lag_rdt = 0;
+  long long final_lag_noforce = 0;
+  for (double cut : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
+    const Trace part = truncate_flush(trace, cut);
+    {
+      const ReplayResult r = replay(part, ProtocolKind::kBhmr);
+      const auto line = max_consistent_leq(r.pattern, last_durable(r.pattern));
+      long long lag = 0;
+      for (ProcessId i = 0; i < 2; ++i)
+        lag += last_durable(r.pattern).indices[static_cast<std::size_t>(i)] -
+               line.indices[static_cast<std::size_t>(i)];
+      max_lag_rdt = std::max(max_lag_rdt, lag);
+    }
+    {
+      const ReplayResult r = replay(part, ProtocolKind::kNoForce);
+      const auto line = max_consistent_leq(r.pattern, last_durable(r.pattern));
+      final_lag_noforce = 0;
+      for (ProcessId i = 0; i < 2; ++i)
+        final_lag_noforce +=
+            last_durable(r.pattern).indices[static_cast<std::size_t>(i)] -
+            line.indices[static_cast<std::size_t>(i)];
+    }
+  }
+  EXPECT_LE(max_lag_rdt, 2);          // bounded at every prefix
+  EXPECT_GE(final_lag_noforce, 50);   // the baseline's lag keeps growing
+}
+
+}  // namespace
+}  // namespace rdt

@@ -1,0 +1,364 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/bit_matrix.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace rdt {
+namespace {
+
+// ---------------------------------------------------------------- BitVector
+
+TEST(BitVector, StartsCleared) {
+  BitVector v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.count(), 0u);
+  EXPECT_FALSE(v.any());
+}
+
+TEST(BitVector, SetGetClear) {
+  BitVector v(70);
+  v.set(0);
+  v.set(63);
+  v.set(64);
+  v.set(69);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(69));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.count(), 4u);
+  v.set(63, false);
+  EXPECT_FALSE(v.get(63));
+  EXPECT_EQ(v.count(), 3u);
+}
+
+TEST(BitVector, OutOfRangeThrows) {
+  BitVector v(10);
+  EXPECT_THROW(v.get(10), std::invalid_argument);
+  EXPECT_THROW(v.set(10), std::invalid_argument);
+}
+
+TEST(BitVector, FillTrueRespectsSize) {
+  BitVector v(67, true);
+  EXPECT_EQ(v.count(), 67u);
+  v.fill(false);
+  EXPECT_EQ(v.count(), 0u);
+  v.fill(true);
+  EXPECT_EQ(v.count(), 67u);
+}
+
+TEST(BitVector, OrWithReportsChange) {
+  BitVector a(100);
+  BitVector b(100);
+  b.set(3);
+  b.set(99);
+  EXPECT_TRUE(a.or_with(b));
+  EXPECT_FALSE(a.or_with(b));  // idempotent
+  EXPECT_TRUE(a.get(3));
+  EXPECT_TRUE(a.get(99));
+}
+
+TEST(BitVector, OrWithSizeMismatchThrows) {
+  BitVector a(10);
+  BitVector b(11);
+  EXPECT_THROW(a.or_with(b), std::invalid_argument);
+}
+
+TEST(BitVector, AndWith) {
+  BitVector a(80, true);
+  BitVector b(80);
+  b.set(5);
+  b.set(79);
+  a.and_with(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_TRUE(a.get(5));
+  EXPECT_TRUE(a.get(79));
+}
+
+TEST(BitVector, FindNext) {
+  BitVector v(200);
+  v.set(7);
+  v.set(64);
+  v.set(199);
+  EXPECT_EQ(v.find_next(0), 7u);
+  EXPECT_EQ(v.find_next(7), 7u);
+  EXPECT_EQ(v.find_next(8), 64u);
+  EXPECT_EQ(v.find_next(65), 199u);
+  EXPECT_EQ(v.find_next(200), 200u);  // past the end
+  BitVector empty(64);
+  EXPECT_EQ(empty.find_next(0), 64u);
+}
+
+TEST(BitVector, FindNextScansAllBits) {
+  BitVector v(300);
+  std::set<std::size_t> expected{0, 1, 63, 64, 65, 128, 299};
+  for (auto i : expected) v.set(i);
+  std::set<std::size_t> seen;
+  for (std::size_t i = v.find_next(0); i < v.size(); i = v.find_next(i + 1))
+    seen.insert(i);
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(BitVector, Equality) {
+  BitVector a(50);
+  BitVector b(50);
+  EXPECT_EQ(a, b);
+  a.set(13);
+  EXPECT_NE(a, b);
+  b.set(13);
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------- BitMatrix
+
+TEST(BitMatrix, Shape) {
+  BitMatrix m(3, 5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(BitMatrix, SetGetAndDiagonal) {
+  BitMatrix m(4, 4);
+  m.set(1, 2);
+  EXPECT_TRUE(m.get(1, 2));
+  EXPECT_FALSE(m.get(2, 1));
+  m.set_diagonal(true);
+  EXPECT_EQ(m.count(), 5u);
+  m.set_diagonal(false);
+  EXPECT_EQ(m.count(), 1u);
+}
+
+TEST(BitMatrix, DiagonalRequiresSquare) {
+  BitMatrix m(2, 3);
+  EXPECT_THROW(m.set_diagonal(true), std::invalid_argument);
+}
+
+TEST(BitMatrix, TransitiveClosureChain) {
+  // 0 -> 1 -> 2 -> 3.
+  BitMatrix m(4, 4);
+  m.set(0, 1);
+  m.set(1, 2);
+  m.set(2, 3);
+  m.close_transitively();
+  EXPECT_TRUE(m.get(0, 3));
+  EXPECT_TRUE(m.get(1, 3));
+  EXPECT_TRUE(m.get(0, 0));  // reflexive
+  EXPECT_FALSE(m.get(3, 0));
+  EXPECT_FALSE(m.get(2, 1));
+}
+
+TEST(BitMatrix, TransitiveClosureCycle) {
+  BitMatrix m(3, 3);
+  m.set(0, 1);
+  m.set(1, 2);
+  m.set(2, 0);
+  m.close_transitively();
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_TRUE(m.get(r, c));
+}
+
+TEST(BitMatrix, ClosureRequiresSquare) {
+  BitMatrix m(2, 3);
+  EXPECT_THROW(m.close_transitively(), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(13), 13u);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.below(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool lo_seen = false;
+  bool hi_seen = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    lo_seen |= v == -2;
+    hi_seen |= v == 2;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(9);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+  EXPECT_THROW(rng.bernoulli(1.5), std::invalid_argument);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.exponential(2.0);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000.0, 2.0, 0.1);
+  EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+}
+
+TEST(Rng, SplitStreamsLookIndependent) {
+  Rng parent(21);
+  Rng child = parent.split();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += parent.next() == child.next();
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, ShufflePermutes) {
+  Rng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto shuffled_sorted = v;
+  std::sort(shuffled_sorted.begin(), shuffled_sorted.end());
+  EXPECT_EQ(shuffled_sorted, sorted);
+}
+
+// --------------------------------------------------------------------- Stats
+
+TEST(Stats, EmptyIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, KnownValues) {
+  const Summary s = summarize({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0});
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Stats, SingleSample) {
+  const Summary s = summarize({3.5});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  Rng rng(33);
+  std::vector<double> xs;
+  RunningStats acc;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-3, 7);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  const Summary batch = summarize(xs);
+  EXPECT_NEAR(acc.mean(), batch.mean, 1e-9);
+  EXPECT_NEAR(acc.stddev(), batch.stddev, 1e-9);
+}
+
+TEST(Stats, Ci95ShrinksWithSamples) {
+  RunningStats small;
+  RunningStats large;
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) small.add(rng.uniform());
+  for (int i = 0; i < 1000; ++i) large.add(rng.uniform());
+  EXPECT_GT(small.summary().ci95, large.summary().ci95);
+}
+
+// --------------------------------------------------------------------- Table
+
+TEST(Table, RendersAlignedBox) {
+  Table t({"proto", "R"});
+  t.begin_row().add("fdas").add(0.5, 2);
+  t.begin_row().add("bhmr").add(0.25, 2);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| proto | R    |"), std::string::npos);
+  EXPECT_NE(out.find("| bhmr  | 0.25 |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "note"});
+  t.begin_row().add("a,b").add("say \"hi\"");
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "name,note\n\"a,b\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RowOverflowThrows) {
+  Table t({"only"});
+  t.begin_row().add("x");
+  EXPECT_THROW(t.add("y"), std::invalid_argument);
+}
+
+TEST(Table, AddBeforeRowThrows) {
+  Table t({"c"});
+  EXPECT_THROW(t.add("x"), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------- Check
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(RDT_REQUIRE(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(RDT_REQUIRE(true, "fine"));
+}
+
+TEST(Check, AssertThrowsLogicError) {
+  EXPECT_THROW(RDT_ASSERT(false), std::logic_error);
+  EXPECT_NO_THROW(RDT_ASSERT(true));
+}
+
+}  // namespace
+}  // namespace rdt

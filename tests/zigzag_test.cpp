@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/global_checkpoint.hpp"
+#include "fixtures.hpp"
+#include "recovery/domino.hpp"
+#include "rgraph/zigzag.hpp"
+#include "util/rng.hpp"
+
+namespace rdt {
+namespace {
+
+using test::Figure1;
+
+TEST(Zigzag, PaperChainOffsets) {
+  // The chain [m3, m2] leaves I_k1 (i.e. after C_k0) and enters I_i2 (before
+  // C_i2): a Netzer–Xu zigzag path from C_k0 to C_i2.
+  const auto f = test::figure1();
+  const RGraph g(f.pattern);
+  const ReachabilityClosure closure(g);
+  EXPECT_TRUE(zigzag_to(closure, {Figure1::k, 0}, {Figure1::i, 2}));
+  // But not from C_k1: the chain's first send is before C_k1.
+  EXPECT_FALSE(zigzag_to(closure, {Figure1::k, 1}, {Figure1::i, 2}));
+}
+
+TEST(Zigzag, CompatibilityMatchesPairwiseMembership) {
+  // Netzer–Xu: two checkpoints can belong to a common consistent global
+  // checkpoint iff no zigzag path connects them — validated against an
+  // exhaustive search over all global checkpoints.
+  Rng rng(99);
+  for (int round = 0; round < 12; ++round) {
+    const Pattern p = test::random_pattern(rng, 3, 40);
+    const RGraph g(p);
+    const ReachabilityClosure closure(g);
+
+    // Exhaustively enumerate the consistent global checkpoints.
+    std::vector<GlobalCkpt> all;
+    GlobalCkpt cur = bottom_global_ckpt(p);
+    while (true) {
+      if (consistent(p, cur)) all.push_back(cur);
+      ProcessId i = 0;
+      for (; i < p.num_processes(); ++i) {
+        auto& x = cur.indices[static_cast<std::size_t>(i)];
+        if (x < p.last_ckpt(i)) {
+          ++x;
+          break;
+        }
+        x = 0;
+      }
+      if (i == p.num_processes()) break;
+    }
+
+    for (ProcessId a = 0; a < p.num_processes(); ++a)
+      for (CkptIndex xa = 0; xa <= p.last_ckpt(a); ++xa)
+        for (ProcessId b2 = a + 1; b2 < p.num_processes(); ++b2)
+          for (CkptIndex xb = 0; xb <= p.last_ckpt(b2); ++xb) {
+            bool together = false;
+            for (const GlobalCkpt& gc : all)
+              together |= gc.indices[static_cast<std::size_t>(a)] == xa &&
+                          gc.indices[static_cast<std::size_t>(b2)] == xb;
+            EXPECT_EQ(zigzag_compatible(closure, {a, xa}, {b2, xb}), together)
+                << "C(" << a << ',' << xa << ") vs C(" << b2 << ',' << xb
+                << ") round " << round;
+          }
+  }
+}
+
+TEST(Zigzag, SameProcessCompatibility) {
+  const auto f = test::figure1();
+  const RGraph g(f.pattern);
+  const ReachabilityClosure closure(g);
+  EXPECT_TRUE(zigzag_compatible(closure, {0, 1}, {0, 1}));
+  EXPECT_FALSE(zigzag_compatible(closure, {0, 1}, {0, 2}));
+}
+
+TEST(Zigzag, Figure1HasNoUselessCheckpoint) {
+  const auto f = test::figure1();
+  const RGraph g(f.pattern);
+  const ReachabilityClosure closure(g);
+  EXPECT_TRUE(useless_checkpoints(closure).empty());
+}
+
+TEST(Zigzag, DominoPatternIsRiddledWithCycles) {
+  // In the domino pattern every intermediate checkpoint lies on a zigzag
+  // cycle: useless checkpoints everywhere, the motivation for CIC protocols.
+  const Pattern p = domino_pattern(4);
+  const RGraph g(p);
+  const ReachabilityClosure closure(g);
+  const auto useless = useless_checkpoints(closure);
+  EXPECT_FALSE(useless.empty());
+  // C_{1,r} for r in 1..rounds-1 are on cycles: b_r crosses back over them.
+  EXPECT_TRUE(on_zigzag_cycle(closure, {1, 1}));
+  EXPECT_TRUE(on_zigzag_cycle(closure, {1, 3}));
+  // The initial checkpoints never are.
+  EXPECT_FALSE(on_zigzag_cycle(closure, {0, 0}));
+  EXPECT_FALSE(on_zigzag_cycle(closure, {1, 0}));
+}
+
+TEST(Zigzag, UselessCheckpointBelongsToNoConsistentGlobalCkpt) {
+  const Pattern p = domino_pattern(3);
+  const RGraph g(p);
+  const ReachabilityClosure closure(g);
+  for (const CkptId& c : useless_checkpoints(closure)) {
+    const std::vector<CkptId> pins{c};
+    EXPECT_EQ(min_consistent_containing(p, pins), std::nullopt) << c;
+  }
+}
+
+}  // namespace
+}  // namespace rdt

@@ -1,0 +1,248 @@
+// rdt-analyze — command-line front end to librdt.
+//
+//   rdt-analyze render   <pattern.ccp>             space-time diagram
+//   rdt-analyze analyze  <pattern.ccp>             full RDT report + witness chain
+//   rdt-analyze mincgc   <pattern.ccp> <p> <x>     min consistent global ckpt containing C_{p,x}
+//   rdt-analyze recover  <pattern.ccp> <p> [...]   recovery line after failures (add --logs
+//                                                  for sender-based message logging)
+//   rdt-analyze gc       <pattern.ccp>             obsolete-checkpoint report
+//   rdt-analyze simulate <env> <protocol> [seed]   run a simulation, print the pattern
+//                                                  (env: random | group | client-server)
+//
+// Pattern files use the line format of ccp/pattern_io.hpp; `-` reads stdin.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ccp/pattern_io.hpp"
+#include "core/global_checkpoint.hpp"
+#include "core/pattern_stats.hpp"
+#include "core/rgraph_dot.hpp"
+#include "core/rdt_checker.hpp"
+#include "logging/message_log.hpp"
+#include "recovery/gc.hpp"
+#include "rgraph/zigzag.hpp"
+#include "recovery/recovery_line.hpp"
+#include "sim/environments.hpp"
+#include "sim/replay.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace rdt;
+
+[[noreturn]] void usage() {
+  std::cerr <<
+      "usage: rdt-analyze <command> ...\n"
+      "  render   <pattern.ccp>\n"
+      "  analyze  <pattern.ccp>\n"
+      "  mincgc   <pattern.ccp> <process> <ckpt-index>\n"
+      "  recover  <pattern.ccp> <failed-process>... [--logs]\n"
+      "  gc       <pattern.ccp>\n"
+      "  stats    <pattern.ccp>\n"
+      "  dot      <pattern.ccp>        (Graphviz R-graph, hidden deps in red)\n"
+      "  simulate <random|group|client-server> <protocol> [seed]\n";
+  std::exit(2);
+}
+
+Pattern load(const std::string& path) {
+  if (path == "-") return read_pattern(std::cin);
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "rdt-analyze: cannot open '" << path << "'\n";
+    std::exit(1);
+  }
+  return read_pattern(in);
+}
+
+int cmd_render(const Pattern& p) {
+  std::cout << render_ascii(p);
+  return 0;
+}
+
+int cmd_analyze(const Pattern& p) {
+  const RdtReport report = analyze_rdt(p);
+  std::cout << report.summary();
+  if (!report.no_z_cycle.ok && report.no_z_cycle.witness) {
+    // Exhibit the cycle: a chain leaving after the checkpoint and coming
+    // back before it.
+    const CkptId c = report.no_z_cycle.witness->from;
+    const ChainAnalysis chains(p);
+    for (CkptIndex t = 1; t <= c.index; ++t) {
+      const auto cyc = chains.find_chain({c.process, c.index + 1},
+                                         {c.process, t});
+      if (!cyc) continue;
+      std::cout << "zigzag cycle at " << c << " (a useless checkpoint): [";
+      for (std::size_t i = 0; i < cyc->size(); ++i)
+        std::cout << (i ? " " : "") << 'm' << (*cyc)[i];
+      std::cout << "]\n";
+      break;
+    }
+  }
+  if (!report.definitional.ok && report.definitional.witness) {
+    const RdtViolation& v = *report.definitional.witness;
+    // Exhibit an untracked chain for the first violation, if the endpoints
+    // admit one with exact interval endpoints.
+    const ChainAnalysis chains(p);
+    for (CkptIndex s = std::max<CkptIndex>(v.from.index, 1);
+         s <= p.last_ckpt(v.from.process); ++s) {
+      for (CkptIndex t = 1; t <= v.to.index; ++t) {
+        if (t > p.last_ckpt(v.to.process)) break;
+        const auto chain =
+            chains.find_chain({v.from.process, s}, {v.to.process, t});
+        if (chain) {
+          std::cout << "witness chain for " << v.from << " -> " << v.to
+                    << ": [";
+          for (std::size_t i = 0; i < chain->size(); ++i)
+            std::cout << (i ? " " : "") << 'm' << (*chain)[i];
+          std::cout << "]\n";
+          return 1;
+        }
+      }
+    }
+    return 1;
+  }
+  return report.definitional.ok ? 0 : 1;
+}
+
+int cmd_mincgc(const Pattern& p, ProcessId proc, CkptIndex x) {
+  const std::vector<CkptId> pins{{proc, x}};
+  const auto g = min_consistent_containing(p, pins);
+  if (!g) {
+    std::cout << "C(" << proc << ',' << x
+              << ") belongs to no consistent global checkpoint (it lies on "
+                 "a zigzag cycle)\n";
+    return 1;
+  }
+  std::cout << "minimum consistent global checkpoint containing C(" << proc
+            << ',' << x << "): " << *g << '\n';
+  return 0;
+}
+
+int cmd_recover(const Pattern& p, const std::vector<ProcessId>& failed,
+                bool with_logs) {
+  Table table({"process", "last durable", "restarts from", "intervals lost"});
+  const GlobalCkpt durable = last_durable(p);
+  GlobalCkpt line;
+  if (with_logs) {
+    const LoggedRecoveryOutcome out = recover_with_logging(p, failed);
+    line = out.rollback.line;
+    std::cout << "sender-based logs: " << out.total_replayed
+              << " events re-executed from logs\n";
+    for (const ReplayPlan& plan : out.plans)
+      std::cout << "  P" << plan.process << ": replay "
+                << (plan.complete() ? "complete" : "cut by a co-failed sender")
+                << " (" << plan.replayable.size() << " messages replayed)\n";
+  } else {
+    RDT_REQUIRE(failed.size() == 1,
+                "plain recovery handles one failure; use --logs for several");
+    line = recover_after_failure(p, failed.front()).line;
+  }
+  for (ProcessId i = 0; i < p.num_processes(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    table.begin_row()
+        .add("P" + std::to_string(i))
+        .add(durable.indices[idx])
+        .add(std::min(line.indices[idx], durable.indices[idx]))
+        .add(std::max<CkptIndex>(0, durable.indices[idx] - line.indices[idx]));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_dot(const Pattern& p) {
+  write_rgraph_dot(std::cout, p);
+  return 0;
+}
+
+int cmd_stats(const Pattern& p) {
+  std::cout << compute_stats(p);
+  return 0;
+}
+
+int cmd_gc(const Pattern& p) {
+  const GcReport report = collect_obsolete(p);
+  std::cout << report.obsolete.size() << " of " << report.total_durable
+            << " durable checkpoints are obsolete ("
+            << static_cast<int>(report.obsolete_fraction * 100)
+            << "%) and can be discarded:\n  ";
+  for (const CkptId& c : report.obsolete) std::cout << c << ' ';
+  std::cout << '\n';
+  return 0;
+}
+
+int cmd_simulate(const std::string& env, const std::string& protocol,
+                 std::uint64_t seed) {
+  Trace trace;
+  if (env == "random") {
+    RandomEnvConfig cfg;
+    cfg.num_processes = 4;
+    cfg.duration = 30;
+    cfg.basic_ckpt_mean = 5.0;
+    cfg.seed = seed;
+    trace = random_environment(cfg);
+  } else if (env == "group") {
+    GroupEnvConfig cfg;
+    cfg.num_groups = 2;
+    cfg.group_size = 3;
+    cfg.overlap = 1;
+    cfg.duration = 30;
+    cfg.basic_ckpt_mean = 5.0;
+    cfg.seed = seed;
+    trace = group_environment(cfg);
+  } else if (env == "client-server") {
+    ClientServerEnvConfig cfg;
+    cfg.num_servers = 3;
+    cfg.num_requests = 10;
+    cfg.basic_ckpt_mean = 5.0;
+    cfg.seed = seed;
+    trace = client_server_environment(cfg);
+  } else {
+    usage();
+  }
+  const ReplayResult result = replay(trace, protocol_from_string(protocol));
+  std::cerr << "# " << env << " / " << protocol << ": " << result.messages
+            << " messages, " << result.basic << " basic + " << result.forced
+            << " forced checkpoints, RDT "
+            << (satisfies_rdt(result.pattern) ? "holds" : "violated") << '\n';
+  write_pattern(std::cout, result.pattern);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) usage();
+    const std::string& cmd = args[0];
+    if (cmd == "render" && args.size() == 2) return cmd_render(load(args[1]));
+    if (cmd == "analyze" && args.size() == 2) return cmd_analyze(load(args[1]));
+    if (cmd == "mincgc" && args.size() == 4)
+      return cmd_mincgc(load(args[1]), std::stoi(args[2]), std::stoi(args[3]));
+    if (cmd == "recover" && args.size() >= 3) {
+      std::vector<ProcessId> failed;
+      bool logs = false;
+      for (std::size_t i = 2; i < args.size(); ++i) {
+        if (args[i] == "--logs")
+          logs = true;
+        else
+          failed.push_back(std::stoi(args[i]));
+      }
+      if (failed.empty()) usage();
+      return cmd_recover(load(args[1]), failed, logs);
+    }
+    if (cmd == "gc" && args.size() == 2) return cmd_gc(load(args[1]));
+    if (cmd == "stats" && args.size() == 2) return cmd_stats(load(args[1]));
+    if (cmd == "dot" && args.size() == 2) return cmd_dot(load(args[1]));
+    if (cmd == "simulate" && (args.size() == 3 || args.size() == 4))
+      return cmd_simulate(args[1], args[2],
+                          args.size() == 4 ? std::stoull(args[3]) : 1);
+    usage();
+  } catch (const std::exception& e) {
+    std::cerr << "rdt-analyze: " << e.what() << '\n';
+    return 1;
+  }
+}
