@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_characterizations.dir/bench_characterizations.cpp.o"
+  "CMakeFiles/bench_characterizations.dir/bench_characterizations.cpp.o.d"
+  "bench_characterizations"
+  "bench_characterizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_characterizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

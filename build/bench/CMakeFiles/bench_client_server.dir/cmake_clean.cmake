@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_client_server.dir/bench_client_server.cpp.o"
+  "CMakeFiles/bench_client_server.dir/bench_client_server.cpp.o.d"
+  "bench_client_server"
+  "bench_client_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_client_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_coordinated.cpp" "bench/CMakeFiles/bench_coordinated.dir/bench_coordinated.cpp.o" "gcc" "bench/CMakeFiles/bench_coordinated.dir/bench_coordinated.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/des/CMakeFiles/rdt_des.dir/DependInfo.cmake"
+  "/root/repo/build/src/logging/CMakeFiles/rdt_logging.dir/DependInfo.cmake"
+  "/root/repo/build/src/recovery/CMakeFiles/rdt_recovery.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rdt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocols/CMakeFiles/rdt_protocols.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rgraph/CMakeFiles/rdt_rgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccp/CMakeFiles/rdt_ccp.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/rdt_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_coordinated.dir/bench_coordinated.cpp.o"
+  "CMakeFiles/bench_coordinated.dir/bench_coordinated.cpp.o.d"
+  "bench_coordinated"
+  "bench_coordinated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_coordinated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

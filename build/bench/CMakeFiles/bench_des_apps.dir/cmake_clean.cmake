@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_des_apps.dir/bench_des_apps.cpp.o"
+  "CMakeFiles/bench_des_apps.dir/bench_des_apps.cpp.o.d"
+  "bench_des_apps"
+  "bench_des_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_des_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

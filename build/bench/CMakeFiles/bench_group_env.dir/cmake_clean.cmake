@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_group_env.dir/bench_group_env.cpp.o"
+  "CMakeFiles/bench_group_env.dir/bench_group_env.cpp.o.d"
+  "bench_group_env"
+  "bench_group_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_group_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

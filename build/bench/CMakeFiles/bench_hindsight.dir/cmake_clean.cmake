@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hindsight.dir/bench_hindsight.cpp.o"
+  "CMakeFiles/bench_hindsight.dir/bench_hindsight.cpp.o.d"
+  "bench_hindsight"
+  "bench_hindsight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hindsight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

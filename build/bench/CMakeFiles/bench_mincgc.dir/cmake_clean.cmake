@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mincgc.dir/bench_mincgc.cpp.o"
+  "CMakeFiles/bench_mincgc.dir/bench_mincgc.cpp.o.d"
+  "bench_mincgc"
+  "bench_mincgc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mincgc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

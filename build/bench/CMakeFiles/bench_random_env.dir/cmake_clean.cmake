@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_random_env.dir/bench_random_env.cpp.o"
+  "CMakeFiles/bench_random_env.dir/bench_random_env.cpp.o.d"
+  "bench_random_env"
+  "bench_random_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_random_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_useless_ckpts.dir/bench_useless_ckpts.cpp.o"
+  "CMakeFiles/bench_useless_ckpts.dir/bench_useless_ckpts.cpp.o.d"
+  "bench_useless_ckpts"
+  "bench_useless_ckpts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_useless_ckpts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

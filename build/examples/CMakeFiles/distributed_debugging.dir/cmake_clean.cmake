@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_debugging.dir/distributed_debugging.cpp.o"
+  "CMakeFiles/distributed_debugging.dir/distributed_debugging.cpp.o.d"
+  "distributed_debugging"
+  "distributed_debugging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_debugging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/output_commit.dir/output_commit.cpp.o"
+  "CMakeFiles/output_commit.dir/output_commit.cpp.o.d"
+  "output_commit"
+  "output_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/output_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

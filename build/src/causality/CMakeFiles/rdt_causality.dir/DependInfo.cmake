@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/causality/lamport.cpp" "src/causality/CMakeFiles/rdt_causality.dir/lamport.cpp.o" "gcc" "src/causality/CMakeFiles/rdt_causality.dir/lamport.cpp.o.d"
+  "/root/repo/src/causality/vector_clock.cpp" "src/causality/CMakeFiles/rdt_causality.dir/vector_clock.cpp.o" "gcc" "src/causality/CMakeFiles/rdt_causality.dir/vector_clock.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

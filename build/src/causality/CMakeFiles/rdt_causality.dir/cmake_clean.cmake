@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdt_causality.dir/lamport.cpp.o"
+  "CMakeFiles/rdt_causality.dir/lamport.cpp.o.d"
+  "CMakeFiles/rdt_causality.dir/vector_clock.cpp.o"
+  "CMakeFiles/rdt_causality.dir/vector_clock.cpp.o.d"
+  "librdt_causality.a"
+  "librdt_causality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdt_causality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ccp/builder.cpp" "src/ccp/CMakeFiles/rdt_ccp.dir/builder.cpp.o" "gcc" "src/ccp/CMakeFiles/rdt_ccp.dir/builder.cpp.o.d"
+  "/root/repo/src/ccp/consistency.cpp" "src/ccp/CMakeFiles/rdt_ccp.dir/consistency.cpp.o" "gcc" "src/ccp/CMakeFiles/rdt_ccp.dir/consistency.cpp.o.d"
+  "/root/repo/src/ccp/pattern.cpp" "src/ccp/CMakeFiles/rdt_ccp.dir/pattern.cpp.o" "gcc" "src/ccp/CMakeFiles/rdt_ccp.dir/pattern.cpp.o.d"
+  "/root/repo/src/ccp/pattern_io.cpp" "src/ccp/CMakeFiles/rdt_ccp.dir/pattern_io.cpp.o" "gcc" "src/ccp/CMakeFiles/rdt_ccp.dir/pattern_io.cpp.o.d"
+  "/root/repo/src/ccp/shrink.cpp" "src/ccp/CMakeFiles/rdt_ccp.dir/shrink.cpp.o" "gcc" "src/ccp/CMakeFiles/rdt_ccp.dir/shrink.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/rdt_causality.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdt_ccp.dir/builder.cpp.o"
+  "CMakeFiles/rdt_ccp.dir/builder.cpp.o.d"
+  "CMakeFiles/rdt_ccp.dir/consistency.cpp.o"
+  "CMakeFiles/rdt_ccp.dir/consistency.cpp.o.d"
+  "CMakeFiles/rdt_ccp.dir/pattern.cpp.o"
+  "CMakeFiles/rdt_ccp.dir/pattern.cpp.o.d"
+  "CMakeFiles/rdt_ccp.dir/pattern_io.cpp.o"
+  "CMakeFiles/rdt_ccp.dir/pattern_io.cpp.o.d"
+  "CMakeFiles/rdt_ccp.dir/shrink.cpp.o"
+  "CMakeFiles/rdt_ccp.dir/shrink.cpp.o.d"
+  "librdt_ccp.a"
+  "librdt_ccp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdt_ccp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for rdt_ccp.
+# This may be replaced when dependencies are built.

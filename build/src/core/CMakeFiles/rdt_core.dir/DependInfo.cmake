@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chains.cpp" "src/core/CMakeFiles/rdt_core.dir/chains.cpp.o" "gcc" "src/core/CMakeFiles/rdt_core.dir/chains.cpp.o.d"
+  "/root/repo/src/core/characterizations.cpp" "src/core/CMakeFiles/rdt_core.dir/characterizations.cpp.o" "gcc" "src/core/CMakeFiles/rdt_core.dir/characterizations.cpp.o.d"
+  "/root/repo/src/core/global_checkpoint.cpp" "src/core/CMakeFiles/rdt_core.dir/global_checkpoint.cpp.o" "gcc" "src/core/CMakeFiles/rdt_core.dir/global_checkpoint.cpp.o.d"
+  "/root/repo/src/core/pattern_stats.cpp" "src/core/CMakeFiles/rdt_core.dir/pattern_stats.cpp.o" "gcc" "src/core/CMakeFiles/rdt_core.dir/pattern_stats.cpp.o.d"
+  "/root/repo/src/core/rdt_checker.cpp" "src/core/CMakeFiles/rdt_core.dir/rdt_checker.cpp.o" "gcc" "src/core/CMakeFiles/rdt_core.dir/rdt_checker.cpp.o.d"
+  "/root/repo/src/core/rgraph_dot.cpp" "src/core/CMakeFiles/rdt_core.dir/rgraph_dot.cpp.o" "gcc" "src/core/CMakeFiles/rdt_core.dir/rgraph_dot.cpp.o.d"
+  "/root/repo/src/core/tdv.cpp" "src/core/CMakeFiles/rdt_core.dir/tdv.cpp.o" "gcc" "src/core/CMakeFiles/rdt_core.dir/tdv.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ccp/CMakeFiles/rdt_ccp.dir/DependInfo.cmake"
+  "/root/repo/build/src/rgraph/CMakeFiles/rdt_rgraph.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/rdt_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdt_core.dir/chains.cpp.o"
+  "CMakeFiles/rdt_core.dir/chains.cpp.o.d"
+  "CMakeFiles/rdt_core.dir/characterizations.cpp.o"
+  "CMakeFiles/rdt_core.dir/characterizations.cpp.o.d"
+  "CMakeFiles/rdt_core.dir/global_checkpoint.cpp.o"
+  "CMakeFiles/rdt_core.dir/global_checkpoint.cpp.o.d"
+  "CMakeFiles/rdt_core.dir/pattern_stats.cpp.o"
+  "CMakeFiles/rdt_core.dir/pattern_stats.cpp.o.d"
+  "CMakeFiles/rdt_core.dir/rdt_checker.cpp.o"
+  "CMakeFiles/rdt_core.dir/rdt_checker.cpp.o.d"
+  "CMakeFiles/rdt_core.dir/rgraph_dot.cpp.o"
+  "CMakeFiles/rdt_core.dir/rgraph_dot.cpp.o.d"
+  "CMakeFiles/rdt_core.dir/tdv.cpp.o"
+  "CMakeFiles/rdt_core.dir/tdv.cpp.o.d"
+  "librdt_core.a"
+  "librdt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdt_des.dir/apps.cpp.o"
+  "CMakeFiles/rdt_des.dir/apps.cpp.o.d"
+  "CMakeFiles/rdt_des.dir/simulator.cpp.o"
+  "CMakeFiles/rdt_des.dir/simulator.cpp.o.d"
+  "CMakeFiles/rdt_des.dir/snapshot.cpp.o"
+  "CMakeFiles/rdt_des.dir/snapshot.cpp.o.d"
+  "librdt_des.a"
+  "librdt_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdt_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

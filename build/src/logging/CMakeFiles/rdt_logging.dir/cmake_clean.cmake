@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdt_logging.dir/message_log.cpp.o"
+  "CMakeFiles/rdt_logging.dir/message_log.cpp.o.d"
+  "librdt_logging.a"
+  "librdt_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdt_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

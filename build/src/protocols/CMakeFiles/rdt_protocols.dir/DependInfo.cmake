@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocols/baselines.cpp" "src/protocols/CMakeFiles/rdt_protocols.dir/baselines.cpp.o" "gcc" "src/protocols/CMakeFiles/rdt_protocols.dir/baselines.cpp.o.d"
+  "/root/repo/src/protocols/bhmr.cpp" "src/protocols/CMakeFiles/rdt_protocols.dir/bhmr.cpp.o" "gcc" "src/protocols/CMakeFiles/rdt_protocols.dir/bhmr.cpp.o.d"
+  "/root/repo/src/protocols/index_based.cpp" "src/protocols/CMakeFiles/rdt_protocols.dir/index_based.cpp.o" "gcc" "src/protocols/CMakeFiles/rdt_protocols.dir/index_based.cpp.o.d"
+  "/root/repo/src/protocols/payload.cpp" "src/protocols/CMakeFiles/rdt_protocols.dir/payload.cpp.o" "gcc" "src/protocols/CMakeFiles/rdt_protocols.dir/payload.cpp.o.d"
+  "/root/repo/src/protocols/protocol.cpp" "src/protocols/CMakeFiles/rdt_protocols.dir/protocol.cpp.o" "gcc" "src/protocols/CMakeFiles/rdt_protocols.dir/protocol.cpp.o.d"
+  "/root/repo/src/protocols/wang.cpp" "src/protocols/CMakeFiles/rdt_protocols.dir/wang.cpp.o" "gcc" "src/protocols/CMakeFiles/rdt_protocols.dir/wang.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/rdt_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/rdt_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/ccp/CMakeFiles/rdt_ccp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rgraph/CMakeFiles/rdt_rgraph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

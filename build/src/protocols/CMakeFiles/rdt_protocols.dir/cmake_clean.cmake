@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdt_protocols.dir/baselines.cpp.o"
+  "CMakeFiles/rdt_protocols.dir/baselines.cpp.o.d"
+  "CMakeFiles/rdt_protocols.dir/bhmr.cpp.o"
+  "CMakeFiles/rdt_protocols.dir/bhmr.cpp.o.d"
+  "CMakeFiles/rdt_protocols.dir/index_based.cpp.o"
+  "CMakeFiles/rdt_protocols.dir/index_based.cpp.o.d"
+  "CMakeFiles/rdt_protocols.dir/payload.cpp.o"
+  "CMakeFiles/rdt_protocols.dir/payload.cpp.o.d"
+  "CMakeFiles/rdt_protocols.dir/protocol.cpp.o"
+  "CMakeFiles/rdt_protocols.dir/protocol.cpp.o.d"
+  "CMakeFiles/rdt_protocols.dir/wang.cpp.o"
+  "CMakeFiles/rdt_protocols.dir/wang.cpp.o.d"
+  "librdt_protocols.a"
+  "librdt_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdt_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

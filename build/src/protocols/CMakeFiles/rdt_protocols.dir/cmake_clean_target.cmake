@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librdt_protocols.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdt_recovery.dir/domino.cpp.o"
+  "CMakeFiles/rdt_recovery.dir/domino.cpp.o.d"
+  "CMakeFiles/rdt_recovery.dir/gc.cpp.o"
+  "CMakeFiles/rdt_recovery.dir/gc.cpp.o.d"
+  "CMakeFiles/rdt_recovery.dir/recovery_line.cpp.o"
+  "CMakeFiles/rdt_recovery.dir/recovery_line.cpp.o.d"
+  "librdt_recovery.a"
+  "librdt_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdt_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rgraph/reachability.cpp" "src/rgraph/CMakeFiles/rdt_rgraph.dir/reachability.cpp.o" "gcc" "src/rgraph/CMakeFiles/rdt_rgraph.dir/reachability.cpp.o.d"
+  "/root/repo/src/rgraph/rgraph.cpp" "src/rgraph/CMakeFiles/rdt_rgraph.dir/rgraph.cpp.o" "gcc" "src/rgraph/CMakeFiles/rdt_rgraph.dir/rgraph.cpp.o.d"
+  "/root/repo/src/rgraph/zigzag.cpp" "src/rgraph/CMakeFiles/rdt_rgraph.dir/zigzag.cpp.o" "gcc" "src/rgraph/CMakeFiles/rdt_rgraph.dir/zigzag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ccp/CMakeFiles/rdt_ccp.dir/DependInfo.cmake"
+  "/root/repo/build/src/causality/CMakeFiles/rdt_causality.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rdt_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

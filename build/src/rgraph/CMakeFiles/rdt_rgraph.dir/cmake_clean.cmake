@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdt_rgraph.dir/reachability.cpp.o"
+  "CMakeFiles/rdt_rgraph.dir/reachability.cpp.o.d"
+  "CMakeFiles/rdt_rgraph.dir/rgraph.cpp.o"
+  "CMakeFiles/rdt_rgraph.dir/rgraph.cpp.o.d"
+  "CMakeFiles/rdt_rgraph.dir/zigzag.cpp.o"
+  "CMakeFiles/rdt_rgraph.dir/zigzag.cpp.o.d"
+  "librdt_rgraph.a"
+  "librdt_rgraph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdt_rgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

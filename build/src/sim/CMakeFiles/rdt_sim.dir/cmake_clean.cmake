@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdt_sim.dir/environments.cpp.o"
+  "CMakeFiles/rdt_sim.dir/environments.cpp.o.d"
+  "CMakeFiles/rdt_sim.dir/replay.cpp.o"
+  "CMakeFiles/rdt_sim.dir/replay.cpp.o.d"
+  "CMakeFiles/rdt_sim.dir/runner.cpp.o"
+  "CMakeFiles/rdt_sim.dir/runner.cpp.o.d"
+  "CMakeFiles/rdt_sim.dir/trace.cpp.o"
+  "CMakeFiles/rdt_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/rdt_sim.dir/trace_io.cpp.o"
+  "CMakeFiles/rdt_sim.dir/trace_io.cpp.o.d"
+  "librdt_sim.a"
+  "librdt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

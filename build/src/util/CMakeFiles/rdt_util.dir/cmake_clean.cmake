@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdt_util.dir/bit_matrix.cpp.o"
+  "CMakeFiles/rdt_util.dir/bit_matrix.cpp.o.d"
+  "CMakeFiles/rdt_util.dir/rng.cpp.o"
+  "CMakeFiles/rdt_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rdt_util.dir/stats.cpp.o"
+  "CMakeFiles/rdt_util.dir/stats.cpp.o.d"
+  "CMakeFiles/rdt_util.dir/table.cpp.o"
+  "CMakeFiles/rdt_util.dir/table.cpp.o.d"
+  "librdt_util.a"
+  "librdt_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdt_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

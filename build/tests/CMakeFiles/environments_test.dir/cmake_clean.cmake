@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/environments_test.dir/environments_test.cpp.o"
+  "CMakeFiles/environments_test.dir/environments_test.cpp.o.d"
+  "environments_test"
+  "environments_test.pdb"
+  "environments_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/environments_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

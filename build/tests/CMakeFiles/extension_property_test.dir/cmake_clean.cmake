@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_property_test.dir/extension_property_test.cpp.o"
+  "CMakeFiles/extension_property_test.dir/extension_property_test.cpp.o.d"
+  "extension_property_test"
+  "extension_property_test.pdb"
+  "extension_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

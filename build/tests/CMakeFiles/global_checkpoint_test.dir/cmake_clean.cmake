@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/global_checkpoint_test.dir/global_checkpoint_test.cpp.o"
+  "CMakeFiles/global_checkpoint_test.dir/global_checkpoint_test.cpp.o.d"
+  "global_checkpoint_test"
+  "global_checkpoint_test.pdb"
+  "global_checkpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/global_checkpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_based_test.dir/index_based_test.cpp.o"
+  "CMakeFiles/index_based_test.dir/index_based_test.cpp.o.d"
+  "index_based_test"
+  "index_based_test.pdb"
+  "index_based_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_based_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

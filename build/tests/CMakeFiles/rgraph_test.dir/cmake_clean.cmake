@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rgraph_test.dir/rgraph_test.cpp.o"
+  "CMakeFiles/rgraph_test.dir/rgraph_test.cpp.o.d"
+  "rgraph_test"
+  "rgraph_test.pdb"
+  "rgraph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rgraph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

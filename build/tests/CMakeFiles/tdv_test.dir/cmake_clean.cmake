@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdv_test.dir/tdv_test.cpp.o"
+  "CMakeFiles/tdv_test.dir/tdv_test.cpp.o.d"
+  "tdv_test"
+  "tdv_test.pdb"
+  "tdv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

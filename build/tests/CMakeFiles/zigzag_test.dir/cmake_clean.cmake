@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zigzag_test.dir/zigzag_test.cpp.o"
+  "CMakeFiles/zigzag_test.dir/zigzag_test.cpp.o.d"
+  "zigzag_test"
+  "zigzag_test.pdb"
+  "zigzag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zigzag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

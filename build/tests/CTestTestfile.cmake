@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/causality_test[1]_include.cmake")
+include("/root/repo/build/tests/pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/pattern_io_test[1]_include.cmake")
+include("/root/repo/build/tests/consistency_test[1]_include.cmake")
+include("/root/repo/build/tests/figure1_test[1]_include.cmake")
+include("/root/repo/build/tests/rgraph_test[1]_include.cmake")
+include("/root/repo/build/tests/zigzag_test[1]_include.cmake")
+include("/root/repo/build/tests/tdv_test[1]_include.cmake")
+include("/root/repo/build/tests/chains_test[1]_include.cmake")
+include("/root/repo/build/tests/characterizations_test[1]_include.cmake")
+include("/root/repo/build/tests/global_checkpoint_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_test[1]_include.cmake")
+include("/root/repo/build/tests/environments_test[1]_include.cmake")
+include("/root/repo/build/tests/replay_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/index_based_test[1]_include.cmake")
+include("/root/repo/build/tests/logging_test[1]_include.cmake")
+include("/root/repo/build/tests/des_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/extension_property_test[1]_include.cmake")
+include("/root/repo/build/tests/pattern_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/shrink_test[1]_include.cmake")
+include("/root/repo/build/tests/dot_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/scale_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rdt-analyze.dir/rdt_analyze.cpp.o"
+  "CMakeFiles/rdt-analyze.dir/rdt_analyze.cpp.o.d"
+  "rdt-analyze"
+  "rdt-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rdt-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_render "/root/repo/build/tools/rdt-analyze" "render" "/root/repo/examples/patterns/figure1.ccp")
+set_tests_properties(cli_render PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze_figure1 "/root/repo/build/tools/rdt-analyze" "analyze" "/root/repo/examples/patterns/figure1.ccp")
+set_tests_properties(cli_analyze_figure1 PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_mincgc "/root/repo/build/tools/rdt-analyze" "mincgc" "/root/repo/examples/patterns/figure1.ccp" "1" "2")
+set_tests_properties(cli_mincgc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_recover "/root/repo/build/tools/rdt-analyze" "recover" "/root/repo/examples/patterns/domino.ccp" "0")
+set_tests_properties(cli_recover PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_recover_logs "/root/repo/build/tools/rdt-analyze" "recover" "/root/repo/examples/patterns/domino.ccp" "0" "1" "--logs")
+set_tests_properties(cli_recover_logs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_gc "/root/repo/build/tools/rdt-analyze" "gc" "/root/repo/examples/patterns/figure1.ccp")
+set_tests_properties(cli_gc PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build/tools/rdt-analyze" "simulate" "random" "bhmr" "7")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_usage "/root/repo/build/tools/rdt-analyze" "frobnicate")
+set_tests_properties(cli_bad_usage PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_stats "/root/repo/build/tools/rdt-analyze" "stats" "/root/repo/examples/patterns/figure1.ccp")
+set_tests_properties(cli_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_dot "/root/repo/build/tools/rdt-analyze" "dot" "/root/repo/examples/patterns/figure1.ccp")
+set_tests_properties(cli_dot PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_analyze_rdt_pattern "/root/repo/build/tools/rdt-analyze" "analyze" "/root/repo/examples/patterns/clientserver_bhmr.ccp")
+set_tests_properties(cli_analyze_rdt_pattern PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
