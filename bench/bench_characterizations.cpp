@@ -59,16 +59,17 @@ void agreement_sweep() {
 }
 
 void cost_sweep() {
-  std::cout << "\nchecker cost (ms per pattern, single run)\n";
-  Table table({"steps", "ckpts", "junctions", "DEF ms", "MM ms", "CM ms",
-               "PCM ms", "VCM ms"});
+  std::cout << "\nchecker cost (ms per pattern, single run) and junction-graph "
+               "shape\n";
+  Table table({"steps", "ckpts", "junctions", "edges", "SCCs", "zreach ms",
+               "DEF ms", "MM ms", "CM ms", "PCM ms", "VCM ms", "fused ms"});
   Rng rng(99);
   for (int steps : {200, 400, 800, 1600, 3200}) {
     const Pattern p = test::random_pattern(rng, 6, steps);
     const RdtAnalyses analyses(p);
     auto ms = [&](auto&& checker) {
       const auto t0 = Clock::now();
-      const CheckResult r = checker(analyses);
+      const auto r = checker(analyses);
       (void)r;
       return std::chrono::duration_cast<std::chrono::microseconds>(
                  Clock::now() - t0)
@@ -77,18 +78,25 @@ void cost_sweep() {
     };
     // Build the closure once up front so DEF's figure includes it.
     const double def_ms = ms(check_rdt_definitional);
+    const auto zs = analyses.chains().zreach_stats();
     table.begin_row()
         .add(steps)
         .add(p.total_ckpts())
         .add(static_cast<long long>(
             analyses.chains().noncausal_junctions().size()))
+        .add(zs.edges)
+        .add(zs.sccs)
+        .add(zs.sweep_ms, 2)
         .add(def_ms, 2)
         .add(ms(check_mm_doubled), 2)
         .add(ms(check_cm_doubled), 2)
         .add(ms(check_pcm_doubled), 2)
-        .add(ms(check_cm_visibly_doubled), 2);
+        .add(ms(check_cm_visibly_doubled), 2)
+        .add(ms(check_junction_families), 2);
   }
   table.print(std::cout);
+  std::cout << "'fused ms' runs all five junction families in one pass — "
+               "compare with the sum of MM..VCM.\n";
 }
 
 }  // namespace

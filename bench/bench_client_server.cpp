@@ -30,7 +30,7 @@ void sweep_chain_length(int seeds) {
       cfg.seed = seed;
       return client_server_environment(cfg);
     };
-    const auto stats = sweep(generate, study_protocols(), seeds);
+    const auto stats = parallel_sweep(generate, study_protocols(), seeds);
     table.begin_row().add(servers);
     for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
   }
@@ -53,7 +53,7 @@ void sweep_forward_prob(int seeds) {
       cfg.seed = seed;
       return client_server_environment(cfg);
     };
-    const auto stats = sweep(generate, study_protocols(), seeds);
+    const auto stats = parallel_sweep(generate, study_protocols(), seeds);
     table.begin_row().add(prob, 2);
     for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
   }

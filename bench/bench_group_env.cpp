@@ -32,7 +32,7 @@ void sweep_overlap(int seeds) {
       cfg.seed = seed;
       return group_environment(cfg);
     };
-    const auto stats = sweep(generate, study_protocols(), seeds);
+    const auto stats = parallel_sweep(generate, study_protocols(), seeds);
     table.begin_row().add(overlap).add(base.num_processes());
     for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
   }
@@ -56,7 +56,7 @@ void sweep_group_count(int seeds) {
       cfg.seed = seed;
       return group_environment(cfg);
     };
-    const auto stats = sweep(generate, study_protocols(), seeds);
+    const auto stats = parallel_sweep(generate, study_protocols(), seeds);
     table.begin_row().add(groups).add(base.num_processes());
     for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
   }

@@ -29,7 +29,7 @@ void sweep_ckpt_period(int num_processes, int seeds) {
       cfg.seed = seed;
       return random_environment(cfg);
     };
-    const auto stats = sweep(generate, study_protocols(), seeds);
+    const auto stats = parallel_sweep(generate, study_protocols(), seeds);
     table.begin_row().add(period, 1);
     // Messages a process handles per basic-checkpoint interval: sends plus
     // deliveries, i.e. 2 * period / send_gap_mean in expectation.
@@ -54,7 +54,7 @@ void sweep_process_count(int seeds) {
       cfg.seed = seed;
       return random_environment(cfg);
     };
-    const auto stats = sweep(generate, study_protocols(), seeds);
+    const auto stats = parallel_sweep(generate, study_protocols(), seeds);
     table.begin_row().add(n);
     for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
   }
@@ -78,7 +78,7 @@ void fifo_ablation(int seeds) {
       cfg.seed = seed;
       return random_environment(cfg);
     };
-    const auto stats = sweep(generate, kinds, seeds);
+    const auto stats = parallel_sweep(generate, kinds, seeds);
     table.begin_row().add(fifo ? "FIFO" : "non-FIFO");
     for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
   }

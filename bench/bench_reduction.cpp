@@ -3,6 +3,7 @@
 // than 10%", quantified per environment for the full protocol and its two
 // variants (positive % = fewer forced checkpoints than FDAS).
 #include <iostream>
+#include <thread>
 
 #include "bench_common.hpp"
 #include "sim/environments.hpp"
@@ -78,16 +79,20 @@ int main() {
                "BHMR %"});
   double min_bhmr_reduction = 100.0;
   for (const auto& env : environments()) {
-    const auto stats = sweep(env.generate, kinds, seeds);
+    const auto stats = parallel_sweep(env.generate, kinds, seeds);
     table.begin_row().add(env.name);
     table.add(stats[0].total_forced);
     for (ProtocolKind kind : {ProtocolKind::kBhmrC1Only,
-                              ProtocolKind::kBhmrNoSimple, ProtocolKind::kBhmr})
-      table.add(forced_reduction_percent(stats, kind, ProtocolKind::kFdas), 1);
-    min_bhmr_reduction = std::min(
-        min_bhmr_reduction,
-        forced_reduction_percent(stats, ProtocolKind::kBhmr,
-                                 ProtocolKind::kFdas));
+                              ProtocolKind::kBhmrNoSimple, ProtocolKind::kBhmr}) {
+      const auto red = forced_reduction_percent(stats, kind, ProtocolKind::kFdas);
+      if (red)
+        table.add(*red, 1);
+      else
+        table.add("n/a");
+    }
+    const auto bhmr = forced_reduction_percent(stats, ProtocolKind::kBhmr,
+                                               ProtocolKind::kFdas);
+    if (bhmr) min_bhmr_reduction = std::min(min_bhmr_reduction, *bhmr);
   }
   std::cout << '\n' << seeds << " seeds per environment\n";
   table.print(std::cout);

@@ -79,7 +79,7 @@ CkptId Pattern::node_ckpt(int node) const {
 const VectorClock& Pattern::clock(const EventRef& e) const {
   ensure_clocks();
   RDT_REQUIRE(e.process >= 0 && e.process < num_processes(), "process id out of range");
-  const auto& row = clocks_[static_cast<std::size_t>(e.process)];
+  const auto& row = clocks_->rows[static_cast<std::size_t>(e.process)];
   RDT_REQUIRE(e.pos >= 0 && e.pos < static_cast<EventIndex>(row.size()),
               "event position out of range");
   return row[static_cast<std::size_t>(e.pos)];
@@ -92,27 +92,26 @@ bool Pattern::happened_before(const EventRef& a, const EventRef& b) const {
 }
 
 void Pattern::ensure_clocks() const {
-  if (!clocks_.empty() || total_events_ == 0) {
-    if (clocks_.empty() && total_events_ == 0)
-      clocks_.resize(static_cast<std::size_t>(num_processes()));
-    return;
-  }
-  clocks_.resize(static_cast<std::size_t>(num_processes()));
-  for (ProcessId p = 0; p < num_processes(); ++p)
-    clocks_[static_cast<std::size_t>(p)].resize(
-        static_cast<std::size_t>(num_events(p)), VectorClock(num_processes()));
+  std::call_once(clocks_->once, [&] {
+    auto& rows = clocks_->rows;
+    rows.resize(static_cast<std::size_t>(num_processes()));
+    for (ProcessId p = 0; p < num_processes(); ++p)
+      rows[static_cast<std::size_t>(p)].resize(
+          static_cast<std::size_t>(num_events(p)), VectorClock(num_processes()));
 
-  std::vector<VectorClock> current(static_cast<std::size_t>(num_processes()),
-                                   VectorClock(num_processes()));
-  for (const EventRef& e : topo_) {
-    auto& clk = current[static_cast<std::size_t>(e.process)];
-    const Event& ev = event(e);
-    if (ev.kind == EventKind::kDeliver)
-      clk.merge(clocks_[static_cast<std::size_t>(message(ev.msg).sender)]
-                       [static_cast<std::size_t>(message(ev.msg).send_pos)]);
-    clk.tick(e.process);
-    clocks_[static_cast<std::size_t>(e.process)][static_cast<std::size_t>(e.pos)] = clk;
-  }
+    std::vector<VectorClock> current(static_cast<std::size_t>(num_processes()),
+                                     VectorClock(num_processes()));
+    for (const EventRef& e : topo_) {
+      auto& clk = current[static_cast<std::size_t>(e.process)];
+      const Event& ev = event(e);
+      if (ev.kind == EventKind::kDeliver)
+        clk.merge(rows[static_cast<std::size_t>(message(ev.msg).sender)]
+                      [static_cast<std::size_t>(message(ev.msg).send_pos)]);
+      clk.tick(e.process);
+      rows[static_cast<std::size_t>(e.process)][static_cast<std::size_t>(e.pos)] =
+          clk;
+    }
+  });
 }
 
 }  // namespace rdt

@@ -22,6 +22,7 @@
 
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <utility>
 #include <vector>
 
@@ -118,6 +119,14 @@ class Pattern {
  private:
   friend class PatternBuilder;
 
+  // Vector clocks depend only on the immutable event structure, so copies of
+  // a Pattern share one cache. call_once makes the lazy build safe when one
+  // Pattern (or copies of it) is used from several threads.
+  struct ClockCache {
+    std::once_flag once;
+    std::vector<std::vector<VectorClock>> rows;
+  };
+
   void ensure_clocks() const;
 
   std::vector<std::vector<Event>> events_;
@@ -130,7 +139,7 @@ class Pattern {
   int total_events_ = 0;
   int total_ckpts_ = 0;
 
-  mutable std::vector<std::vector<VectorClock>> clocks_;  // lazy
+  std::shared_ptr<ClockCache> clocks_ = std::make_shared<ClockCache>();
 };
 
 }  // namespace rdt

@@ -1,6 +1,7 @@
 #include "core/chains.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/check.hpp"
 
@@ -9,6 +10,7 @@ namespace rdt {
 ChainAnalysis::ChainAnalysis(const Pattern& pattern) : pattern_(&pattern) {
   const auto nodes = static_cast<std::size_t>(pattern.total_ckpts());
   const auto msgs = static_cast<std::size_t>(pattern.num_messages());
+  const auto n = static_cast<std::size_t>(pattern.num_processes());
   causal_starts_.assign(msgs, BitVector(nodes));
   simple_causal_starts_.assign(msgs, BitVector(nodes));
 
@@ -21,7 +23,6 @@ ChainAnalysis::ChainAnalysis(const Pattern& pattern) : pattern_(&pattern) {
   //    deliveries (simple junctions must not cross a checkpoint);
   //  * open_sends — sends of the current interval, each of which forms a
   //    non-causal junction with every later delivery in the interval.
-  const auto n = static_cast<std::size_t>(pattern.num_processes());
   std::vector<BitVector> acc_causal(n, BitVector(nodes));
   std::vector<BitVector> acc_simple(n, BitVector(nodes));
   std::vector<std::vector<MsgId>> open_sends(n);
@@ -46,8 +47,8 @@ ChainAnalysis::ChainAnalysis(const Pattern& pattern) : pattern_(&pattern) {
       case EventKind::kDeliver: {
         for (MsgId out : open_sends[p])
           noncausal_.push_back({ev.msg, out, e.process});
-        acc_causal[p].or_with(causal_starts_[static_cast<std::size_t>(ev.msg)]);
-        acc_simple[p].or_with(
+        acc_causal[p].merge(causal_starts_[static_cast<std::size_t>(ev.msg)]);
+        acc_simple[p].merge(
             simple_causal_starts_[static_cast<std::size_t>(ev.msg)]);
         break;
       }
@@ -58,6 +59,56 @@ ChainAnalysis::ChainAnalysis(const Pattern& pattern) : pattern_(&pattern) {
       case EventKind::kInternal:
         break;
     }
+  }
+
+  // Per-process maxima of the start bitsets (O(1) doubling queries later).
+  max_causal_start_.assign(msgs * n, 0);
+  max_simple_start_.assign(msgs * n, 0);
+  const auto collect = [&](const BitVector& bits, CkptIndex* out) {
+    for (std::size_t node = bits.find_next(0); node < bits.size();
+         node = bits.find_next(node + 1)) {
+      const CkptId c = pattern.node_ckpt(static_cast<int>(node));
+      CkptIndex& slot = out[static_cast<std::size_t>(c.process)];
+      slot = std::max(slot, c.index);
+    }
+  };
+  for (std::size_t m = 0; m < msgs; ++m) {
+    collect(causal_starts_[m], &max_causal_start_[m * n]);
+    collect(simple_causal_starts_[m], &max_simple_start_[m * n]);
+  }
+
+  // The junction-graph CSR. Messages carry increasing send positions per
+  // sender (PatternBuilder appends events in order), so iterating by id
+  // yields position-sorted per-process send lists for free.
+  sends_by_proc_.resize(n);
+  for (const Message& m : pattern.messages())
+    sends_by_proc_[static_cast<std::size_t>(m.sender)].push_back(m.id);
+
+  // Successor ranges. Every junction successor of m is a send of its
+  // receiver r: non-causal ones are the sends of interval deliver_interval(m)
+  // before the delivery, causal ones every send after it. Sends before the
+  // delivery lie in intervals <= deliver_interval(m), so both sets together
+  // form the contiguous suffix starting at r's first send of that interval.
+  succ_begin_.assign(msgs, 0);
+  succ_causal_begin_.assign(msgs, 0);
+  for (const Message& m : pattern.messages()) {
+    const auto& sends = sends_by_proc_[static_cast<std::size_t>(m.receiver)];
+    const auto interval_lo = std::partition_point(
+        sends.begin(), sends.end(), [&](MsgId s) {
+          return pattern.message(s).send_interval < m.deliver_interval;
+        });
+    const auto after_delivery = std::partition_point(
+        interval_lo, sends.end(), [&](MsgId s) {
+          return pattern.message(s).send_pos < m.deliver_pos;
+        });
+    const auto id = static_cast<std::size_t>(m.id);
+    succ_begin_[id] =
+        static_cast<std::size_t>(interval_lo - sends.begin());
+    succ_causal_begin_[id] =
+        static_cast<std::size_t>(after_delivery - sends.begin());
+    edges_ += static_cast<long long>(sends.size() - succ_begin_[id]);
+    causal_edges_ +=
+        static_cast<long long>(sends.size() - succ_causal_begin_[id]);
   }
 }
 
@@ -88,69 +139,154 @@ const BitVector& ChainAnalysis::simple_causal_starts(MsgId m) const {
   return simple_causal_starts_[static_cast<std::size_t>(m)];
 }
 
-namespace {
-
-// Highest checkpoint index z in [z_min, last] of process k whose bit is set;
-// 0 if none. Node ids of a process are contiguous and ordered by index.
-CkptIndex max_start_in(const BitVector& bits, const Pattern& p, ProcessId k,
-                       CkptIndex z_min) {
-  CkptIndex best = 0;
-  const CkptIndex lo = std::max<CkptIndex>(z_min, 1);
-  if (lo > p.last_ckpt(k)) return 0;
-  auto pos = static_cast<std::size_t>(p.node_id({k, lo}));
-  const auto end = static_cast<std::size_t>(p.node_id({k, p.last_ckpt(k)}));
-  for (pos = bits.find_next(pos); pos <= end && pos < bits.size();
-       pos = bits.find_next(pos + 1))
-    best = p.node_ckpt(static_cast<int>(pos)).index;
-  return best;
-}
-
-}  // namespace
-
 bool ChainAnalysis::causal_start_at_or_after(MsgId m, ProcessId k,
                                              CkptIndex z) const {
-  return max_start_in(causal_starts(m), *pattern_, k, z) >= std::max<CkptIndex>(z, 1);
+  return max_causal_start(m, k) >= std::max<CkptIndex>(z, 1);
 }
 
 bool ChainAnalysis::simple_causal_start_at_or_after(MsgId m, ProcessId k,
                                                     CkptIndex z) const {
-  return max_start_in(simple_causal_starts(m), *pattern_, k, z) >=
+  RDT_REQUIRE(m >= 0 && m < pattern_->num_messages(), "message id out of range");
+  RDT_REQUIRE(k >= 0 && k < pattern_->num_processes(), "process id out of range");
+  const auto n = static_cast<std::size_t>(pattern_->num_processes());
+  return max_simple_start_[static_cast<std::size_t>(m) * n +
+                           static_cast<std::size_t>(k)] >=
          std::max<CkptIndex>(z, 1);
 }
 
 CkptIndex ChainAnalysis::max_causal_start(MsgId m, ProcessId k) const {
-  return max_start_in(causal_starts(m), *pattern_, k, 1);
+  RDT_REQUIRE(m >= 0 && m < pattern_->num_messages(), "message id out of range");
+  RDT_REQUIRE(k >= 0 && k < pattern_->num_processes(), "process id out of range");
+  const auto n = static_cast<std::size_t>(pattern_->num_processes());
+  return max_causal_start_[static_cast<std::size_t>(m) * n +
+                           static_cast<std::size_t>(k)];
 }
 
-void ChainAnalysis::ensure_zreach(bool causal_only) const {
-  auto& table = causal_only ? causal_z_ends_ : z_ends_;
-  auto& ready = causal_only ? causal_z_ends_ready_ : z_ends_ready_;
-  if (ready) return;
+std::pair<std::size_t, std::size_t> ChainAnalysis::succ_range(
+    MsgId m, bool causal_only) const {
+  const auto id = static_cast<std::size_t>(m);
+  const auto& sends = sends_by_proc_[static_cast<std::size_t>(
+      pattern_->message(m).receiver)];
+  return {causal_only ? succ_causal_begin_[id] : succ_begin_[id], sends.size()};
+}
 
-  const auto msgs = static_cast<std::size_t>(pattern_->num_messages());
-  const auto nodes = static_cast<std::size_t>(pattern_->total_ckpts());
-  table.assign(msgs, BitVector(nodes));
-  for (const Message& m : pattern_->messages())
-    table[static_cast<std::size_t>(m.id)].set(static_cast<std::size_t>(
-        pattern_->node_id({m.receiver, m.deliver_interval})));
+void ChainAnalysis::build_zreach(bool causal_only) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const int msgs = pattern_->num_messages();
+  ZReachTable& table = zreach_[causal_only ? 1 : 0];
+  table.comp.assign(static_cast<std::size_t>(msgs), -1);
 
-  // The junction graph may contain cycles (zigzag cycles), so iterate to a
-  // fixpoint rather than a one-pass DP.
-  std::vector<std::pair<MsgId, MsgId>> edges;
-  for (MsgId a = 0; a < pattern_->num_messages(); ++a)
-    for (MsgId b = 0; b < pattern_->num_messages(); ++b) {
-      if (a == b) continue;
-      if (causal_only ? causal_junction(a, b) : junction(a, b))
-        edges.emplace_back(a, b);
+  // Iterative Tarjan over the implicit CSR. Condensation node ids are
+  // assigned in completion order, i.e. reverse-topologically: every
+  // successor component of a component c has an id < c.
+  struct Frame {
+    MsgId v;
+    std::size_t next;
+    std::size_t end;
+  };
+  std::vector<int> index(static_cast<std::size_t>(msgs), -1);
+  std::vector<int> low(static_cast<std::size_t>(msgs), 0);
+  std::vector<char> on_stack(static_cast<std::size_t>(msgs), 0);
+  std::vector<MsgId> stack;
+  std::vector<Frame> dfs;
+  int next_index = 0;
+  int num_comps = 0;
+
+  const auto push_node = [&](MsgId v) {
+    index[static_cast<std::size_t>(v)] = low[static_cast<std::size_t>(v)] =
+        next_index++;
+    stack.push_back(v);
+    on_stack[static_cast<std::size_t>(v)] = 1;
+    const auto [begin, end] = succ_range(v, causal_only);
+    dfs.push_back({v, begin, end});
+  };
+
+  for (MsgId root = 0; root < msgs; ++root) {
+    if (index[static_cast<std::size_t>(root)] != -1) continue;
+    push_node(root);
+    while (!dfs.empty()) {
+      Frame& f = dfs.back();
+      if (f.next < f.end) {
+        const MsgId w = sends_by_proc_[static_cast<std::size_t>(
+            pattern_->message(f.v).receiver)][f.next++];
+        if (index[static_cast<std::size_t>(w)] == -1) {
+          push_node(w);
+        } else if (on_stack[static_cast<std::size_t>(w)]) {
+          low[static_cast<std::size_t>(f.v)] =
+              std::min(low[static_cast<std::size_t>(f.v)],
+                       index[static_cast<std::size_t>(w)]);
+        }
+        continue;
+      }
+      const MsgId v = f.v;
+      if (low[static_cast<std::size_t>(v)] ==
+          index[static_cast<std::size_t>(v)]) {
+        MsgId member;
+        do {
+          member = stack.back();
+          stack.pop_back();
+          on_stack[static_cast<std::size_t>(member)] = 0;
+          table.comp[static_cast<std::size_t>(member)] = num_comps;
+        } while (member != v);
+        ++num_comps;
+      }
+      dfs.pop_back();
+      if (!dfs.empty())
+        low[static_cast<std::size_t>(dfs.back().v)] =
+            std::min(low[static_cast<std::size_t>(dfs.back().v)],
+                     low[static_cast<std::size_t>(v)]);
     }
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (const auto& [a, b] : edges)
-      changed |= table[static_cast<std::size_t>(a)].or_with(
-          table[static_cast<std::size_t>(b)]);
   }
-  ready = true;
+
+  // One reverse-topological word-parallel sweep: a component reaches its
+  // members' own delivery intervals plus everything its successor
+  // components reach — and those rows are already final.
+  std::vector<std::vector<MsgId>> members(static_cast<std::size_t>(num_comps));
+  for (MsgId m = 0; m < msgs; ++m)
+    members[static_cast<std::size_t>(table.comp[static_cast<std::size_t>(m)])]
+        .push_back(m);
+  table.rows.assign(static_cast<std::size_t>(num_comps),
+                    BitVector(static_cast<std::size_t>(pattern_->total_ckpts())));
+  int largest = 0;
+  for (int c = 0; c < num_comps; ++c) {
+    BitVector& row = table.rows[static_cast<std::size_t>(c)];
+    const auto& group = members[static_cast<std::size_t>(c)];
+    largest = std::max(largest, static_cast<int>(group.size()));
+    for (MsgId m : group) {
+      const Message& msg = pattern_->message(m);
+      row.set(static_cast<std::size_t>(
+          pattern_->node_id({msg.receiver, msg.deliver_interval})));
+      const auto& sends =
+          sends_by_proc_[static_cast<std::size_t>(msg.receiver)];
+      const auto [begin, end] = succ_range(m, causal_only);
+      for (std::size_t i = begin; i < end; ++i) {
+        const int sc = table.comp[static_cast<std::size_t>(sends[i])];
+        if (sc != c) row.merge(table.rows[static_cast<std::size_t>(sc)]);
+      }
+    }
+  }
+  table.largest_scc = largest;
+  table.sweep_ms =
+      std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+}
+
+const ChainAnalysis::ZReachTable& ChainAnalysis::zreach(bool causal_only) const {
+  std::call_once(zreach_once_[causal_only ? 1 : 0],
+                 [&] { build_zreach(causal_only); });
+  return zreach_[causal_only ? 1 : 0];
+}
+
+ChainAnalysis::ZReachStats ChainAnalysis::zreach_stats() const {
+  const ZReachTable& table = zreach(/*causal_only=*/false);
+  ZReachStats stats;
+  stats.edges = edges_;
+  stats.causal_edges = causal_edges_;
+  stats.sccs = static_cast<int>(table.rows.size());
+  stats.largest_scc = table.largest_scc;
+  stats.sweep_ms = table.sweep_ms;
+  return stats;
 }
 
 std::optional<std::vector<MsgId>> ChainAnalysis::find_chain(
@@ -160,16 +296,52 @@ std::optional<std::vector<MsgId>> ChainAnalysis::find_chain(
   RDT_REQUIRE(to.index >= 1 && to.index <= pattern_->last_ckpt(to.process),
               "target interval out of range");
 
-  // BFS over messages; a message is a goal when its delivery lands exactly
-  // in the target interval.
-  std::vector<MsgId> parent(static_cast<std::size_t>(pattern_->num_messages()),
-                            kNoMsg - 1);  // sentinel: unvisited
-  std::vector<MsgId> queue;
-  for (const Message& m : pattern_->messages())
-    if (m.sender == from.process && m.send_interval == from.index) {
-      parent[static_cast<std::size_t>(m.id)] = kNoMsg;  // root
-      queue.push_back(m.id);
+  // BFS over the junction-graph CSR; a message is a goal when its delivery
+  // lands exactly in the target interval. Because each node's successors are
+  // a suffix of its receiver's send list, a per-process skip structure
+  // (pointer jumping over already-enqueued sends) makes the whole search
+  // near-linear instead of O(M) per dequeued message.
+  const auto msgs = static_cast<std::size_t>(pattern_->num_messages());
+  std::vector<MsgId> parent(msgs, kNoMsg);
+  std::vector<char> visited(msgs, 0);
+  std::vector<std::vector<std::size_t>> skip(sends_by_proc_.size());
+  for (std::size_t p = 0; p < skip.size(); ++p) {
+    skip[p].resize(sends_by_proc_[p].size() + 1);
+    for (std::size_t i = 0; i < skip[p].size(); ++i) skip[p][i] = i;
+  }
+  // Smallest index >= i whose send is not yet enqueued (with path
+  // compression); enqueueing send i sets skip[i] = i + 1.
+  const auto next_unvisited = [](std::vector<std::size_t>& sk, std::size_t i) {
+    std::size_t root = i;
+    while (sk[root] != root) root = sk[root];
+    while (sk[i] != root) {
+      const std::size_t up = sk[i];
+      sk[i] = root;
+      i = up;
     }
+    return root;
+  };
+
+  std::vector<MsgId> queue;
+  {
+    const auto p = static_cast<std::size_t>(from.process);
+    const auto& sends = sends_by_proc_[p];
+    const auto lo = std::partition_point(
+        sends.begin(), sends.end(), [&](MsgId s) {
+          return pattern_->message(s).send_interval < from.index;
+        });
+    const auto hi = std::partition_point(lo, sends.end(), [&](MsgId s) {
+      return pattern_->message(s).send_interval == from.index;
+    });
+    for (auto it = lo; it != hi; ++it) {
+      const auto id = static_cast<std::size_t>(*it);
+      visited[id] = 1;
+      skip[p][static_cast<std::size_t>(it - sends.begin())] =
+          static_cast<std::size_t>(it - sends.begin()) + 1;
+      queue.push_back(*it);
+    }
+  }
+
   for (std::size_t head = 0; head < queue.size(); ++head) {
     const MsgId cur = queue[head];
     const Message& mc = pattern_->message(cur);
@@ -180,14 +352,16 @@ std::optional<std::vector<MsgId>> ChainAnalysis::find_chain(
       std::reverse(chain.begin(), chain.end());
       return chain;
     }
-    for (MsgId next = 0; next < pattern_->num_messages(); ++next) {
-      if (parent[static_cast<std::size_t>(next)] != kNoMsg - 1) continue;
-      const bool ok =
-          causal_only ? causal_junction(cur, next) : junction(cur, next);
-      if (ok) {
-        parent[static_cast<std::size_t>(next)] = cur;
-        queue.push_back(next);
-      }
+    const auto r = static_cast<std::size_t>(mc.receiver);
+    const auto& sends = sends_by_proc_[r];
+    const auto [begin, end] = succ_range(cur, causal_only);
+    for (std::size_t i = next_unvisited(skip[r], begin); i < end;
+         i = next_unvisited(skip[r], i + 1)) {
+      const MsgId next = sends[i];
+      visited[static_cast<std::size_t>(next)] = 1;
+      skip[r][i] = i + 1;
+      parent[static_cast<std::size_t>(next)] = cur;
+      queue.push_back(next);
     }
   }
   return std::nullopt;
@@ -200,13 +374,21 @@ bool ChainAnalysis::zpath_between_intervals(const IntervalId& from,
               "source interval out of range");
   RDT_REQUIRE(to.index >= 1 && to.index <= pattern_->last_ckpt(to.process),
               "target interval out of range");
-  ensure_zreach(causal_only);
-  const auto& table = causal_only ? causal_z_ends_ : z_ends_;
+  const ZReachTable& table = zreach(causal_only);
   const auto target =
       static_cast<std::size_t>(pattern_->node_id({to.process, to.index}));
-  for (const Message& m : pattern_->messages())
-    if (m.sender == from.process && m.send_interval == from.index &&
-        table[static_cast<std::size_t>(m.id)].get(target))
+  const auto& sends =
+      sends_by_proc_[static_cast<std::size_t>(from.process)];
+  const auto lo = std::partition_point(
+      sends.begin(), sends.end(), [&](MsgId s) {
+        return pattern_->message(s).send_interval < from.index;
+      });
+  for (auto it = lo; it != sends.end() &&
+                     pattern_->message(*it).send_interval == from.index;
+       ++it)
+    if (table.rows[static_cast<std::size_t>(
+                       table.comp[static_cast<std::size_t>(*it)])]
+            .get(target))
       return true;
   return false;
 }

@@ -19,11 +19,16 @@ std::string RdtViolation::describe() const {
   return os.str();
 }
 
+const ChainAnalysis& RdtAnalyses::chains() const {
+  std::call_once(chains_once_, [&] { chains_.emplace(*pattern_); });
+  return *chains_;
+}
+
 const ReachabilityClosure& RdtAnalyses::closure() const {
-  if (!closure_) {
+  std::call_once(closure_once_, [&] {
     rgraph_.emplace(*pattern_);
     closure_.emplace(*rgraph_);
-  }
+  });
   return *closure_;
 }
 
@@ -54,23 +59,53 @@ namespace {
 enum class Family { kMm, kCm, kPcm };
 enum class Doubling { kAny, kVisible };
 
+struct JunctionQuery {
+  Family family;
+  Doubling mode;
+  CheckResult* out;
+};
+
 // Shared engine for the junction-based checkers. For every non-causal
 // junction (m_c delivered at P_i after m' was sent to P_j in the same
 // interval) and every admissible start checkpoint C_{k,z} of the chain
 // prefix ending at m_c, the induced path C_{k,z} -> C_{j,y} must be doubled
-// (resp. visibly doubled).
-CheckResult check_junctions(const RdtAnalyses& a, Family family, Doubling mode) {
+// (resp. visibly doubled). Evaluating all queries in one sweep lets the
+// families share the per-junction start sets and the visible-doubling scan,
+// which dominate the cost; each query's counters and first witness are
+// exactly what a standalone run would produce.
+void run_junction_queries(const RdtAnalyses& a,
+                          const std::vector<JunctionQuery>& queries) {
   const Pattern& p = a.pattern();
   const ChainAnalysis& chains = a.chains();
   const TdvAnalysis& tdv = a.tdv();
-  CheckResult result;
+
+  bool want_visible = false;
+  bool want_cm = false;
+  bool want_pcm = false;
+  for (const JunctionQuery& q : queries) {
+    want_visible |= q.mode == Doubling::kVisible;
+    want_cm |= q.family == Family::kCm;
+    want_pcm |= q.family == Family::kPcm;
+  }
 
   // Messages delivered to each process, for the visible-doubling scan.
   std::vector<std::vector<MsgId>> delivered_to(
       static_cast<std::size_t>(p.num_processes()));
-  if (mode == Doubling::kVisible)
+  if (want_visible)
     for (const Message& m : p.messages())
       delivered_to[static_cast<std::size_t>(m.receiver)].push_back(m.id);
+
+  std::vector<CkptIndex> best_visible;
+  std::vector<CkptId> mm_starts;
+  std::vector<CkptId> cm_starts;
+  std::vector<CkptId> pcm_starts;
+  const auto collect_starts = [&p](const BitVector& bits,
+                                   std::vector<CkptId>& starts) {
+    starts.clear();
+    for (std::size_t node = bits.find_next(0); node < bits.size();
+         node = bits.find_next(node + 1))
+      starts.push_back(p.node_ckpt(static_cast<int>(node)));
+  };
 
   for (const NonCausalJunction& jn : chains.noncausal_junctions()) {
     const Message& mc = p.message(jn.incoming);
@@ -83,8 +118,7 @@ CheckResult check_junctions(const RdtAnalyses& a, Family family, Doubling mode) 
     // highest z' such that a causal chain from C_{k,z'} reaches P_j at or
     // before C_{j,y} with its last send in the causal past of the decision
     // point deliver(m_c).
-    std::vector<CkptIndex> best_visible;
-    if (mode == Doubling::kVisible) {
+    if (want_visible) {
       best_visible.assign(static_cast<std::size_t>(p.num_processes()), 0);
       for (MsgId cand : delivered_to[static_cast<std::size_t>(j)]) {
         const Message& m2 = p.message(cand);
@@ -98,38 +132,44 @@ CheckResult check_junctions(const RdtAnalyses& a, Family family, Doubling mode) 
       }
     }
 
-    // Start checkpoints of the admissible chain prefixes.
-    std::vector<CkptId> starts;
-    if (family == Family::kMm) {
-      starts.push_back({mc.sender, mc.send_interval});
-    } else {
-      const BitVector& bits = family == Family::kPcm
-                                  ? chains.simple_causal_starts(jn.incoming)
-                                  : chains.causal_starts(jn.incoming);
-      for (std::size_t node = bits.find_next(0); node < bits.size();
-           node = bits.find_next(node + 1))
-        starts.push_back(p.node_ckpt(static_cast<int>(node)));
-    }
+    // Start checkpoints of the admissible chain prefixes, per family.
+    mm_starts.assign(1, {mc.sender, mc.send_interval});
+    if (want_cm) collect_starts(chains.causal_starts(jn.incoming), cm_starts);
+    if (want_pcm)
+      collect_starts(chains.simple_causal_starts(jn.incoming), pcm_starts);
 
-    for (const CkptId& start : starts) {
-      ++result.paths_checked;
-      bool ok;
-      if (mode == Doubling::kAny) {
-        ok = tdv.trackable(start, target);
-      } else if (start.process == j) {
-        // Same-process doubling is positional: P_j's own order is visible.
-        ok = start.index <= y;
-      } else {
-        ok = best_visible[static_cast<std::size_t>(start.process)] >= start.index;
-      }
-      if (ok) {
-        ++result.paths_satisfied;
-      } else if (result.ok) {
-        result.ok = false;
-        result.witness = RdtViolation{start, target, jn};
+    for (const JunctionQuery& q : queries) {
+      CheckResult& result = *q.out;
+      const std::vector<CkptId>& starts = q.family == Family::kMm ? mm_starts
+                                          : q.family == Family::kCm
+                                              ? cm_starts
+                                              : pcm_starts;
+      for (const CkptId& start : starts) {
+        ++result.paths_checked;
+        bool ok;
+        if (q.mode == Doubling::kAny) {
+          ok = tdv.trackable(start, target);
+        } else if (start.process == j) {
+          // Same-process doubling is positional: P_j's own order is visible.
+          ok = start.index <= y;
+        } else {
+          ok = best_visible[static_cast<std::size_t>(start.process)] >=
+               start.index;
+        }
+        if (ok) {
+          ++result.paths_satisfied;
+        } else if (result.ok) {
+          result.ok = false;
+          result.witness = RdtViolation{start, target, jn};
+        }
       }
     }
   }
+}
+
+CheckResult check_junctions(const RdtAnalyses& a, Family family, Doubling mode) {
+  CheckResult result;
+  run_junction_queries(a, {{family, mode, &result}});
   return result;
 }
 
@@ -153,6 +193,16 @@ CheckResult check_cm_visibly_doubled(const RdtAnalyses& a) {
 
 CheckResult check_pcm_visibly_doubled(const RdtAnalyses& a) {
   return check_junctions(a, Family::kPcm, Doubling::kVisible);
+}
+
+JunctionReport check_junction_families(const RdtAnalyses& a) {
+  JunctionReport report;
+  run_junction_queries(a, {{Family::kCm, Doubling::kAny, &report.cm},
+                           {Family::kPcm, Doubling::kAny, &report.pcm},
+                           {Family::kMm, Doubling::kAny, &report.mm},
+                           {Family::kCm, Doubling::kVisible, &report.vcm},
+                           {Family::kPcm, Doubling::kVisible, &report.vpcm}});
+  return report;
 }
 
 CheckResult check_no_z_cycle(const RdtAnalyses& a) {

@@ -41,6 +41,7 @@
 // the first violation plus counting statistics used by the E7 experiment.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -67,24 +68,33 @@ struct CheckResult {
 };
 
 // Bundles the analyses the checkers share so callers build them once.
+//
+// Thread-safety contract: one RdtAnalyses may be shared freely across
+// threads. The chain analysis and the R-graph closure are built lazily on
+// first use under std::call_once; everything reachable through the accessors
+// is immutable afterwards. (The once_flags pin the object: non-copyable.)
 class RdtAnalyses {
  public:
   explicit RdtAnalyses(const Pattern& pattern)
-      : pattern_(&pattern), tdv_(pattern), chains_(pattern) {}
+      : pattern_(&pattern), tdv_(pattern) {}
   // The analyses keep a reference to the pattern; a temporary would dangle.
   explicit RdtAnalyses(Pattern&&) = delete;
+  RdtAnalyses(const RdtAnalyses&) = delete;
+  RdtAnalyses& operator=(const RdtAnalyses&) = delete;
 
   const Pattern& pattern() const { return *pattern_; }
   const TdvAnalysis& tdv() const { return tdv_; }
-  const ChainAnalysis& chains() const { return chains_; }
+  const ChainAnalysis& chains() const;
   const ReachabilityClosure& closure() const;
 
  private:
   const Pattern* pattern_;
   TdvAnalysis tdv_;
-  ChainAnalysis chains_;
+  mutable std::optional<ChainAnalysis> chains_;
+  mutable std::once_flag chains_once_;
   mutable std::optional<RGraph> rgraph_;
   mutable std::optional<ReachabilityClosure> closure_;
+  mutable std::once_flag closure_once_;
 };
 
 // Definitional RDT: R-graph reachability through >= 1 message edge implies
@@ -107,5 +117,18 @@ CheckResult check_pcm_visibly_doubled(const RdtAnalyses& a);
 
 // No checkpoint lies on a Z-cycle (necessary for RDT).
 CheckResult check_no_z_cycle(const RdtAnalyses& a);
+
+// All five junction-based characterizations evaluated in ONE pass over the
+// non-causal junctions, sharing the per-junction start sets and the visible-
+// doubling scan between the families. Each member is identical to the
+// corresponding individual checker's result.
+struct JunctionReport {
+  CheckResult cm;
+  CheckResult pcm;
+  CheckResult mm;
+  CheckResult vcm;
+  CheckResult vpcm;
+};
+JunctionReport check_junction_families(const RdtAnalyses& a);
 
 }  // namespace rdt

@@ -9,7 +9,8 @@
 
 namespace rdt {
 
-PatternStats compute_stats(const Pattern& pattern) {
+PatternStats compute_stats(const RdtAnalyses& analyses) {
+  const Pattern& pattern = analyses.pattern();
   PatternStats stats;
   stats.processes = pattern.num_processes();
   stats.messages = pattern.num_messages();
@@ -33,13 +34,17 @@ PatternStats compute_stats(const Pattern& pattern) {
           deliveries_so_far[static_cast<std::size_t>(e.process)];
   }
 
-  const ChainAnalysis chains(pattern);
+  const ChainAnalysis& chains = analyses.chains();
   stats.noncausal_junctions =
       static_cast<long long>(chains.noncausal_junctions().size());
+  const ChainAnalysis::ZReachStats zreach = chains.zreach_stats();
+  stats.zreach_edges = zreach.edges;
+  stats.zreach_sccs = zreach.sccs;
+  stats.zreach_largest_scc = zreach.largest_scc;
+  stats.zreach_sweep_ms = zreach.sweep_ms;
 
-  const TdvAnalysis tdv(pattern);
-  const RGraph graph(pattern);
-  const ReachabilityClosure closure(graph);
+  const TdvAnalysis& tdv = analyses.tdv();
+  const ReachabilityClosure& closure = analyses.closure();
   for (int u = 0; u < pattern.total_ckpts(); ++u) {
     const CkptId a = pattern.node_ckpt(u);
     const BitVector& row = closure.msg_reach_row(u);
@@ -52,12 +57,20 @@ PatternStats compute_stats(const Pattern& pattern) {
   return stats;
 }
 
+PatternStats compute_stats(const Pattern& pattern) {
+  const RdtAnalyses analyses(pattern);
+  return compute_stats(analyses);
+}
+
 std::ostream& operator<<(std::ostream& os, const PatternStats& stats) {
   os << "pattern: " << stats.processes << " processes, " << stats.messages
      << " messages, " << stats.events << " events, " << stats.checkpoints
      << " checkpoints (" << stats.virtual_finals << " virtual)\n"
      << "junctions: " << stats.causal_junctions << " causal, "
      << stats.noncausal_junctions << " non-causal\n"
+     << "z-reach engine: " << stats.zreach_edges << " edges, "
+     << stats.zreach_sccs << " SCCs (largest " << stats.zreach_largest_scc
+     << "), sweep " << stats.zreach_sweep_ms << " ms\n"
      << "hidden dependencies: " << stats.hidden_dependencies
      << ", useless checkpoints: " << stats.useless_checkpoints << " — RDT "
      << (stats.rdt() ? "holds" : "violated") << '\n';

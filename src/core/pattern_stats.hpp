@@ -7,6 +7,7 @@
 #include <iosfwd>
 
 #include "ccp/pattern.hpp"
+#include "core/characterizations.hpp"
 
 namespace rdt {
 
@@ -28,12 +29,22 @@ struct PatternStats {
   // Checkpoints on a zigzag cycle.
   int useless_checkpoints = 0;
 
+  // Shape of the z-reach engine's junction graph: edge count (equals
+  // causal_junctions + noncausal_junctions), condensation size, and the
+  // largest zigzag cycle, plus the SCC + bit-propagation sweep time.
+  long long zreach_edges = 0;
+  int zreach_sccs = 0;
+  int zreach_largest_scc = 0;
+  double zreach_sweep_ms = 0.0;
+
   bool rdt() const { return hidden_dependencies == 0; }
 };
 
 // Full computation (includes the R-graph closure: O(C^2) memory, use on
 // analysis-sized patterns).
 PatternStats compute_stats(const Pattern& pattern);
+// Same on analyses the caller already built (and can keep reusing).
+PatternStats compute_stats(const RdtAnalyses& analyses);
 
 std::ostream& operator<<(std::ostream& os, const PatternStats& stats);
 

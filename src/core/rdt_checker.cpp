@@ -5,22 +5,31 @@
 
 namespace rdt {
 
-RdtReport analyze_rdt(const Pattern& pattern) {
-  const RdtAnalyses analyses(pattern);
+RdtReport analyze_rdt(const RdtAnalyses& analyses) {
   RdtReport report;
   report.definitional = check_rdt_definitional(analyses);
-  report.cm = check_cm_doubled(analyses);
-  report.pcm = check_pcm_doubled(analyses);
-  report.mm = check_mm_doubled(analyses);
-  report.vcm = check_cm_visibly_doubled(analyses);
-  report.vpcm = check_pcm_visibly_doubled(analyses);
+  const JunctionReport junctions = check_junction_families(analyses);
+  report.cm = junctions.cm;
+  report.pcm = junctions.pcm;
+  report.mm = junctions.mm;
+  report.vcm = junctions.vcm;
+  report.vpcm = junctions.vpcm;
   report.no_z_cycle = check_no_z_cycle(analyses);
   return report;
 }
 
+RdtReport analyze_rdt(const Pattern& pattern) {
+  const RdtAnalyses analyses(pattern);
+  return analyze_rdt(analyses);
+}
+
+bool satisfies_rdt(const RdtAnalyses& analyses) {
+  return check_rdt_definitional(analyses).ok;
+}
+
 bool satisfies_rdt(const Pattern& pattern) {
   const RdtAnalyses analyses(pattern);
-  return check_rdt_definitional(analyses).ok;
+  return satisfies_rdt(analyses);
 }
 
 namespace {

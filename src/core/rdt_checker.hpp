@@ -30,10 +30,15 @@ std::ostream& operator<<(std::ostream& os, const RdtReport& report);
 
 // Runs all checkers. Cost: O(C^2) closure plus junction scans, where C is
 // the total checkpoint count — intended for analysis/validation, not for
-// the inner loop of a simulation.
+// the inner loop of a simulation. The five junction-based families run as
+// one fused pass (check_junction_families).
 RdtReport analyze_rdt(const Pattern& pattern);
+// Same on analyses the caller already built (and can keep reusing).
+RdtReport analyze_rdt(const RdtAnalyses& analyses);
 
-// Just the definitional check (cheapest path to a yes/no answer).
+// Just the definitional check (cheapest path to a yes/no answer; never
+// builds the chain analysis).
 bool satisfies_rdt(const Pattern& pattern);
+bool satisfies_rdt(const RdtAnalyses& analyses);
 
 }  // namespace rdt

@@ -100,8 +100,9 @@ std::vector<ProtocolStats> sweep_parallel(
   return fold(kinds, matrix);
 }
 
-double forced_reduction_percent(std::span<const ProtocolStats> stats,
-                                ProtocolKind kind, ProtocolKind baseline) {
+std::optional<double> forced_reduction_percent(
+    std::span<const ProtocolStats> stats, ProtocolKind kind,
+    ProtocolKind baseline) {
   const ProtocolStats* a = nullptr;
   const ProtocolStats* b = nullptr;
   for (const ProtocolStats& s : stats) {
@@ -109,7 +110,10 @@ double forced_reduction_percent(std::span<const ProtocolStats> stats,
     if (s.kind == baseline) b = &s;
   }
   RDT_REQUIRE(a != nullptr && b != nullptr, "protocol not present in sweep");
-  if (b->total_forced == 0) return 0.0;
+  if (b->total_forced == 0) {
+    if (a->total_forced == 0) return 0.0;  // neither forced anything
+    return std::nullopt;  // kind forced checkpoints the baseline avoided
+  }
   return 100.0 * (1.0 - static_cast<double>(a->total_forced) /
                             static_cast<double>(b->total_forced));
 }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -39,8 +40,12 @@ std::vector<ProtocolStats> sweep_parallel(
     std::uint64_t seed0 = 1);
 
 // Percentage reduction of forced checkpoints of `kind` w.r.t. `baseline`
-// within a sweep result (positive = kind forces fewer).
-double forced_reduction_percent(std::span<const ProtocolStats> stats,
-                                ProtocolKind kind, ProtocolKind baseline);
+// within a sweep result (positive = kind forces fewer). When the baseline
+// forced no checkpoints the percentage is undefined unless `kind` also
+// forced none (then it is 0.0): a baseline of zero with a non-zero
+// comparison yields nullopt rather than masquerading as "no reduction".
+std::optional<double> forced_reduction_percent(
+    std::span<const ProtocolStats> stats, ProtocolKind kind,
+    ProtocolKind baseline);
 
 }  // namespace rdt

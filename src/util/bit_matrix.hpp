@@ -47,6 +47,13 @@ class BitVector {
     trim();
   }
 
+  // *this |= other without change detection — cheaper than or_with in
+  // sweeps that visit each edge exactly once and never test for a fixpoint.
+  void merge(const BitVector& other) {
+    RDT_REQUIRE(other.size_ == size_, "size mismatch");
+    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
+  }
+
   // *this |= other; returns true iff any bit changed.
   bool or_with(const BitVector& other) {
     RDT_REQUIRE(other.size_ == size_, "size mismatch");

@@ -215,6 +215,119 @@ TEST(FindChain, WitnessIsAlwaysAValidChain) {
   }
 }
 
+// The reference implementation the SCC engine replaced: enumerate all
+// junction pairs, then run a Gauss–Seidel fixpoint over the edge list.
+// Kept here as the oracle for the equivalence property test.
+std::vector<BitVector> brute_force_z_ends(const Pattern& p,
+                                          const ChainAnalysis& chains,
+                                          bool causal_only) {
+  const auto msgs = static_cast<std::size_t>(p.num_messages());
+  std::vector<BitVector> table(
+      msgs, BitVector(static_cast<std::size_t>(p.total_ckpts())));
+  for (const Message& m : p.messages())
+    table[static_cast<std::size_t>(m.id)].set(
+        static_cast<std::size_t>(p.node_id({m.receiver, m.deliver_interval})));
+  std::vector<std::pair<MsgId, MsgId>> edges;
+  for (MsgId a = 0; a < p.num_messages(); ++a)
+    for (MsgId b = 0; b < p.num_messages(); ++b) {
+      if (a == b) continue;
+      if (causal_only ? chains.causal_junction(a, b) : chains.junction(a, b))
+        edges.emplace_back(a, b);
+    }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [a, b] : edges)
+      changed |= table[static_cast<std::size_t>(a)].or_with(
+          table[static_cast<std::size_t>(b)]);
+  }
+  return table;
+}
+
+TEST(ZReach, SccEngineMatchesBruteForceFixpoint) {
+  // Property test: on random patterns the condensation-based engine answers
+  // every interval-to-interval query exactly as the quadratic fixpoint did.
+  Rng rng(31337);
+  for (int round = 0; round < 12; ++round) {
+    const int n = 2 + static_cast<int>(rng.below(4));
+    const int steps = 30 + static_cast<int>(rng.below(120));
+    const Pattern p = test::random_pattern(rng, n, steps);
+    const ChainAnalysis chains(p);
+    for (const bool causal_only : {false, true}) {
+      const auto oracle = brute_force_z_ends(p, chains, causal_only);
+      for (ProcessId i = 0; i < p.num_processes(); ++i)
+        for (CkptIndex s = 1; s <= p.last_ckpt(i); ++s)
+          for (ProcessId j = 0; j < p.num_processes(); ++j)
+            for (CkptIndex t = 1; t <= p.last_ckpt(j); ++t) {
+              bool expected = false;
+              for (const Message& m : p.messages())
+                if (m.sender == i && m.send_interval == s &&
+                    oracle[static_cast<std::size_t>(m.id)].get(
+                        static_cast<std::size_t>(p.node_id({j, t}))))
+                  expected = true;
+              EXPECT_EQ(
+                  chains.zpath_between_intervals({i, s}, {j, t}, causal_only),
+                  expected)
+                  << "I(" << i << ',' << s << ") -> I(" << j << ',' << t
+                  << ") causal_only=" << causal_only;
+            }
+    }
+  }
+}
+
+TEST(ZReach, StatsMatchJunctionCounts) {
+  // The junction graph's edge inventory equals the pattern's junction
+  // counts, and the condensation never has more nodes than messages.
+  Rng rng(404);
+  for (int round = 0; round < 6; ++round) {
+    const Pattern p = test::random_pattern(rng, 4, 100);
+    const ChainAnalysis chains(p);
+    long long causal = 0;
+    long long noncausal = 0;
+    for (MsgId a = 0; a < p.num_messages(); ++a)
+      for (MsgId b = 0; b < p.num_messages(); ++b) {
+        if (a == b) continue;
+        causal += chains.causal_junction(a, b);
+        noncausal += chains.noncausal_junction(a, b);
+      }
+    EXPECT_EQ(chains.causal_junction_edges(), causal);
+    EXPECT_EQ(chains.junction_edges(), causal + noncausal);
+    const auto stats = chains.zreach_stats();
+    EXPECT_EQ(stats.edges, causal + noncausal);
+    EXPECT_EQ(stats.causal_edges, causal);
+    EXPECT_LE(stats.sccs, p.num_messages());
+    EXPECT_GE(stats.largest_scc, p.num_messages() > 0 ? 1 : 0);
+  }
+}
+
+TEST(FindChain, SourceIntervalWithNoSends) {
+  // Regression: the source interval exists but sends nothing — the BFS must
+  // come back empty instead of tripping over an "unvisited" sentinel.
+  PatternBuilder b(2);
+  const MsgId m = b.send(0, 1);
+  b.deliver(m);
+  b.checkpoint(0);
+  b.internal(0);  // I_{0,2}: no sends
+  b.checkpoint(0);
+  const Pattern p = b.build();
+  const ChainAnalysis chains(p);
+  EXPECT_EQ(chains.find_chain({0, 2}, {1, 1}), std::nullopt);
+  EXPECT_FALSE(chains.zpath_between_intervals({0, 2}, {1, 1}));
+  // The interval that does send still works.
+  const auto chain = chains.find_chain({0, 1}, {1, 1});
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(*chain, (std::vector<MsgId>{m}));
+}
+
+TEST(CausalStarts, QueryBeyondLastCheckpointIsFalse) {
+  // z beyond the process's last checkpoint can never be a chain start.
+  const auto f = test::figure1();
+  const ChainAnalysis chains(f.pattern);
+  const CkptIndex beyond = f.pattern.last_ckpt(Figure1::i) + 1;
+  EXPECT_FALSE(chains.causal_start_at_or_after(f.m5, Figure1::i, beyond));
+  EXPECT_FALSE(chains.simple_causal_start_at_or_after(f.m5, Figure1::i, beyond));
+}
+
 TEST(ZReach, RangeChecks) {
   const auto f = test::figure1();
   const ChainAnalysis chains(f.pattern);

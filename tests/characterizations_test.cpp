@@ -191,5 +191,35 @@ TEST(Characterizations, StrictnessWitnessesExistInRandomSweep) {
   EXPECT_GT(cyclefree_not_rdt, 0);
 }
 
+void expect_same(const CheckResult& a, const CheckResult& b,
+                 const char* label) {
+  EXPECT_EQ(a.ok, b.ok) << label;
+  EXPECT_EQ(a.paths_checked, b.paths_checked) << label;
+  EXPECT_EQ(a.paths_satisfied, b.paths_satisfied) << label;
+  ASSERT_EQ(a.witness.has_value(), b.witness.has_value()) << label;
+  if (a.witness) {
+    EXPECT_EQ(a.witness->from, b.witness->from) << label;
+    EXPECT_EQ(a.witness->to, b.witness->to) << label;
+    EXPECT_EQ(a.witness->junction, b.witness->junction) << label;
+  }
+}
+
+TEST(Characterizations, FusedPassMatchesIndividualCheckers) {
+  // check_junction_families shares per-junction work between the five
+  // families; its per-family counters and first witness must be exactly
+  // what each standalone checker produces.
+  Rng rng(7777);
+  for (int round = 0; round < 60; ++round) {
+    const Pattern p = test::random_pattern(rng, 3, 80);
+    const RdtAnalyses a(p);
+    const JunctionReport fused = check_junction_families(a);
+    expect_same(fused.cm, check_cm_doubled(a), "cm");
+    expect_same(fused.pcm, check_pcm_doubled(a), "pcm");
+    expect_same(fused.mm, check_mm_doubled(a), "mm");
+    expect_same(fused.vcm, check_cm_visibly_doubled(a), "vcm");
+    expect_same(fused.vpcm, check_pcm_visibly_doubled(a), "vpcm");
+  }
+}
+
 }  // namespace
 }  // namespace rdt

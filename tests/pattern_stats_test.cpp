@@ -27,6 +27,11 @@ TEST(PatternStats, Figure1Inventory) {
   EXPECT_EQ(s.hidden_dependencies, 2);
   EXPECT_EQ(s.useless_checkpoints, 0);
   EXPECT_FALSE(s.rdt());
+  // The z-reach junction graph has one edge per junction; Figure 1 is
+  // zigzag-cycle-free, so every message is its own condensation node.
+  EXPECT_EQ(s.zreach_edges, s.causal_junctions + s.noncausal_junctions);
+  EXPECT_EQ(s.zreach_sccs, 7);
+  EXPECT_EQ(s.zreach_largest_scc, 1);
 }
 
 TEST(PatternStats, AgreesWithRdtChecker) {
@@ -38,6 +43,9 @@ TEST(PatternStats, AgreesWithRdtChecker) {
     EXPECT_EQ(s.messages, p.num_messages());
     EXPECT_EQ(s.events, p.total_events());
     EXPECT_EQ(s.checkpoints, p.total_ckpts());
+    EXPECT_EQ(s.zreach_edges, s.causal_junctions + s.noncausal_junctions)
+        << "round " << round;
+    EXPECT_LE(s.zreach_sccs, s.messages);
   }
 }
 
@@ -46,6 +54,10 @@ TEST(PatternStats, DominoIsAllUselessButInitialAndLast) {
   EXPECT_GT(s.useless_checkpoints, 0);
   EXPECT_GT(s.hidden_dependencies, 0);
   EXPECT_FALSE(s.rdt());
+  // Useless checkpoints sit on zigzag cycles, so the junction graph is
+  // cyclic and Tarjan must collapse a non-trivial SCC.
+  EXPECT_GT(s.zreach_largest_scc, 1);
+  EXPECT_LT(s.zreach_sccs, s.messages);
 }
 
 TEST(PatternStats, StreamOutputMentionsEverything) {

@@ -223,12 +223,34 @@ TEST(Runner, SweepAggregatesAcrossSeeds) {
   EXPECT_GT(stats[0].total_messages, 0);
   EXPECT_EQ(stats[0].total_messages, stats[1].total_messages);
   EXPECT_LE(stats[1].total_forced, stats[0].total_forced);
-  const double reduction = forced_reduction_percent(
+  const std::optional<double> reduction = forced_reduction_percent(
       stats, ProtocolKind::kBhmr, ProtocolKind::kFdas);
-  EXPECT_GE(reduction, 0.0);
+  ASSERT_TRUE(reduction.has_value());
+  EXPECT_GE(*reduction, 0.0);
   EXPECT_THROW(
       forced_reduction_percent(stats, ProtocolKind::kCbr, ProtocolKind::kFdas),
       std::invalid_argument);
+}
+
+TEST(Runner, ForcedReductionSignalsUndefinedBaseline) {
+  // Hand-built sweep results: the baseline forced nothing. A protocol that
+  // also forced nothing reduces by 0%; one that forced checkpoints the
+  // baseline avoided has no meaningful percentage (previously this was
+  // silently reported as 0.0 too).
+  std::vector<ProtocolStats> stats(3);
+  stats[0].kind = ProtocolKind::kNoForce;
+  stats[0].total_forced = 0;
+  stats[1].kind = ProtocolKind::kCbr;
+  stats[1].total_forced = 7;
+  stats[2].kind = ProtocolKind::kFdas;
+  stats[2].total_forced = 0;
+
+  EXPECT_EQ(forced_reduction_percent(stats, ProtocolKind::kCbr,
+                                     ProtocolKind::kNoForce),
+            std::nullopt);
+  EXPECT_EQ(forced_reduction_percent(stats, ProtocolKind::kFdas,
+                                     ProtocolKind::kNoForce),
+            std::optional<double>(0.0));
 }
 
 TEST(Replay, ForcedCheckpointInventoryIsExact) {

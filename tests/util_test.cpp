@@ -106,6 +106,44 @@ TEST(BitVector, FindNextScansAllBits) {
   EXPECT_EQ(seen, expected);
 }
 
+TEST(BitVector, FindNextEdgeCases) {
+  // Zero-size vector: any from lands past the end.
+  BitVector none(0);
+  EXPECT_EQ(none.find_next(0), 0u);
+  EXPECT_EQ(none.find_next(5), 0u);
+  // from at or beyond size() returns size() even with bits set.
+  BitVector v(100);
+  v.set(99);
+  EXPECT_EQ(v.find_next(100), 100u);
+  EXPECT_EQ(v.find_next(1000), 100u);
+  // Exact word-multiple size: the last bit sits in the top position of the
+  // last word, with no trailing partial word to mask.
+  BitVector exact(128);
+  exact.set(127);
+  EXPECT_EQ(exact.find_next(0), 127u);
+  EXPECT_EQ(exact.find_next(127), 127u);
+  EXPECT_EQ(exact.find_next(128), 128u);
+  BitVector exact_empty(128);
+  EXPECT_EQ(exact_empty.find_next(64), 128u);
+}
+
+TEST(BitVector, MergeOrsWithoutChangeTracking) {
+  BitVector a(130);
+  BitVector b(130);
+  a.set(0);
+  b.set(0);
+  b.set(129);
+  a.merge(b);
+  EXPECT_TRUE(a.get(0));
+  EXPECT_TRUE(a.get(129));
+  EXPECT_EQ(a.count(), 2u);
+  // Merging again is idempotent, and size mismatches still throw.
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  BitVector small(64);
+  EXPECT_THROW(a.merge(small), std::invalid_argument);
+}
+
 TEST(BitVector, Equality) {
   BitVector a(50);
   BitVector b(50);

@@ -63,13 +63,20 @@ int cmd_render(const Pattern& p) {
 }
 
 int cmd_analyze(const Pattern& p) {
-  const RdtReport report = analyze_rdt(p);
+  // One analysis bundle serves the report, the witness-chain searches and
+  // the engine statistics — nothing is recomputed.
+  const RdtAnalyses analyses(p);
+  const RdtReport report = analyze_rdt(analyses);
   std::cout << report.summary();
+  const ChainAnalysis& chains = analyses.chains();
+  const ChainAnalysis::ZReachStats zs = chains.zreach_stats();
+  std::cout << "z-reach engine: " << zs.edges << " junction edges ("
+            << zs.causal_edges << " causal), " << zs.sccs << " SCCs (largest "
+            << zs.largest_scc << "), sweep " << zs.sweep_ms << " ms\n";
   if (!report.no_z_cycle.ok && report.no_z_cycle.witness) {
     // Exhibit the cycle: a chain leaving after the checkpoint and coming
     // back before it.
     const CkptId c = report.no_z_cycle.witness->from;
-    const ChainAnalysis chains(p);
     for (CkptIndex t = 1; t <= c.index; ++t) {
       const auto cyc = chains.find_chain({c.process, c.index + 1},
                                          {c.process, t});
@@ -85,7 +92,6 @@ int cmd_analyze(const Pattern& p) {
     const RdtViolation& v = *report.definitional.witness;
     // Exhibit an untracked chain for the first violation, if the endpoints
     // admit one with exact interval endpoints.
-    const ChainAnalysis chains(p);
     for (CkptIndex s = std::max<CkptIndex>(v.from.index, 1);
          s <= p.last_ckpt(v.from.process); ++s) {
       for (CkptIndex t = 1; t <= v.to.index; ++t) {
