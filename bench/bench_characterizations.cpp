@@ -71,9 +71,10 @@ void cost_sweep() {
       const auto t0 = Clock::now();
       const auto r = checker(analyses);
       (void)r;
-      return std::chrono::duration_cast<std::chrono::microseconds>(
-                 Clock::now() - t0)
-                 .count() /
+      return static_cast<double>(
+                 std::chrono::duration_cast<std::chrono::microseconds>(
+                     Clock::now() - t0)
+                     .count()) /
              1000.0;
     };
     // Build the closure once up front so DEF's figure includes it.

@@ -1,0 +1,107 @@
+#include "ccp/audit.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+void audit_pattern(const Pattern& p) {
+  if constexpr (!kAuditsEnabled) return;
+
+  // Checkpoint events: positions strictly increasing, event kinds and
+  // indices matching, intervals correctly ordered.
+  for (ProcessId i = 0; i < p.num_processes(); ++i) {
+    EventIndex prev = -1;
+    for (CkptIndex x = 1; x <= p.last_ckpt(i); ++x) {
+      const EventIndex pos = p.ckpt_pos(i, x);
+      RDT_AUDIT(pos > prev, "checkpoint positions must be strictly increasing");
+      const Event& ev = p.event(i, pos);
+      RDT_AUDIT(ev.kind == EventKind::kCheckpoint,
+                "ckpt_pos must point at a checkpoint event");
+      RDT_AUDIT(ev.ckpt == x, "checkpoint event carries the wrong index");
+      const auto [first, last] = p.interval_span(i, x);
+      RDT_AUDIT(first == prev + 1 && last == pos,
+                "interval span disagrees with checkpoint positions");
+      prev = pos;
+    }
+    // Interval assignment: an event after x checkpoints lives in I_{i,x+1}.
+    CkptIndex seen = 0;
+    for (EventIndex pos = 0; pos < p.num_events(i); ++pos) {
+      const Event& ev = p.event(i, pos);
+      if (ev.kind == EventKind::kCheckpoint)
+        ++seen;
+      else
+        RDT_AUDIT(ev.interval == seen + 1,
+                  "event interval disagrees with preceding checkpoint count");
+    }
+    RDT_AUDIT(seen == p.last_ckpt(i),
+              "checkpoint count disagrees with last_ckpt");
+  }
+
+  // Messages: endpoints exist, kinds match, intervals match the events.
+  for (const Message& m : p.messages()) {
+    RDT_AUDIT(m.sender != m.receiver, "channels connect distinct processes");
+    const Event& s = p.event(m.sender, m.send_pos);
+    const Event& d = p.event(m.receiver, m.deliver_pos);
+    RDT_AUDIT(s.kind == EventKind::kSend && s.msg == m.id,
+              "message send endpoint dangles");
+    RDT_AUDIT(d.kind == EventKind::kDeliver && d.msg == m.id,
+              "message delivery endpoint dangles");
+    RDT_AUDIT(m.send_interval == s.interval && m.deliver_interval == d.interval,
+              "message interval indices disagree with its events");
+    RDT_AUDIT(p.happened_before(m.send_event(), m.deliver_event()),
+              "a send must happen before its delivery");
+  }
+
+  // Topological order: a permutation of all events that respects program
+  // order and send-before-delivery.
+  const auto& topo = p.topological_order();
+  RDT_AUDIT(static_cast<int>(topo.size()) == p.total_events(),
+            "topological order must cover every event exactly once");
+  std::vector<std::vector<char>> seen_event(
+      static_cast<std::size_t>(p.num_processes()));
+  for (ProcessId i = 0; i < p.num_processes(); ++i)
+    seen_event[static_cast<std::size_t>(i)].assign(
+        static_cast<std::size_t>(p.num_events(i)), 0);
+  std::vector<EventIndex> next_pos(static_cast<std::size_t>(p.num_processes()), 0);
+  std::vector<char> sent(static_cast<std::size_t>(p.num_messages()), 0);
+  for (const EventRef& e : topo) {
+    auto& flag = seen_event[static_cast<std::size_t>(e.process)]
+                           [static_cast<std::size_t>(e.pos)];
+    RDT_AUDIT(flag == 0, "topological order repeats an event");
+    flag = 1;
+    RDT_AUDIT(e.pos == next_pos[static_cast<std::size_t>(e.process)]++,
+              "topological order violates program order");
+    const Event& ev = p.event(e);
+    if (ev.kind == EventKind::kSend) sent[static_cast<std::size_t>(ev.msg)] = 1;
+    if (ev.kind == EventKind::kDeliver)
+      RDT_AUDIT(sent[static_cast<std::size_t>(ev.msg)] == 1,
+                "topological order delivers a message before its send");
+  }
+
+  // Dense node numbering is a bijection over all checkpoints.
+  int node = 0;
+  for (ProcessId i = 0; i < p.num_processes(); ++i)
+    for (CkptIndex x = 0; x <= p.last_ckpt(i); ++x, ++node) {
+      RDT_AUDIT(p.node_id({i, x}) == node, "node numbering must be dense");
+      const CkptId back = p.node_ckpt(node);
+      RDT_AUDIT(back.process == i && back.index == x,
+                "node_ckpt must invert node_id");
+    }
+  RDT_AUDIT(node == p.total_ckpts(), "total_ckpts disagrees with node numbering");
+}
+
+void audit_consistent_global_ckpt(const Pattern& p, const GlobalCkpt& g,
+                                  const char* what) {
+  if constexpr (!kAuditsEnabled) return;
+  validate(p, g);
+  const std::vector<MsgId> orphans = orphan_messages(p, g);
+  RDT_AUDIT(orphans.empty(), std::string(what) + " must be a consistent global "
+                                 "checkpoint but leaves " +
+                                 std::to_string(orphans.size()) +
+                                 " orphan message(s)");
+}
+
+}  // namespace rdt

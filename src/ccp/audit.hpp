@@ -1,0 +1,30 @@
+// Audit-tier (RDT_AUDIT) cross-validation entry points for the ccp layer.
+//
+// Every function here is a no-op unless the build enables the expensive
+// audit tier (cmake -DRDT_AUDITS=ON, which defines RDT_AUDITS); when enabled
+// a violated invariant throws rdt::audit_failure. The functions are always
+// compiled and always callable, so tests can exercise them directly and
+// skip themselves when rdt::audits_enabled() is false.
+#pragma once
+
+#include "ccp/consistency.hpp"
+#include "ccp/pattern.hpp"
+
+namespace rdt {
+
+// Full structural re-validation of a finalized Pattern: checkpoint event
+// positions strictly increasing with matching indices, interval assignment
+// consistent with checkpoint counts, message endpoints well-formed (kinds,
+// positions, intervals), the cached topological order a happened-before-
+// consistent permutation of all events, and the dense node numbering a
+// bijection. O(events * processes); called by PatternBuilder::build() when
+// audits are on.
+void audit_pattern(const Pattern& p);
+
+// Checks that `g` is a consistent global checkpoint of `p` (Definition 2.2,
+// re-derived from orphan_messages rather than trusting the caller). `what`
+// names the value being audited in the failure message.
+void audit_consistent_global_ckpt(const Pattern& p, const GlobalCkpt& g,
+                                  const char* what);
+
+}  // namespace rdt

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "ccp/audit.hpp"
 #include "util/check.hpp"
 
 namespace rdt {
@@ -144,6 +145,8 @@ Pattern PatternBuilder::build(FinalCkpts policy) {
     m.deliver_interval = p.event(m.receiver, m.deliver_pos).interval;
     RDT_ASSERT(m.send_interval >= 1 && m.deliver_interval >= 1);
   }
+
+  if constexpr (kAuditsEnabled) audit_pattern(p);
 
   return p;
 }

@@ -1,5 +1,6 @@
 #include "ccp/pattern.hpp"
 
+#include <algorithm>
 #include <ostream>
 
 #include "util/check.hpp"
@@ -58,6 +59,8 @@ std::pair<EventIndex, EventIndex> Pattern::interval_span(ProcessId p, CkptIndex 
   RDT_REQUIRE(x >= 1 && x <= last_ckpt(p), "interval index out of range");
   const EventIndex first = ckpt_pos(p, x - 1) + 1;
   const EventIndex last = ckpt_pos(p, x);  // position of the closing checkpoint
+  RDT_CHECK(first >= 0 && first <= last,
+            "interval bounds out of order — checkpoint positions not increasing");
   return {first, last};
 }
 
@@ -70,9 +73,11 @@ int Pattern::node_id(const CkptId& c) const {
 
 CkptId Pattern::node_ckpt(int node) const {
   RDT_REQUIRE(node >= 0 && node < total_ckpts_, "node id out of range");
-  // node_offset_ is increasing; linear scan is fine for the small n here.
-  ProcessId p = num_processes() - 1;
-  while (node_offset_[static_cast<std::size_t>(p)] > node) --p;
+  // node_offset_ is strictly increasing: the owning process is the last one
+  // whose offset is <= node. (A linear scan here is quadratic over all nodes
+  // — visible once a pattern has very many processes.)
+  const auto it = std::upper_bound(node_offset_.begin(), node_offset_.end(), node);
+  const auto p = static_cast<ProcessId>(it - node_offset_.begin() - 1);
   return {p, node - node_offset_[static_cast<std::size_t>(p)]};
 }
 

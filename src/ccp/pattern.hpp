@@ -31,6 +31,10 @@
 
 namespace rdt {
 
+namespace testing_internal {
+struct PatternCorrupter;
+}  // namespace testing_internal
+
 enum class EventKind { kInternal, kSend, kDeliver, kCheckpoint };
 
 std::ostream& operator<<(std::ostream& os, EventKind kind);
@@ -118,6 +122,9 @@ class Pattern {
 
  private:
   friend class PatternBuilder;
+  // Test-only backdoor: the audit tests deliberately corrupt private state
+  // to prove that audit_pattern() catches it. Never used by library code.
+  friend struct testing_internal::PatternCorrupter;
 
   // Vector clocks depend only on the immutable event structure, so copies of
   // a Pattern share one cache. call_once makes the lazy build safe when one

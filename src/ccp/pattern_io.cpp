@@ -46,6 +46,17 @@ Pattern read_pattern(std::istream& is) {
     throw std::invalid_argument("pattern parse error at line " +
                                 std::to_string(line_no) + ": " + what);
   };
+  // Attach the current line number to PatternBuilder precondition failures
+  // (out-of-range process, self-send, re-delivery, ...) so a malformed file
+  // is diagnosed like any other parse error.
+  auto guarded = [&](auto&& fn) -> decltype(fn()) {
+    try {
+      return fn();
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+      throw;  // unreachable: fail() always throws
+    }
+  };
 
   while (std::getline(is, line)) {
     ++line_no;
@@ -59,6 +70,9 @@ Pattern read_pattern(std::istream& is) {
     if (word == "processes") {
       if (builder) fail("duplicate 'processes' directive");
       if (!(ls >> n) || n < 1) fail("invalid process count");
+      // Bound up-front allocation: untrusted input must not be able to
+      // request gigabytes via a giant process count.
+      if (n > kMaxIoProcesses) fail("process count exceeds the format limit");
       builder = std::make_unique<PatternBuilder>(n);
       continue;
     }
@@ -69,27 +83,32 @@ Pattern read_pattern(std::istream& is) {
       ProcessId from, to;
       if (!(ls >> id >> from >> to)) fail("send needs <id> <from> <to>");
       if (id_map.contains(id)) fail("duplicate message id");
-      id_map[id] = builder->send(from, to);
+      id_map[id] = guarded([&] { return builder->send(from, to); });
     } else if (word == "deliver") {
       MsgId id;
       if (!(ls >> id)) fail("deliver needs <id>");
       const auto it = id_map.find(id);
       if (it == id_map.end()) fail("delivery of unknown message");
-      builder->deliver(it->second);
+      guarded([&] { builder->deliver(it->second); });
     } else if (word == "internal") {
       ProcessId pid;
       if (!(ls >> pid)) fail("internal needs <process>");
-      builder->internal(pid);
+      guarded([&] { builder->internal(pid); });
     } else if (word == "checkpoint") {
       ProcessId pid;
       if (!(ls >> pid)) fail("checkpoint needs <process>");
-      builder->checkpoint(pid);
+      guarded([&] { builder->checkpoint(pid); });
     } else {
       fail("unknown directive '" + word + "'");
     }
   }
   if (!builder) throw std::invalid_argument("pattern parse error: empty input");
-  return builder->build();
+  try {
+    return builder->build();
+  } catch (const std::invalid_argument& e) {
+    // Undelivered messages or a causal cycle only surface at build time.
+    throw std::invalid_argument(std::string("pattern parse error: ") + e.what());
+  }
 }
 
 std::string pattern_to_string(const Pattern& p) {

@@ -21,6 +21,11 @@
 
 namespace rdt {
 
+// Upper bound on the process count a file may declare: the parser handles
+// untrusted input, and a giant count would otherwise force a giant
+// allocation before any event is read.
+inline constexpr int kMaxIoProcesses = 1 << 20;
+
 // Writes p to os in the line format above.
 void write_pattern(std::ostream& os, const Pattern& p);
 

@@ -110,6 +110,16 @@ ChainAnalysis::ChainAnalysis(const Pattern& pattern) : pattern_(&pattern) {
     causal_edges_ +=
         static_cast<long long>(sends.size() - succ_causal_begin_[id]);
   }
+
+  if constexpr (kAuditsEnabled) {
+    // Every recorded non-causal junction must satisfy its own definition.
+    for (const NonCausalJunction& j : noncausal_) {
+      RDT_AUDIT(noncausal_junction(j.incoming, j.outgoing),
+                "recorded non-causal junction violates Definition 3.1");
+      RDT_AUDIT(pattern.message(j.incoming).receiver == j.at,
+                "non-causal junction recorded at the wrong process");
+    }
+  }
 }
 
 bool ChainAnalysis::junction(MsgId a, MsgId b) const {
@@ -270,6 +280,45 @@ void ChainAnalysis::build_zreach(bool causal_only) const {
       std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
           std::chrono::steady_clock::now() - t0)
           .count();
+
+  if constexpr (kAuditsEnabled) {
+    // Cross-validate the condensed reachability table against find_chain's
+    // independent BFS over the CSR adjacency, for every interval pair. The
+    // table is read directly (not through zreach(), whose call_once we are
+    // inside). Bounded to small patterns: the sweep is quadratic in the
+    // checkpoint count.
+    if (pattern_->total_ckpts() <= 64 && msgs <= 256) {
+      const auto table_says = [&](const IntervalId& from, const IntervalId& to) {
+        const auto target =
+            static_cast<std::size_t>(pattern_->node_id({to.process, to.index}));
+        const auto& sends =
+            sends_by_proc_[static_cast<std::size_t>(from.process)];
+        const auto lo = std::partition_point(
+            sends.begin(), sends.end(), [&](MsgId s) {
+              return pattern_->message(s).send_interval < from.index;
+            });
+        for (auto it = lo; it != sends.end() &&
+                           pattern_->message(*it).send_interval == from.index;
+             ++it)
+          if (table.rows[static_cast<std::size_t>(
+                             table.comp[static_cast<std::size_t>(*it)])]
+                  .get(target))
+            return true;
+        return false;
+      };
+      for (ProcessId k = 0; k < pattern_->num_processes(); ++k)
+        for (CkptIndex z = 1; z <= pattern_->last_ckpt(k); ++z)
+          for (ProcessId j = 0; j < pattern_->num_processes(); ++j)
+            for (CkptIndex y = 1; y <= pattern_->last_ckpt(j); ++y) {
+              const IntervalId from{k, z};
+              const IntervalId to{j, y};
+              RDT_AUDIT(table_says(from, to) ==
+                            find_chain(from, to, causal_only).has_value(),
+                        "SCC-condensed Z-path reachability disagrees with the "
+                        "BFS witness search");
+            }
+    }
+  }
 }
 
 const ChainAnalysis::ZReachTable& ChainAnalysis::zreach(bool causal_only) const {

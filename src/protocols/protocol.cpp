@@ -68,6 +68,8 @@ Piggyback CicProtocol::on_send(ProcessId dest) {
   Piggyback out;
   if (transmits_tdv()) out.tdv = tdv_;
   fill_payload(out);
+  RDT_CHECK(static_cast<int>(out.tdv.size()) == (transmits_tdv() ? n_ : 0),
+            "outgoing piggyback TDV size disagrees with the transmit mode");
   return out;
 }
 
@@ -75,14 +77,19 @@ void CicProtocol::on_deliver(const Piggyback& msg, ProcessId sender) {
   RDT_REQUIRE(sender >= 0 && sender < n_ && sender != self_, "bad sender");
   RDT_REQUIRE(static_cast<int>(msg.tdv.size()) == (transmits_tdv() ? n_ : 0),
               "piggyback size mismatch");
+  Tdv before;
+  if constexpr (kAuditsEnabled) before = tdv_;
   // Subclasses merge their extra control data first: the Figure 6 rules
   // compare m.TDV against the *pre-merge* TDV_i.
   merge_payload(msg, sender);
   for (std::size_t k = 0; k < msg.tdv.size(); ++k)
     tdv_[k] = std::max(tdv_[k], msg.tdv[k]);
+  if constexpr (kAuditsEnabled) audit_tdv_merge(before, msg.tdv, tdv_);
 }
 
 void CicProtocol::take_checkpoint(bool forced) {
+  RDT_CHECK(static_cast<CkptIndex>(saved_.size()) == current_interval(),
+            "saved-TDV history must have exactly one entry per past interval");
   saved_.push_back(tdv_);
   ++tdv_[static_cast<std::size_t>(self_)];
   sent_to_.reset();
@@ -113,6 +120,21 @@ std::size_t CicProtocol::piggyback_bits() const {
   if (transmits_tdv()) out.tdv = tdv_;
   fill_payload(out);
   return out.wire_bits();
+}
+
+void audit_tdv_merge(const Tdv& before, const Tdv& piggyback, const Tdv& after) {
+  if constexpr (!kAuditsEnabled) return;
+  RDT_AUDIT(after.size() == before.size(),
+            "a TDV merge must not change the vector length");
+  RDT_AUDIT(piggyback.empty() || piggyback.size() == before.size(),
+            "piggybacked TDV length disagrees with the local vector");
+  for (std::size_t k = 0; k < after.size(); ++k) {
+    RDT_AUDIT(after[k] >= before[k],
+              "TDV monotonicity violated: a delivery lowered a dependency");
+    if (!piggyback.empty())
+      RDT_AUDIT(after[k] >= piggyback[k],
+                "TDV merge dropped a piggybacked dependency");
+  }
 }
 
 std::unique_ptr<CicProtocol> make_protocol(ProtocolKind kind, int num_processes,

@@ -128,4 +128,12 @@ class CicProtocol {
 std::unique_ptr<CicProtocol> make_protocol(ProtocolKind kind, int num_processes,
                                            ProcessId self);
 
+// Audit-tier (RDT_AUDIT) check of one TDV merge step: `after` must dominate
+// both `before` (a delivery never forgets a dependency) and the piggybacked
+// vector (a delivery absorbs every transmitted dependency), componentwise.
+// `piggyback` may be empty for protocols that do not transmit TDVs. No-op
+// unless the build defines RDT_AUDITS; run by CicProtocol::on_deliver after
+// every merge in audit builds.
+void audit_tdv_merge(const Tdv& before, const Tdv& piggyback, const Tdv& after);
+
 }  // namespace rdt

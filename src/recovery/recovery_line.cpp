@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ccp/audit.hpp"
 #include "core/global_checkpoint.hpp"
 #include "rgraph/rgraph.hpp"
 #include "util/check.hpp"
@@ -36,6 +37,7 @@ RecoveryOutcome recover_after_failure(const Pattern& p, ProcessId failed) {
           out.worst_fraction, static_cast<double>(lost) /
                                   static_cast<double>(upper.indices[idx]));
   }
+  if constexpr (kAuditsEnabled) audit_recovery_line(p, upper, out.line);
   return out;
 }
 
@@ -65,6 +67,20 @@ GlobalCkpt recovery_line_rgraph(const Pattern& p, const GlobalCkpt& upper) {
     RDT_ASSERT(line.indices[idx] >= 0);  // C_{j,0} can never be invalidated
   }
   return line;
+}
+
+void audit_recovery_line(const Pattern& p, const GlobalCkpt& upper,
+                         const GlobalCkpt& line) {
+  if constexpr (!kAuditsEnabled) return;
+  validate(p, upper);
+  validate(p, line);
+  RDT_AUDIT(leq(line, upper), "recovery line exceeds the rollback bound");
+  audit_consistent_global_ckpt(p, line, "the recovery line");
+  // The orphan-repair fixpoint and Wang's R-graph rollback propagation are
+  // independent algorithms for the same lattice maximum; they must agree.
+  RDT_AUDIT(line == recovery_line_rgraph(p, upper),
+            "orphan-repair fixpoint and R-graph rollback propagation disagree "
+            "on the recovery line");
 }
 
 }  // namespace rdt

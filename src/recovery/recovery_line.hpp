@@ -45,4 +45,12 @@ RecoveryOutcome recover_after_failure(const Pattern& p, ProcessId failed);
 // cross-validate the fixpoint and as the textbook algorithm).
 GlobalCkpt recovery_line_rgraph(const Pattern& p, const GlobalCkpt& upper);
 
+// Audit-tier (RDT_AUDIT) cross-validation of a recovery-line fixpoint
+// result: `line` must be componentwise <= `upper`, consistent (no orphan
+// messages), and equal to the independent R-graph rollback propagation.
+// No-op unless the build defines RDT_AUDITS; run by recover_after_failure
+// in audit builds. A deliberately corrupted line throws rdt::audit_failure.
+void audit_recovery_line(const Pattern& p, const GlobalCkpt& upper,
+                         const GlobalCkpt& line);
+
 }  // namespace rdt

@@ -1,6 +1,7 @@
 #include "rgraph/reachability.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -38,6 +39,43 @@ ReachabilityClosure::ReachabilityClosure(const RGraph& graph) : graph_(&graph) {
     for (const auto& [u, v] : msg_edges)
       if (from_a.get(static_cast<std::size_t>(u)))
         out.or_with(reach_.row(static_cast<std::size_t>(v)));
+  }
+
+  if constexpr (kAuditsEnabled) audit_reachability_closure(*this);
+}
+
+void audit_reachability_closure(const ReachabilityClosure& closure) {
+  if constexpr (!kAuditsEnabled) return;
+  const RGraph& graph = closure.graph();
+  const Pattern& p = graph.pattern();
+  const auto nodes = static_cast<std::size_t>(graph.num_nodes());
+
+  // reach: each Warshall row must equal an independent BFS from the node.
+  std::vector<BitVector> bfs_rows(nodes);
+  for (std::size_t u = 0; u < nodes; ++u) {
+    bfs_rows[u] = graph.reachable_from(static_cast<int>(u));
+    RDT_AUDIT(closure.reach_row(static_cast<int>(u)) == bfs_rows[u],
+              "Warshall reach closure disagrees with BFS at node " +
+                  std::to_string(u));
+  }
+
+  // msg_reach: re-derive from the BFS rows — msg_reach(a, b) iff some
+  // message edge (u, v) has bfs(a, u) and bfs(v, b).
+  std::vector<std::pair<int, int>> msg_edges;
+  msg_edges.reserve(p.messages().size());
+  for (const Message& m : p.messages())
+    msg_edges.emplace_back(p.node_id({m.sender, m.send_interval}),
+                           p.node_id({m.receiver, m.deliver_interval}));
+  std::sort(msg_edges.begin(), msg_edges.end());
+  msg_edges.erase(std::unique(msg_edges.begin(), msg_edges.end()), msg_edges.end());
+  for (std::size_t a = 0; a < nodes; ++a) {
+    BitVector expect(nodes);
+    for (const auto& [u, v] : msg_edges)
+      if (bfs_rows[a].get(static_cast<std::size_t>(u)))
+        expect.or_with(bfs_rows[static_cast<std::size_t>(v)]);
+    RDT_AUDIT(closure.msg_reach_row(static_cast<int>(a)) == expect,
+              "msg_reach closure disagrees with BFS re-derivation at node " +
+                  std::to_string(a));
   }
 }
 

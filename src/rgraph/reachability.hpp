@@ -45,4 +45,12 @@ class ReachabilityClosure {
   BitMatrix msg_reach_;  // closure restricted to paths using a message edge
 };
 
+// Audit-tier (RDT_AUDIT) cross-validation: re-derives both closures from
+// independent per-node BFS sweeps over the R-graph and compares them to the
+// word-parallel Warshall result row by row. No-op unless the build defines
+// RDT_AUDITS; a mismatch throws rdt::audit_failure. O(V * (V + E)). Also
+// invoked automatically by the ReachabilityClosure constructor in audit
+// builds.
+void audit_reachability_closure(const ReachabilityClosure& closure);
+
 }  // namespace rdt

@@ -1,12 +1,55 @@
 #include "sim/replay.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
+#include "ccp/audit.hpp"
 #include "ccp/builder.hpp"
+#include "core/tdv.hpp"
 #include "util/check.hpp"
 
 namespace rdt {
+
+namespace {
+
+// Audit-tier postconditions over a finished replay: the TDVs the protocol
+// instances saved on the fly must equal the offline TdvAnalysis replay of
+// the materialized pattern, and — for the RDT-ensuring protocols — every
+// saved vector, read as the minimum global checkpoint of Corollary 4.5,
+// must be consistent (the no-orphan postcondition).
+void audit_replay_postconditions(const ReplayResult& result) {
+  if constexpr (!kAuditsEnabled) return;
+  const bool any_tdvs =
+      std::any_of(result.saved_tdvs.begin(), result.saved_tdvs.end(),
+                  [](const std::vector<Tdv>& row) { return !row.empty(); });
+  if (!any_tdvs) return;
+
+  const Pattern& p = result.pattern;
+  const TdvAnalysis offline(p);
+  const auto& rdt_kinds = rdt_protocol_kinds();
+  const bool ensures_rdt =
+      std::find(rdt_kinds.begin(), rdt_kinds.end(), result.kind) !=
+      rdt_kinds.end();
+
+  for (ProcessId i = 0; i < p.num_processes(); ++i) {
+    const auto& row = result.saved_tdvs[static_cast<std::size_t>(i)];
+    for (std::size_t x = 0; x < row.size(); ++x) {
+      const CkptId c{i, static_cast<CkptIndex>(x)};
+      RDT_AUDIT(row[x] == offline.at_ckpt(c),
+                "protocol-saved TDV disagrees with the offline TdvAnalysis");
+      if (ensures_rdt) {
+        GlobalCkpt g;
+        g.indices = row[x];
+        g.indices[static_cast<std::size_t>(i)] = c.index;
+        audit_consistent_global_ckpt(
+            p, g, "a saved TDV of an RDT-ensuring protocol (Corollary 4.5)");
+      }
+    }
+  }
+}
+
+}  // namespace
 
 ReplayResult replay(const Trace& trace, ProtocolKind kind) {
   RDT_REQUIRE(trace.num_processes >= 1, "empty trace");
@@ -75,6 +118,7 @@ ReplayResult replay(const Trace& trace, ProtocolKind kind) {
         row.push_back(p.saved_tdv(x));
     }
   }
+  if constexpr (kAuditsEnabled) audit_replay_postconditions(result);
   return result;
 }
 

@@ -1,5 +1,6 @@
 #include "sim/trace_io.hpp"
 
+#include <cmath>
 #include <iomanip>
 #include <memory>
 #include <ostream>
@@ -38,6 +39,16 @@ Trace read_trace(std::istream& is) {
     throw std::invalid_argument("trace parse error at line " +
                                 std::to_string(line_no) + ": " + what);
   };
+  // Attach the current line number to TraceBuilder precondition failures
+  // (out-of-range process, self-send, delivery before send, ...).
+  auto guarded = [&](auto&& fn) -> decltype(fn()) {
+    try {
+      return fn();
+    } catch (const std::invalid_argument& e) {
+      fail(e.what());
+      throw;  // unreachable: fail() always throws
+    }
+  };
 
   while (std::getline(is, line)) {
     ++line_no;
@@ -50,6 +61,7 @@ Trace read_trace(std::istream& is) {
       if (builder) fail("duplicate 'trace' directive");
       int n = 0;
       if (!(ls >> n) || n < 1) fail("invalid process count");
+      if (n > kMaxTraceIoProcesses) fail("process count exceeds the format limit");
       builder = std::make_unique<TraceBuilder>(n);
       continue;
     }
@@ -59,12 +71,17 @@ Trace read_trace(std::istream& is) {
       ProcessId from = -1, to = -1;
       if (!(ls >> send_t >> deliver_t >> from >> to))
         fail("msg needs <send-t> <deliver-t> <from> <to>");
-      builder->send(from, to, send_t, deliver_t);
+      // Non-finite times would poison the builder's sort comparator (NaNs
+      // break strict weak ordering) — reject them at the boundary.
+      if (!std::isfinite(send_t) || !std::isfinite(deliver_t))
+        fail("message times must be finite");
+      guarded([&] { builder->send(from, to, send_t, deliver_t); });
     } else if (word == "ckpt") {
       double t = 0;
       ProcessId p = -1;
       if (!(ls >> t >> p)) fail("ckpt needs <time> <process>");
-      builder->basic_ckpt(p, t);
+      if (!std::isfinite(t)) fail("checkpoint time must be finite");
+      guarded([&] { builder->basic_ckpt(p, t); });
     } else {
       fail("unknown directive '" + word + "'");
     }

@@ -16,7 +16,14 @@
 
 namespace rdt {
 
+// Upper bound on the process count a file may declare (untrusted input must
+// not trigger a giant allocation up-front).
+inline constexpr int kMaxTraceIoProcesses = 1 << 20;
+
 void write_trace(std::ostream& os, const Trace& trace);
+
+// Parses the line format; throws std::invalid_argument on malformed input
+// (unknown directives, out-of-range ids or processes, non-finite times, ...).
 Trace read_trace(std::istream& is);
 
 std::string trace_to_string(const Trace& trace);

@@ -1,9 +1,25 @@
-// Lightweight precondition / invariant checking for librdt.
+// Tiered precondition / invariant checking for librdt.
 //
-// RDT_REQUIRE is used to validate arguments at public API boundaries; it
-// throws std::invalid_argument so callers can react. RDT_ASSERT guards
-// internal invariants and throws std::logic_error: a failure indicates a bug
-// in librdt itself, never bad user input.
+// Four tiers, from caller-facing to paranoid:
+//  * RDT_REQUIRE(expr, msg) — validates arguments at public API boundaries;
+//    throws std::invalid_argument so callers can react. Always on.
+//  * RDT_ASSERT(expr) — guards internal invariants and throws
+//    std::logic_error: a failure indicates a bug in librdt itself, never bad
+//    user input. Always on.
+//  * RDT_CHECK(expr, msg) — cheap contract checks at mutation points (index
+//    bounds, interval ordering, piggyback vector sizes). Always on, O(1) or
+//    O(n) in the touched data; throws rdt::contract_violation (a
+//    std::logic_error) with the message.
+//  * RDT_AUDIT(expr, msg) — expensive cross-validation (R-graph/zigzag
+//    closure agreement, TDV monotonicity per delivery, no-orphan
+//    postconditions). Compiled to a no-op unless the build defines
+//    RDT_AUDITS (cmake -DRDT_AUDITS=ON); when enabled a failure throws
+//    rdt::audit_failure. The guarded expression is still type-checked in
+//    every build so audit code cannot bit-rot.
+//
+// Audit-only blocks (recomputations too large for a single expression) are
+// written as `if constexpr (rdt::kAuditsEnabled) { ... }` so both branches
+// always compile and the disabled one folds away.
 #pragma once
 
 #include <sstream>
@@ -11,6 +27,29 @@
 #include <string>
 
 namespace rdt {
+
+// Thrown by RDT_CHECK: a cheap always-on contract at a mutation point was
+// violated — a bug in librdt or in code mutating its state.
+class contract_violation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+// Thrown by RDT_AUDIT (only in -DRDT_AUDITS=ON builds): an expensive
+// cross-validation of independently computed results disagreed.
+class audit_failure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+#ifdef RDT_AUDITS
+inline constexpr bool kAuditsEnabled = true;
+#else
+inline constexpr bool kAuditsEnabled = false;
+#endif
+
+// Runtime query, e.g. for tests that must skip when audits are compiled out.
+constexpr bool audits_enabled() { return kAuditsEnabled; }
 
 namespace detail {
 
@@ -29,6 +68,24 @@ namespace detail {
   throw std::logic_error(os.str());
 }
 
+[[noreturn]] inline void throw_check(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  os << " — this is a bug in librdt, please report it";
+  throw contract_violation(os.str());
+}
+
+[[noreturn]] inline void throw_audit(const char* expr, const char* file, int line,
+                                     const std::string& msg) {
+  std::ostringstream os;
+  os << "audit failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  os << " — independently computed results disagree; this is a bug in librdt";
+  throw audit_failure(os.str());
+}
+
 }  // namespace detail
 
 }  // namespace rdt
@@ -41,4 +98,16 @@ namespace detail {
 #define RDT_ASSERT(expr)                                                    \
   do {                                                                      \
     if (!(expr)) ::rdt::detail::throw_assert(#expr, __FILE__, __LINE__);    \
+  } while (false)
+
+#define RDT_CHECK(expr, msg)                                                \
+  do {                                                                      \
+    if (!(expr)) ::rdt::detail::throw_check(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define RDT_AUDIT(expr, msg)                                                \
+  do {                                                                      \
+    if constexpr (::rdt::kAuditsEnabled) {                                  \
+      if (!(expr)) ::rdt::detail::throw_audit(#expr, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
   } while (false)

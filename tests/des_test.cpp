@@ -146,9 +146,9 @@ INSTANTIATE_TEST_SUITE_P(
     Apps, DesEnforcement,
     ::testing::Combine(::testing::ValuesIn(rdt_protocol_kinds()),
                        ::testing::Values(0, 1, 2)),
-    [](const auto& info) {
-      std::string name = to_string(std::get<0>(info.param)) + "_app" +
-                         std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      std::string name = to_string(std::get<0>(param_info.param)) + "_app" +
+                         std::to_string(std::get<1>(param_info.param));
       for (char& c : name)
         if (c == '-') c = '_';
       return name;

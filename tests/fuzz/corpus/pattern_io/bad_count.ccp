@@ -1,0 +1,1 @@
+processes 0

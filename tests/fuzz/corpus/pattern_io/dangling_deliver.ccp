@@ -1,0 +1,2 @@
+processes 2
+deliver 7

@@ -1,0 +1,20 @@
+# Three rounds of the classic domino-effect ping-pong (see src/recovery/domino.hpp).
+processes 2
+send 0 0 1
+deliver 0
+checkpoint 1
+send 1 1 0
+deliver 1
+checkpoint 0
+send 2 0 1
+deliver 2
+checkpoint 1
+send 3 1 0
+deliver 3
+checkpoint 0
+send 4 0 1
+deliver 4
+checkpoint 1
+send 5 1 0
+deliver 5
+checkpoint 0

@@ -1,0 +1,4 @@
+processes 2
+send 0 0 1
+deliver 0
+deliver 0

@@ -1,0 +1,27 @@
+# (see pattern_io.hpp for the format)
+# The checkpoint-and-communication pattern of the paper's Figure 1.
+# Processes: 0 = P_i, 1 = P_j, 2 = P_k. Messages 0..6 = m1, m3, m2, m5, m4, m6, m7.
+processes 3
+send 0 0 1
+send 1 2 1
+deliver 0
+send 2 1 0
+deliver 1
+checkpoint 0
+checkpoint 1
+checkpoint 2
+deliver 2
+checkpoint 0
+send 3 0 1
+send 4 1 2
+deliver 3
+send 5 1 2
+checkpoint 1
+deliver 4
+deliver 5
+send 6 2 1
+checkpoint 2
+checkpoint 0
+deliver 6
+checkpoint 1
+checkpoint 2

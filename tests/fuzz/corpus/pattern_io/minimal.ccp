@@ -1,0 +1,2 @@
+processes 1
+checkpoint 0

@@ -1,0 +1,1 @@
+send 0 0 1

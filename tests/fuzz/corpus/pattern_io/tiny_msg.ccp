@@ -1,0 +1,5 @@
+processes 2
+send 0 0 1
+deliver 0
+internal 1
+checkpoint 1

@@ -1,0 +1,2 @@
+processes 2
+send 0 0

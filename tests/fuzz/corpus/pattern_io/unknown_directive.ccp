@@ -1,0 +1,2 @@
+processes 2
+frobnicate 1

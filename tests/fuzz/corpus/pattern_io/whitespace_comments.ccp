@@ -1,0 +1,5 @@
+# just a comment
+processes 2
+
+  send 0 0 1
+ deliver 0 # trailing

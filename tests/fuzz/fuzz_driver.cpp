@@ -1,0 +1,58 @@
+// Standalone replay driver for the fuzz harnesses, used when libFuzzer is
+// unavailable (GCC builds, or -DRDT_FUZZERS=OFF). Feeds every file given on
+// the command line — directories are walked recursively — through
+// LLVMFuzzerTestOneInput, so the checked-in corpus doubles as a regression
+// suite that ctest runs on every toolchain.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+std::vector<std::uint8_t> slurp(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+int run_one(const std::filesystem::path& path) {
+  const std::vector<std::uint8_t> bytes = slurp(path);
+  std::printf("replay %s (%zu bytes)\n", path.string().c_str(), bytes.size());
+  std::fflush(stdout);
+  // A crash or uncaught exception aborts the process here, which is exactly
+  // the failure signal ctest needs.
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  long long replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path root(argv[i]);
+    if (std::filesystem::is_directory(root)) {
+      for (const auto& entry : std::filesystem::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file()) continue;
+        run_one(entry.path());
+        ++replayed;
+      }
+    } else if (std::filesystem::is_regular_file(root)) {
+      run_one(root);
+      ++replayed;
+    } else {
+      std::fprintf(stderr, "no such file or directory: %s\n", root.string().c_str());
+      return 2;
+    }
+  }
+  std::printf("replayed %lld input(s), all clean\n", replayed);
+  return replayed > 0 ? 0 : 2;
+}

@@ -1,0 +1,47 @@
+// libFuzzer harness for the .ccp pattern parser — the library's main
+// untrusted-input surface. Build with -DRDT_FUZZERS=ON (Clang); without
+// libFuzzer the same file links against fuzz_driver.cpp, which replays a
+// corpus through LLVMFuzzerTestOneInput so ctest covers the corpus on every
+// toolchain.
+//
+// Contract under test: arbitrary bytes either parse into a valid Pattern or
+// throw std::invalid_argument. Any other exception (logic_error from
+// RDT_ASSERT/RDT_CHECK, bad_alloc from an unbounded allocation) and any
+// signal is a bug. On a successful parse the harness round-trips the
+// pattern through the writer and checks the reparse preserves its shape.
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "ccp/pattern.hpp"
+#include "ccp/pattern_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  // Bound pathological inputs: a line-per-event format cannot need more.
+  if (size > (1u << 20)) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  rdt::Pattern parsed;
+  try {
+    parsed = rdt::pattern_from_string(text);
+  } catch (const std::invalid_argument&) {
+    return 0;  // malformed input, correctly rejected
+  }
+
+  // Round-trip: writing a successfully parsed pattern and reparsing it must
+  // reproduce the same shape (the writer emits a canonical ordering).
+  const std::string canonical = rdt::pattern_to_string(parsed);
+  rdt::Pattern again;
+  try {
+    again = rdt::pattern_from_string(canonical);
+  } catch (const std::exception&) {
+    std::terminate();  // a written pattern must always reparse
+  }
+  if (again.num_processes() != parsed.num_processes() ||
+      again.num_messages() != parsed.num_messages() ||
+      again.total_ckpts() != parsed.total_ckpts())
+    std::terminate();
+  return 0;
+}

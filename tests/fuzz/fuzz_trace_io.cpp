@@ -1,0 +1,40 @@
+// libFuzzer harness for the trace reader — the second untrusted-input
+// surface (saved workloads are shared between machines). See
+// fuzz_pattern_io.cpp for the build story.
+//
+// Contract under test: arbitrary bytes either parse into a valid Trace or
+// throw std::invalid_argument; a successfully parsed trace round-trips
+// through the writer with its operation stream intact.
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "sim/trace.hpp"
+#include "sim/trace_io.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  if (size > (1u << 20)) return 0;
+  const std::string text(reinterpret_cast<const char*>(data), size);
+
+  rdt::Trace parsed;
+  try {
+    parsed = rdt::trace_from_string(text);
+  } catch (const std::invalid_argument&) {
+    return 0;  // malformed input, correctly rejected
+  }
+
+  const std::string canonical = rdt::trace_to_string(parsed);
+  rdt::Trace again;
+  try {
+    again = rdt::trace_from_string(canonical);
+  } catch (const std::exception&) {
+    std::terminate();  // a written trace must always reparse
+  }
+  if (again.num_processes != parsed.num_processes ||
+      again.num_messages() != parsed.num_messages() ||
+      again.ops.size() != parsed.ops.size())
+    std::terminate();
+  return 0;
+}

@@ -111,6 +111,72 @@ TEST(PatternIo, ParseErrors) {
                std::invalid_argument);
 }
 
+// Every remaining rejection branch of read_pattern, one sub-case per branch.
+TEST(PatternIo, RejectsMalformedHeader) {
+  EXPECT_THROW(pattern_from_string("processes -3\n"), std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes two\n"), std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes\n"), std::invalid_argument);
+  // A giant count must be rejected before anything is allocated.
+  EXPECT_THROW(pattern_from_string("processes 2000000000\n"),
+               std::invalid_argument);
+  EXPECT_NO_THROW(pattern_from_string("processes " +
+                                      std::to_string(kMaxIoProcesses) + "\n"));
+}
+
+TEST(PatternIo, RejectsTruncatedDirectives) {
+  // Mid-line truncation of each event directive (e.g. an interrupted write).
+  EXPECT_THROW(pattern_from_string("processes 2\nsend 0"),
+               std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes 2\nsend 0 0 1\ndeliver"),
+               std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes 2\ninternal"),
+               std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes 2\ncheckpoint"),
+               std::invalid_argument);
+}
+
+TEST(PatternIo, RejectsOutOfRangeProcessIds) {
+  EXPECT_THROW(pattern_from_string("processes 2\nsend 0 0 5\n"),
+               std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes 2\nsend 0 -1 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes 2\ninternal 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(pattern_from_string("processes 2\ncheckpoint -1\n"),
+               std::invalid_argument);
+}
+
+TEST(PatternIo, RejectsBrokenMessagePlumbing) {
+  // Self-send.
+  EXPECT_THROW(pattern_from_string("processes 2\nsend 0 1 1\n"),
+               std::invalid_argument);
+  // Double delivery of one message.
+  EXPECT_THROW(
+      pattern_from_string("processes 2\nsend 0 0 1\ndeliver 0\ndeliver 0\n"),
+      std::invalid_argument);
+  // Dangling endpoint: a sent message never delivered only fails at build().
+  EXPECT_THROW(pattern_from_string("processes 2\nsend 0 0 1\n"),
+               std::invalid_argument);
+}
+
+TEST(PatternIo, ParseErrorsNameTheOffendingLine) {
+  try {
+    pattern_from_string("processes 2\nsend 0 0 1\ndeliver 0\ninternal 9\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+  try {
+    pattern_from_string("processes 2\nsend 0 0 1\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("pattern parse error"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(PatternIo, AsciiRenderShowsEveryEvent) {
   const auto f = test::figure1();
   const std::string art = render_ascii(f.pattern);

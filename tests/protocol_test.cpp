@@ -405,9 +405,9 @@ INSTANTIATE_TEST_SUITE_P(
                                          ProtocolKind::kBhmrNoSimple,
                                          ProtocolKind::kBhmrC1Only),
                        ::testing::Values(1u, 2u, 3u, 4u, 5u)),
-    [](const auto& info) {
-      std::string name = to_string(std::get<0>(info.param)) + "_seed" +
-                         std::to_string(std::get<1>(info.param));
+    [](const auto& param_info) {
+      std::string name = to_string(std::get<0>(param_info.param)) + "_seed" +
+                         std::to_string(std::get<1>(param_info.param));
       for (char& c : name)
         if (c == '-') c = '_';
       return name;

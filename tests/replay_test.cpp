@@ -139,10 +139,10 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(Env::kRandom, Env::kRandomFifo, Env::kGroup,
                           Env::kClientServer),
         ::testing::Values(1u, 2u, 3u)),
-    [](const auto& info) {
-      std::string name = to_string(std::get<0>(info.param)) + "_" +
-                         env_name(std::get<1>(info.param)) + "_s" +
-                         std::to_string(std::get<2>(info.param));
+    [](const auto& param_info) {
+      std::string name = to_string(std::get<0>(param_info.param)) + "_" +
+                         env_name(std::get<1>(param_info.param)) + "_s" +
+                         std::to_string(std::get<2>(param_info.param));
       for (char& c : name)
         if (c == '-') c = '_';
       return name;

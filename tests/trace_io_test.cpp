@@ -80,6 +80,59 @@ TEST(TraceIo, ParseErrors) {
   EXPECT_THROW(trace_from_string("trace 2\nckpt 1\n"), std::invalid_argument);
 }
 
+// Every remaining rejection branch of read_trace, one sub-case per branch.
+TEST(TraceIo, RejectsMalformedHeader) {
+  EXPECT_THROW(trace_from_string("trace -2\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace two\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace\n"), std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace 2000000000\n"), std::invalid_argument);
+  EXPECT_NO_THROW(trace_from_string(
+      "trace " + std::to_string(kMaxTraceIoProcesses) + "\n"));
+}
+
+TEST(TraceIo, RejectsTruncatedDirectives) {
+  EXPECT_THROW(trace_from_string("trace 2\nmsg 1.0 2.0 0"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace 2\nmsg 1.0"), std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace 2\nckpt 1.0"), std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsOutOfRangeProcessIds) {
+  EXPECT_THROW(trace_from_string("trace 2\nmsg 1.0 2.0 0 9\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace 2\nmsg 1.0 2.0 -1 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace 2\nmsg 1.0 2.0 0 0\n"),
+               std::invalid_argument);  // self-send
+  EXPECT_THROW(trace_from_string("trace 2\nckpt 1.0 2\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, RejectsNonFiniteTimes) {
+  // NaNs would break the strict weak ordering of the builder's sort; every
+  // non-finite time is rejected at the parse boundary instead.
+  EXPECT_THROW(trace_from_string("trace 2\nmsg nan 2.0 0 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace 2\nmsg 1.0 nan 0 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace 2\nmsg inf inf 0 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace 2\nmsg 1.0 -inf 0 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(trace_from_string("trace 2\nckpt nan 0\n"),
+               std::invalid_argument);
+}
+
+TEST(TraceIo, ParseErrorsNameTheOffendingLine) {
+  try {
+    trace_from_string("trace 2\nmsg 1.0 2.0 0 1\nmsg 2.0 1.0 0 1\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(TraceIo, CommentsAndBlanksIgnored) {
   const Trace t = trace_from_string(
       "# header\n"
