@@ -19,7 +19,7 @@ using namespace rdt;
 using namespace rdt::bench;
 using Clock = std::chrono::steady_clock;
 
-void agreement_sweep() {
+void agreement_sweep(BenchReport& report) {
   Table table({"patterns", "RDT holds", "MM==DEF", "CM==DEF", "PCM==DEF",
                "VCM=>DEF", "VPCM==VCM", "DEF w/o VCM", "cycle-free w/o RDT"});
   Rng rng(20260705);
@@ -50,6 +50,17 @@ void agreement_sweep() {
       .add(vpcm_eq)
       .add(def_not_vcm)
       .add(nozc_not_def);
+  report.add_metrics(
+      "agreement",
+      JsonObject{{"patterns", static_cast<long long>(patterns)},
+                 {"rdt_holds", rdt_ok},
+                 {"mm_eq_def", mm_eq},
+                 {"cm_eq_def", cm_eq},
+                 {"pcm_eq_def", pcm_eq},
+                 {"vcm_implies_def", vcm_impl},
+                 {"vpcm_eq_vcm", vpcm_eq},
+                 {"def_without_vcm", def_not_vcm},
+                 {"cycle_free_without_rdt", nozc_not_def}});
   table.print(std::cout);
   std::cout << "MM/CM/PCM agree with the definitional check on every pattern "
                "(the equivalences);\nVCM implies RDT but not conversely "
@@ -58,7 +69,7 @@ void agreement_sweep() {
                "fraction.\n";
 }
 
-void cost_sweep() {
+void cost_sweep(BenchReport& report) {
   std::cout << "\nchecker cost (ms per pattern, single run) and junction-graph "
                "shape\n";
   Table table({"steps", "ckpts", "junctions", "edges", "SCCs", "zreach ms",
@@ -80,6 +91,16 @@ void cost_sweep() {
     // Build the closure once up front so DEF's figure includes it.
     const double def_ms = ms(check_rdt_definitional);
     const auto zs = analyses.chains().zreach_stats();
+    report.add_metrics(
+        "checker_cost",
+        JsonObject{{"steps", steps},
+                   {"total_ckpts", static_cast<long long>(p.total_ckpts())},
+                   {"def_ms", def_ms},
+                   {"mm_ms", ms(check_mm_doubled)},
+                   {"cm_ms", ms(check_cm_doubled)},
+                   {"pcm_ms", ms(check_pcm_doubled)},
+                   {"vcm_ms", ms(check_cm_visibly_doubled)},
+                   {"fused_ms", ms(check_junction_families)}});
     table.begin_row()
         .add(steps)
         .add(p.total_ckpts())
@@ -102,13 +123,15 @@ void cost_sweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("characterizations", argc, argv);
   std::cout
       << "==================================================================\n"
          "E7 (visible characterizations) — checker agreement and cost\n"
          "hierarchy: {VCM<=>VPCM} => {DEF<=>CM<=>PCM<=>MM} => no Z-cycle\n"
          "==================================================================\n";
-  agreement_sweep();
-  cost_sweep();
+  agreement_sweep(report);
+  cost_sweep(report);
+  report.finish();
   return 0;
 }

@@ -18,7 +18,7 @@ namespace {
 using namespace rdt;
 using namespace rdt::bench;
 
-void sweep_chain_length(int seeds) {
+void sweep_chain_length(BenchReport& report, int seeds) {
   Table table({"servers", "CBR", "NRAS", "FDI", "FDAS", "BHMR-V2", "BHMR-V1",
                "BHMR"});
   for (int servers : {2, 4, 8, 12}) {
@@ -31,6 +31,8 @@ void sweep_chain_length(int seeds) {
       return client_server_environment(cfg);
     };
     const auto stats = parallel_sweep(generate, study_protocols(), seeds);
+    report.add_sweep("chain_length",
+                     {{"num_servers", servers}, {"seeds", seeds}}, stats);
     table.begin_row().add(servers);
     for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
   }
@@ -40,7 +42,7 @@ void sweep_chain_length(int seeds) {
   table.print(std::cout);
 }
 
-void sweep_forward_prob(int seeds) {
+void sweep_forward_prob(BenchReport& report, int seeds) {
   Table table({"fwd prob", "CBR", "NRAS", "FDI", "FDAS", "BHMR-V2", "BHMR-V1",
                "BHMR"});
   for (double prob : {0.25, 0.5, 0.75, 1.0}) {
@@ -54,6 +56,8 @@ void sweep_forward_prob(int seeds) {
       return client_server_environment(cfg);
     };
     const auto stats = parallel_sweep(generate, study_protocols(), seeds);
+    report.add_sweep("forward_prob",
+                     {{"forward_prob", prob}, {"seeds", seeds}}, stats);
     table.begin_row().add(prob, 2);
     for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
   }
@@ -64,11 +68,13 @@ void sweep_forward_prob(int seeds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("client_server", argc, argv);
   banner("E3 (client/server chains)",
          "forced-checkpoint overhead under synchronous request chains");
   const int seeds = 10;
-  sweep_chain_length(seeds);
-  sweep_forward_prob(seeds);
+  sweep_chain_length(report, seeds);
+  sweep_forward_prob(report, seeds);
+  report.finish();
   return 0;
 }

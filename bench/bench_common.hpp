@@ -1,14 +1,22 @@
 // Shared plumbing for the experiment binaries: the protocol set the papers'
-// simulation study compares, header banners, and a formatter for
-// mean ± 95% confidence cells.
+// simulation study compares, header banners, a formatter for mean ± 95%
+// confidence cells, and a machine-readable benchmark report (--json).
 #pragma once
 
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
 #include <functional>
 #include <iomanip>
 #include <iostream>
+#include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
+#include <variant>
 #include <vector>
 
 #include "sim/runner.hpp"
@@ -52,5 +60,188 @@ inline void banner(const std::string& experiment, const std::string& what) {
                "(lower is better)\n"
             << "==================================================================\n";
 }
+
+// ---------------------------------------------------------------------------
+// Minimal JSON emitter (no third-party dependency). Objects preserve
+// insertion order so reports diff cleanly run to run.
+// ---------------------------------------------------------------------------
+
+class JsonValue;
+using JsonMember = std::pair<std::string, JsonValue>;
+using JsonObject = std::vector<JsonMember>;
+using JsonArray = std::vector<JsonValue>;
+
+class JsonValue {
+ public:
+  JsonValue() : v_(nullptr) {}
+  JsonValue(std::nullptr_t) : v_(nullptr) {}            // NOLINT(*-explicit-*)
+  JsonValue(bool b) : v_(b) {}                          // NOLINT(*-explicit-*)
+  JsonValue(double d) : v_(d) {}                        // NOLINT(*-explicit-*)
+  JsonValue(int i) : v_(static_cast<long long>(i)) {}   // NOLINT(*-explicit-*)
+  JsonValue(long long i) : v_(i) {}                     // NOLINT(*-explicit-*)
+  JsonValue(unsigned long long u) : v_(u) {}            // NOLINT(*-explicit-*)
+  JsonValue(const char* s) : v_(std::string(s)) {}      // NOLINT(*-explicit-*)
+  JsonValue(std::string s) : v_(std::move(s)) {}        // NOLINT(*-explicit-*)
+  JsonValue(JsonObject o) : v_(std::move(o)) {}         // NOLINT(*-explicit-*)
+  JsonValue(JsonArray a) : v_(std::move(a)) {}          // NOLINT(*-explicit-*)
+
+  void dump(std::ostream& os) const {
+    std::visit([&os](const auto& x) { dump_one(os, x); }, v_);
+  }
+
+ private:
+  static void dump_one(std::ostream& os, std::nullptr_t) { os << "null"; }
+  static void dump_one(std::ostream& os, bool b) {
+    os << (b ? "true" : "false");
+  }
+  static void dump_one(std::ostream& os, double d) {
+    if (!std::isfinite(d)) {  // JSON has no nan/inf
+      os << "null";
+      return;
+    }
+    std::ostringstream tmp;
+    tmp << std::setprecision(std::numeric_limits<double>::max_digits10) << d;
+    os << tmp.str();
+  }
+  static void dump_one(std::ostream& os, long long i) { os << i; }
+  static void dump_one(std::ostream& os, unsigned long long u) { os << u; }
+  static void dump_one(std::ostream& os, const std::string& s) {
+    os << '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': os << "\\\""; break;
+        case '\\': os << "\\\\"; break;
+        case '\n': os << "\\n"; break;
+        case '\t': os << "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            os << "\\u" << std::hex << std::setw(4) << std::setfill('0')
+               << static_cast<int>(c) << std::dec << std::setfill(' ');
+          } else {
+            os << c;
+          }
+      }
+    }
+    os << '"';
+  }
+  static void dump_one(std::ostream& os, const JsonObject& o) {
+    os << '{';
+    for (std::size_t i = 0; i < o.size(); ++i) {
+      if (i > 0) os << ',';
+      dump_one(os, o[i].first);
+      os << ':';
+      o[i].second.dump(os);
+    }
+    os << '}';
+  }
+  static void dump_one(std::ostream& os, const JsonArray& a) {
+    os << '[';
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (i > 0) os << ',';
+      a[i].dump(os);
+    }
+    os << ']';
+  }
+
+  std::variant<std::nullptr_t, bool, double, long long, unsigned long long,
+               std::string, JsonObject, JsonArray>
+      v_;
+};
+
+inline JsonValue to_json(const Summary& s) {
+  return JsonObject{{"count", static_cast<long long>(s.count)},
+                    {"mean", s.mean},
+                    {"stddev", s.stddev},
+                    {"ci95", s.ci95},
+                    {"min", s.min},
+                    {"max", s.max}};
+}
+
+inline JsonValue to_json(const ProtocolStats& s) {
+  return JsonObject{{"protocol", to_string(s.kind)},
+                    {"r_forced_per_basic", to_json(s.r_forced_per_basic)},
+                    {"forced_per_message", to_json(s.forced_per_message)},
+                    {"piggyback_bits_per_message", to_json(s.piggyback_bits)},
+                    {"total_messages", s.total_messages},
+                    {"total_basic", s.total_basic},
+                    {"total_forced", s.total_forced}};
+}
+
+// ---------------------------------------------------------------------------
+// BenchReport — machine-readable run record, schema "rdt-bench-v1":
+//   { "schema": "rdt-bench-v1", "experiment": ..., "wall_seconds": ...,
+//     "sections": [ { "name": ..., "params": {...},
+//                     "protocols": [...] | "metrics": {...} } ] }
+// Construct it first thing in main() with argc/argv; it consumes a
+// `--json <path>` argument. Without the flag every method is a no-op, so
+// the human-readable tables stay the default output. finish() (or the
+// destructor) stamps the wall time and writes the file.
+// ---------------------------------------------------------------------------
+
+class BenchReport {
+ public:
+  BenchReport(std::string experiment, int argc, char** argv)
+      : experiment_(std::move(experiment)), start_(Clock::now()) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        path_ = argv[i + 1];
+        break;
+      }
+    }
+  }
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+  ~BenchReport() { finish(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  // Record one sweep's aggregated per-protocol statistics under `section`
+  // with the sweep's identifying parameters (environment knobs, seed count).
+  void add_sweep(const std::string& section, JsonObject params,
+                 std::span<const ProtocolStats> stats) {
+    if (!enabled()) return;
+    JsonArray protocols;
+    protocols.reserve(stats.size());
+    for (const ProtocolStats& s : stats) protocols.push_back(to_json(s));
+    sections_.push_back(JsonObject{{"name", section},
+                                   {"params", std::move(params)},
+                                   {"protocols", std::move(protocols)}});
+  }
+
+  // Record free-form metrics (e.g. wall-clock comparisons) under `section`.
+  void add_metrics(const std::string& section, JsonValue metrics) {
+    if (!enabled()) return;
+    sections_.push_back(
+        JsonObject{{"name", section}, {"metrics", std::move(metrics)}});
+  }
+
+  // Write the report. Idempotent; called by the destructor as a backstop.
+  void finish() {
+    if (!enabled() || finished_) return;
+    finished_ = true;
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    const JsonValue root = JsonObject{{"schema", "rdt-bench-v1"},
+                                      {"experiment", experiment_},
+                                      {"wall_seconds", wall},
+                                      {"sections", std::move(sections_)}};
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "bench: cannot write JSON report to " << path_ << '\n';
+      return;
+    }
+    root.dump(out);
+    out << '\n';
+    std::cout << "JSON report written to " << path_ << '\n';
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  std::string experiment_;
+  std::string path_;
+  Clock::time_point start_;
+  JsonArray sections_;
+  bool finished_ = false;
+};
 
 }  // namespace rdt::bench

@@ -19,7 +19,8 @@ using namespace rdt::bench;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("coordinated", argc, argv);
   std::cout
       << "==================================================================\n"
          "E13 (coordinated vs communication-induced) — the intro's contrast\n"
@@ -68,6 +69,14 @@ int main() {
                         make_protocol(ProtocolKind::kBhmr, n, 0)->piggyback_bits()) /
                     8.0;
     }
+    report.add_metrics(
+        "coordinated_vs_cic",
+        JsonObject{{"num_processes", n},
+                   {"seeds", seeds},
+                   {"cl_control_msgs_per_snapshot", markers / seeds},
+                   {"cl_latency", to_json(latency.summary())},
+                   {"bhmr_piggyback_bytes_per_msg", piggy_bytes},
+                   {"bhmr_consistent_cuts", to_json(cuts.summary())}});
     table.begin_row()
         .add(n)
         .add(markers / seeds)
@@ -85,5 +94,6 @@ int main() {
          "column),\nwith zero control messages, paying instead with "
          "piggybacked bytes and\nforced checkpoints on the application's own "
          "traffic.\n";
+  report.finish();
   return 0;
 }

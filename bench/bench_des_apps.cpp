@@ -24,7 +24,7 @@ struct AppCase {
   int processes;
 };
 
-void app_table(const AppCase& app, int seeds) {
+void app_table(BenchReport& report, const AppCase& app, int seeds) {
   Table table({"protocol", "msgs", "R = forced/basic", "RDT runs"});
   for (ProtocolKind kind :
        {ProtocolKind::kNras, ProtocolKind::kBcs, ProtocolKind::kFdas,
@@ -46,6 +46,13 @@ void app_table(const AppCase& app, int seeds) {
       msgs += res.messages;
       rdt_runs += satisfies_rdt(res.pattern);
     }
+    report.add_metrics(
+        app.name,
+        JsonObject{{"protocol", to_string(kind)},
+                   {"messages", msgs},
+                   {"r_forced_per_basic", to_json(r.summary())},
+                   {"rdt_runs", static_cast<long long>(rdt_runs)},
+                   {"seeds", static_cast<long long>(seeds)}});
     table.begin_row()
         .add(to_string(kind))
         .add(msgs)
@@ -59,7 +66,8 @@ void app_table(const AppCase& app, int seeds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("des_apps", argc, argv);
   std::cout
       << "==================================================================\n"
          "E11 (live applications) — protocols as middleware under real apps\n"
@@ -79,10 +87,11 @@ int main() {
        },
        6},
   };
-  for (const AppCase& app : apps) app_table(app, seeds);
+  for (const AppCase& app : apps) app_table(report, app, seeds);
   std::cout << "\nthe synthetic-trace findings carry over: every RDT protocol "
                "run satisfies RDT\non live programs, BCS seldom does, and the "
                "full protocol's advantage is again\nlargest where synchronous "
                "request/reply chains dominate.\n";
+  report.finish();
   return 0;
 }

@@ -28,7 +28,7 @@ Trace ping_pong_trace(int rounds) {
   return tb.build();
 }
 
-void ping_pong_table() {
+void ping_pong_table(BenchReport& report) {
   std::cout << "\nadversarial ping-pong workload, failure of P0 at the end;\n"
                "cells: total checkpoint intervals rolled back (all "
                "processes)\n";
@@ -36,11 +36,15 @@ void ping_pong_table() {
   for (int rounds : {4, 8, 16, 32, 64}) {
     const Trace t = ping_pong_trace(rounds);
     table.begin_row().add(rounds);
+    JsonObject row{{"rounds", rounds}};
     for (ProtocolKind kind : {ProtocolKind::kNoForce, ProtocolKind::kNras,
                               ProtocolKind::kFdas, ProtocolKind::kBhmr}) {
       const ReplayResult r = replay(t, kind);
-      table.add(recover_after_failure(r.pattern, 0).total_rollback);
+      const long long rollback = recover_after_failure(r.pattern, 0).total_rollback;
+      table.add(rollback);
+      row.emplace_back(to_string(kind), rollback);
     }
+    report.add_metrics("ping_pong_rollback", std::move(row));
   }
   table.print(std::cout);
   std::cout << "no-force grows linearly with the computation (unbounded "
@@ -48,7 +52,7 @@ void ping_pong_table() {
                "constant.\n";
 }
 
-void random_table() {
+void random_table(BenchReport& report) {
   std::cout << "\nrandom environment (n=6), failure of P0; averages over 10 "
                "seeds\n";
   Table table({"protocol", "rollback intervals", "worst fraction",
@@ -71,6 +75,12 @@ void random_table() {
       worst.add(out.worst_fraction);
       forced += r.forced;
     }
+    report.add_metrics(
+        "random_rollback",
+        JsonObject{{"protocol", to_string(kind)},
+                   {"rollback_intervals", to_json(rollback.summary())},
+                   {"worst_fraction", to_json(worst.summary())},
+                   {"forced", forced}});
     table.begin_row()
         .add(to_string(kind))
         .add(pm(rollback.summary(), 1))
@@ -80,7 +90,7 @@ void random_table() {
   table.print(std::cout);
 }
 
-void logging_table() {
+void logging_table(BenchReport& report) {
   std::cout << "\ncheckpointing alone vs checkpointing + sender-based message "
                "logs\n(random n=6, single failure of P0, 10 seeds): work "
                "LOST vs work RE-EXECUTED\n";
@@ -105,6 +115,12 @@ void logging_table() {
       lost_logs.add(static_cast<double>(logged.rollback.total_rollback));
       replayed.add(static_cast<double>(logged.total_replayed));
     }
+    report.add_metrics(
+        "logging_rollback",
+        JsonObject{{"protocol", to_string(kind)},
+                   {"lost_ckpt_only", to_json(lost_plain.summary())},
+                   {"lost_with_logs", to_json(lost_logs.summary())},
+                   {"replayed_events", to_json(replayed.summary())}});
     table.begin_row()
         .add(to_string(kind))
         .add(pm(lost_plain.summary(), 1))
@@ -120,13 +136,15 @@ void logging_table() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("domino", argc, argv);
   std::cout
       << "==================================================================\n"
          "E9 (domino effect) — rollback after a failure, baseline vs RDT\n"
          "==================================================================\n";
-  ping_pong_table();
-  random_table();
-  logging_table();
+  ping_pong_table(report);
+  random_table(report);
+  logging_table(report);
+  report.finish();
   return 0;
 }

@@ -17,7 +17,7 @@ namespace {
 using namespace rdt;
 using namespace rdt::bench;
 
-void sweep_overlap(int seeds) {
+void sweep_overlap(BenchReport& report, int seeds) {
   Table table({"overlap", "n", "CBR", "NRAS", "FDI", "FDAS", "BHMR-V2",
                "BHMR-V1", "BHMR"});
   for (int overlap : {0, 1, 2}) {
@@ -33,6 +33,12 @@ void sweep_overlap(int seeds) {
       return group_environment(cfg);
     };
     const auto stats = parallel_sweep(generate, study_protocols(), seeds);
+    report.add_sweep("overlap",
+                     {{"num_groups", base.num_groups},
+                      {"group_size", base.group_size},
+                      {"overlap", overlap},
+                      {"seeds", seeds}},
+                     stats);
     table.begin_row().add(overlap).add(base.num_processes());
     for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
   }
@@ -41,7 +47,7 @@ void sweep_overlap(int seeds) {
   table.print(std::cout);
 }
 
-void sweep_group_count(int seeds) {
+void sweep_group_count(BenchReport& report, int seeds) {
   Table table({"groups", "n", "CBR", "NRAS", "FDI", "FDAS", "BHMR-V2",
                "BHMR-V1", "BHMR"});
   for (int groups : {2, 4, 6}) {
@@ -57,6 +63,12 @@ void sweep_group_count(int seeds) {
       return group_environment(cfg);
     };
     const auto stats = parallel_sweep(generate, study_protocols(), seeds);
+    report.add_sweep("group_count",
+                     {{"num_groups", groups},
+                      {"group_size", base.group_size},
+                      {"overlap", base.overlap},
+                      {"seeds", seeds}},
+                     stats);
     table.begin_row().add(groups).add(base.num_processes());
     for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
   }
@@ -67,11 +79,13 @@ void sweep_group_count(int seeds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("group_env", argc, argv);
   banner("E2 (overlapping group communication)",
          "forced-checkpoint overhead with group-local traffic");
   const int seeds = 10;
-  sweep_overlap(seeds);
-  sweep_group_count(seeds);
+  sweep_overlap(report, seeds);
+  sweep_group_count(report, seeds);
+  report.finish();
   return 0;
 }

@@ -39,7 +39,8 @@ Hindsight analyze(const ReplayResult& run) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("hindsight", argc, argv);
   std::cout
       << "==================================================================\n"
          "E12 (hindsight necessity) — % of forced checkpoints an offline\n"
@@ -62,6 +63,11 @@ int main() {
       total.forced += h.forced;
       total.removable += h.removable;
     }
+    report.add_metrics(
+        "hindsight",
+        JsonObject{{"protocol", to_string(kind)},
+                   {"forced", total.forced},
+                   {"removable", total.removable}});
     table.begin_row()
         .add(to_string(kind))
         .add(total.forced)
@@ -76,5 +82,6 @@ int main() {
                "the dependency-\nvector protocols waste progressively less, "
                "with the full protocol the closest\nto the offline oracle — "
                "knowledge piggybacked is conservatism avoided.\n";
+  report.finish();
   return 0;
 }

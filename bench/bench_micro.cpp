@@ -7,6 +7,10 @@
 //  * pattern analyses: TDV replay, chain analysis, R-graph closure, full
 //    RDT report;
 //  * recovery-line computation (fixpoint vs R-graph propagation).
+//
+// Unlike the experiment binaries this one has no `--json` flag: use
+// google-benchmark's native `--benchmark_format=json` /
+// `--benchmark_out=<path>` for machine-readable output.
 #include <benchmark/benchmark.h>
 
 #include "core/global_checkpoint.hpp"

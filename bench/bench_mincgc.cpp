@@ -26,7 +26,8 @@ double us_since(Clock::time_point start, long long ops) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("mincgc", argc, argv);
   std::cout
       << "==================================================================\n"
          "E6 (minimum consistent global checkpoint) — Corollary 4.5\n"
@@ -76,6 +77,15 @@ int main() {
     }
     const double us_off = us_since(t1, queries);
 
+    report.add_metrics(
+        "mincgc",
+        JsonObject{{"duration", duration},
+                   {"total_ckpts", static_cast<long long>(p.total_ckpts())},
+                   {"messages", static_cast<long long>(p.num_messages())},
+                   {"onthefly_us_per_query", us_fly},
+                   {"offline_us_per_query", us_off},
+                   {"agree", agree},
+                   {"queries", queries}});
     table.begin_row()
         .add(duration, 0)
         .add(p.total_ckpts())
@@ -88,5 +98,6 @@ int main() {
   std::cout << "\nunder the RDT-ensuring protocol the on-the-fly answer always "
                "matches the offline\ncomputation, at a per-query cost that "
                "stays flat while the offline cost grows\nwith the pattern.\n";
+  report.finish();
   return 0;
 }

@@ -7,15 +7,17 @@
 #include "bench_common.hpp"
 #include "protocols/protocol.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace rdt;
   using namespace rdt::bench;
+  BenchReport report("overhead", argc, argv);
   std::cout << "==================================================================\n"
                "E5 (piggyback overhead) — control bits per application message\n"
                "TDV = n x 32-bit integers; simple = n bits; causal = n^2 bits\n"
                "==================================================================\n";
   Table table({"n", "NRAS/CBR/CAS", "FDI", "FDAS", "BHMR-V1/V2", "BHMR",
                "BHMR bytes"});
+  JsonArray rows;
   for (int n : {4, 8, 16, 32, 64, 128}) {
     table.begin_row().add(n);
     table.add(make_protocol(ProtocolKind::kNras, n, 0)->piggyback_bits());
@@ -25,10 +27,22 @@ int main() {
     const auto bhmr = make_protocol(ProtocolKind::kBhmr, n, 0)->piggyback_bits();
     table.add(bhmr);
     table.add(static_cast<long long>(bhmr / 8));
+    JsonObject row{{"num_processes", n}};
+    for (ProtocolKind kind :
+         {ProtocolKind::kNras, ProtocolKind::kFdi, ProtocolKind::kFdas,
+          ProtocolKind::kBhmrNoSimple, ProtocolKind::kBhmr}) {
+      row.emplace_back(
+          to_string(kind),
+          static_cast<unsigned long long>(
+              make_protocol(kind, n, 0)->piggyback_bits()));
+    }
+    rows.push_back(std::move(row));
   }
+  report.add_metrics("piggyback_bits_per_message", std::move(rows));
   table.print(std::cout);
   std::cout << "\nthe BHMR family trades O(n^2) piggyback bits for fewer "
                "forced checkpoints;\nthe quadratic term overtakes the TDV "
                "itself beyond n = 32.\n";
+  report.finish();
   return 0;
 }

@@ -16,7 +16,7 @@ namespace {
 using namespace rdt;
 using namespace rdt::bench;
 
-void sweep_ckpt_period(int num_processes, int seeds) {
+void sweep_ckpt_period(BenchReport& report, int num_processes, int seeds) {
   Table table({"basic-ckpt period", "msgs/interval", "CBR", "NRAS", "FDI",
                "FDAS", "BHMR-V2", "BHMR-V1", "BHMR"});
   for (double period : {2.0, 5.0, 10.0, 20.0, 40.0}) {
@@ -30,6 +30,11 @@ void sweep_ckpt_period(int num_processes, int seeds) {
       return random_environment(cfg);
     };
     const auto stats = parallel_sweep(generate, study_protocols(), seeds);
+    report.add_sweep("ckpt_period",
+                     {{"num_processes", num_processes},
+                      {"basic_ckpt_mean", period},
+                      {"seeds", seeds}},
+                     stats);
     table.begin_row().add(period, 1);
     // Messages a process handles per basic-checkpoint interval: sends plus
     // deliveries, i.e. 2 * period / send_gap_mean in expectation.
@@ -41,7 +46,7 @@ void sweep_ckpt_period(int num_processes, int seeds) {
   table.print(std::cout);
 }
 
-void sweep_process_count(int seeds) {
+void sweep_process_count(BenchReport& report, int seeds) {
   Table table({"n", "CBR", "NRAS", "FDI", "FDAS", "BHMR-V2", "BHMR-V1",
                "BHMR"});
   for (int n : {4, 8, 16}) {
@@ -55,6 +60,8 @@ void sweep_process_count(int seeds) {
       return random_environment(cfg);
     };
     const auto stats = parallel_sweep(generate, study_protocols(), seeds);
+    report.add_sweep("process_count",
+                     {{"num_processes", n}, {"seeds", seeds}}, stats);
     table.begin_row().add(n);
     for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
   }
@@ -63,7 +70,7 @@ void sweep_process_count(int seeds) {
   table.print(std::cout);
 }
 
-void fifo_ablation(int seeds) {
+void fifo_ablation(BenchReport& report, int seeds) {
   Table table({"channels", "NRAS", "FDAS", "BHMR"});
   const std::vector<ProtocolKind> kinds{ProtocolKind::kNras,
                                         ProtocolKind::kFdas,
@@ -79,6 +86,8 @@ void fifo_ablation(int seeds) {
       return random_environment(cfg);
     };
     const auto stats = parallel_sweep(generate, kinds, seeds);
+    report.add_sweep("fifo_ablation",
+                     {{"fifo_channels", fifo}, {"seeds", seeds}}, stats);
     table.begin_row().add(fifo ? "FIFO" : "non-FIFO");
     for (const ProtocolStats& s : stats) table.add(pm(s.r_forced_per_basic));
   }
@@ -91,12 +100,14 @@ void fifo_ablation(int seeds) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("random_env", argc, argv);
   banner("E1 (random environments)",
          "forced-checkpoint overhead under uniform point-to-point traffic");
   const int seeds = 10;
-  sweep_ckpt_period(/*num_processes=*/8, seeds);
-  sweep_process_count(seeds);
-  fifo_ablation(seeds);
+  sweep_ckpt_period(report, /*num_processes=*/8, seeds);
+  sweep_process_count(report, seeds);
+  fifo_ablation(report, seeds);
+  report.finish();
   return 0;
 }

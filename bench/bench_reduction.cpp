@@ -67,7 +67,8 @@ std::vector<EnvCase> environments() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("reduction", argc, argv);
   banner("E4 (reduction vs FDAS)",
          "percentage of forced checkpoints saved w.r.t. FDAS per environment");
   const int seeds = 12;
@@ -80,6 +81,7 @@ int main() {
   double min_bhmr_reduction = 100.0;
   for (const auto& env : environments()) {
     const auto stats = parallel_sweep(env.generate, kinds, seeds);
+    report.add_sweep(env.name, {{"seeds", seeds}}, stats);
     table.begin_row().add(env.name);
     table.add(stats[0].total_forced);
     for (ProtocolKind kind : {ProtocolKind::kBhmrC1Only,
@@ -102,5 +104,10 @@ int main() {
             << min_bhmr_reduction << "%  ("
             << (min_bhmr_reduction >= 10.0 ? "claim holds" : "below claim")
             << ")\n";
+  report.add_metrics("claim",
+                     JsonObject{{"min_bhmr_reduction_percent",
+                                 min_bhmr_reduction},
+                                {"claim_holds", min_bhmr_reduction >= 10.0}});
+  report.finish();
   return 0;
 }

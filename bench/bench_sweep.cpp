@@ -1,0 +1,99 @@
+// End-to-end sweep throughput — the canonical wall-clock workload for the
+// replay engine: the full study protocol set over all three environment
+// families, timed per environment. This is the number the zero-allocation
+// arena and the counters-only fast path exist to improve; run it with
+// `--json BENCH_sweep.json` to record machine-readable timings (the
+// perf-smoke CI job does, and docs/benchmarks.md shows how to compare two
+// runs).
+//
+// Usage: bench_sweep [--seeds N] [--threads N] [--json <path>]
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "bench_common.hpp"
+#include "sim/environments.hpp"
+
+namespace {
+
+using namespace rdt;
+using namespace rdt::bench;
+using Clock = std::chrono::steady_clock;
+
+int flag_or(int argc, char** argv, const std::string& flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (argv[i] == flag) return std::atoi(argv[i + 1]);
+  return fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchReport report("sweep", argc, argv);
+  const int seeds = flag_or(argc, argv, "--seeds", 20);
+  const int threads = flag_or(
+      argc, argv, "--threads",
+      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+
+  banner("sweep throughput",
+         "wall time of the full protocol-study sweep per environment");
+  std::cout << seeds << " seeds, " << threads << " thread(s), "
+            << study_protocols().size() << " protocols\n\n";
+
+  Table table({"environment", "wall s", "traces/s", "BHMR R"});
+  auto run = [&](const std::string& name,
+                 const std::function<Trace(std::uint64_t)>& generate) {
+    const auto t0 = Clock::now();
+    const auto stats =
+        sweep_parallel(generate, study_protocols(), seeds, threads);
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+    const double replays =
+        static_cast<double>(seeds) *
+        static_cast<double>(study_protocols().size());
+    table.begin_row()
+        .add(name)
+        .add(wall, 3)
+        .add(replays / wall, 1)
+        .add(stats.back().r_forced_per_basic.mean, 4);
+    report.add_sweep(name, {{"seeds", seeds}, {"threads", threads}}, stats);
+    report.add_metrics(name + "_timing",
+                       JsonObject{{"wall_seconds", wall},
+                                  {"replays_per_second", replays / wall}});
+  };
+
+  run("random", [](std::uint64_t seed) {
+    RandomEnvConfig cfg;
+    cfg.num_processes = 8;
+    cfg.duration = 400.0;
+    cfg.basic_ckpt_mean = 10.0;
+    cfg.seed = seed;
+    return random_environment(cfg);
+  });
+  run("group", [](std::uint64_t seed) {
+    GroupEnvConfig cfg;
+    cfg.num_groups = 4;
+    cfg.group_size = 4;
+    cfg.overlap = 1;
+    cfg.duration = 400.0;
+    cfg.basic_ckpt_mean = 10.0;
+    cfg.seed = seed;
+    return group_environment(cfg);
+  });
+  run("client_server", [](std::uint64_t seed) {
+    ClientServerEnvConfig cfg;
+    cfg.num_servers = 8;
+    cfg.num_requests = 250;
+    cfg.basic_ckpt_mean = 10.0;
+    cfg.seed = seed;
+    return client_server_environment(cfg);
+  });
+
+  table.print(std::cout);
+  std::cout << "\n'traces/s' counts protocol replays (seeds x protocols) per "
+               "second;\nthe R column is a determinism checksum — it must not "
+               "move between runs\nor thread counts.\n";
+  report.finish();
+  return 0;
+}

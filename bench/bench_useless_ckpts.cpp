@@ -25,7 +25,8 @@ using namespace rdt::bench;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  BenchReport report("useless_ckpts", argc, argv);
   std::cout
       << "==================================================================\n"
          "E10 (useless checkpoints & storage) — no-force vs BCS vs RDT family\n"
@@ -56,6 +57,17 @@ int main() {
       r_metric.add(r.forced_per_basic());
       rdt_runs += satisfies_rdt(r.pattern);
     }
+    report.add_metrics(
+        "useless_ckpts",
+        JsonObject{{"protocol", to_string(kind)},
+                   {"piggyback_bits",
+                    static_cast<unsigned long long>(
+                        make_protocol(kind, 6, 0)->piggyback_bits())},
+                   {"useless_pct", to_json(useless_frac.summary())},
+                   {"rdt_runs", static_cast<long long>(rdt_runs)},
+                   {"seeds", static_cast<long long>(seeds)},
+                   {"gc_collectable_pct", to_json(gc_frac.summary())},
+                   {"r_mean", r_metric.summary().mean}});
     table.begin_row()
         .add(to_string(kind))
         .add(make_protocol(kind, 6, 0)->piggyback_bits())
@@ -71,5 +83,6 @@ int main() {
          "piggyback but leaves hidden dependencies (RDT fails); the\n"
          "dependency-vector family delivers full RDT, the BHMR protocol at\n"
          "the lowest forced-checkpoint rate.\n";
+  report.finish();
   return 0;
 }

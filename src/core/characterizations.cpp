@@ -38,7 +38,7 @@ CheckResult check_rdt_definitional(const RdtAnalyses& a) {
   CheckResult result;
   for (int u = 0; u < p.total_ckpts(); ++u) {
     const CkptId cu = p.node_ckpt(u);
-    const BitVector& row = closure.msg_reach_row(u);
+    const ConstBitSpan row = closure.msg_reach_row(u);
     for (std::size_t v = row.find_next(0); v < row.size();
          v = row.find_next(v + 1)) {
       const CkptId cv = p.node_ckpt(static_cast<int>(v));

@@ -47,7 +47,7 @@ PatternStats compute_stats(const RdtAnalyses& analyses) {
   const ReachabilityClosure& closure = analyses.closure();
   for (int u = 0; u < pattern.total_ckpts(); ++u) {
     const CkptId a = pattern.node_ckpt(u);
-    const BitVector& row = closure.msg_reach_row(u);
+    const ConstBitSpan row = closure.msg_reach_row(u);
     for (std::size_t v = row.find_next(0); v < row.size();
          v = row.find_next(v + 1))
       if (!tdv.trackable(a, pattern.node_ckpt(static_cast<int>(v))))

@@ -81,7 +81,7 @@ void write_rgraph_dot(std::ostream& os, const Pattern& pattern,
   if (options.highlight_hidden) {
     for (int u = 0; u < pattern.total_ckpts(); ++u) {
       const CkptId a = pattern.node_ckpt(u);
-      const BitVector& row = closure->msg_reach_row(u);
+      const ConstBitSpan row = closure->msg_reach_row(u);
       for (std::size_t v = row.find_next(0); v < row.size();
            v = row.find_next(v + 1)) {
         const CkptId b = pattern.node_ckpt(static_cast<int>(v));

@@ -26,7 +26,7 @@ class NoForceProtocol final : public CicProtocol {
   using CicProtocol::CicProtocol;
   ProtocolKind kind() const override { return ProtocolKind::kNoForce; }
   bool transmits_tdv() const override { return false; }
-  bool must_force(const Piggyback&, ProcessId) const override { return false; }
+  bool must_force(const PiggybackView&, ProcessId) const override { return false; }
 };
 
 class CbrProtocol final : public CicProtocol {
@@ -34,7 +34,7 @@ class CbrProtocol final : public CicProtocol {
   using CicProtocol::CicProtocol;
   ProtocolKind kind() const override { return ProtocolKind::kCbr; }
   bool transmits_tdv() const override { return false; }
-  bool must_force(const Piggyback&, ProcessId) const override { return true; }
+  bool must_force(const PiggybackView&, ProcessId) const override { return true; }
 };
 
 class CasProtocol final : public CicProtocol {
@@ -42,7 +42,7 @@ class CasProtocol final : public CicProtocol {
   using CicProtocol::CicProtocol;
   ProtocolKind kind() const override { return ProtocolKind::kCas; }
   bool transmits_tdv() const override { return false; }
-  bool must_force(const Piggyback&, ProcessId) const override { return false; }
+  bool must_force(const PiggybackView&, ProcessId) const override { return false; }
   bool checkpoint_after_send() const override { return true; }
 };
 
@@ -51,7 +51,7 @@ class NrasProtocol final : public CicProtocol {
   using CicProtocol::CicProtocol;
   ProtocolKind kind() const override { return ProtocolKind::kNras; }
   bool transmits_tdv() const override { return false; }
-  bool must_force(const Piggyback&, ProcessId) const override {
+  bool must_force(const PiggybackView&, ProcessId) const override {
     return after_first_send();
   }
 };

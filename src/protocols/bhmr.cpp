@@ -26,7 +26,7 @@ ProtocolKind BhmrProtocol::kind() const {
   RDT_ASSERT(false);
 }
 
-bool BhmrProtocol::predicate_c1(const Piggyback& msg) const {
+bool BhmrProtocol::predicate_c1(const PiggybackView& msg) const {
   // C1: a non-causal chain from P_k to some P_j we already messaged would
   // form, and the sender did not know a causal sibling for it.
   for (std::size_t j = sent_to().find_next(0); j < sent_to().size();
@@ -37,7 +37,7 @@ bool BhmrProtocol::predicate_c1(const Piggyback& msg) const {
   return false;
 }
 
-bool BhmrProtocol::must_force(const Piggyback& msg, ProcessId) const {
+bool BhmrProtocol::must_force(const PiggybackView& msg, ProcessId) const {
   if (predicate_c1(msg)) return true;
   const auto self = static_cast<std::size_t>(self_);
   switch (variant_) {
@@ -59,12 +59,12 @@ bool BhmrProtocol::must_force(const Piggyback& msg, ProcessId) const {
   RDT_ASSERT(false);
 }
 
-void BhmrProtocol::fill_payload(Piggyback& out) const {
-  if (variant_ == Variant::kFull) out.simple = simple_;
-  out.causal = causal_;
+void BhmrProtocol::fill_payload(const PiggybackSlot& out) const {
+  if (variant_ == Variant::kFull) out.simple.assign(simple_);
+  out.causal.assign(causal_.view());
 }
 
-void BhmrProtocol::merge_payload(const Piggyback& msg, ProcessId sender) {
+void BhmrProtocol::merge_payload(const PiggybackView& msg, ProcessId sender) {
   RDT_REQUIRE(msg.causal.rows() == static_cast<std::size_t>(n_) &&
                   msg.causal.cols() == static_cast<std::size_t>(n_),
               "piggybacked causal matrix size mismatch");
@@ -78,7 +78,7 @@ void BhmrProtocol::merge_payload(const Piggyback& msg, ProcessId sender) {
     if (msg.tdv[k] > tdv_[k]) {
       // New dependency: knowledge about I_{k,m.TDV[k]} replaces ours.
       if (has_simple) simple_.set(k, msg.simple.get(k));
-      causal_.row(k) = msg.causal.row(k);
+      causal_.row(k).assign(msg.causal.row(k));
     } else if (msg.tdv[k] == tdv_[k]) {
       // Same interval known: accumulate the sender's knowledge.
       if (has_simple) simple_.set(k, simple_.get(k) && msg.simple.get(k));

@@ -43,18 +43,22 @@ class BhmrProtocol final : public CicProtocol {
   ProtocolKind kind() const override;
   Variant variant() const { return variant_; }
 
-  bool must_force(const Piggyback& msg, ProcessId sender) const override;
+  PayloadShape payload_shape() const override {
+    return {.tdv = true, .simple = variant_ == Variant::kFull, .causal = true};
+  }
+
+  bool must_force(const PiggybackView& msg, ProcessId sender) const override;
 
   // Exposed for white-box tests of the bookkeeping rules.
   const BitVector& simple_state() const { return simple_; }
   const BitMatrix& causal_state() const { return causal_; }
 
  private:
-  void fill_payload(Piggyback& out) const override;
-  void merge_payload(const Piggyback& msg, ProcessId sender) override;
+  void fill_payload(const PiggybackSlot& out) const override;
+  void merge_payload(const PiggybackView& msg, ProcessId sender) override;
   void reset_on_checkpoint(bool forced) override;
 
-  bool predicate_c1(const Piggyback& msg) const;
+  bool predicate_c1(const PiggybackView& msg) const;
 
   Variant variant_;
   BitVector simple_;

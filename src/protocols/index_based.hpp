@@ -22,16 +22,17 @@ class BcsProtocol final : public CicProtocol {
   using CicProtocol::CicProtocol;
   ProtocolKind kind() const override { return ProtocolKind::kBcs; }
   bool transmits_tdv() const override { return false; }
+  PayloadShape payload_shape() const override { return {.index = true}; }
 
   CkptIndex timestamp() const { return lc_; }
 
-  bool must_force(const Piggyback& msg, ProcessId) const override {
+  bool must_force(const PiggybackView& msg, ProcessId) const override {
     return msg.index > lc_;
   }
 
  private:
-  void fill_payload(Piggyback& out) const override { out.index = lc_; }
-  void merge_payload(const Piggyback& msg, ProcessId) override {
+  void fill_payload(const PiggybackSlot& out) const override { *out.index = lc_; }
+  void merge_payload(const PiggybackView& msg, ProcessId) override {
     if (msg.index > lc_) lc_ = msg.index;
   }
   void reset_on_checkpoint(bool forced) override {

@@ -7,4 +7,22 @@ std::size_t Piggyback::wire_bits() const {
          (index == kNoIndex ? 0 : 32);
 }
 
+PiggybackView Piggyback::view() const {
+  PiggybackView v;
+  v.tdv = std::span<const CkptIndex>(tdv);
+  v.simple = simple;
+  v.causal = causal.view();
+  v.index = index;
+  return v;
+}
+
+PiggybackSlot Piggyback::slot() {
+  PiggybackSlot s;
+  s.tdv = std::span<CkptIndex>(tdv);
+  s.simple = simple.span();
+  s.causal = causal.view();
+  s.index = &index;
+  return s;
+}
+
 }  // namespace rdt

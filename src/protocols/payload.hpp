@@ -9,14 +9,61 @@
 // A protocol's forced-checkpoint predicate may read ONLY this struct plus
 // its own local state — that is the whole point of communication-induced
 // checkpointing: no extra control messages, no synchronization.
+//
+// Two representations exist:
+//  * Piggyback — an owning value (tests, examples, the DES integration);
+//  * PiggybackView / PiggybackSlot — non-owning read/write views into
+//    externally managed storage. The replay engine's PayloadArena hands out
+//    slots backed by three flat per-replay planes, so the steady-state
+//    replay loop performs zero per-message heap allocations. A Piggyback
+//    converts implicitly to a PiggybackView, so both representations flow
+//    through the same protocol entry points with identical semantics.
 #pragma once
 
 #include <cstddef>
+#include <span>
 
 #include "core/tdv.hpp"
 #include "util/bit_matrix.hpp"
 
 namespace rdt {
+
+// Which payload fields a protocol transmits. Constant per ProtocolKind, so
+// within one replay every message has the same shape — the property that
+// lets the arena pre-carve its planes.
+struct PayloadShape {
+  bool tdv = false;     // n CkptIndex entries
+  bool simple = false;  // n bits
+  bool causal = false;  // n x n bits
+  bool index = false;   // one scalar checkpoint timestamp (BCS)
+};
+
+// Read-only view of one message's control data. Untransmitted fields are
+// empty (index == kNoIndex), exactly mirroring the owning struct.
+struct PiggybackView {
+  static constexpr CkptIndex kNoIndex = -1;
+
+  std::span<const CkptIndex> tdv{};
+  ConstBitSpan simple{};
+  ConstBitMatrixSpan causal{};
+  CkptIndex index = kNoIndex;
+
+  // Exact size of the transmitted control data in bits.
+  std::size_t wire_bits() const {
+    return tdv.size() * 32 + simple.size() + causal.rows() * causal.cols() +
+           (index == kNoIndex ? 0 : 32);
+  }
+};
+
+// Writable destination for on_send: spans sized for the sending protocol's
+// PayloadShape (absent fields are empty / null). The protocol must fully
+// overwrite every present field — slots are recycled without clearing.
+struct PiggybackSlot {
+  std::span<CkptIndex> tdv{};
+  BitSpan simple{};
+  BitMatrixSpan causal{};
+  CkptIndex* index = nullptr;
+};
 
 struct Piggyback {
   Tdv tdv;            // empty if the protocol does not transmit TDVs
@@ -30,6 +77,12 @@ struct Piggyback {
 
   // Exact size of the transmitted control data in bits.
   std::size_t wire_bits() const;
+
+  PiggybackView view() const;
+  operator PiggybackView() const { return view(); }  // NOLINT(*-explicit-*)
+  // Writable spans over this struct's own fields (they must already be
+  // sized for the intended shape — see CicProtocol::make_payload()).
+  PiggybackSlot slot();
 };
 
 }  // namespace rdt

@@ -61,19 +61,34 @@ CicProtocol::CicProtocol(int num_processes, ProcessId self)
   tdv_[static_cast<std::size_t>(self_)] = 1;
 }
 
-Piggyback CicProtocol::on_send(ProcessId dest) {
-  RDT_REQUIRE(dest >= 0 && dest < n_ && dest != self_, "bad destination");
-  sent_to_.set(static_cast<std::size_t>(dest));
-  after_first_send_ = true;
+Piggyback CicProtocol::make_payload() const {
   Piggyback out;
-  if (transmits_tdv()) out.tdv = tdv_;
-  fill_payload(out);
-  RDT_CHECK(static_cast<int>(out.tdv.size()) == (transmits_tdv() ? n_ : 0),
-            "outgoing piggyback TDV size disagrees with the transmit mode");
+  const PayloadShape shape = payload_shape();
+  const auto n = static_cast<std::size_t>(n_);
+  if (shape.tdv) out.tdv.assign(n, 0);
+  if (shape.simple) out.simple = BitVector(n);
+  if (shape.causal) out.causal = BitMatrix(n, n);
+  if (shape.index) out.index = 0;  // present; kNoIndex marks absence
   return out;
 }
 
-void CicProtocol::on_deliver(const Piggyback& msg, ProcessId sender) {
+void CicProtocol::on_send(ProcessId dest, const PiggybackSlot& out) {
+  RDT_REQUIRE(dest >= 0 && dest < n_ && dest != self_, "bad destination");
+  sent_to_.set(static_cast<std::size_t>(dest));
+  after_first_send_ = true;
+  RDT_CHECK(static_cast<int>(out.tdv.size()) == (transmits_tdv() ? n_ : 0),
+            "outgoing piggyback TDV size disagrees with the transmit mode");
+  if (transmits_tdv()) std::copy(tdv_.begin(), tdv_.end(), out.tdv.begin());
+  fill_payload(out);
+}
+
+Piggyback CicProtocol::on_send(ProcessId dest) {
+  Piggyback out = make_payload();
+  on_send(dest, out.slot());
+  return out;
+}
+
+void CicProtocol::on_deliver(const PiggybackView& msg, ProcessId sender) {
   RDT_REQUIRE(sender >= 0 && sender < n_ && sender != self_, "bad sender");
   RDT_REQUIRE(static_cast<int>(msg.tdv.size()) == (transmits_tdv() ? n_ : 0),
               "piggyback size mismatch");
@@ -88,9 +103,11 @@ void CicProtocol::on_deliver(const Piggyback& msg, ProcessId sender) {
 }
 
 void CicProtocol::take_checkpoint(bool forced) {
-  RDT_CHECK(static_cast<CkptIndex>(saved_.size()) == current_interval(),
-            "saved-TDV history must have exactly one entry per past interval");
-  saved_.push_back(tdv_);
+  if (save_tdv_history_) {
+    RDT_CHECK(static_cast<CkptIndex>(saved_.size()) == current_interval(),
+              "saved-TDV history must have exactly one entry per past interval");
+    saved_.push_back(tdv_);
+  }
   ++tdv_[static_cast<std::size_t>(self_)];
   sent_to_.reset();
   after_first_send_ = false;
@@ -99,6 +116,8 @@ void CicProtocol::take_checkpoint(bool forced) {
 }
 
 const Tdv& CicProtocol::saved_tdv(CkptIndex x) const {
+  RDT_REQUIRE(save_tdv_history_,
+              "saved-TDV history disabled (counters-only fast path)");
   RDT_REQUIRE(x >= 0 && x < static_cast<CkptIndex>(saved_.size()),
               "checkpoint index out of range");
   return saved_[static_cast<std::size_t>(x)];
@@ -114,15 +133,13 @@ GlobalCkpt CicProtocol::min_global_ckpt(CkptIndex x) const {
 }
 
 std::size_t CicProtocol::piggyback_bits() const {
-  // Build one payload and measure it; on_send is non-const (it marks
-  // sent_to), so measure through a scratch clone of the shared parts.
-  Piggyback out;
-  if (transmits_tdv()) out.tdv = tdv_;
-  fill_payload(out);
-  return out.wire_bits();
+  // wire_bits depends only on the payload shape, which is constant per
+  // kind; a zero payload of the right shape measures exactly one message.
+  return make_payload().wire_bits();
 }
 
-void audit_tdv_merge(const Tdv& before, const Tdv& piggyback, const Tdv& after) {
+void audit_tdv_merge(const Tdv& before, std::span<const CkptIndex> piggyback,
+                     const Tdv& after) {
   if constexpr (!kAuditsEnabled) return;
   RDT_AUDIT(after.size() == before.size(),
             "a TDV merge must not change the vector length");

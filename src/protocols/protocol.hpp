@@ -57,17 +57,29 @@ class CicProtocol {
   int num_processes() const { return n_; }
   ProcessId self() const { return self_; }
 
-  // (S1) — called at each application send; returns the control data to
-  // piggyback and records the destination.
+  // Which payload fields this protocol transmits (constant per kind). The
+  // replay engine uses it to carve arena slots; make_payload() to size
+  // owning payloads.
+  virtual PayloadShape payload_shape() const { return {.tdv = transmits_tdv()}; }
+
+  // An all-zero owning payload sized for payload_shape().
+  Piggyback make_payload() const;
+
+  // (S1), canonical zero-allocation form — called at each application send;
+  // writes the control data into a slot pre-sized for payload_shape() and
+  // records the destination. Every present field is fully overwritten.
+  void on_send(ProcessId dest, const PiggybackSlot& out);
+  // (S1), owning convenience form (tests, examples, DES integration).
   Piggyback on_send(ProcessId dest);
 
   // (S2), decision half — must P_i take a forced checkpoint before
-  // delivering this message? Reads only piggybacked + local state.
-  virtual bool must_force(const Piggyback& msg, ProcessId sender) const = 0;
+  // delivering this message? Reads only piggybacked + local state. An
+  // owning Piggyback converts implicitly.
+  virtual bool must_force(const PiggybackView& msg, ProcessId sender) const = 0;
 
   // (S2), update half — merge the piggybacked control data (called after
   // the forced checkpoint, if any, exactly as in Figure 6).
-  void on_deliver(const Piggyback& msg, ProcessId sender);
+  void on_deliver(const PiggybackView& msg, ProcessId sender);
 
   // Application-driven (basic) checkpoint.
   void on_basic_checkpoint() { take_checkpoint(/*forced=*/false); }
@@ -93,6 +105,12 @@ class CicProtocol {
   bool after_first_send() const { return after_first_send_; }
   const BitVector& sent_to() const { return sent_to_; }
 
+  // Counters-only fast path: when disabled, take_checkpoint() stops saving
+  // per-checkpoint TDV copies (saved_tdv()/min_global_ckpt() become
+  // unavailable). Must be toggled before the first post-initial checkpoint.
+  void set_save_tdv_history(bool save) { save_tdv_history_ = save; }
+  bool save_tdv_history() const { return save_tdv_history_; }
+
   // TDV copy saved when C_{self,x} was taken (x = 0 .. current_interval-1).
   const Tdv& saved_tdv(CkptIndex x) const;
   // Corollary 4.5: the minimum consistent global checkpoint containing
@@ -106,9 +124,10 @@ class CicProtocol {
   std::size_t piggyback_bits() const;
 
  protected:
-  // Subclass hooks.
-  virtual void fill_payload(Piggyback& /*out*/) const {}
-  virtual void merge_payload(const Piggyback& /*msg*/, ProcessId /*sender*/) {}
+  // Subclass hooks. fill_payload must fully overwrite every field its
+  // payload_shape() declares (slots are recycled without clearing).
+  virtual void fill_payload(const PiggybackSlot& /*out*/) const {}
+  virtual void merge_payload(const PiggybackView& /*msg*/, ProcessId /*sender*/) {}
   virtual void reset_on_checkpoint(bool /*forced*/) {}
 
   void take_checkpoint(bool forced);
@@ -121,6 +140,7 @@ class CicProtocol {
   std::vector<Tdv> saved_;
   BitVector sent_to_;
   bool after_first_send_ = false;
+  bool save_tdv_history_ = true;
   long long basic_ = 0;
   long long forced_ = 0;
 };
@@ -134,6 +154,7 @@ std::unique_ptr<CicProtocol> make_protocol(ProtocolKind kind, int num_processes,
 // `piggyback` may be empty for protocols that do not transmit TDVs. No-op
 // unless the build defines RDT_AUDITS; run by CicProtocol::on_deliver after
 // every merge in audit builds.
-void audit_tdv_merge(const Tdv& before, const Tdv& piggyback, const Tdv& after);
+void audit_tdv_merge(const Tdv& before, std::span<const CkptIndex> piggyback,
+                     const Tdv& after);
 
 }  // namespace rdt

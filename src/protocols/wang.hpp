@@ -24,12 +24,12 @@ class FdasProtocol : public CicProtocol {
   using CicProtocol::CicProtocol;
   ProtocolKind kind() const override { return ProtocolKind::kFdas; }
 
-  bool must_force(const Piggyback& msg, ProcessId) const override {
+  bool must_force(const PiggybackView& msg, ProcessId) const override {
     return after_first_send() && brings_new_dependency(msg);
   }
 
  protected:
-  bool brings_new_dependency(const Piggyback& msg) const {
+  bool brings_new_dependency(const PiggybackView& msg) const {
     for (std::size_t k = 0; k < msg.tdv.size(); ++k)
       if (msg.tdv[k] > tdv_[k]) return true;
     return false;
@@ -41,13 +41,13 @@ class FdiProtocol final : public FdasProtocol {
   using FdasProtocol::FdasProtocol;
   ProtocolKind kind() const override { return ProtocolKind::kFdi; }
 
-  bool must_force(const Piggyback& msg, ProcessId) const override {
+  bool must_force(const PiggybackView& msg, ProcessId) const override {
     return (after_first_send() || delivered_in_interval_) &&
            brings_new_dependency(msg);
   }
 
  private:
-  void merge_payload(const Piggyback&, ProcessId) override {
+  void merge_payload(const PiggybackView&, ProcessId) override {
     delivered_in_interval_ = true;
   }
   void reset_on_checkpoint(bool /*forced*/) override { delivered_in_interval_ = false; }

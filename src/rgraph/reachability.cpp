@@ -34,11 +34,11 @@ ReachabilityClosure::ReachabilityClosure(const RGraph& graph) : graph_(&graph) {
   msg_edges.erase(std::unique(msg_edges.begin(), msg_edges.end()), msg_edges.end());
 
   for (std::size_t a = 0; a < nodes; ++a) {
-    const BitVector& from_a = reach_.row(a);
-    BitVector& out = msg_reach_.row(a);
+    const ConstBitSpan from_a = std::as_const(reach_).row(a);
+    const BitSpan out = msg_reach_.row(a);
     for (const auto& [u, v] : msg_edges)
       if (from_a.get(static_cast<std::size_t>(u)))
-        out.or_with(reach_.row(static_cast<std::size_t>(v)));
+        out.or_with(std::as_const(reach_).row(static_cast<std::size_t>(v)));
   }
 
   if constexpr (kAuditsEnabled) audit_reachability_closure(*this);

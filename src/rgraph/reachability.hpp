@@ -12,6 +12,8 @@
 // exclude them.
 #pragma once
 
+#include <utility>
+
 #include "rgraph/rgraph.hpp"
 #include "util/bit_matrix.hpp"
 
@@ -33,10 +35,12 @@ class ReachabilityClosure {
   bool msg_reach(const CkptId& from, const CkptId& to) const;
   bool msg_reach(int from, int to) const;
 
-  // Rows for bulk consumers.
-  const BitVector& reach_row(int from) const { return reach_.row(static_cast<std::size_t>(from)); }
-  const BitVector& msg_reach_row(int from) const {
-    return msg_reach_.row(static_cast<std::size_t>(from));
+  // Rows for bulk consumers (views into the contiguous closure planes).
+  ConstBitSpan reach_row(int from) const {
+    return std::as_const(reach_).row(static_cast<std::size_t>(from));
+  }
+  ConstBitSpan msg_reach_row(int from) const {
+    return std::as_const(msg_reach_).row(static_cast<std::size_t>(from));
   }
 
  private:

@@ -1,0 +1,56 @@
+#include "sim/payload_arena.hpp"
+
+#include "util/check.hpp"
+
+namespace rdt {
+
+namespace {
+
+// Grow-only resize: keeps capacity across seeds so a reused arena stops
+// allocating once it has seen the largest trace of a sweep.
+template <typename T>
+void ensure_size(std::vector<T>& v, std::size_t size) {
+  if (v.size() < size) v.resize(size);
+}
+
+}  // namespace
+
+void PayloadArena::reset(int num_processes, PayloadShape shape,
+                         std::size_t num_messages) {
+  RDT_REQUIRE(num_processes >= 1, "need at least one process");
+  n_ = num_processes;
+  shape_ = shape;
+  row_words_ = bitdetail::words_for(static_cast<std::size_t>(num_processes));
+  capacity_ = num_messages;
+  const auto n = static_cast<std::size_t>(num_processes);
+  if (shape.tdv) ensure_size(tdv_plane_, n * num_messages);
+  if (shape.simple) ensure_size(simple_plane_, row_words_ * num_messages);
+  if (shape.causal) ensure_size(causal_plane_, n * row_words_ * num_messages);
+  if (shape.index) ensure_size(index_plane_, num_messages);
+}
+
+PiggybackSlot PayloadArena::slot(MsgId m) {
+  const std::size_t i = check(m);
+  const auto n = static_cast<std::size_t>(n_);
+  PiggybackSlot s;
+  if (shape_.tdv) s.tdv = {tdv_plane_.data() + i * n, n};
+  if (shape_.simple) s.simple = {simple_plane_.data() + i * row_words_, n};
+  if (shape_.causal)
+    s.causal = {causal_plane_.data() + i * n * row_words_, n, n};
+  if (shape_.index) s.index = index_plane_.data() + i;
+  return s;
+}
+
+PiggybackView PayloadArena::view(MsgId m) const {
+  const std::size_t i = check(m);
+  const auto n = static_cast<std::size_t>(n_);
+  PiggybackView v;
+  if (shape_.tdv) v.tdv = {tdv_plane_.data() + i * n, n};
+  if (shape_.simple) v.simple = {simple_plane_.data() + i * row_words_, n};
+  if (shape_.causal)
+    v.causal = {causal_plane_.data() + i * n * row_words_, n, n};
+  if (shape_.index) v.index = index_plane_[i];
+  return v;
+}
+
+}  // namespace rdt

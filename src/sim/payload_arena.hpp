@@ -1,0 +1,58 @@
+// PayloadArena — replay-owned, reusable storage for piggybacked control data.
+//
+// Within one replay every message carries the same PayloadShape (all
+// processes run the same ProtocolKind), so instead of one heap-allocated
+// Piggyback per message the replay engine carves three flat planes:
+//  * a TDV plane    — n CkptIndex entries per message, contiguous;
+//  * a simple plane — one word-aligned n-bit row per message;
+//  * a causal plane — one block-strided n x n bit matrix per message
+//    (n word-aligned rows, matrices back to back);
+// plus a scalar index plane for the BCS timestamp. slot(m)/view(m) are O(1)
+// pointer arithmetic; reset() only reallocates when a later replay needs
+// more capacity, so sweeping many seeds through one arena reaches a steady
+// state with zero per-message heap allocations.
+//
+// Slots are handed out uncleaned: the sending protocol fully overwrites
+// every present field (the fill_payload contract), and a trace's delivery
+// of message m always follows its send, so a view never observes stale
+// words. The arena is not thread-safe; use one per worker thread.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "protocols/payload.hpp"
+#include "sim/trace.hpp"
+
+namespace rdt {
+
+class PayloadArena {
+ public:
+  // Prepare slots for `num_messages` messages of `shape` among
+  // `num_processes` processes. Existing capacity is reused; contents become
+  // unspecified.
+  void reset(int num_processes, PayloadShape shape, std::size_t num_messages);
+
+  std::size_t capacity() const { return capacity_; }
+
+  PiggybackSlot slot(MsgId m);
+  PiggybackView view(MsgId m) const;
+
+ private:
+  std::size_t check(MsgId m) const {
+    RDT_REQUIRE(m >= 0 && static_cast<std::size_t>(m) < capacity_,
+                "message id outside the arena");
+    return static_cast<std::size_t>(m);
+  }
+
+  int n_ = 0;
+  PayloadShape shape_{};
+  std::size_t row_words_ = 0;  // words per n-bit row
+  std::size_t capacity_ = 0;   // messages
+  std::vector<CkptIndex> tdv_plane_;         // n * capacity
+  std::vector<std::uint64_t> simple_plane_;  // row_words * capacity
+  std::vector<std::uint64_t> causal_plane_;  // n * row_words * capacity
+  std::vector<CkptIndex> index_plane_;       // capacity
+};
+
+}  // namespace rdt

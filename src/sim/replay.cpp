@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <memory>
-#include <utility>
 
 #include "ccp/audit.hpp"
 #include "ccp/builder.hpp"
@@ -51,21 +50,41 @@ void audit_replay_postconditions(const ReplayResult& result) {
 
 }  // namespace
 
-ReplayResult replay(const Trace& trace, ProtocolKind kind) {
+ReplayResult replay(const Trace& trace, ProtocolKind kind,
+                    const ReplayOptions& options) {
   RDT_REQUIRE(trace.num_processes >= 1, "empty trace");
+
+  // Audit builds always materialize: the postconditions cross-check the
+  // protocols' on-line state against the offline pattern analysis.
+  const bool materialize = options.materialize_pattern || kAuditsEnabled;
+  const auto num_messages = static_cast<std::size_t>(trace.num_messages());
 
   std::vector<std::unique_ptr<CicProtocol>> procs;
   procs.reserve(static_cast<std::size_t>(trace.num_processes));
-  for (ProcessId i = 0; i < trace.num_processes; ++i)
+  for (ProcessId i = 0; i < trace.num_processes; ++i) {
     procs.push_back(make_protocol(kind, trace.num_processes, i));
+    if (!materialize) procs.back()->set_save_tdv_history(false);
+  }
 
-  PatternBuilder builder(trace.num_processes);
-  std::vector<Piggyback> payloads(static_cast<std::size_t>(trace.num_messages()));
-  std::vector<MsgId> msg_map(static_cast<std::size_t>(trace.num_messages()), kNoMsg);
+  // All processes run the same protocol, so every message carries the same
+  // payload shape and its wire size is a per-replay constant.
+  const PayloadShape shape = procs.front()->payload_shape();
+  const unsigned long long bits_per_message =
+      procs.front()->piggyback_bits();
+
+  PayloadArena local_arena;
+  PayloadArena& arena = options.arena ? *options.arena : local_arena;
+  arena.reset(trace.num_processes, shape, num_messages);
+
+  PatternBuilder builder(trace.num_processes);  // cheap when unused
+  std::vector<MsgId> msg_map;
+  if (materialize) msg_map.assign(num_messages, kNoMsg);
 
   ReplayResult result;
   result.kind = kind;
+  result.pattern_built = materialize;
   result.messages = trace.num_messages();
+  if (materialize) result.forced_ckpts.reserve(num_messages);
 
   for (const TraceOp& op : trace.ops) {
     CicProtocol& self = *procs[static_cast<std::size_t>(op.process)];
@@ -73,47 +92,51 @@ ReplayResult replay(const Trace& trace, ProtocolKind kind) {
       case TraceOpKind::kSend: {
         const TraceMessage& m = trace.messages[static_cast<std::size_t>(op.msg)];
         RDT_ASSERT(m.sender == op.process);
-        Piggyback payload = self.on_send(m.receiver);
-        result.piggyback_bits_total +=
-            static_cast<double>(payload.wire_bits());
-        payloads[static_cast<std::size_t>(op.msg)] = std::move(payload);
-        msg_map[static_cast<std::size_t>(op.msg)] =
-            builder.send(m.sender, m.receiver);
+        self.on_send(m.receiver, arena.slot(op.msg));
+        result.piggyback_bits_total += bits_per_message;
+        if (materialize)
+          msg_map[static_cast<std::size_t>(op.msg)] =
+              builder.send(m.sender, m.receiver);
         if (self.checkpoint_after_send()) {
           self.on_forced_checkpoint();
-          result.forced_ckpts.push_back(
-              {op.process, builder.checkpoint(op.process)});
+          if (materialize)
+            result.forced_ckpts.push_back(
+                {op.process, builder.checkpoint(op.process)});
         }
         break;
       }
       case TraceOpKind::kDeliver: {
         const TraceMessage& m = trace.messages[static_cast<std::size_t>(op.msg)];
         RDT_ASSERT(m.receiver == op.process);
-        const Piggyback& payload = payloads[static_cast<std::size_t>(op.msg)];
+        const PiggybackView payload = arena.view(op.msg);
         if (self.must_force(payload, m.sender)) {
           self.on_forced_checkpoint();
-          result.forced_ckpts.push_back(
-              {op.process, builder.checkpoint(op.process)});
+          if (materialize)
+            result.forced_ckpts.push_back(
+                {op.process, builder.checkpoint(op.process)});
         }
         self.on_deliver(payload, m.sender);
-        builder.deliver(msg_map[static_cast<std::size_t>(op.msg)]);
+        if (materialize) builder.deliver(msg_map[static_cast<std::size_t>(op.msg)]);
         break;
       }
       case TraceOpKind::kBasicCkpt:
         self.on_basic_checkpoint();
-        builder.checkpoint(op.process);
+        if (materialize) builder.checkpoint(op.process);
         break;
     }
   }
 
-  result.pattern = builder.build();
-  result.saved_tdvs.resize(static_cast<std::size_t>(trace.num_processes));
+  if (materialize) {
+    result.pattern = builder.build();
+    result.saved_tdvs.resize(static_cast<std::size_t>(trace.num_processes));
+  }
   for (ProcessId i = 0; i < trace.num_processes; ++i) {
     const CicProtocol& p = *procs[static_cast<std::size_t>(i)];
     result.basic += p.basic_count();
     result.forced += p.forced_count();
-    if (p.transmits_tdv()) {
+    if (materialize && p.transmits_tdv()) {
       auto& row = result.saved_tdvs[static_cast<std::size_t>(i)];
+      row.reserve(static_cast<std::size_t>(p.current_interval()));
       for (CkptIndex x = 0; x < p.current_interval(); ++x)
         row.push_back(p.saved_tdv(x));
     }

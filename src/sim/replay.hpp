@@ -7,24 +7,51 @@
 // pattern for offline analysis. Because the trace fixes the application
 // behaviour, replaying different protocols over the same trace yields
 // directly comparable forced-checkpoint counts.
+//
+// Two knobs make large sweeps cheap (see docs/benchmarks.md):
+//  * ReplayOptions::materialize_pattern = false skips the PatternBuilder,
+//    the forced-checkpoint inventory and the saved-TDV extraction — the
+//    counters (messages/basic/forced/piggyback bits) are unchanged;
+//  * ReplayOptions::arena points at a caller-owned PayloadArena so the
+//    steady-state replay loop performs no per-message heap allocation.
+// Audit builds (RDT_AUDITS=ON) always materialize the pattern so the
+// replay postconditions keep their offline cross-check.
 #pragma once
 
 #include <vector>
 
 #include "ccp/pattern.hpp"
 #include "protocols/protocol.hpp"
+#include "sim/payload_arena.hpp"
 #include "sim/trace.hpp"
 
 namespace rdt {
+
+struct ReplayOptions {
+  // Build the Pattern, the forced-checkpoint inventory and saved_tdvs.
+  // When false (and audits are off) the replay returns counters only:
+  // `pattern` stays empty, `forced_ckpts`/`saved_tdvs` stay empty, and the
+  // protocols skip their per-checkpoint TDV history.
+  bool materialize_pattern = true;
+
+  // Optional reusable payload storage. When null the replay owns a
+  // temporary arena internally; passing one amortizes its planes across
+  // replays (zero steady-state allocations). Not thread-safe: one arena
+  // per concurrent replay.
+  PayloadArena* arena = nullptr;
+};
 
 struct ReplayResult {
   ProtocolKind kind = ProtocolKind::kNoForce;
   Pattern pattern;  // includes basic + forced (+ virtual final) checkpoints
 
+  // True when `pattern`/`forced_ckpts`/`saved_tdvs` were materialized.
+  bool pattern_built = false;
+
   long long messages = 0;
   long long basic = 0;
   long long forced = 0;
-  double piggyback_bits_total = 0;  // sum over sent messages
+  unsigned long long piggyback_bits_total = 0;  // sum over sent messages
 
   // The forced checkpoints, as (process, index) into `pattern` — input for
   // hindsight/ablation analyses (e.g. experiment E12).
@@ -47,11 +74,21 @@ struct ReplayResult {
                : 0.0;
   }
   double piggyback_bits_per_message() const {
-    return messages > 0 ? piggyback_bits_total / static_cast<double>(messages)
+    return messages > 0 ? static_cast<double>(piggyback_bits_total) /
+                              static_cast<double>(messages)
                         : 0.0;
   }
 };
 
-ReplayResult replay(const Trace& trace, ProtocolKind kind);
+ReplayResult replay(const Trace& trace, ProtocolKind kind,
+                    const ReplayOptions& options = {});
+
+// Counters-only convenience wrapper: replay(trace, kind) without the
+// pattern/TDV materialization (unless audits force it).
+inline ReplayResult replay_metrics(const Trace& trace, ProtocolKind kind,
+                                   PayloadArena* arena = nullptr) {
+  return replay(trace, kind,
+                {.materialize_pattern = false, .arena = arena});
+}
 
 }  // namespace rdt

@@ -1,6 +1,9 @@
 #include "sim/runner.hpp"
 
 #include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
 
 #include "util/check.hpp"
@@ -18,8 +21,12 @@ struct SeedMetrics {
   long long forced = 0;
 };
 
-SeedMetrics measure(const Trace& trace, ProtocolKind kind) {
-  const ReplayResult res = replay(trace, kind);
+// Sweeps only need the overhead counters, so they take the counters-only
+// replay path (no PatternBuilder, no saved-TDV extraction) through a
+// reusable arena: zero steady-state heap traffic per message.
+SeedMetrics measure(const Trace& trace, ProtocolKind kind,
+                    PayloadArena& arena) {
+  const ReplayResult res = replay_metrics(trace, kind, &arena);
   return {res.forced_per_basic(), res.forced_per_message(),
           res.piggyback_bits_per_message(), res.messages,
           res.basic,              res.forced};
@@ -53,15 +60,15 @@ std::vector<ProtocolStats> fold(std::span<const ProtocolKind> kinds,
   return out;
 }
 
-std::vector<SeedMetrics> measure_seed(
-    const std::function<Trace(std::uint64_t)>& generate,
-    std::span<const ProtocolKind> kinds, std::uint64_t seed) {
-  const Trace trace = generate(seed);
-  std::vector<SeedMetrics> row;
-  row.reserve(kinds.size());
-  for (ProtocolKind kind : kinds) row.push_back(measure(trace, kind));
-  return row;
-}
+// One generated trace shared (read-only) by every protocol replay of its
+// seed. `remaining` counts outstanding protocol work items; the worker that
+// finishes the last one releases the trace so memory stays bounded by the
+// number of in-flight seeds, not the sweep size.
+struct SeedSlot {
+  std::once_flag generated;
+  std::optional<Trace> trace;
+  std::atomic<int> remaining{0};
+};
 
 }  // namespace
 
@@ -71,9 +78,13 @@ std::vector<ProtocolStats> sweep(
   RDT_REQUIRE(num_seeds >= 1, "need at least one seed");
   std::vector<std::vector<SeedMetrics>> matrix(
       static_cast<std::size_t>(num_seeds));
-  for (int s = 0; s < num_seeds; ++s)
-    matrix[static_cast<std::size_t>(s)] =
-        measure_seed(generate, kinds, seed0 + static_cast<std::uint64_t>(s));
+  PayloadArena arena;
+  for (int s = 0; s < num_seeds; ++s) {
+    const Trace trace = generate(seed0 + static_cast<std::uint64_t>(s));
+    auto& row = matrix[static_cast<std::size_t>(s)];
+    row.reserve(kinds.size());
+    for (ProtocolKind kind : kinds) row.push_back(measure(trace, kind, arena));
+  }
   return fold(kinds, matrix);
 }
 
@@ -83,17 +94,45 @@ std::vector<ProtocolStats> sweep_parallel(
     std::uint64_t seed0) {
   RDT_REQUIRE(num_seeds >= 1, "need at least one seed");
   RDT_REQUIRE(threads >= 1, "need at least one thread");
+  RDT_REQUIRE(!kinds.empty(), "need at least one protocol");
+
+  const auto num_kinds = static_cast<int>(kinds.size());
+  const long long num_items =
+      static_cast<long long>(num_seeds) * static_cast<long long>(num_kinds);
   std::vector<std::vector<SeedMetrics>> matrix(
       static_cast<std::size_t>(num_seeds));
-  std::atomic<int> next{0};
+  for (auto& row : matrix)
+    row.resize(kinds.size());
+
+  // Fused (seed x protocol) work queue: finer-grained than per-seed tasks,
+  // so a slow protocol on the last seed no longer serializes the tail of
+  // the sweep. Work items are handed out seed-major, which keeps the
+  // replays of one seed temporally clustered and lets the trace be freed
+  // as soon as its last protocol finishes.
+  std::vector<SeedSlot> slots(static_cast<std::size_t>(num_seeds));
+  for (auto& slot : slots) slot.remaining.store(num_kinds);
+
+  std::atomic<long long> next{0};
   auto worker = [&] {
-    for (int s = next.fetch_add(1); s < num_seeds; s = next.fetch_add(1))
-      matrix[static_cast<std::size_t>(s)] =
-          measure_seed(generate, kinds, seed0 + static_cast<std::uint64_t>(s));
+    PayloadArena arena;  // per-worker; replays never share one concurrently
+    for (long long w = next.fetch_add(1); w < num_items;
+         w = next.fetch_add(1)) {
+      const auto s = static_cast<std::size_t>(w / num_kinds);
+      const auto k = static_cast<std::size_t>(w % num_kinds);
+      SeedSlot& slot = slots[s];
+      std::call_once(slot.generated, [&] {
+        slot.trace.emplace(
+            generate(seed0 + static_cast<std::uint64_t>(s)));
+      });
+      matrix[s][k] = measure(*slot.trace, kinds[k], arena);
+      if (slot.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+        slot.trace.reset();  // last replay of this seed: drop the trace
+    }
   };
   {
     std::vector<std::jthread> pool;
-    const int spawn = std::min(threads, num_seeds);
+    const int spawn = static_cast<int>(
+        std::min(static_cast<long long>(threads), num_items));
     pool.reserve(static_cast<std::size_t>(spawn));
     for (int t = 0; t < spawn; ++t) pool.emplace_back(worker);
   }  // jthreads join here

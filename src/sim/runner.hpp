@@ -25,15 +25,22 @@ struct ProtocolStats {
 
 // Runs `num_seeds` independent traces (seeds seed0, seed0+1, ...) through
 // every protocol in `kinds`. The generator must honour its seed argument.
+// Sweeps replay in counters-only mode through one reusable PayloadArena —
+// patterns are never materialized, and the steady-state replay loop does
+// not touch the heap.
 std::vector<ProtocolStats> sweep(
     const std::function<Trace(std::uint64_t seed)>& generate,
     std::span<const ProtocolKind> kinds, int num_seeds, std::uint64_t seed0 = 1);
 
-// Same computation fanned out over `threads` worker threads (seeds are
-// independent, so the partition is by seed; per-seed results are merged in
-// seed order, making the aggregate identical to the serial sweep). The
-// generator must be callable concurrently — the built-in environments are,
-// since each call owns its Rng.
+// Same computation fanned out over `threads` worker threads with a fused
+// (seed x protocol) work queue: each work item replays one protocol over
+// one seed's trace. The trace is generated once per seed (std::call_once),
+// shared *const* by the replays of that seed — replay() never mutates its
+// Trace, see docs/api_tour.md — and released after its last replay. Each
+// worker owns a private PayloadArena. Per-seed rows are folded in seed
+// order, making the aggregate bit-identical to the serial sweep for any
+// thread count. The generator must be callable concurrently — the built-in
+// environments are, since each call owns its Rng.
 std::vector<ProtocolStats> sweep_parallel(
     const std::function<Trace(std::uint64_t seed)>& generate,
     std::span<const ProtocolKind> kinds, int num_seeds, int threads,

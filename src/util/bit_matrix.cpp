@@ -1,29 +1,38 @@
 #include "util/bit_matrix.hpp"
 
+#include <utility>
+
 namespace rdt {
 
-std::size_t BitVector::find_next(std::size_t from) const {
-  if (from >= size_) return size_;
+namespace bitdetail {
+
+std::size_t find_next(const std::uint64_t* words, std::size_t size,
+                      std::size_t from) {
+  if (from >= size) return size;
+  const std::size_t num_words = words_for(size);
   std::size_t w = from >> 6;
-  std::uint64_t word = words_[w] & (~0ULL << (from & 63));
+  std::uint64_t word = words[w] & (~0ULL << (from & 63));
   while (true) {
     if (word != 0) {
-      const std::size_t bit = (w << 6) + static_cast<std::size_t>(__builtin_ctzll(word));
-      return bit < size_ ? bit : size_;
+      const std::size_t bit =
+          (w << 6) + static_cast<std::size_t>(__builtin_ctzll(word));
+      return bit < size ? bit : size;
     }
-    if (++w >= words_.size()) return size_;
-    word = words_[w];
+    if (++w >= num_words) return size;
+    word = words[w];
   }
 }
+
+}  // namespace bitdetail
 
 void BitMatrix::close_transitively() {
   RDT_REQUIRE(rows_ == cols_, "transitive closure requires a square matrix");
   set_diagonal(true);
   // Warshall: if row r can reach k, it can reach everything k reaches.
   for (std::size_t k = 0; k < rows_; ++k) {
-    const BitVector& via = data_[k];
+    const ConstBitSpan via = std::as_const(*this).row(k);
     for (std::size_t r = 0; r < rows_; ++r) {
-      if (r != k && data_[r].get(k)) data_[r].or_with(via);
+      if (r != k && get(r, k)) row(r).or_with(via);
     }
   }
 }

@@ -1,10 +1,17 @@
-// Dense bit vectors and bit matrices.
+// Dense bit vectors, bit matrices, and non-owning bit spans.
 //
 // These back the boolean control structures the checkpointing protocols
 // piggyback on messages (the `causal` n×n matrix, the `simple` and `sent_to`
 // arrays) as well as the reachability closures computed on R-graphs, where a
 // row-per-node bitset makes transitive closure an O(V^3 / 64) word-parallel
 // sweep.
+//
+// Storage model: every row (and every span) is a word-aligned block of
+// 64-bit words whose tail bits beyond size() are kept zero — that invariant
+// makes equality and popcount plain word operations. BitMatrix stores all
+// rows contiguously (row-major, (cols+63)/64 words per row), so a matrix is
+// also addressable as one flat block — the layout the replay engine's
+// payload arena shares via ConstBitMatrixSpan without copying.
 #pragma once
 
 #include <cstddef>
@@ -15,17 +22,157 @@
 
 namespace rdt {
 
+namespace bitdetail {
+
+inline std::size_t words_for(std::size_t bits) { return (bits + 63) / 64; }
+
+// Zero the bits beyond `bits` in the block's last word.
+inline void trim_tail(std::uint64_t* words, std::size_t bits) {
+  if (bits % 64 != 0) words[bits / 64] &= (1ULL << (bits % 64)) - 1;
+}
+
+std::size_t find_next(const std::uint64_t* words, std::size_t size,
+                      std::size_t from);
+
+}  // namespace bitdetail
+
+// Read-only view over a word-aligned block of bits. Cheap to copy; never
+// owns storage. All producers maintain the zero-tail invariant, so equality
+// and count are word-parallel.
+class ConstBitSpan {
+ public:
+  ConstBitSpan() = default;
+  ConstBitSpan(const std::uint64_t* words, std::size_t size)
+      : words_(words), size_(size) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::uint64_t* words() const { return words_; }
+  std::size_t num_words() const { return bitdetail::words_for(size_); }
+
+  bool get(std::size_t i) const {
+    RDT_REQUIRE(i < size_, "bit index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  std::size_t count() const {
+    std::size_t total = 0;
+    for (std::size_t w = 0; w < num_words(); ++w)
+      total += static_cast<std::size_t>(__builtin_popcountll(words_[w]));
+    return total;
+  }
+
+  bool any() const {
+    for (std::size_t w = 0; w < num_words(); ++w)
+      if (words_[w]) return true;
+    return false;
+  }
+
+  // Index of first set bit at or after `from`, or size() if none.
+  std::size_t find_next(std::size_t from) const {
+    return bitdetail::find_next(words_, size_, from);
+  }
+
+  friend bool operator==(ConstBitSpan a, ConstBitSpan b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t w = 0; w < a.num_words(); ++w)
+      if (a.words_[w] != b.words_[w]) return false;
+    return true;
+  }
+
+ private:
+  const std::uint64_t* words_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+// Mutable view over a word-aligned block of bits. The view itself is a
+// value; mutators are const because they write through the pointer, which
+// lets arena slots hand rows out by value.
+class BitSpan {
+ public:
+  BitSpan() = default;
+  BitSpan(std::uint64_t* words, std::size_t size) : words_(words), size_(size) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t num_words() const { return bitdetail::words_for(size_); }
+
+  operator ConstBitSpan() const { return {words_, size_}; }  // NOLINT(*-explicit-*)
+
+  bool get(std::size_t i) const {
+    RDT_REQUIRE(i < size_, "bit index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+  void set(std::size_t i, bool value = true) const {
+    RDT_REQUIRE(i < size_, "bit index out of range");
+    const std::uint64_t mask = 1ULL << (i & 63);
+    if (value)
+      words_[i >> 6] |= mask;
+    else
+      words_[i >> 6] &= ~mask;
+  }
+  void reset() const {
+    for (std::size_t w = 0; w < num_words(); ++w) words_[w] = 0;
+  }
+  void fill(bool value) const {
+    for (std::size_t w = 0; w < num_words(); ++w) words_[w] = value ? ~0ULL : 0ULL;
+    bitdetail::trim_tail(words_, size_);
+  }
+  void assign(ConstBitSpan other) const {
+    RDT_REQUIRE(other.size() == size_, "size mismatch");
+    for (std::size_t w = 0; w < num_words(); ++w) words_[w] = other.words()[w];
+  }
+
+  // *this |= other without change detection — cheaper than or_with in
+  // sweeps that visit each edge exactly once and never test for a fixpoint.
+  void merge(ConstBitSpan other) const {
+    RDT_REQUIRE(other.size() == size_, "size mismatch");
+    for (std::size_t w = 0; w < num_words(); ++w) words_[w] |= other.words()[w];
+  }
+
+  // *this |= other; returns true iff any bit changed.
+  bool or_with(ConstBitSpan other) const {
+    RDT_REQUIRE(other.size() == size_, "size mismatch");
+    bool changed = false;
+    for (std::size_t w = 0; w < num_words(); ++w) {
+      const std::uint64_t merged = words_[w] | other.words()[w];
+      changed |= merged != words_[w];
+      words_[w] = merged;
+    }
+    return changed;
+  }
+
+  void and_with(ConstBitSpan other) const {
+    RDT_REQUIRE(other.size() == size_, "size mismatch");
+    for (std::size_t w = 0; w < num_words(); ++w) words_[w] &= other.words()[w];
+  }
+
+  std::size_t count() const { return ConstBitSpan(*this).count(); }
+  bool any() const { return ConstBitSpan(*this).any(); }
+  std::size_t find_next(std::size_t from) const {
+    return bitdetail::find_next(words_, size_, from);
+  }
+
+ private:
+  std::uint64_t* words_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 // Fixed-size vector of bits with word-parallel bulk operations.
 class BitVector {
  public:
   BitVector() = default;
   explicit BitVector(std::size_t size, bool value = false)
-      : size_(size), words_((size + 63) / 64, value ? ~0ULL : 0ULL) {
+      : size_(size), words_(bitdetail::words_for(size), value ? ~0ULL : 0ULL) {
     trim();
   }
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  operator ConstBitSpan() const { return {words_.data(), size_}; }  // NOLINT(*-explicit-*)
+  ConstBitSpan span() const { return {words_.data(), size_}; }
+  BitSpan span() { return {words_.data(), size_}; }
 
   bool get(std::size_t i) const {
     RDT_REQUIRE(i < size_, "bit index out of range");
@@ -49,62 +196,113 @@ class BitVector {
 
   // *this |= other without change detection — cheaper than or_with in
   // sweeps that visit each edge exactly once and never test for a fixpoint.
-  void merge(const BitVector& other) {
-    RDT_REQUIRE(other.size_ == size_, "size mismatch");
-    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] |= other.words_[w];
-  }
+  void merge(ConstBitSpan other) { span().merge(other); }
 
   // *this |= other; returns true iff any bit changed.
-  bool or_with(const BitVector& other) {
-    RDT_REQUIRE(other.size_ == size_, "size mismatch");
-    bool changed = false;
-    for (std::size_t w = 0; w < words_.size(); ++w) {
-      const std::uint64_t merged = words_[w] | other.words_[w];
-      changed |= merged != words_[w];
-      words_[w] = merged;
-    }
-    return changed;
-  }
+  bool or_with(ConstBitSpan other) { return span().or_with(other); }
 
-  void and_with(const BitVector& other) {
-    RDT_REQUIRE(other.size_ == size_, "size mismatch");
-    for (std::size_t w = 0; w < words_.size(); ++w) words_[w] &= other.words_[w];
-  }
+  void and_with(ConstBitSpan other) { span().and_with(other); }
 
-  std::size_t count() const {
-    std::size_t total = 0;
-    for (auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
-    return total;
-  }
+  void assign(ConstBitSpan other) { span().assign(other); }
 
-  bool any() const {
-    for (auto w : words_)
-      if (w) return true;
-    return false;
-  }
+  std::size_t count() const { return span().count(); }
+
+  bool any() const { return span().any(); }
 
   // Index of first set bit at or after `from`, or size() if none.
-  std::size_t find_next(std::size_t from) const;
+  std::size_t find_next(std::size_t from) const {
+    return bitdetail::find_next(words_.data(), size_, from);
+  }
 
   friend bool operator==(const BitVector&, const BitVector&) = default;
 
  private:
   void trim() {
-    if (size_ % 64 != 0 && !words_.empty())
-      words_.back() &= (1ULL << (size_ % 64)) - 1;
+    if (!words_.empty()) bitdetail::trim_tail(words_.data(), size_);
   }
 
   std::size_t size_ = 0;
   std::vector<std::uint64_t> words_;
 };
 
-// Row-major matrix of bits. Rows are BitVector-compatible so closure
-// algorithms can OR whole rows together.
+// Read-only view over a block-strided bit matrix: `rows` word-aligned rows
+// of `cols` bits, laid out contiguously (stride = words_for(cols)). Both
+// BitMatrix and the replay payload arena produce these.
+class ConstBitMatrixSpan {
+ public:
+  ConstBitMatrixSpan() = default;
+  ConstBitMatrixSpan(const std::uint64_t* words, std::size_t rows,
+                     std::size_t cols)
+      : words_(words), rows_(rows), cols_(cols) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t row_words() const { return bitdetail::words_for(cols_); }
+
+  ConstBitSpan row(std::size_t r) const {
+    RDT_REQUIRE(r < rows_, "row index out of range");
+    return {words_ + r * row_words(), cols_};
+  }
+  bool get(std::size_t r, std::size_t c) const { return row(r).get(c); }
+
+ private:
+  const std::uint64_t* words_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+// Mutable counterpart of ConstBitMatrixSpan (same layout contract).
+class BitMatrixSpan {
+ public:
+  BitMatrixSpan() = default;
+  BitMatrixSpan(std::uint64_t* words, std::size_t rows, std::size_t cols)
+      : words_(words), rows_(rows), cols_(cols) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t row_words() const { return bitdetail::words_for(cols_); }
+
+  operator ConstBitMatrixSpan() const {  // NOLINT(*-explicit-*)
+    return {words_, rows_, cols_};
+  }
+
+  BitSpan row(std::size_t r) const {
+    RDT_REQUIRE(r < rows_, "row index out of range");
+    return {words_ + r * row_words(), cols_};
+  }
+  bool get(std::size_t r, std::size_t c) const { return row(r).get(c); }
+  void set(std::size_t r, std::size_t c, bool value = true) const {
+    row(r).set(c, value);
+  }
+
+  // Whole-matrix copy (dimensions must match) — one contiguous word copy.
+  void assign(ConstBitMatrixSpan other) const {
+    RDT_REQUIRE(other.rows() == rows_ && other.cols() == cols_,
+                "matrix dimensions mismatch");
+    const std::size_t total = rows_ * row_words();
+    const std::uint64_t* src = other.row(0).words();
+    for (std::size_t w = 0; w < total; ++w) words_[w] = src[w];
+  }
+
+ private:
+  std::uint64_t* words_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+// Row-major matrix of bits over one contiguous word block. Rows are
+// word-aligned so closure algorithms can OR whole rows together and views
+// can address the matrix as a flat, block-strided plane.
 class BitMatrix {
  public:
   BitMatrix() = default;
   BitMatrix(std::size_t rows, std::size_t cols, bool value = false)
-      : rows_(rows), cols_(cols), data_(rows, BitVector(cols, value)) {}
+      : rows_(rows),
+        cols_(cols),
+        row_words_(bitdetail::words_for(cols)),
+        words_(rows * bitdetail::words_for(cols), value ? ~0ULL : 0ULL) {
+    trim_rows();
+  }
 
   std::size_t rows() const { return rows_; }
   std::size_t cols() const { return cols_; }
@@ -112,27 +310,32 @@ class BitMatrix {
   bool get(std::size_t r, std::size_t c) const { return row(r).get(c); }
   void set(std::size_t r, std::size_t c, bool value = true) { row(r).set(c, value); }
 
-  const BitVector& row(std::size_t r) const {
+  ConstBitSpan row(std::size_t r) const {
     RDT_REQUIRE(r < rows_, "row index out of range");
-    return data_[r];
+    return {words_.data() + r * row_words_, cols_};
   }
-  BitVector& row(std::size_t r) {
+  BitSpan row(std::size_t r) {
     RDT_REQUIRE(r < rows_, "row index out of range");
-    return data_[r];
+    return {words_.data() + r * row_words_, cols_};
   }
 
+  ConstBitMatrixSpan view() const { return {words_.data(), rows_, cols_}; }
+  BitMatrixSpan view() { return {words_.data(), rows_, cols_}; }
+  operator ConstBitMatrixSpan() const { return view(); }  // NOLINT(*-explicit-*)
+
   void fill(bool value) {
-    for (auto& r : data_) r.fill(value);
+    for (auto& w : words_) w = value ? ~0ULL : 0ULL;
+    trim_rows();
   }
 
   void set_diagonal(bool value) {
     RDT_REQUIRE(rows_ == cols_, "diagonal requires a square matrix");
-    for (std::size_t i = 0; i < rows_; ++i) data_[i].set(i, value);
+    for (std::size_t i = 0; i < rows_; ++i) row(i).set(i, value);
   }
 
   std::size_t count() const {
     std::size_t total = 0;
-    for (const auto& r : data_) total += r.count();
+    for (auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
     return total;
   }
 
@@ -143,9 +346,16 @@ class BitMatrix {
   friend bool operator==(const BitMatrix&, const BitMatrix&) = default;
 
  private:
+  void trim_rows() {
+    if (cols_ % 64 == 0) return;
+    for (std::size_t r = 0; r < rows_; ++r)
+      bitdetail::trim_tail(words_.data() + r * row_words_, cols_);
+  }
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<BitVector> data_;
+  std::size_t row_words_ = 0;
+  std::vector<std::uint64_t> words_;
 };
 
 }  // namespace rdt
