@@ -23,10 +23,8 @@ void sweep_chain_length(BenchReport& report, int seeds) {
                "BHMR"});
   for (int servers : {2, 4, 8, 12}) {
     auto generate = [&](std::uint64_t seed) {
-      ClientServerEnvConfig cfg;
+      ClientServerEnvConfig cfg = client_server_env_preset();
       cfg.num_servers = servers;
-      cfg.num_requests = 250;
-      cfg.basic_ckpt_mean = 10.0;
       cfg.seed = seed;
       return client_server_environment(cfg);
     };
@@ -47,11 +45,8 @@ void sweep_forward_prob(BenchReport& report, int seeds) {
                "BHMR"});
   for (double prob : {0.25, 0.5, 0.75, 1.0}) {
     auto generate = [&](std::uint64_t seed) {
-      ClientServerEnvConfig cfg;
-      cfg.num_servers = 8;
-      cfg.num_requests = 250;
+      ClientServerEnvConfig cfg = client_server_env_preset();
       cfg.forward_prob = prob;
-      cfg.basic_ckpt_mean = 10.0;
       cfg.seed = seed;
       return client_server_environment(cfg);
     };
@@ -69,10 +64,11 @@ void sweep_forward_prob(BenchReport& report, int seeds) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  BenchReport report("client_server", argc, argv);
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchReport report("client_server", args);
   banner("E3 (client/server chains)",
          "forced-checkpoint overhead under synchronous request chains");
-  const int seeds = 10;
+  const int seeds = args.seeds(10);
   sweep_chain_length(report, seeds);
   sweep_forward_prob(report, seeds);
   report.finish();

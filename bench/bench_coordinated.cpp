@@ -10,6 +10,7 @@
 
 #include "bench_common.hpp"
 #include "des/apps.hpp"
+#include "protocols/registry.hpp"
 #include "des/snapshot.hpp"
 
 namespace {
@@ -66,7 +67,9 @@ int main(int argc, char** argv) {
           cic);
       cuts.add(static_cast<double>(run.basic + run.forced));
       piggy_bytes = static_cast<double>(
-                        make_protocol(ProtocolKind::kBhmr, n, 0)->piggyback_bits()) /
+                        ProtocolRegistry::instance()
+                        .info(ProtocolKind::kBhmr)
+                        .piggyback_bits(n)) /
                     8.0;
     }
     report.add_metrics(

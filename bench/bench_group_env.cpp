@@ -21,12 +21,8 @@ void sweep_overlap(BenchReport& report, int seeds) {
   Table table({"overlap", "n", "CBR", "NRAS", "FDI", "FDAS", "BHMR-V2",
                "BHMR-V1", "BHMR"});
   for (int overlap : {0, 1, 2}) {
-    GroupEnvConfig base;
-    base.num_groups = 4;
-    base.group_size = 4;
+    GroupEnvConfig base = group_env_preset();
     base.overlap = overlap;
-    base.duration = 400.0;
-    base.basic_ckpt_mean = 10.0;
     auto generate = [&](std::uint64_t seed) {
       GroupEnvConfig cfg = base;
       cfg.seed = seed;
@@ -51,12 +47,8 @@ void sweep_group_count(BenchReport& report, int seeds) {
   Table table({"groups", "n", "CBR", "NRAS", "FDI", "FDAS", "BHMR-V2",
                "BHMR-V1", "BHMR"});
   for (int groups : {2, 4, 6}) {
-    GroupEnvConfig base;
+    GroupEnvConfig base = group_env_preset();
     base.num_groups = groups;
-    base.group_size = 4;
-    base.overlap = 1;
-    base.duration = 400.0;
-    base.basic_ckpt_mean = 10.0;
     auto generate = [&](std::uint64_t seed) {
       GroupEnvConfig cfg = base;
       cfg.seed = seed;
@@ -80,10 +72,11 @@ void sweep_group_count(BenchReport& report, int seeds) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  BenchReport report("group_env", argc, argv);
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchReport report("group_env", args);
   banner("E2 (overlapping group communication)",
          "forced-checkpoint overhead with group-local traffic");
-  const int seeds = 10;
+  const int seeds = args.seeds(10);
   sweep_overlap(report, seeds);
   sweep_group_count(report, seeds);
   report.finish();

@@ -5,12 +5,13 @@
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "protocols/protocol.hpp"
+#include "protocols/registry.hpp"
 
 int main(int argc, char** argv) {
   using namespace rdt;
   using namespace rdt::bench;
   BenchReport report("overhead", argc, argv);
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
   std::cout << "==================================================================\n"
                "E5 (piggyback overhead) — control bits per application message\n"
                "TDV = n x 32-bit integers; simple = n bits; causal = n^2 bits\n"
@@ -20,21 +21,20 @@ int main(int argc, char** argv) {
   JsonArray rows;
   for (int n : {4, 8, 16, 32, 64, 128}) {
     table.begin_row().add(n);
-    table.add(make_protocol(ProtocolKind::kNras, n, 0)->piggyback_bits());
-    table.add(make_protocol(ProtocolKind::kFdi, n, 0)->piggyback_bits());
-    table.add(make_protocol(ProtocolKind::kFdas, n, 0)->piggyback_bits());
-    table.add(make_protocol(ProtocolKind::kBhmrNoSimple, n, 0)->piggyback_bits());
-    const auto bhmr = make_protocol(ProtocolKind::kBhmr, n, 0)->piggyback_bits();
+    table.add(registry.info(ProtocolKind::kNras).piggyback_bits(n));
+    table.add(registry.info(ProtocolKind::kFdi).piggyback_bits(n));
+    table.add(registry.info(ProtocolKind::kFdas).piggyback_bits(n));
+    table.add(registry.info(ProtocolKind::kBhmrNoSimple).piggyback_bits(n));
+    const auto bhmr = registry.info(ProtocolKind::kBhmr).piggyback_bits(n);
     table.add(bhmr);
     table.add(static_cast<long long>(bhmr / 8));
     JsonObject row{{"num_processes", n}};
     for (ProtocolKind kind :
          {ProtocolKind::kNras, ProtocolKind::kFdi, ProtocolKind::kFdas,
           ProtocolKind::kBhmrNoSimple, ProtocolKind::kBhmr}) {
-      row.emplace_back(
-          to_string(kind),
-          static_cast<unsigned long long>(
-              make_protocol(kind, n, 0)->piggyback_bits()));
+      row.emplace_back(registry.info(kind).id,
+                       static_cast<unsigned long long>(
+                           registry.info(kind).piggyback_bits(n)));
     }
     rows.push_back(std::move(row));
   }

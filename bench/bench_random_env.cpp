@@ -21,10 +21,8 @@ void sweep_ckpt_period(BenchReport& report, int num_processes, int seeds) {
                "FDAS", "BHMR-V2", "BHMR-V1", "BHMR"});
   for (double period : {2.0, 5.0, 10.0, 20.0, 40.0}) {
     auto generate = [&](std::uint64_t seed) {
-      RandomEnvConfig cfg;
+      RandomEnvConfig cfg = random_env_preset();
       cfg.num_processes = num_processes;
-      cfg.duration = 400.0;
-      cfg.send_gap_mean = 1.0;
       cfg.basic_ckpt_mean = period;
       cfg.seed = seed;
       return random_environment(cfg);
@@ -51,11 +49,8 @@ void sweep_process_count(BenchReport& report, int seeds) {
                "BHMR"});
   for (int n : {4, 8, 16}) {
     auto generate = [&](std::uint64_t seed) {
-      RandomEnvConfig cfg;
+      RandomEnvConfig cfg = random_env_preset();
       cfg.num_processes = n;
-      cfg.duration = 400.0;
-      cfg.send_gap_mean = 1.0;
-      cfg.basic_ckpt_mean = 10.0;
       cfg.seed = seed;
       return random_environment(cfg);
     };
@@ -77,10 +72,7 @@ void fifo_ablation(BenchReport& report, int seeds) {
                                         ProtocolKind::kBhmr};
   for (bool fifo : {false, true}) {
     auto generate = [&](std::uint64_t seed) {
-      RandomEnvConfig cfg;
-      cfg.num_processes = 8;
-      cfg.duration = 400.0;
-      cfg.basic_ckpt_mean = 10.0;
+      RandomEnvConfig cfg = random_env_preset();
       cfg.fifo_channels = fifo;
       cfg.seed = seed;
       return random_environment(cfg);
@@ -101,10 +93,11 @@ void fifo_ablation(BenchReport& report, int seeds) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  BenchReport report("random_env", argc, argv);
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchReport report("random_env", args);
   banner("E1 (random environments)",
          "forced-checkpoint overhead under uniform point-to-point traffic");
-  const int seeds = 10;
+  const int seeds = args.seeds(10);
   sweep_ckpt_period(report, /*num_processes=*/8, seeds);
   sweep_process_count(report, seeds);
   fifo_ablation(report, seeds);

@@ -7,13 +7,12 @@
 // runs).
 //
 // Usage: bench_sweep [--seeds N] [--threads N] [--json <path>]
+//                    [--trace <path>]
 #include <chrono>
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "bench_common.hpp"
-#include "sim/environments.hpp"
 
 namespace {
 
@@ -21,20 +20,13 @@ using namespace rdt;
 using namespace rdt::bench;
 using Clock = std::chrono::steady_clock;
 
-int flag_or(int argc, char** argv, const std::string& flag, int fallback) {
-  for (int i = 1; i + 1 < argc; ++i)
-    if (argv[i] == flag) return std::atoi(argv[i + 1]);
-  return fallback;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  BenchReport report("sweep", argc, argv);
-  const int seeds = flag_or(argc, argv, "--seeds", 20);
-  const int threads = flag_or(
-      argc, argv, "--threads",
-      static_cast<int>(std::max(1u, std::thread::hardware_concurrency())));
+  const BenchArgs args = parse_bench_args(argc, argv);
+  BenchReport report("sweep", args);
+  const int seeds = args.seeds(20);
+  const int threads = args.threads();
 
   banner("sweep throughput",
          "wall time of the full protocol-study sweep per environment");
@@ -63,32 +55,7 @@ int main(int argc, char** argv) {
                                   {"replays_per_second", replays / wall}});
   };
 
-  run("random", [](std::uint64_t seed) {
-    RandomEnvConfig cfg;
-    cfg.num_processes = 8;
-    cfg.duration = 400.0;
-    cfg.basic_ckpt_mean = 10.0;
-    cfg.seed = seed;
-    return random_environment(cfg);
-  });
-  run("group", [](std::uint64_t seed) {
-    GroupEnvConfig cfg;
-    cfg.num_groups = 4;
-    cfg.group_size = 4;
-    cfg.overlap = 1;
-    cfg.duration = 400.0;
-    cfg.basic_ckpt_mean = 10.0;
-    cfg.seed = seed;
-    return group_environment(cfg);
-  });
-  run("client_server", [](std::uint64_t seed) {
-    ClientServerEnvConfig cfg;
-    cfg.num_servers = 8;
-    cfg.num_requests = 250;
-    cfg.basic_ckpt_mean = 10.0;
-    cfg.seed = seed;
-    return client_server_environment(cfg);
-  });
+  for (const EnvPreset& env : env_presets()) run(env.name, env.generate);
 
   table.print(std::cout);
   std::cout << "\n'traces/s' counts protocol replays (seeds x protocols) per "

@@ -13,6 +13,7 @@
 
 #include "bench_common.hpp"
 #include "core/rdt_checker.hpp"
+#include "protocols/registry.hpp"
 #include "recovery/gc.hpp"
 #include "rgraph/zigzag.hpp"
 #include "sim/environments.hpp"
@@ -62,7 +63,7 @@ int main(int argc, char** argv) {
         JsonObject{{"protocol", to_string(kind)},
                    {"piggyback_bits",
                     static_cast<unsigned long long>(
-                        make_protocol(kind, 6, 0)->piggyback_bits())},
+                        ProtocolRegistry::instance().info(kind).piggyback_bits(6))},
                    {"useless_pct", to_json(useless_frac.summary())},
                    {"rdt_runs", static_cast<long long>(rdt_runs)},
                    {"seeds", static_cast<long long>(seeds)},
@@ -70,7 +71,7 @@ int main(int argc, char** argv) {
                    {"r_mean", r_metric.summary().mean}});
     table.begin_row()
         .add(to_string(kind))
-        .add(make_protocol(kind, 6, 0)->piggyback_bits())
+        .add(ProtocolRegistry::instance().info(kind).piggyback_bits(6))
         .add(pm(useless_frac.summary(), 1))
         .add(std::to_string(rdt_runs) + "/" + std::to_string(seeds))
         .add(pm(gc_frac.summary(), 1))

@@ -59,8 +59,12 @@ int main() {
 
   Table table({"process", "restore to", "of", "states to inspect"});
   for (ProcessId p = 0; p < run.pattern.num_processes(); ++p) {
+    // Append, not `"S_" + std::to_string(...)`: GCC 12 at -O3 flags the
+    // inlined memcpy with a spurious -Wrestrict (PR105329).
+    std::string label = "S_";
+    label += std::to_string(p);
     table.begin_row()
-        .add(p == 0 ? "client" : "S_" + std::to_string(p))
+        .add(p == 0 ? "client" : label)
         .add(breakpoint.indices[static_cast<std::size_t>(p)])
         .add(run.pattern.last_ckpt(p))
         .add(breakpoint.indices[static_cast<std::size_t>(p)] + 1);

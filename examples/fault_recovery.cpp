@@ -36,12 +36,17 @@ void report(const char* title, const Pattern& pattern) {
   const RecoveryOutcome out = recover_after_failure(pattern, /*failed=*/0);
   Table table({"process", "last durable ckpt", "restarts from", "intervals lost"});
   const GlobalCkpt durable = last_durable(pattern);
-  for (ProcessId p = 0; p < pattern.num_processes(); ++p)
+  for (ProcessId p = 0; p < pattern.num_processes(); ++p) {
+    // Append, not `"P" + std::to_string(...)`: GCC 12 at -O3 flags the
+    // inlined memcpy with a spurious -Wrestrict (PR105329).
+    std::string label(1, 'P');
+    label += std::to_string(p);
     table.begin_row()
-        .add("P" + std::to_string(p))
+        .add(label)
         .add(durable.indices[static_cast<std::size_t>(p)])
         .add(out.line.indices[static_cast<std::size_t>(p)])
         .add(out.rollback_intervals[static_cast<std::size_t>(p)]);
+  }
   table.print(std::cout);
   std::cout << "total work lost: " << out.total_rollback
             << " checkpoint intervals\n\n";

@@ -138,15 +138,28 @@ std::string render_ascii(const Pattern& p) {
           [static_cast<std::size_t>(topo[rank].pos)] = static_cast<int>(rank);
 
   std::size_t width = 4;
+  // Built by append, not operator+ chains: GCC 12 at -O3 flags the inlined
+  // char_traits memcpy of `"S" + std::to_string(...)` with a spurious
+  // -Wrestrict (PR105329), which -Werror turns fatal.
   auto label = [&](const Event& ev, ProcessId pid) -> std::string {
+    std::string out;
     switch (ev.kind) {
-      case EventKind::kSend: return "S" + std::to_string(ev.msg);
-      case EventKind::kDeliver: return "D" + std::to_string(ev.msg);
+      case EventKind::kSend:
+        out += 'S';
+        out += std::to_string(ev.msg);
+        return out;
+      case EventKind::kDeliver:
+        out += 'D';
+        out += std::to_string(ev.msg);
+        return out;
       case EventKind::kInternal: return ".";
-      case EventKind::kCheckpoint:
-        return p.ckpt_is_virtual(pid, ev.ckpt)
-                   ? "(" + std::to_string(ev.ckpt) + ")"
-                   : "[" + std::to_string(ev.ckpt) + "]";
+      case EventKind::kCheckpoint: {
+        const bool virt = p.ckpt_is_virtual(pid, ev.ckpt);
+        out += virt ? '(' : '[';
+        out += std::to_string(ev.ckpt);
+        out += virt ? ')' : ']';
+        return out;
+      }
     }
     return "?";
   };

@@ -14,8 +14,16 @@ namespace rdt {
 
 namespace {
 
+// Built by append, not operator+ chains: GCC 12 at -O3 flags the inlined
+// memcpy of `"c" + std::to_string(...)` with a spurious -Wrestrict
+// (PR105329), which -Werror turns fatal.
 std::string node_name(const CkptId& c) {
-  return "c" + std::to_string(c.process) + "_" + std::to_string(c.index);
+  std::string out;
+  out += 'c';
+  out += std::to_string(c.process);
+  out += '_';
+  out += std::to_string(c.index);
+  return out;
 }
 
 }  // namespace

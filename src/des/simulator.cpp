@@ -1,9 +1,12 @@
 #include "des/simulator.hpp"
 
 #include <queue>
+#include <string>
 #include <utility>
 
 #include "ccp/builder.hpp"
+#include "obs/hooks.hpp"
+#include "protocols/registry.hpp"
 #include "util/check.hpp"
 
 namespace rdt::des {
@@ -67,7 +70,8 @@ class Runtime {
     fifo_last_.assign(static_cast<std::size_t>(num_processes),
                       std::vector<double>(static_cast<std::size_t>(num_processes), 0.0));
     for (ProcessId i = 0; i < num_processes; ++i) {
-      protocols_.push_back(make_protocol(config.protocol, num_processes, i));
+      protocols_.push_back(ProtocolRegistry::instance().create(
+          config.protocol, num_processes, i, config.observer));
       apps_.push_back(factory(i));
       RDT_REQUIRE(apps_.back() != nullptr, "app factory returned null");
       contexts_.emplace_back(*this, i);
@@ -80,6 +84,9 @@ class Runtime {
   }
 
   SimResult run() {
+    RDT_TRACE_SPAN("des", "des.run", "protocol",
+                   ProtocolRegistry::instance().info(config_.protocol)
+                       .id.c_str());
     while (!queue_.empty()) {
       const Ev ev = queue_.top();
       queue_.pop();
@@ -95,8 +102,10 @@ class Runtime {
         case EvKind::kDeliver: {
           CicProtocol& proto = *protocols_[static_cast<std::size_t>(ev.process)];
           const Piggyback& pb = payloads_[static_cast<std::size_t>(ev.msg)];
-          if (proto.must_force(pb, ev.from)) {
-            proto.on_forced_checkpoint();
+          if (const ForceReason reason = proto.force_reason(pb, ev.from);
+              reason != ForceReason::kNone) {
+            proto.on_forced_checkpoint(reason);
+            forced_by_reason_[static_cast<std::size_t>(reason)] += 1;
             builder_.checkpoint(ev.process);
           }
           proto.on_deliver(pb, ev.from);
@@ -137,6 +146,7 @@ class Runtime {
     result.messages = static_cast<long long>(payloads_.size());
     result.timers_fired = result_timers_;
     result.end_time = end_time_;
+    result.forced_by_reason = forced_by_reason_;
     result.saved_tdvs.resize(protocols_.size());
     for (std::size_t i = 0; i < protocols_.size(); ++i) {
       const CicProtocol& p = *protocols_[i];
@@ -146,6 +156,7 @@ class Runtime {
         for (CkptIndex x = 0; x < p.current_interval(); ++x)
           result.saved_tdvs[i].push_back(p.saved_tdv(x));
     }
+    flush_metrics(result);
     return result;
   }
 
@@ -157,12 +168,15 @@ class Runtime {
     RDT_REQUIRE(from == current_,
                 "send() may only be called from the running process's callback");
     CicProtocol& proto = *protocols_[static_cast<std::size_t>(from)];
-    Piggyback pb = proto.on_send(to);
+    Piggyback pb = proto.make_payload();
+    proto.on_send(to, pb.slot());
     const MsgId id = builder_.send(from, to);
     RDT_ASSERT(id == static_cast<MsgId>(payloads_.size()));
     payloads_.push_back(std::move(pb));
     if (proto.checkpoint_after_send()) {
-      proto.on_forced_checkpoint();
+      proto.on_forced_checkpoint(ForceReason::kCheckpointAfterSend);
+      forced_by_reason_[static_cast<std::size_t>(
+          ForceReason::kCheckpointAfterSend)] += 1;
       builder_.checkpoint(from);
     }
     double arrive = now_ + config_.delay_min + rng_.exponential(config_.delay_mean);
@@ -201,6 +215,29 @@ class Runtime {
   long long next_seq() { return seq_++; }
   void push(const Ev& ev) { queue_.push(ev); }
 
+  // Observability build + active session: fold the finished run's counters
+  // into the session registry, named per protocol id and forcing predicate
+  // (the same scheme as the replay engine, under "des." instead).
+  void flush_metrics(const SimResult& result) const {
+    if constexpr (!obs::kObsEnabled) return;
+    obs::ObsSession* session = obs::ObsSession::current();
+    if (session == nullptr) return;
+    obs::MetricsRegistry& m = session->metrics();
+    const std::string prefix =
+        "des." + ProtocolRegistry::instance().info(config_.protocol).id;
+    m.add(m.counter(prefix + ".runs"), 1);
+    m.add(m.counter(prefix + ".messages"), result.messages);
+    m.add(m.counter(prefix + ".timers"), result.timers_fired);
+    m.add(m.counter(prefix + ".ckpt.basic"), result.basic);
+    m.add(m.counter(prefix + ".ckpt.forced"), result.forced);
+    for (std::size_t r = 1; r < kNumForceReasons; ++r) {
+      if (forced_by_reason_[r] == 0) continue;
+      m.add(m.counter(prefix + ".forced." +
+                      to_cstring(static_cast<ForceReason>(r))),
+            forced_by_reason_[r]);
+    }
+  }
+
   SimConfig config_;
   Rng rng_;
   std::vector<Rng> app_rngs_;
@@ -211,6 +248,7 @@ class Runtime {
   std::vector<Piggyback> payloads_;
   std::priority_queue<Ev, std::vector<Ev>, EvLater> queue_;
   std::vector<std::vector<double>> fifo_last_;
+  std::array<long long, kNumForceReasons> forced_by_reason_{};
   double now_ = 0.0;
   double end_time_ = 0.0;
   long long seq_ = 0;

@@ -19,6 +19,7 @@
 // invoked, so no new work is generated and the run terminates.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -41,6 +42,10 @@ struct SimConfig {
   // (des/snapshot.hpp) requires FIFO links.
   bool fifo_channels = false;
   std::uint64_t seed = 1;
+  // Optional per-event observer installed on every protocol instance
+  // (non-owning; must outlive the run). Sees sends, deliveries and
+  // checkpoints with their forcing predicate, as in ReplayOptions.
+  ProtocolObserver* observer = nullptr;
 };
 
 struct SimResult {
@@ -49,6 +54,12 @@ struct SimResult {
   long long basic = 0;
   long long forced = 0;
   long long timers_fired = 0;
+  // `forced` broken down by forcing predicate (indexed by ForceReason; the
+  // kNone slot stays zero), as in ReplayResult.
+  std::array<long long, kNumForceReasons> forced_by_reason{};
+  long long forced_by(ForceReason reason) const {
+    return forced_by_reason[static_cast<std::size_t>(reason)];
+  }
   double end_time = 0.0;           // time of the last processed event
   // Per-checkpoint saved dependency vectors (Corollary 4.5), as in
   // ReplayResult; empty rows for protocols that do not transmit TDVs.

@@ -1,0 +1,51 @@
+// Compile-time-gated observability hooks.
+//
+// The hot layers (replay engine, sweep scheduler, DES runtime) are
+// instrumented with these macros rather than direct ObsSession calls so the
+// default build carries no trace of them: unless the build defines
+// RDT_OBSERVABILITY (cmake -DRDT_OBS=ON), every hook expands to a no-op
+// statement and the session lookup, the timestamps and the branches all
+// fold away — the acceptance bar is zero measured overhead on bench_sweep.
+//
+//   RDT_TRACE_SPAN("sim", "replay");            // span until end of scope
+//   RDT_TRACE_SPAN("sim", "replay", "protocol", proto_id);  // + string arg
+//   RDT_COUNT("des.events.deliver");            // named counter += 1
+//   RDT_COUNT_N("replay.messages", n);          // named counter += n
+//
+// RDT_COUNT resolves its name through the registry's idempotent-registration
+// mutex on every hit; use it for coarse events (per replay, per simulation
+// phase), not per-message loops — those should pre-resolve CounterIds once
+// per replay (see sim/replay.cpp) or go through a ProtocolObserver.
+//
+// For larger instrumented blocks that need handles or arithmetic, write
+//   if constexpr (rdt::obs::kObsEnabled) { ... }
+// so the block still type-checks when compiled out (the util/check.hpp
+// RDT_AUDIT convention).
+#pragma once
+
+#include "obs/session.hpp"
+
+#define RDT_OBS_CONCAT_IMPL(a, b) a##b
+#define RDT_OBS_CONCAT(a, b) RDT_OBS_CONCAT_IMPL(a, b)
+
+#ifdef RDT_OBSERVABILITY
+
+#define RDT_TRACE_SPAN(...) \
+  ::rdt::obs::ScopedSpan RDT_OBS_CONCAT(rdt_obs_span_, __LINE__) { __VA_ARGS__ }
+
+#define RDT_COUNT(name) RDT_COUNT_N(name, 1)
+
+#define RDT_COUNT_N(name, n)                                          \
+  do {                                                                \
+    if (::rdt::obs::ObsSession* rdt_obs_s = ::rdt::obs::ObsSession::current(); \
+        rdt_obs_s != nullptr)                                         \
+      rdt_obs_s->metrics().add(rdt_obs_s->metrics().counter(name), (n)); \
+  } while (false)
+
+#else
+
+#define RDT_TRACE_SPAN(...) ((void)0)
+#define RDT_COUNT(name) ((void)0)
+#define RDT_COUNT_N(name, n) ((void)0)
+
+#endif

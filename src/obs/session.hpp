@@ -1,0 +1,112 @@
+// ObsSession — one observability capture: a metrics registry plus a span
+// trace log with a common time base, installable as the process-wide
+// current session.
+//
+// The instrumented layers (replay engine, sweep scheduler, DES runtime)
+// consult ObsSession::current() and record into it when one is active; when
+// none is, the hooks cost one relaxed atomic load (and nothing at all when
+// observability is compiled out — see hooks.hpp). BenchReport owns a
+// session while `--trace <path>` is in effect and writes the chrome trace
+// at finish().
+//
+// Exactly one session may be active at a time; the constructor installs
+// the session, the destructor (or deactivate()) uninstalls it. Creation and
+// destruction are not thread-safe — create the session before spawning
+// workers, export after they join.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_log.hpp"
+
+namespace rdt::obs {
+
+class ObsSession {
+ public:
+  ObsSession();
+  ~ObsSession();
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  // The installed session, or nullptr. A relaxed load: hot paths may cache
+  // the result for the duration of one replay.
+  static ObsSession* current() {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  TraceLog& trace() { return trace_; }
+  const TraceLog& trace() const { return trace_; }
+
+  // Microseconds since this session was created (the trace time base).
+  std::int64_t now_us() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  // Uninstall early (idempotent); the destructor calls it too.
+  void deactivate();
+
+  // Serialize the whole capture as chrome://tracing-loadable JSON
+  // (schema "rdt-trace-v1"): a "traceEvents" array of complete ("ph":"X")
+  // events plus a "metrics" object holding the counter totals and histogram
+  // snapshots. chrome://tracing and Perfetto ignore the extra keys. Call
+  // after writer threads have quiesced.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  static std::atomic<ObsSession*> current_;
+
+  MetricsRegistry metrics_;
+  TraceLog trace_;
+  std::chrono::steady_clock::time_point start_;
+  bool active_ = false;
+};
+
+// RAII complete-span: captures the start time on construction and records a
+// SpanEvent into the current session's trace log on destruction. Inert when
+// no session is active. Prefer the RDT_TRACE_SPAN macro (hooks.hpp), which
+// compiles to nothing when observability is off.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* cat, const char* name,
+                      const char* arg_name = nullptr,
+                      const char* arg_value = nullptr)
+      : session_(ObsSession::current()),
+        cat_(cat),
+        name_(name),
+        arg_name_(arg_name),
+        arg_value_(arg_value),
+        start_us_(session_ ? session_->now_us() : 0) {}
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  ~ScopedSpan() {
+    if (session_ == nullptr) return;
+    SpanEvent ev;
+    ev.name = name_;
+    ev.cat = cat_;
+    ev.ts_us = start_us_;
+    ev.dur_us = session_->now_us() - start_us_;
+    ev.arg_name = arg_name_;
+    ev.arg_value = arg_value_;
+    session_->trace().record(ev);
+  }
+
+ private:
+  ObsSession* session_;
+  const char* cat_;
+  const char* name_;
+  const char* arg_name_;
+  const char* arg_value_;
+  std::int64_t start_us_;
+};
+
+}  // namespace rdt::obs

@@ -1,0 +1,67 @@
+#include "obs/trace_log.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace rdt::obs {
+
+namespace {
+
+std::atomic<std::uint64_t> g_trace_generation{1};
+
+}  // namespace
+
+struct TraceLog::Buffer {
+  std::uint32_t tid = 0;
+  std::vector<SpanEvent> events;
+};
+
+TraceLog::TraceLog()
+    : generation_(g_trace_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceLog::~TraceLog() = default;
+
+TraceLog::Buffer& TraceLog::local_buffer() {
+  thread_local std::uint64_t cached_generation = 0;
+  thread_local Buffer* cached_buffer = nullptr;
+  if (cached_generation != generation_) {
+    auto buffer = std::make_unique<Buffer>();
+    const std::lock_guard<std::mutex> lock(mutex_);
+    buffer->tid = static_cast<std::uint32_t>(buffers_.size());
+    buffer->events.reserve(256);
+    buffers_.push_back(std::move(buffer));
+    cached_buffer = buffers_.back().get();
+    cached_generation = generation_;
+  }
+  return *cached_buffer;
+}
+
+void TraceLog::record(SpanEvent ev) {
+  Buffer& buffer = local_buffer();
+  ev.tid = buffer.tid;
+  buffer.events.push_back(ev);
+}
+
+std::vector<SpanEvent> TraceLog::sorted_events() const {
+  std::vector<SpanEvent> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& buffer : buffers_)
+      out.insert(out.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(out.begin(), out.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    return a.dur_us > b.dur_us;  // enclosing span first
+  });
+  return out;
+}
+
+std::size_t TraceLog::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) n += buffer->events.size();
+  return n;
+}
+
+}  // namespace rdt::obs

@@ -1,0 +1,58 @@
+// Span tracing: completed-span events collected per thread, exported as
+// chrome://tracing JSON ("trace event format", ph:"X" complete events).
+//
+// Writers append to thread-private buffers (registered once per thread
+// under a mutex), so recording a span is a couple of stores plus an
+// occasional vector growth — cheap enough for per-replay and per-worker
+// spans, though not meant for per-message granularity. Readers must only
+// inspect the log after the writing threads have quiesced (joined, or
+// provably done), exactly like the sweep scheduler folds its matrix after
+// the worker pool joins.
+//
+// Span names, categories and argument strings are NOT copied: they must be
+// string literals or otherwise outlive the log (protocol ids from the
+// ProtocolRegistry qualify — the registry is a process-lifetime singleton).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace rdt::obs {
+
+struct SpanEvent {
+  const char* name = nullptr;      // required, literal-lifetime
+  const char* cat = nullptr;       // required, literal-lifetime
+  std::int64_t ts_us = 0;          // start, microseconds since session start
+  std::int64_t dur_us = 0;         // duration, microseconds
+  std::uint32_t tid = 0;           // writer-thread index (registration order)
+  const char* arg_name = nullptr;  // optional single string argument
+  const char* arg_value = nullptr;
+};
+
+class TraceLog {
+ public:
+  TraceLog();
+  ~TraceLog();
+  TraceLog(const TraceLog&) = delete;
+  TraceLog& operator=(const TraceLog&) = delete;
+
+  // Thread-safe append; `tid` is stamped from the calling thread's buffer.
+  void record(SpanEvent ev);
+
+  // Merged events sorted by (tid, ts, dur). Call only after writers have
+  // quiesced; the per-thread buffers are read without synchronization.
+  std::vector<SpanEvent> sorted_events() const;
+  std::size_t size() const;  // same quiescence requirement
+
+ private:
+  struct Buffer;
+  Buffer& local_buffer();
+
+  const std::uint64_t generation_;
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Buffer>> buffers_;
+};
+
+}  // namespace rdt::obs

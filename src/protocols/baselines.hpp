@@ -26,7 +26,9 @@ class NoForceProtocol final : public CicProtocol {
   using CicProtocol::CicProtocol;
   ProtocolKind kind() const override { return ProtocolKind::kNoForce; }
   bool transmits_tdv() const override { return false; }
-  bool must_force(const PiggybackView&, ProcessId) const override { return false; }
+  ForceReason force_reason(const PiggybackView&, ProcessId) const override {
+    return ForceReason::kNone;
+  }
 };
 
 class CbrProtocol final : public CicProtocol {
@@ -34,7 +36,9 @@ class CbrProtocol final : public CicProtocol {
   using CicProtocol::CicProtocol;
   ProtocolKind kind() const override { return ProtocolKind::kCbr; }
   bool transmits_tdv() const override { return false; }
-  bool must_force(const PiggybackView&, ProcessId) const override { return true; }
+  ForceReason force_reason(const PiggybackView&, ProcessId) const override {
+    return ForceReason::kEveryDelivery;
+  }
 };
 
 class CasProtocol final : public CicProtocol {
@@ -42,7 +46,9 @@ class CasProtocol final : public CicProtocol {
   using CicProtocol::CicProtocol;
   ProtocolKind kind() const override { return ProtocolKind::kCas; }
   bool transmits_tdv() const override { return false; }
-  bool must_force(const PiggybackView&, ProcessId) const override { return false; }
+  ForceReason force_reason(const PiggybackView&, ProcessId) const override {
+    return ForceReason::kNone;
+  }
   bool checkpoint_after_send() const override { return true; }
 };
 
@@ -51,8 +57,8 @@ class NrasProtocol final : public CicProtocol {
   using CicProtocol::CicProtocol;
   ProtocolKind kind() const override { return ProtocolKind::kNras; }
   bool transmits_tdv() const override { return false; }
-  bool must_force(const PiggybackView&, ProcessId) const override {
-    return after_first_send();
+  ForceReason force_reason(const PiggybackView&, ProcessId) const override {
+    return after_first_send() ? ForceReason::kAfterSend : ForceReason::kNone;
   }
 };
 

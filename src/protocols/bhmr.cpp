@@ -37,8 +37,9 @@ bool BhmrProtocol::predicate_c1(const PiggybackView& msg) const {
   return false;
 }
 
-bool BhmrProtocol::must_force(const PiggybackView& msg, ProcessId) const {
-  if (predicate_c1(msg)) return true;
+ForceReason BhmrProtocol::force_reason(const PiggybackView& msg,
+                                       ProcessId) const {
+  if (predicate_c1(msg)) return ForceReason::kC1;
   const auto self = static_cast<std::size_t>(self_);
   switch (variant_) {
     case Variant::kFull:
@@ -46,15 +47,17 @@ bool BhmrProtocol::must_force(const PiggybackView& msg, ProcessId) const {
       // (some process checkpointed between a delivery and its next send) —
       // the signature of a chain from C_{k,z} to C_{k,z-1} only breakable
       // here.
-      return msg.tdv[self] == tdv_[self] && !msg.simple.get(self);
+      return msg.tdv[self] == tdv_[self] && !msg.simple.get(self)
+                 ? ForceReason::kC2
+                 : ForceReason::kNone;
     case Variant::kNoSimple: {
-      if (msg.tdv[self] != tdv_[self]) return false;
+      if (msg.tdv[self] != tdv_[self]) return ForceReason::kNone;
       for (std::size_t k = 0; k < msg.tdv.size(); ++k)
-        if (msg.tdv[k] > tdv_[k]) return true;
-      return false;
+        if (msg.tdv[k] > tdv_[k]) return ForceReason::kC2;
+      return ForceReason::kNone;
     }
     case Variant::kC1Only:
-      return false;
+      return ForceReason::kNone;
   }
   RDT_ASSERT(false);
 }

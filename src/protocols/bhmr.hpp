@@ -47,7 +47,10 @@ class BhmrProtocol final : public CicProtocol {
     return {.tdv = true, .simple = variant_ == Variant::kFull, .causal = true};
   }
 
-  bool must_force(const PiggybackView& msg, ProcessId sender) const override;
+  // C1 is checked first: when both predicates hold, the forced checkpoint
+  // is attributed to C1 (the junction-breaking predicate).
+  ForceReason force_reason(const PiggybackView& msg,
+                           ProcessId sender) const override;
 
   // Exposed for white-box tests of the bookkeeping rules.
   const BitVector& simple_state() const { return simple_; }

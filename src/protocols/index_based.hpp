@@ -26,8 +26,8 @@ class BcsProtocol final : public CicProtocol {
 
   CkptIndex timestamp() const { return lc_; }
 
-  bool must_force(const PiggybackView& msg, ProcessId) const override {
-    return msg.index > lc_;
+  ForceReason force_reason(const PiggybackView& msg, ProcessId) const override {
+    return msg.index > lc_ ? ForceReason::kIndexAhead : ForceReason::kNone;
   }
 
  private:

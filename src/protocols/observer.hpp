@@ -1,0 +1,88 @@
+// ProtocolObserver — per-event visibility into a running CIC protocol.
+//
+// The paper's central claim is that RDT is a *visible* property: every
+// forced checkpoint is decided by a locally observable predicate. The
+// observer hook makes that visibility operational — the base class reports
+// each send, delivery and checkpoint as it happens, and a forced checkpoint
+// carries the ForceReason naming WHICH predicate fired (C1 vs C2 for the
+// paper's protocol, C_FDAS for the Wang family, and so on). Per-message
+// predicate-firing breakdowns, not just end-of-run totals, are what
+// distinguish the protocol families in the CIC literature.
+//
+// Observers are non-owning and optional: with no observer installed the
+// hooks cost one null check per event. The replay engine installs a
+// CountingObserver when an observability session is active (or the one the
+// caller passed via ReplayOptions::observer) and folds the per-reason
+// counts into the session's metrics registry.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "causality/ids.hpp"
+
+namespace rdt {
+
+// Which forced-checkpoint predicate fired. One protocol emits reasons from
+// its own fixed subset (ProtocolInfo::predicates in the registry).
+enum class ForceReason : std::uint8_t {
+  kNone = 0,           // no forced checkpoint
+  kEveryDelivery,      // CBR: checkpoint before every delivery
+  kAfterSend,          // NRAS: a send already happened in this interval
+  kCheckpointAfterSend,  // CAS: send-side checkpoint after every send
+  kNewDependency,      // Wang FDI/FDAS: message brings a new dependency
+  kC1,                 // BHMR predicate C1 (breakable non-causal junction)
+  kC2,                 // BHMR predicate C2 / C2' (non-simple return chain)
+  kIndexAhead,         // BCS: message timestamp ahead of the local clock
+};
+
+inline constexpr std::size_t kNumForceReasons = 8;
+
+// Stable short identifier ("c1", "fdas", ...) used in counter names and the
+// registry's capability metadata; literal lifetime.
+const char* to_cstring(ForceReason reason);
+
+class ProtocolObserver {
+ public:
+  virtual ~ProtocolObserver() = default;
+
+  // (S1) — after the payload was captured into the outgoing slot.
+  virtual void on_send(ProcessId /*self*/, ProcessId /*dest*/) {}
+  // (S2), update half — after the piggybacked control data was merged.
+  virtual void on_deliver(ProcessId /*self*/, ProcessId /*sender*/) {}
+  // Any checkpoint. `reason` is kNone for basic checkpoints and names the
+  // forcing predicate otherwise (as passed to on_forced_checkpoint).
+  virtual void on_checkpoint(ProcessId /*self*/, bool /*forced*/,
+                             ForceReason /*reason*/) {}
+};
+
+// Plain tallies of the observer stream — the building block for both tests
+// and the replay engine's metrics export. Single-writer; the replay engine
+// uses one per replay.
+class CountingObserver final : public ProtocolObserver {
+ public:
+  void on_send(ProcessId, ProcessId) override { ++sends_; }
+  void on_deliver(ProcessId, ProcessId) override { ++deliveries_; }
+  void on_checkpoint(ProcessId, bool forced, ForceReason reason) override {
+    (forced ? forced_ : basic_) += 1;
+    forced_by_reason_[static_cast<std::size_t>(reason)] += forced ? 1 : 0;
+  }
+
+  long long sends() const { return sends_; }
+  long long deliveries() const { return deliveries_; }
+  long long basic() const { return basic_; }
+  long long forced() const { return forced_; }
+  long long forced_by(ForceReason reason) const {
+    return forced_by_reason_[static_cast<std::size_t>(reason)];
+  }
+
+ private:
+  long long sends_ = 0;
+  long long deliveries_ = 0;
+  long long basic_ = 0;
+  long long forced_ = 0;
+  std::array<long long, kNumForceReasons> forced_by_reason_{};
+};
+
+}  // namespace rdt

@@ -26,6 +26,20 @@ std::string to_string(ProtocolKind kind) {
   RDT_ASSERT(false);
 }
 
+const char* to_cstring(ForceReason reason) {
+  switch (reason) {
+    case ForceReason::kNone: return "none";
+    case ForceReason::kEveryDelivery: return "every-delivery";
+    case ForceReason::kAfterSend: return "after-send";
+    case ForceReason::kCheckpointAfterSend: return "ckpt-after-send";
+    case ForceReason::kNewDependency: return "new-dependency";
+    case ForceReason::kC1: return "c1";
+    case ForceReason::kC2: return "c2";
+    case ForceReason::kIndexAhead: return "index-ahead";
+  }
+  RDT_ASSERT(false);
+}
+
 ProtocolKind protocol_from_string(const std::string& name) {
   for (ProtocolKind kind : all_protocol_kinds())
     if (to_string(kind) == name) return kind;
@@ -80,13 +94,19 @@ void CicProtocol::on_send(ProcessId dest, const PiggybackSlot& out) {
             "outgoing piggyback TDV size disagrees with the transmit mode");
   if (transmits_tdv()) std::copy(tdv_.begin(), tdv_.end(), out.tdv.begin());
   fill_payload(out);
+  if (observer_) observer_->on_send(self_, dest);
 }
 
+// The deprecated owning overload is still provided for out-of-tree callers;
+// silence the self-referencing warning its definition would trigger.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 Piggyback CicProtocol::on_send(ProcessId dest) {
   Piggyback out = make_payload();
   on_send(dest, out.slot());
   return out;
 }
+#pragma GCC diagnostic pop
 
 void CicProtocol::on_deliver(const PiggybackView& msg, ProcessId sender) {
   RDT_REQUIRE(sender >= 0 && sender < n_ && sender != self_, "bad sender");
@@ -100,9 +120,12 @@ void CicProtocol::on_deliver(const PiggybackView& msg, ProcessId sender) {
   for (std::size_t k = 0; k < msg.tdv.size(); ++k)
     tdv_[k] = std::max(tdv_[k], msg.tdv[k]);
   if constexpr (kAuditsEnabled) audit_tdv_merge(before, msg.tdv, tdv_);
+  if (observer_) observer_->on_deliver(self_, sender);
 }
 
-void CicProtocol::take_checkpoint(bool forced) {
+void CicProtocol::take_checkpoint(bool forced, ForceReason reason) {
+  RDT_CHECK(forced || reason == ForceReason::kNone,
+            "a basic checkpoint cannot carry a forcing reason");
   if (save_tdv_history_) {
     RDT_CHECK(static_cast<CkptIndex>(saved_.size()) == current_interval(),
               "saved-TDV history must have exactly one entry per past interval");
@@ -113,6 +136,7 @@ void CicProtocol::take_checkpoint(bool forced) {
   after_first_send_ = false;
   (forced ? forced_ : basic_) += 1;
   reset_on_checkpoint(forced);
+  if (observer_) observer_->on_checkpoint(self_, forced, reason);
 }
 
 const Tdv& CicProtocol::saved_tdv(CkptIndex x) const {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "protocols/observer.hpp"
 #include "protocols/payload.hpp"
 
 namespace rdt {
@@ -69,23 +70,43 @@ class CicProtocol {
   // writes the control data into a slot pre-sized for payload_shape() and
   // records the destination. Every present field is fully overwritten.
   void on_send(ProcessId dest, const PiggybackSlot& out);
-  // (S1), owning convenience form (tests, examples, DES integration).
+  // (S1), legacy owning form. Superseded by the view-based interface: call
+  // make_payload() once and on_send(dest, payload.slot()) per message.
+  [[deprecated(
+      "use on_send(dest, slot) with a payload from make_payload(); the "
+      "owning overload allocates per message and will be removed")]]
   Piggyback on_send(ProcessId dest);
 
   // (S2), decision half — must P_i take a forced checkpoint before
   // delivering this message? Reads only piggybacked + local state. An
-  // owning Piggyback converts implicitly.
-  virtual bool must_force(const PiggybackView& msg, ProcessId sender) const = 0;
+  // owning Piggyback converts implicitly. Implemented on top of
+  // force_reason(), which additionally names the predicate that fired —
+  // the locally observable evidence the paper's visibility results are
+  // about, and what the observability layer reports per message.
+  bool must_force(const PiggybackView& msg, ProcessId sender) const {
+    return force_reason(msg, sender) != ForceReason::kNone;
+  }
+  virtual ForceReason force_reason(const PiggybackView& msg,
+                                   ProcessId sender) const = 0;
 
   // (S2), update half — merge the piggybacked control data (called after
   // the forced checkpoint, if any, exactly as in Figure 6).
   void on_deliver(const PiggybackView& msg, ProcessId sender);
 
   // Application-driven (basic) checkpoint.
-  void on_basic_checkpoint() { take_checkpoint(/*forced=*/false); }
+  void on_basic_checkpoint() { take_checkpoint(/*forced=*/false, ForceReason::kNone); }
   // Protocol-driven (forced) checkpoint; the runtime calls this when
-  // must_force() returned true, before on_deliver().
-  void on_forced_checkpoint() { take_checkpoint(/*forced=*/true); }
+  // must_force() returned true, before on_deliver(), passing the reason
+  // force_reason() reported (kNone when the caller did not attribute it).
+  void on_forced_checkpoint(ForceReason reason = ForceReason::kNone) {
+    take_checkpoint(/*forced=*/true, reason);
+  }
+
+  // Install a per-event observer (non-owning; nullptr to remove). The
+  // protocol reports sends, deliveries and checkpoints — with the forcing
+  // predicate — as they happen; see protocols/observer.hpp.
+  void set_observer(ProtocolObserver* observer) { observer_ = observer; }
+  ProtocolObserver* observer() const { return observer_; }
 
   // Some protocols (CAS) checkpoint on the send side, right after sending.
   virtual bool checkpoint_after_send() const { return false; }
@@ -130,7 +151,7 @@ class CicProtocol {
   virtual void merge_payload(const PiggybackView& /*msg*/, ProcessId /*sender*/) {}
   virtual void reset_on_checkpoint(bool /*forced*/) {}
 
-  void take_checkpoint(bool forced);
+  void take_checkpoint(bool forced, ForceReason reason);
 
   int n_;
   ProcessId self_;
@@ -139,6 +160,7 @@ class CicProtocol {
  private:
   std::vector<Tdv> saved_;
   BitVector sent_to_;
+  ProtocolObserver* observer_ = nullptr;
   bool after_first_send_ = false;
   bool save_tdv_history_ = true;
   long long basic_ = 0;

@@ -1,0 +1,148 @@
+#include "protocols/registry.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace rdt {
+namespace {
+
+ProtocolInfo describe(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kNoForce:
+      return {.kind = kind,
+              .id = to_string(kind),
+              .description = "basic checkpoints only (violates RDT)",
+              .ensures_rdt = false,
+              .transmits_tdv = false,
+              .checkpoint_after_send = false,
+              .predicates = {}};
+    case ProtocolKind::kCbr:
+      return {.kind = kind,
+              .id = to_string(kind),
+              .description = "forced checkpoint before every delivery",
+              .ensures_rdt = true,
+              .transmits_tdv = false,
+              .checkpoint_after_send = false,
+              .predicates = {ForceReason::kEveryDelivery}};
+    case ProtocolKind::kCas:
+      return {.kind = kind,
+              .id = to_string(kind),
+              .description = "checkpoint after every send (Wu & Fuchs)",
+              .ensures_rdt = true,
+              .transmits_tdv = false,
+              .checkpoint_after_send = true,
+              .predicates = {ForceReason::kCheckpointAfterSend}};
+    case ProtocolKind::kNras:
+      return {.kind = kind,
+              .id = to_string(kind),
+              .description = "no receive after send (Russell)",
+              .ensures_rdt = true,
+              .transmits_tdv = false,
+              .checkpoint_after_send = false,
+              .predicates = {ForceReason::kAfterSend}};
+    case ProtocolKind::kFdi:
+      return {.kind = kind,
+              .id = to_string(kind),
+              .description = "fixed dependency interval (Wang)",
+              .ensures_rdt = true,
+              .transmits_tdv = true,
+              .checkpoint_after_send = false,
+              .predicates = {ForceReason::kNewDependency}};
+    case ProtocolKind::kFdas:
+      return {.kind = kind,
+              .id = to_string(kind),
+              .description = "fixed dependency after send (Wang)",
+              .ensures_rdt = true,
+              .transmits_tdv = true,
+              .checkpoint_after_send = false,
+              .predicates = {ForceReason::kNewDependency}};
+    case ProtocolKind::kBhmr:
+      return {.kind = kind,
+              .id = to_string(kind),
+              .description = "the paper's protocol: predicate C1 v C2",
+              .ensures_rdt = true,
+              .transmits_tdv = true,
+              .checkpoint_after_send = false,
+              .predicates = {ForceReason::kC1, ForceReason::kC2}};
+    case ProtocolKind::kBhmrNoSimple:
+      return {.kind = kind,
+              .id = to_string(kind),
+              .description = "BHMR variant 1: C1 v C2' (no simple array)",
+              .ensures_rdt = true,
+              .transmits_tdv = true,
+              .checkpoint_after_send = false,
+              .predicates = {ForceReason::kC1, ForceReason::kC2}};
+    case ProtocolKind::kBhmrC1Only:
+      return {.kind = kind,
+              .id = to_string(kind),
+              .description = "BHMR variant 2: C1 alone, causal diagonal false",
+              .ensures_rdt = true,
+              .transmits_tdv = true,
+              .checkpoint_after_send = false,
+              .predicates = {ForceReason::kC1}};
+    case ProtocolKind::kBcs:
+      return {.kind = kind,
+              .id = to_string(kind),
+              .description =
+                  "index-based (Briatico-Ciuffoletti-Simoncini): no useless "
+                  "checkpoints, not full RDT",
+              .ensures_rdt = false,
+              .transmits_tdv = false,
+              .checkpoint_after_send = false,
+              .predicates = {ForceReason::kIndexAhead}};
+  }
+  RDT_ASSERT(false);
+}
+
+}  // namespace
+
+std::size_t ProtocolInfo::piggyback_bits(int num_processes) const {
+  // Shapes are constant per kind, so a throwaway instance of P_0 measures
+  // exactly one message.
+  return ProtocolRegistry::instance()
+      .create(kind, num_processes, /*self=*/0)
+      ->piggyback_bits();
+}
+
+ProtocolRegistry::ProtocolRegistry() {
+  infos_.reserve(all_protocol_kinds().size());
+  for (ProtocolKind kind : all_protocol_kinds()) infos_.push_back(describe(kind));
+}
+
+const ProtocolRegistry& ProtocolRegistry::instance() {
+  static const ProtocolRegistry registry;
+  return registry;
+}
+
+std::unique_ptr<CicProtocol> ProtocolRegistry::create(
+    ProtocolKind kind, int num_processes, ProcessId self,
+    ProtocolObserver* observer) const {
+  std::unique_ptr<CicProtocol> proto = make_protocol(kind, num_processes, self);
+  if (observer != nullptr) proto->set_observer(observer);
+  return proto;
+}
+
+std::unique_ptr<CicProtocol> ProtocolRegistry::create(
+    std::string_view id, int num_processes, ProcessId self,
+    ProtocolObserver* observer) const {
+  const ProtocolInfo* found = find(id);
+  if (found == nullptr)
+    throw std::invalid_argument("unknown protocol '" + std::string(id) + "'");
+  return create(found->kind, num_processes, self, observer);
+}
+
+const ProtocolInfo* ProtocolRegistry::find(std::string_view id) const {
+  const auto it = std::find_if(infos_.begin(), infos_.end(),
+                               [id](const ProtocolInfo& i) { return i.id == id; });
+  return it == infos_.end() ? nullptr : &*it;
+}
+
+const ProtocolInfo& ProtocolRegistry::info(ProtocolKind kind) const {
+  const auto it = std::find_if(infos_.begin(), infos_.end(),
+                               [kind](const ProtocolInfo& i) { return i.kind == kind; });
+  RDT_ASSERT(it != infos_.end());
+  return *it;
+}
+
+}  // namespace rdt

@@ -24,8 +24,10 @@ class FdasProtocol : public CicProtocol {
   using CicProtocol::CicProtocol;
   ProtocolKind kind() const override { return ProtocolKind::kFdas; }
 
-  bool must_force(const PiggybackView& msg, ProcessId) const override {
-    return after_first_send() && brings_new_dependency(msg);
+  ForceReason force_reason(const PiggybackView& msg, ProcessId) const override {
+    return after_first_send() && brings_new_dependency(msg)
+               ? ForceReason::kNewDependency
+               : ForceReason::kNone;
   }
 
  protected:
@@ -41,9 +43,11 @@ class FdiProtocol final : public FdasProtocol {
   using FdasProtocol::FdasProtocol;
   ProtocolKind kind() const override { return ProtocolKind::kFdi; }
 
-  bool must_force(const PiggybackView& msg, ProcessId) const override {
+  ForceReason force_reason(const PiggybackView& msg, ProcessId) const override {
     return (after_first_send() || delivered_in_interval_) &&
-           brings_new_dependency(msg);
+                   brings_new_dependency(msg)
+               ? ForceReason::kNewDependency
+               : ForceReason::kNone;
   }
 
  private:

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 
 #include "ccp/audit.hpp"
 #include "ccp/builder.hpp"
 #include "core/tdv.hpp"
+#include "obs/hooks.hpp"
+#include "protocols/registry.hpp"
 #include "util/check.hpp"
 
 namespace rdt {
@@ -48,21 +51,48 @@ void audit_replay_postconditions(const ReplayResult& result) {
   }
 }
 
+// In an observability build with a session active, fold a finished replay's
+// counters into the session registry, named per protocol id plus forcing
+// predicate ("replay.bhmr.forced.c1", ...). Once per replay — the hot loop
+// itself touches no registry state.
+void flush_replay_metrics(const ReplayResult& result) {
+  if constexpr (!obs::kObsEnabled) return;
+  obs::ObsSession* session = obs::ObsSession::current();
+  if (session == nullptr) return;
+  obs::MetricsRegistry& m = session->metrics();
+  const std::string prefix =
+      "replay." + ProtocolRegistry::instance().info(result.kind).id;
+  m.add(m.counter(prefix + ".replays"), 1);
+  m.add(m.counter(prefix + ".messages"), result.messages);
+  m.add(m.counter(prefix + ".ckpt.basic"), result.basic);
+  m.add(m.counter(prefix + ".ckpt.forced"), result.forced);
+  for (std::size_t r = 1; r < kNumForceReasons; ++r) {
+    if (result.forced_by_reason[r] == 0) continue;
+    m.add(m.counter(prefix + ".forced." +
+                    to_cstring(static_cast<ForceReason>(r))),
+          result.forced_by_reason[r]);
+  }
+}
+
 }  // namespace
 
 ReplayResult replay(const Trace& trace, ProtocolKind kind,
                     const ReplayOptions& options) {
   RDT_REQUIRE(trace.num_processes >= 1, "empty trace");
+  RDT_TRACE_SPAN("replay", "replay", "protocol",
+                 ProtocolRegistry::instance().info(kind).id.c_str());
 
   // Audit builds always materialize: the postconditions cross-check the
   // protocols' on-line state against the offline pattern analysis.
   const bool materialize = options.materialize_pattern || kAuditsEnabled;
   const auto num_messages = static_cast<std::size_t>(trace.num_messages());
 
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
   std::vector<std::unique_ptr<CicProtocol>> procs;
   procs.reserve(static_cast<std::size_t>(trace.num_processes));
   for (ProcessId i = 0; i < trace.num_processes; ++i) {
-    procs.push_back(make_protocol(kind, trace.num_processes, i));
+    procs.push_back(
+        registry.create(kind, trace.num_processes, i, options.observer));
     if (!materialize) procs.back()->set_save_tdv_history(false);
   }
 
@@ -98,7 +128,9 @@ ReplayResult replay(const Trace& trace, ProtocolKind kind,
           msg_map[static_cast<std::size_t>(op.msg)] =
               builder.send(m.sender, m.receiver);
         if (self.checkpoint_after_send()) {
-          self.on_forced_checkpoint();
+          self.on_forced_checkpoint(ForceReason::kCheckpointAfterSend);
+          result.forced_by_reason[static_cast<std::size_t>(
+              ForceReason::kCheckpointAfterSend)] += 1;
           if (materialize)
             result.forced_ckpts.push_back(
                 {op.process, builder.checkpoint(op.process)});
@@ -109,8 +141,10 @@ ReplayResult replay(const Trace& trace, ProtocolKind kind,
         const TraceMessage& m = trace.messages[static_cast<std::size_t>(op.msg)];
         RDT_ASSERT(m.receiver == op.process);
         const PiggybackView payload = arena.view(op.msg);
-        if (self.must_force(payload, m.sender)) {
-          self.on_forced_checkpoint();
+        if (const ForceReason reason = self.force_reason(payload, m.sender);
+            reason != ForceReason::kNone) {
+          self.on_forced_checkpoint(reason);
+          result.forced_by_reason[static_cast<std::size_t>(reason)] += 1;
           if (materialize)
             result.forced_ckpts.push_back(
                 {op.process, builder.checkpoint(op.process)});
@@ -142,6 +176,7 @@ ReplayResult replay(const Trace& trace, ProtocolKind kind,
     }
   }
   if constexpr (kAuditsEnabled) audit_replay_postconditions(result);
+  flush_replay_metrics(result);
   return result;
 }
 

@@ -18,6 +18,7 @@
 // replay postconditions keep their offline cross-check.
 #pragma once
 
+#include <array>
 #include <vector>
 
 #include "ccp/pattern.hpp"
@@ -39,6 +40,12 @@ struct ReplayOptions {
   // replays (zero steady-state allocations). Not thread-safe: one arena
   // per concurrent replay.
   PayloadArena* arena = nullptr;
+
+  // Optional per-event observer, installed on every protocol instance for
+  // the duration of the replay (non-owning; must outlive the call). The
+  // observer sees each send, delivery and checkpoint — forced ones with the
+  // ForceReason naming the predicate that fired.
+  ProtocolObserver* observer = nullptr;
 };
 
 struct ReplayResult {
@@ -52,6 +59,14 @@ struct ReplayResult {
   long long basic = 0;
   long long forced = 0;
   unsigned long long piggyback_bits_total = 0;  // sum over sent messages
+
+  // `forced` broken down by the predicate that fired (indexed by
+  // ForceReason; the kNone slot stays zero). The entries sum to `forced` —
+  // the per-predicate view the observability export reports.
+  std::array<long long, kNumForceReasons> forced_by_reason{};
+  long long forced_by(ForceReason reason) const {
+    return forced_by_reason[static_cast<std::size_t>(reason)];
+  }
 
   // The forced checkpoints, as (process, index) into `pattern` — input for
   // hindsight/ablation analyses (e.g. experiment E12).

@@ -1,11 +1,13 @@
 #include "sim/runner.hpp"
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 
+#include "obs/hooks.hpp"
 #include "util/check.hpp"
 
 namespace rdt {
@@ -76,6 +78,7 @@ std::vector<ProtocolStats> sweep(
     const std::function<Trace(std::uint64_t seed)>& generate,
     std::span<const ProtocolKind> kinds, int num_seeds, std::uint64_t seed0) {
   RDT_REQUIRE(num_seeds >= 1, "need at least one seed");
+  RDT_TRACE_SPAN("sweep", "sweep");
   std::vector<std::vector<SeedMetrics>> matrix(
       static_cast<std::size_t>(num_seeds));
   PayloadArena arena;
@@ -95,6 +98,7 @@ std::vector<ProtocolStats> sweep_parallel(
   RDT_REQUIRE(num_seeds >= 1, "need at least one seed");
   RDT_REQUIRE(threads >= 1, "need at least one thread");
   RDT_REQUIRE(!kinds.empty(), "need at least one protocol");
+  RDT_TRACE_SPAN("sweep", "sweep_parallel");
 
   const auto num_kinds = static_cast<int>(kinds.size());
   const long long num_items =
@@ -114,17 +118,38 @@ std::vector<ProtocolStats> sweep_parallel(
 
   std::atomic<long long> next{0};
   auto worker = [&] {
+    RDT_TRACE_SPAN("sweep", "sweep.worker");
+    // Observability (compiled out by default): the per-item latency and the
+    // queue-wait — time this worker spends blocked on another worker's
+    // trace generation inside call_once — as histograms.
+    obs::ObsSession* session = nullptr;
+    obs::HistogramId h_item = 0;
+    obs::HistogramId h_wait = 0;
+    if constexpr (obs::kObsEnabled) {
+      session = obs::ObsSession::current();
+      if (session != nullptr) {
+        static const std::vector<long long> bounds =
+            obs::exponential_bounds(24);
+        h_item = session->metrics().histogram("sweep.item_us", bounds);
+        h_wait = session->metrics().histogram("sweep.queue_wait_us", bounds);
+      }
+    }
     PayloadArena arena;  // per-worker; replays never share one concurrently
     for (long long w = next.fetch_add(1); w < num_items;
          w = next.fetch_add(1)) {
       const auto s = static_cast<std::size_t>(w / num_kinds);
       const auto k = static_cast<std::size_t>(w % num_kinds);
       SeedSlot& slot = slots[s];
+      const std::int64_t t0 = session != nullptr ? session->now_us() : 0;
       std::call_once(slot.generated, [&] {
         slot.trace.emplace(
             generate(seed0 + static_cast<std::uint64_t>(s)));
       });
+      if (session != nullptr)
+        session->metrics().record(h_wait, session->now_us() - t0);
       matrix[s][k] = measure(*slot.trace, kinds[k], arena);
+      if (session != nullptr)
+        session->metrics().record(h_item, session->now_us() - t0);
       if (slot.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
         slot.trace.reset();  // last replay of this seed: drop the trace
     }

@@ -6,6 +6,7 @@
 
 #include "core/rdt_checker.hpp"
 #include "protocols/index_based.hpp"
+#include "protocols/registry.hpp"
 #include "sim/environments.hpp"
 #include "sim/replay.hpp"
 
@@ -13,37 +14,44 @@ namespace rdt {
 namespace {
 
 TEST(Bcs, TimestampRules) {
-  BcsProtocol a(2, 0);
-  BcsProtocol b(2, 1);
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  const auto pa = registry.create(ProtocolKind::kBcs, 2, 0);
+  const auto pb_owner = registry.create(ProtocolKind::kBcs, 2, 1);
+  auto& a = dynamic_cast<BcsProtocol&>(*pa);
+  auto& b = dynamic_cast<BcsProtocol&>(*pb_owner);
   EXPECT_EQ(a.timestamp(), 0);
   // Basic checkpoints advance the scalar clock.
   a.on_basic_checkpoint();
   a.on_basic_checkpoint();
   EXPECT_EQ(a.timestamp(), 2);
   // A message carries the sender's timestamp.
-  const Piggyback pb = a.on_send(1);
+  Piggyback pb = a.make_payload();
+  a.on_send(1, pb.slot());
   EXPECT_EQ(pb.index, 2);
   EXPECT_EQ(pb.wire_bits(), 32u);
   EXPECT_TRUE(pb.tdv.empty());
-  // A larger timestamp forces; the receiver adopts it.
-  EXPECT_TRUE(b.must_force(pb, 0));
-  b.on_forced_checkpoint();
+  // A larger timestamp forces; the receiver adopts it. The fired predicate
+  // is the index comparison, named for the observability layer.
+  EXPECT_EQ(b.force_reason(pb, 0), ForceReason::kIndexAhead);
+  b.on_forced_checkpoint(ForceReason::kIndexAhead);
   b.on_deliver(pb, 0);
   EXPECT_EQ(b.timestamp(), 2);
   EXPECT_EQ(b.forced_count(), 1);
   // Equal or smaller timestamps do not force.
-  const Piggyback pb2 = b.on_send(0);
-  BcsProtocol c(2, 0);
+  Piggyback pb2 = b.make_payload();
+  b.on_send(0, pb2.slot());
+  const auto pc = registry.create(ProtocolKind::kBcs, 2, 0);
+  auto& c = dynamic_cast<BcsProtocol&>(*pc);
   c.on_basic_checkpoint();
   c.on_basic_checkpoint();
   c.on_basic_checkpoint();
-  EXPECT_FALSE(c.must_force(pb2, 1));
+  EXPECT_EQ(c.force_reason(pb2, 1), ForceReason::kNone);
   c.on_deliver(pb2, 1);
   EXPECT_EQ(c.timestamp(), 3);  // not lowered
 }
 
 TEST(Bcs, FactoryAndName) {
-  const auto p = make_protocol(ProtocolKind::kBcs, 3, 1);
+  const auto p = ProtocolRegistry::instance().create(ProtocolKind::kBcs, 3, 1);
   EXPECT_EQ(p->kind(), ProtocolKind::kBcs);
   EXPECT_EQ(to_string(ProtocolKind::kBcs), "bcs");
   EXPECT_FALSE(p->transmits_tdv());

@@ -1,0 +1,194 @@
+// MetricsRegistry unit behaviour and its central contract: folds are
+// deterministic — the same multiset of updates yields bit-identical
+// snapshots whether applied from one thread or sharded across many. Run
+// under TSan (the threading preset) these tests also pin the registry's
+// claim that hot-path updates are race-free.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace rdt::obs {
+namespace {
+
+TEST(ExponentialBounds, DoublingLadder) {
+  const std::vector<long long> b = exponential_bounds(5);
+  EXPECT_EQ(b, (std::vector<long long>{1, 2, 4, 8, 16}));
+  const std::vector<long long> b10 = exponential_bounds(3, 10);
+  EXPECT_EQ(b10, (std::vector<long long>{10, 20, 40}));
+  EXPECT_THROW(exponential_bounds(0), std::invalid_argument);
+  EXPECT_THROW(
+      exponential_bounds(static_cast<int>(MetricsRegistry::kMaxBuckets)),
+      std::invalid_argument);
+}
+
+TEST(MetricsRegistry, CounterRegistrationIsIdempotent) {
+  MetricsRegistry reg;
+  const CounterId a = reg.counter("replay.bhmr.forced");
+  const CounterId b = reg.counter("replay.fdas.forced");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.counter("replay.bhmr.forced"), a);
+  EXPECT_EQ(reg.num_counters(), 2u);
+  EXPECT_THROW(reg.counter(""), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, CounterTotals) {
+  MetricsRegistry reg;
+  const CounterId id = reg.counter("c");
+  EXPECT_EQ(reg.counter_total(id), 0);
+  reg.add(id);
+  reg.add(id, 41);
+  EXPECT_EQ(reg.counter_total(id), 42);
+  EXPECT_THROW(reg.counter_total(id + 1), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAndSummary) {
+  MetricsRegistry reg;
+  const std::vector<long long> bounds{10, 20, 40};
+  const HistogramId id = reg.histogram("h", bounds);
+  // Bounds are upper-inclusive; values beyond the last land in overflow.
+  for (long long v : {5, 10, 11, 20, 21, 39, 40, 1000}) reg.record(id, v);
+  const HistogramSnapshot snap = reg.histogram_snapshot(id);
+  EXPECT_EQ(snap.name, "h");
+  EXPECT_EQ(snap.bounds, bounds);
+  EXPECT_EQ(snap.counts, (std::vector<long long>{2, 2, 3, 1}));
+  EXPECT_EQ(snap.count, 8);
+  EXPECT_EQ(snap.sum, 5 + 10 + 11 + 20 + 21 + 39 + 40 + 1000);
+  EXPECT_EQ(snap.min, 5);
+  EXPECT_EQ(snap.max, 1000);
+}
+
+TEST(MetricsRegistry, EmptyHistogramReportsZeroMinMax) {
+  MetricsRegistry reg;
+  const std::vector<long long> bounds{1};
+  const HistogramSnapshot snap =
+      reg.histogram_snapshot(reg.histogram("empty", bounds));
+  EXPECT_EQ(snap.count, 0);
+  EXPECT_EQ(snap.min, 0);
+  EXPECT_EQ(snap.max, 0);
+  EXPECT_EQ(snap.counts, (std::vector<long long>{0, 0}));
+}
+
+TEST(MetricsRegistry, HistogramReRegistrationChecksBounds) {
+  MetricsRegistry reg;
+  const std::vector<long long> bounds{1, 2};
+  const HistogramId id = reg.histogram("h", bounds);
+  EXPECT_EQ(reg.histogram("h", bounds), id);
+  const std::vector<long long> other{1, 3};
+  EXPECT_THROW(reg.histogram("h", other), std::invalid_argument);
+  const std::vector<long long> unsorted{3, 1};
+  EXPECT_THROW(reg.histogram("x", unsorted), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, SnapshotPreservesRegistrationOrder) {
+  MetricsRegistry reg;
+  reg.counter("z");
+  reg.counter("a");
+  const std::vector<long long> bounds{1};
+  reg.histogram("m", bounds);
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "z");  // registration, not lexicographic
+  EXPECT_EQ(snap.counters[1].first, "a");
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "m");
+}
+
+// The determinism contract: identical update multisets -> identical
+// snapshots, independent of the thread count that applied them.
+TEST(MetricsRegistry, FoldIsDeterministicAcrossThreadCounts) {
+  // The values every run records, as (counter delta, histogram value) pairs.
+  std::vector<std::pair<long long, long long>> updates;
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;  // fixed pseudo-random stream
+  for (int i = 0; i < 10000; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    updates.emplace_back(static_cast<long long>(x % 7),
+                         static_cast<long long>(x % 1000));
+  }
+
+  const std::vector<long long> bounds = exponential_bounds(10);
+  auto run = [&](int num_threads) {
+    MetricsRegistry reg;
+    const CounterId c = reg.counter("events");
+    const HistogramId h = reg.histogram("latency", bounds);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < num_threads; ++t) {
+      workers.emplace_back([&, t] {
+        // Strided partition: every thread count covers the same multiset.
+        for (std::size_t i = static_cast<std::size_t>(t); i < updates.size();
+             i += static_cast<std::size_t>(num_threads)) {
+          reg.add(c, updates[i].first);
+          reg.record(h, updates[i].second);
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    EXPECT_EQ(reg.num_shards(), static_cast<std::size_t>(num_threads));
+    return reg.snapshot();
+  };
+
+  const MetricsSnapshot serial = run(1);
+  for (int threads : {2, 4, 8}) {
+    const MetricsSnapshot parallel = run(threads);
+    EXPECT_EQ(parallel.counters, serial.counters) << threads << " threads";
+    ASSERT_EQ(parallel.histograms.size(), serial.histograms.size());
+    const HistogramSnapshot& a = serial.histograms[0];
+    const HistogramSnapshot& b = parallel.histograms[0];
+    EXPECT_EQ(b.counts, a.counts) << threads << " threads";
+    EXPECT_EQ(b.count, a.count);
+    EXPECT_EQ(b.sum, a.sum);
+    EXPECT_EQ(b.min, a.min);
+    EXPECT_EQ(b.max, a.max);
+  }
+}
+
+// Snapshots may run while updates are in flight: no crash, no torn reads
+// beyond the documented "valid prefix" semantics. Primarily a TSan target.
+TEST(MetricsRegistry, ConcurrentReadersAndWriters) {
+  MetricsRegistry reg;
+  const CounterId c = reg.counter("spins");
+  const std::vector<long long> bounds = exponential_bounds(6);
+  const HistogramId h = reg.histogram("values", bounds);
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t)
+    writers.emplace_back([&] {
+      for (int i = 0; i < 20000; ++i) {
+        reg.add(c);
+        reg.record(h, i % 100);
+      }
+    });
+  long long last = 0;
+  for (int i = 0; i < 50; ++i) {
+    const long long now = reg.counter_total(c);
+    EXPECT_GE(now, last);  // totals only grow
+    last = now;
+    (void)reg.histogram_snapshot(h);
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(reg.counter_total(c), 4 * 20000);
+  EXPECT_EQ(reg.histogram_snapshot(h).count, 4 * 20000);
+}
+
+// A second registry must not inherit shards cached by threads that touched
+// the first one (the generation-keyed thread cache).
+TEST(MetricsRegistry, InstancesAreIndependent) {
+  MetricsRegistry first;
+  const CounterId a = first.counter("n");
+  first.add(a, 7);
+  MetricsRegistry second;
+  const CounterId b = second.counter("n");
+  EXPECT_EQ(second.counter_total(b), 0);
+  second.add(b, 1);
+  EXPECT_EQ(first.counter_total(a), 7);
+  EXPECT_EQ(second.counter_total(b), 1);
+}
+
+}  // namespace
+}  // namespace rdt::obs

@@ -9,6 +9,7 @@
 #include "protocols/bhmr.hpp"
 #include "protocols/index_based.hpp"
 #include "protocols/protocol.hpp"
+#include "protocols/registry.hpp"
 #include "protocols/wang.hpp"
 
 namespace rdt {
@@ -20,19 +21,21 @@ struct Net {
   std::vector<std::unique_ptr<CicProtocol>> procs;
   explicit Net(ProtocolKind kind, int n) {
     for (ProcessId i = 0; i < n; ++i)
-      procs.push_back(make_protocol(kind, n, i));
+      procs.push_back(ProtocolRegistry::instance().create(kind, n, i));
   }
   CicProtocol& at(ProcessId p) { return *procs[static_cast<std::size_t>(p)]; }
   Piggyback send(ProcessId from, ProcessId to) {
-    Piggyback pb = at(from).on_send(to);
-    if (at(from).checkpoint_after_send()) at(from).on_forced_checkpoint();
+    Piggyback pb = at(from).make_payload();
+    at(from).on_send(to, pb.slot());
+    if (at(from).checkpoint_after_send())
+      at(from).on_forced_checkpoint(ForceReason::kCheckpointAfterSend);
     return pb;
   }
   bool deliver(const Piggyback& pb, ProcessId from, ProcessId to) {
-    const bool forced = at(to).must_force(pb, from);
-    if (forced) at(to).on_forced_checkpoint();
+    const ForceReason reason = at(to).force_reason(pb, from);
+    if (reason != ForceReason::kNone) at(to).on_forced_checkpoint(reason);
     at(to).on_deliver(pb, from);
-    return forced;
+    return reason != ForceReason::kNone;
   }
 };
 

@@ -6,6 +6,7 @@
 #include "protocols/baselines.hpp"
 #include "protocols/bhmr.hpp"
 #include "protocols/protocol.hpp"
+#include "protocols/registry.hpp"
 #include "protocols/wang.hpp"
 #include "util/rng.hpp"
 
@@ -18,23 +19,25 @@ class Net {
  public:
   Net(ProtocolKind kind, int n) {
     for (ProcessId i = 0; i < n; ++i)
-      procs_.push_back(make_protocol(kind, n, i));
+      procs_.push_back(ProtocolRegistry::instance().create(kind, n, i));
   }
 
   CicProtocol& at(ProcessId p) { return *procs_[static_cast<std::size_t>(p)]; }
 
   Piggyback send(ProcessId from, ProcessId to) {
-    Piggyback pb = at(from).on_send(to);
-    if (at(from).checkpoint_after_send()) at(from).on_forced_checkpoint();
+    Piggyback pb = at(from).make_payload();
+    at(from).on_send(to, pb.slot());
+    if (at(from).checkpoint_after_send())
+      at(from).on_forced_checkpoint(ForceReason::kCheckpointAfterSend);
     return pb;
   }
 
   // Returns whether a forced checkpoint was taken before the delivery.
   bool deliver(const Piggyback& pb, ProcessId from, ProcessId to) {
-    const bool forced = at(to).must_force(pb, from);
-    if (forced) at(to).on_forced_checkpoint();
+    const ForceReason reason = at(to).force_reason(pb, from);
+    if (reason != ForceReason::kNone) at(to).on_forced_checkpoint(reason);
     at(to).on_deliver(pb, from);
-    return forced;
+    return reason != ForceReason::kNone;
   }
 
  private:
@@ -46,7 +49,7 @@ class Net {
 TEST(ProtocolFactory, NamesRoundTrip) {
   for (ProtocolKind kind : all_protocol_kinds()) {
     EXPECT_EQ(protocol_from_string(to_string(kind)), kind);
-    const auto p = make_protocol(kind, 3, 1);
+    const auto p = ProtocolRegistry::instance().create(kind, 3, 1);
     EXPECT_EQ(p->kind(), kind);
     EXPECT_EQ(p->self(), 1);
     EXPECT_EQ(p->num_processes(), 3);
@@ -57,7 +60,7 @@ TEST(ProtocolFactory, NamesRoundTrip) {
 }
 
 TEST(ProtocolBase, InitialStateMatchesS0) {
-  const auto p = make_protocol(ProtocolKind::kBhmr, 4, 2);
+  const auto p = ProtocolRegistry::instance().create(ProtocolKind::kBhmr, 4, 2);
   EXPECT_EQ(p->current_interval(), 1);           // inside I_{2,1}
   EXPECT_EQ(p->saved_tdv(0), (Tdv{0, 0, 0, 0}));  // C_{2,0} saved all-zero
   EXPECT_FALSE(p->after_first_send());
@@ -88,25 +91,30 @@ TEST(ProtocolBase, TdvMergesOnDelivery) {
 }
 
 TEST(ProtocolBase, ArgumentValidation) {
-  const auto p = make_protocol(ProtocolKind::kFdas, 3, 0);
-  EXPECT_THROW(p->on_send(0), std::invalid_argument);   // self
-  EXPECT_THROW(p->on_send(3), std::invalid_argument);
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  const auto p = registry.create(ProtocolKind::kFdas, 3, 0);
+  Piggyback pb = p->make_payload();
+  EXPECT_THROW(p->on_send(0, pb.slot()), std::invalid_argument);   // self
+  EXPECT_THROW(p->on_send(3, pb.slot()), std::invalid_argument);
   EXPECT_THROW(p->saved_tdv(5), std::invalid_argument);
-  EXPECT_THROW(make_protocol(ProtocolKind::kFdas, 0, 0), std::invalid_argument);
-  EXPECT_THROW(make_protocol(ProtocolKind::kFdas, 2, 2), std::invalid_argument);
+  EXPECT_THROW(registry.create(ProtocolKind::kFdas, 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(registry.create(ProtocolKind::kFdas, 2, 2),
+               std::invalid_argument);
 }
 
 TEST(ProtocolBase, MinGlobalCkptRequiresTdvTracking) {
-  const auto nras = make_protocol(ProtocolKind::kNras, 3, 0);
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  const auto nras = registry.create(ProtocolKind::kNras, 3, 0);
   EXPECT_THROW(nras->min_global_ckpt(0), std::invalid_argument);
-  const auto fdas = make_protocol(ProtocolKind::kFdas, 3, 0);
+  const auto fdas = registry.create(ProtocolKind::kFdas, 3, 0);
   EXPECT_EQ(fdas->min_global_ckpt(0), (GlobalCkpt{{0, 0, 0}}));
 }
 
 TEST(Piggyback, WireBitsPerProtocol) {
   const int n = 5;
   auto bits = [&](ProtocolKind kind) {
-    return make_protocol(kind, n, 0)->piggyback_bits();
+    return ProtocolRegistry::instance().info(kind).piggyback_bits(n);
   };
   EXPECT_EQ(bits(ProtocolKind::kNoForce), 0u);
   EXPECT_EQ(bits(ProtocolKind::kCbr), 0u);

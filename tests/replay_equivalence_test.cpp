@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "protocols/registry.hpp"
 #include "sim/environments.hpp"
 #include "sim/payload_arena.hpp"
 #include "sim/replay.hpp"
@@ -106,7 +107,8 @@ TEST(ReplayEquivalence, ExplicitArenaMatchesOwningPayloads) {
   for (ProtocolKind kind : all_protocol_kinds()) {
     SCOPED_TRACE(to_string(kind));
     const auto bits =
-        make_protocol(kind, trace.num_processes, 0)->piggyback_bits();
+        ProtocolRegistry::instance().info(kind).piggyback_bits(
+            trace.num_processes);
     const ReplayResult r = replay_metrics(trace, kind);
     EXPECT_EQ(r.piggyback_bits_total,
               static_cast<unsigned long long>(bits) *

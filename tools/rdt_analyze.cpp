@@ -148,8 +148,12 @@ int cmd_recover(const Pattern& p, const std::vector<ProcessId>& failed,
   }
   for (ProcessId i = 0; i < p.num_processes(); ++i) {
     const auto idx = static_cast<std::size_t>(i);
+    // Append, not `"P" + std::to_string(...)`: GCC 12 at -O3 flags the
+    // inlined memcpy with a spurious -Wrestrict (PR105329).
+    std::string label(1, 'P');
+    label += std::to_string(i);
     table.begin_row()
-        .add("P" + std::to_string(i))
+        .add(label)
         .add(durable.indices[idx])
         .add(std::min(line.indices[idx], durable.indices[idx]))
         .add(std::max<CkptIndex>(0, durable.indices[idx] - line.indices[idx]));
