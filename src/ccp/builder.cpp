@@ -30,6 +30,7 @@ MsgId PatternBuilder::send(ProcessId sender, ProcessId receiver) {
   events_[static_cast<std::size_t>(sender)].push_back({EventKind::kSend, id, -1, -1});
   messages_.push_back(m);
   ++undelivered_;
+  if (listener_ != nullptr) listener_->on_send(id, sender, receiver);
   return id;
 }
 
@@ -43,11 +44,13 @@ void PatternBuilder::deliver(MsgId m) {
   events_[static_cast<std::size_t>(msg.receiver)].push_back(
       {EventKind::kDeliver, m, -1, -1});
   --undelivered_;
+  if (listener_ != nullptr) listener_->on_deliver(m, msg.sender, msg.receiver);
 }
 
 void PatternBuilder::internal(ProcessId p) {
   check_process(p);
   events_[static_cast<std::size_t>(p)].push_back({EventKind::kInternal, kNoMsg, -1, -1});
+  if (listener_ != nullptr) listener_->on_internal(p);
 }
 
 CkptIndex PatternBuilder::checkpoint(ProcessId p) {
@@ -57,6 +60,7 @@ CkptIndex PatternBuilder::checkpoint(ProcessId p) {
   positions.push_back(static_cast<EventIndex>(events_[static_cast<std::size_t>(p)].size()));
   events_[static_cast<std::size_t>(p)].push_back(
       {EventKind::kCheckpoint, kNoMsg, index, -1});
+  if (listener_ != nullptr) listener_->on_checkpoint(p, index);
   return index;
 }
 
@@ -68,7 +72,11 @@ Pattern PatternBuilder::build(FinalCkpts policy) {
   Pattern p;
   p.final_is_virtual_.assign(static_cast<std::size_t>(num_processes()), false);
 
-  // Close trailing intervals.
+  // Close trailing intervals. The virtual final checkpoints are finalization
+  // artifacts, not recorded events: the stream listener must not see them
+  // (see PatternListener), so notifications pause for this loop.
+  PatternListener* const saved_listener = listener_;
+  listener_ = nullptr;
   for (ProcessId i = 0; i < num_processes(); ++i) {
     auto& seq = events_[static_cast<std::size_t>(i)];
     const bool closed = !seq.empty() && seq.back().kind == EventKind::kCheckpoint;
@@ -79,6 +87,7 @@ Pattern PatternBuilder::build(FinalCkpts policy) {
       p.final_is_virtual_[static_cast<std::size_t>(i)] = true;
     }
   }
+  listener_ = saved_listener;
 
   p.events_ = std::move(events_);
   p.messages_ = std::move(messages_);

@@ -22,6 +22,28 @@
 
 namespace rdt {
 
+// Observer of a builder's append stream. A listener installed with
+// PatternBuilder::set_listener() sees every recorded event in the exact
+// order the builder records it — the hook the incremental analysis kernel
+// (online/engine.hpp) subscribes to so queries work while the pattern is
+// still being recorded. Callbacks fire after the builder has updated its own
+// state, so message ids and checkpoint indexes match the eventual Pattern.
+//
+// The virtual final checkpoints build() appends to close trailing intervals
+// are NOT reported: they are finalization artifacts of one build() call, not
+// events of the recorded computation (an online consumer models them itself,
+// as the engine does with its interval frontier).
+class PatternListener {
+ public:
+  virtual ~PatternListener() = default;
+  virtual void on_send(MsgId /*m*/, ProcessId /*sender*/,
+                       ProcessId /*receiver*/) {}
+  virtual void on_deliver(MsgId /*m*/, ProcessId /*sender*/,
+                          ProcessId /*receiver*/) {}
+  virtual void on_internal(ProcessId /*p*/) {}
+  virtual void on_checkpoint(ProcessId /*p*/, CkptIndex /*index*/) {}
+};
+
 class PatternBuilder {
  public:
   // Policy for intervals still open when build() is called.
@@ -45,6 +67,13 @@ class PatternBuilder {
 
   int num_processes() const { return static_cast<int>(events_.size()); }
 
+  // Install (or remove, with nullptr) a stream observer. Non-owning; the
+  // listener must outlive the builder or be detached first. It survives
+  // build(): a builder reused for a second pattern keeps notifying the same
+  // listener, so consumers tied to one pattern should detach in between.
+  void set_listener(PatternListener* listener) { listener_ = listener; }
+  PatternListener* listener() const { return listener_; }
+
   // Validate and produce the immutable Pattern. The builder is left empty.
   Pattern build(FinalCkpts policy = FinalCkpts::kAppendVirtual);
 
@@ -54,6 +83,7 @@ class PatternBuilder {
   std::vector<std::vector<Event>> events_;
   std::vector<Message> messages_;
   std::vector<std::vector<EventIndex>> ckpt_event_pos_;
+  PatternListener* listener_ = nullptr;
   int undelivered_ = 0;
 };
 

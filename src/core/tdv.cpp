@@ -6,35 +6,92 @@
 
 namespace rdt {
 
+TdvMachine::TdvMachine(int num_processes) {
+  RDT_REQUIRE(num_processes >= 1, "need at least one process");
+  const auto n = static_cast<std::size_t>(num_processes);
+  current_.assign(n, Tdv(n, 0));
+  // S0: the initial checkpoint C_{i,0} saves the all-zero vector, then the
+  // own entry becomes 1 — the index of I_{i,1}.
+  for (std::size_t i = 0; i < n; ++i) current_[i][i] = 1;
+}
+
+void TdvMachine::deliver(ProcessId receiver, const Tdv& piggyback) {
+  Tdv& tdv = current_[static_cast<std::size_t>(receiver)];
+  RDT_CHECK(piggyback.size() == tdv.size(),
+            "piggybacked TDV size disagrees with the machine's process count");
+  for (std::size_t k = 0; k < tdv.size(); ++k)
+    tdv[k] = std::max(tdv[k], piggyback[k]);
+}
+
+void TdvMachine::checkpoint(ProcessId p, Tdv& saved) {
+  Tdv& tdv = current_[static_cast<std::size_t>(p)];
+  saved = tdv;
+  ++tdv[static_cast<std::size_t>(p)];
+}
+
 TdvAnalysis::TdvAnalysis(const Pattern& pattern) : pattern_(&pattern) {
   const auto n = static_cast<std::size_t>(pattern.num_processes());
   ckpt_tdv_.resize(static_cast<std::size_t>(pattern.total_ckpts()));
   msg_tdv_.resize(static_cast<std::size_t>(pattern.num_messages()));
 
-  // current[i] = TDV_i during the replay. Protocol initialization (S0): all
-  // entries zero, then the initial checkpoint C_{i,0} is taken (saving the
-  // all-zero vector) and the own entry becomes 1 — the index of I_{i,1}.
+  // Batch = fold of the incremental step over the topological event order.
+  // The machine starts past the initial checkpoints, whose saved vectors
+  // are the all-zero ones recorded here.
+  TdvMachine machine(pattern.num_processes());
+  for (ProcessId i = 0; i < pattern.num_processes(); ++i)
+    ckpt_tdv_[static_cast<std::size_t>(pattern.node_id({i, 0}))] = Tdv(n, 0);
+
+  for (const EventRef& e : pattern.topological_order()) {
+    const Event& ev = pattern.event(e);
+    switch (ev.kind) {
+      case EventKind::kSend:
+        machine.send(e.process, msg_tdv_[static_cast<std::size_t>(ev.msg)]);
+        break;
+      case EventKind::kDeliver:
+        machine.deliver(e.process, msg_tdv_[static_cast<std::size_t>(ev.msg)]);
+        break;
+      case EventKind::kCheckpoint:
+        machine.checkpoint(e.process,
+                           ckpt_tdv_[static_cast<std::size_t>(
+                               pattern.node_id({e.process, ev.ckpt}))]);
+        break;
+      case EventKind::kInternal:
+        break;
+    }
+  }
+
+  if constexpr (kAuditsEnabled) audit_tdv_analysis(*this);
+}
+
+void audit_tdv_analysis(const TdvAnalysis& analysis) {
+  if constexpr (!kAuditsEnabled) return;
+  const Pattern& pattern = analysis.pattern();
+  const auto n = static_cast<std::size_t>(pattern.num_processes());
+
+  // The pre-split batch loop, verbatim: inline snapshot / merge / save with
+  // no TdvMachine in sight — an independent derivation of every vector.
+  std::vector<Tdv> ckpt_tdv(static_cast<std::size_t>(pattern.total_ckpts()));
+  std::vector<Tdv> msg_tdv(static_cast<std::size_t>(pattern.num_messages()));
   std::vector<Tdv> current(n, Tdv(n, 0));
   for (ProcessId i = 0; i < pattern.num_processes(); ++i) {
-    ckpt_tdv_[static_cast<std::size_t>(pattern.node_id({i, 0}))] =
+    ckpt_tdv[static_cast<std::size_t>(pattern.node_id({i, 0}))] =
         current[static_cast<std::size_t>(i)];
     current[static_cast<std::size_t>(i)][static_cast<std::size_t>(i)] = 1;
   }
-
   for (const EventRef& e : pattern.topological_order()) {
     Tdv& tdv = current[static_cast<std::size_t>(e.process)];
     const Event& ev = pattern.event(e);
     switch (ev.kind) {
       case EventKind::kSend:
-        msg_tdv_[static_cast<std::size_t>(ev.msg)] = tdv;
+        msg_tdv[static_cast<std::size_t>(ev.msg)] = tdv;
         break;
       case EventKind::kDeliver: {
-        const Tdv& piggy = msg_tdv_[static_cast<std::size_t>(ev.msg)];
+        const Tdv& piggy = msg_tdv[static_cast<std::size_t>(ev.msg)];
         for (std::size_t k = 0; k < n; ++k) tdv[k] = std::max(tdv[k], piggy[k]);
         break;
       }
       case EventKind::kCheckpoint:
-        ckpt_tdv_[static_cast<std::size_t>(
+        ckpt_tdv[static_cast<std::size_t>(
             pattern.node_id({e.process, ev.ckpt}))] = tdv;
         ++tdv[static_cast<std::size_t>(e.process)];
         break;
@@ -42,6 +99,16 @@ TdvAnalysis::TdvAnalysis(const Pattern& pattern) : pattern_(&pattern) {
         break;
     }
   }
+
+  for (int node = 0; node < pattern.total_ckpts(); ++node)
+    RDT_AUDIT(analysis.at_ckpt(pattern.node_ckpt(node)) ==
+                  ckpt_tdv[static_cast<std::size_t>(node)],
+              "machine-folded checkpoint TDV disagrees with the direct batch "
+              "replay");
+  for (MsgId m = 0; m < pattern.num_messages(); ++m)
+    RDT_AUDIT(analysis.on_msg(m) == msg_tdv[static_cast<std::size_t>(m)],
+              "machine-folded message TDV disagrees with the direct batch "
+              "replay");
 }
 
 const Tdv& TdvAnalysis::at_ckpt(const CkptId& c) const {

@@ -27,6 +27,48 @@ namespace rdt {
 // index of P_j.
 using Tdv = std::vector<CkptIndex>;
 
+// The pure incremental TDV step — exactly the per-event transition the
+// paper's protocols run (S0/S1/S2 of Figure 6), with no pattern and no
+// event order of its own. One machine holds the live TDV_i of every
+// process; the caller drives it event by event in any order consistent
+// with happened-before:
+//   * send(i, out)        — snapshot TDV_i into `out` (the piggyback);
+//   * deliver(j, piggy)   — TDV_j := max(TDV_j, piggy) componentwise;
+//   * checkpoint(i, out)  — save TDV_i into `out`, then bump the own entry.
+// The constructor performs the paper's initialization: all zero, the
+// implicit initial checkpoint C_{i,0} saves the zero vector (the caller
+// records that directly), and the own entry becomes 1 — the index of
+// I_{i,1}. TdvAnalysis is the batch wrapper that folds these steps over a
+// finished Pattern's topological order; the online engine feeds the same
+// machine one event at a time.
+class TdvMachine {
+ public:
+  explicit TdvMachine(int num_processes);
+
+  int num_processes() const { return static_cast<int>(current_.size()); }
+
+  // The live vector TDV_i (own entry = current interval index).
+  const Tdv& at(ProcessId i) const {
+    return current_[static_cast<std::size_t>(i)];
+  }
+
+  // Snapshot the sender's vector into `piggyback` (assignment reuses the
+  // target's capacity, so recycled payload slots stay allocation-free).
+  void send(ProcessId sender, Tdv& piggyback) const {
+    piggyback = current_[static_cast<std::size_t>(sender)];
+  }
+
+  // Merge a piggybacked vector into the receiver's (componentwise max).
+  void deliver(ProcessId receiver, const Tdv& piggyback);
+
+  // Save the vector of C_{p, current interval} into `saved`, then advance
+  // the own entry to the new interval's index.
+  void checkpoint(ProcessId p, Tdv& saved);
+
+ private:
+  std::vector<Tdv> current_;
+};
+
 class TdvAnalysis {
  public:
   explicit TdvAnalysis(const Pattern& pattern);
@@ -55,5 +97,12 @@ class TdvAnalysis {
   std::vector<Tdv> ckpt_tdv_;
   std::vector<Tdv> msg_tdv_;
 };
+
+// Audit-tier (RDT_AUDIT) cross-validation: re-derives every saved and
+// piggybacked vector with the pre-split batch replay loop (inline
+// snapshot/merge/save, no TdvMachine) and compares them entry for entry.
+// No-op unless the build defines RDT_AUDITS; invoked automatically by the
+// TdvAnalysis constructor in audit builds.
+void audit_tdv_analysis(const TdvAnalysis& analysis);
 
 }  // namespace rdt

@@ -63,6 +63,7 @@ class Runtime {
         rng_(config.seed),
         builder_(num_processes),
         payloads_() {
+    builder_.set_listener(config.online);
     RDT_REQUIRE(num_processes >= 1, "need at least one process");
     RDT_REQUIRE(config.horizon > 0, "horizon must be positive");
     RDT_REQUIRE(config.delay_mean > 0 && config.delay_min >= 0,

@@ -29,6 +29,10 @@
 #include "protocols/protocol.hpp"
 #include "util/rng.hpp"
 
+namespace rdt {
+class PatternListener;  // ccp/builder.hpp
+}  // namespace rdt
+
 namespace rdt::des {
 
 struct SimConfig {
@@ -46,6 +50,11 @@ struct SimConfig {
   // (non-owning; must outlive the run). Sees sends, deliveries and
   // checkpoints with their forcing predicate, as in ReplayOptions.
   ProtocolObserver* observer = nullptr;
+  // Optional pattern stream subscriber (non-owning; must outlive the run),
+  // installed on the runtime's PatternBuilder — typically an OnlineEngine
+  // (online/engine.hpp), so live queries work mid-simulation, as in
+  // ReplayOptions::online.
+  PatternListener* online = nullptr;
 };
 
 struct SimResult {

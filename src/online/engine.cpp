@@ -1,0 +1,325 @@
+#include "online/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "obs/hooks.hpp"
+#include "util/check.hpp"
+
+namespace rdt {
+
+OnlineEngine::OnlineEngine(int num_processes) : machine_(num_processes) {
+  const auto n = static_cast<std::size_t>(num_processes);
+  clocks_.assign(n, VectorClock(num_processes));
+  state_.resize(n);
+  node_ids_.resize(n);
+  for (ProcessId p = 0; p < num_processes; ++p) {
+    auto& ps = state_[static_cast<std::size_t>(p)];
+    ps.pending.assign(n, 0);
+    ps.last_node = reach_.add_node();  // the implicit initial C_{p,0}
+    node_ckpt_.push_back({p, 0});
+    node_ids_[static_cast<std::size_t>(p)].push_back(ps.last_node);
+  }
+}
+
+void OnlineEngine::ensure_frontier(ProcessId p) {
+  auto& ps = state_[static_cast<std::size_t>(p)];
+  if (ps.frontier != -1) return;
+  ps.frontier = reach_.add_node();
+  node_ckpt_.push_back({p, ps.durable + 1});
+  reach_.add_edge(ps.last_node, ps.frontier, /*message=*/false);
+  recovery_dirty_ = true;
+}
+
+int OnlineEngine::node_of(const CkptId& c) const {
+  RDT_REQUIRE(c.process >= 0 && c.process < num_processes(),
+              "process id out of range");
+  const auto& ps = state_[static_cast<std::size_t>(c.process)];
+  RDT_REQUIRE(c.index >= 0 && (c.index <= ps.durable ||
+                               (c.index == ps.durable + 1 && ps.frontier != -1)),
+              "checkpoint not (yet) known to the engine");
+  if (c.index <= ps.durable)
+    return node_ids_[static_cast<std::size_t>(c.process)]
+                    [static_cast<std::size_t>(c.index)];
+  return ps.frontier;
+}
+
+void OnlineEngine::evaluate_mm(const CkptId& target, ProcessId k,
+                               CkptIndex si) {
+  const ProcessId j = target.process;
+  auto& pj = state_[static_cast<std::size_t>(j)];
+  if (k == j) {
+    // Same-process trackability is positional and never changes.
+    if (si > target.index) ++permanent_;
+    return;
+  }
+  if (target.index <= pj.durable) {
+    // Frozen target: the saved TDV is the final word.
+    if (pj.saved[static_cast<std::size_t>(target.index - 1)]
+                [static_cast<std::size_t>(k)] < si)
+      ++permanent_;
+    return;
+  }
+  // Open target: the live TDV can only grow, so once it covers the start
+  // the junction is doubled forever; otherwise it stays pending until the
+  // next checkpoint of P_j freezes the interval.
+  if (machine_.at(j)[static_cast<std::size_t>(k)] >= si) return;
+  CkptIndex& slot = pj.pending[static_cast<std::size_t>(k)];
+  slot = std::max(slot, si);
+}
+
+void OnlineEngine::on_send(MsgId m, ProcessId sender, ProcessId receiver) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RDT_REQUIRE(sender >= 0 && sender < num_processes() && receiver >= 0 &&
+                  receiver < num_processes() && sender != receiver,
+              "invalid send endpoints");
+  RDT_REQUIRE(m == static_cast<MsgId>(msgs_.size()),
+              "message ids must arrive densely in send order");
+  ensure_frontier(sender);
+  auto& ps = state_[static_cast<std::size_t>(sender)];
+  clocks_[static_cast<std::size_t>(sender)].tick(sender);
+
+  MessageState ms;
+  ms.sender = sender;
+  ms.receiver = receiver;
+  ms.send_interval = ps.durable + 1;
+  ms.deliveries_at_sender = ps.deliveries;
+  machine_.send(sender, ms.tdv);
+  ms.clock = clocks_[static_cast<std::size_t>(sender)];
+  ps.interval_sends.push_back(m);
+  msgs_.push_back(std::move(ms));
+
+  ++events_consumed_;
+  ++sends_observed_;
+}
+
+void OnlineEngine::on_deliver(MsgId m, ProcessId sender, ProcessId receiver) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RDT_REQUIRE(m >= 0 && m < static_cast<MsgId>(msgs_.size()),
+              "unknown message id");
+  MessageState& ms = msgs_[static_cast<std::size_t>(m)];
+  RDT_REQUIRE(!ms.delivered, "message already delivered");
+  RDT_REQUIRE(ms.sender == sender && ms.receiver == receiver,
+              "delivery endpoints disagree with the send");
+  ensure_frontier(receiver);
+  auto& pr = state_[static_cast<std::size_t>(receiver)];
+
+  ms.delivered = true;
+  ms.deliver_interval = pr.durable + 1;
+  // The R-graph message edge C_{sender,send_interval} -> C_{receiver,open}.
+  reach_.add_edge(node_of({sender, ms.send_interval}), pr.frontier,
+                  /*message=*/true);
+  recovery_dirty_ = true;
+
+  clocks_[static_cast<std::size_t>(receiver)].tick(receiver);
+  clocks_[static_cast<std::size_t>(receiver)].merge(ms.clock);
+  machine_.deliver(receiver, ms.tdv);
+
+  // The delivery joins the closed prefix and retains its matching send.
+  ++delivered_;
+  retained_total_ += 2;
+  ++pr.open_retained;
+  if (ms.send_interval == state_[static_cast<std::size_t>(sender)].durable + 1)
+    ++state_[static_cast<std::size_t>(sender)].open_retained;
+  causal_junctions_ += ms.deliveries_at_sender;
+
+  // Non-causal junctions with m as the *incoming* message: every send of
+  // the receiver earlier in this same interval. A junction only exists in
+  // the closed prefix once its outgoing message is delivered too, so the
+  // verdict is deferred to that delivery when needed.
+  for (const MsgId out : pr.interval_sends) {
+    MessageState& mo = msgs_[static_cast<std::size_t>(out)];
+    if (mo.delivered) {
+      ++noncausal_junctions_;
+      evaluate_mm({mo.receiver, mo.deliver_interval}, ms.sender,
+                  ms.send_interval);
+    } else {
+      mo.deferred.emplace_back(ms.sender, ms.send_interval);
+    }
+  }
+  // Junctions with m as the *outgoing* message, discovered while it was in
+  // flight: they materialize now, targeting the receiver's open interval.
+  for (const auto& [k, si] : ms.deferred) {
+    ++noncausal_junctions_;
+    evaluate_mm({receiver, pr.durable + 1}, k, si);
+  }
+  ms.deferred.clear();
+  ms.deferred.shrink_to_fit();
+  ++pr.deliveries;
+
+  // The piggyback snapshots are spent.
+  Tdv().swap(ms.tdv);
+  ms.clock = VectorClock();
+
+  ++events_consumed_;
+}
+
+void OnlineEngine::on_internal(ProcessId p) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
+  ensure_frontier(p);
+  auto& ps = state_[static_cast<std::size_t>(p)];
+  clocks_[static_cast<std::size_t>(p)].tick(p);
+  ++ps.open_retained;
+  ++retained_total_;
+  ++events_consumed_;
+  ++internals_observed_;
+}
+
+void OnlineEngine::on_checkpoint(ProcessId p, CkptIndex index) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
+  auto& ps = state_[static_cast<std::size_t>(p)];
+  RDT_REQUIRE(index == ps.durable + 1,
+              "checkpoint indexes must advance one at a time");
+  ensure_frontier(p);
+
+  // Freeze the open interval: its TDV becomes the saved vector of C_{p,x},
+  // which settles every junction that was pending against it.
+  machine_.checkpoint(p, ps.saved.emplace_back());
+  const Tdv& saved = ps.saved.back();
+  for (std::size_t k = 0; k < ps.pending.size(); ++k) {
+    if (ps.pending[k] > saved[k]) ++permanent_;
+    ps.pending[k] = 0;
+  }
+
+  ++ps.durable;
+  node_ids_[static_cast<std::size_t>(p)].push_back(ps.frontier);
+  ps.last_node = ps.frontier;
+  ps.frontier = -1;
+  ps.interval_sends.clear();
+  ps.open_retained = 0;
+  clocks_[static_cast<std::size_t>(p)].tick(p);
+
+  ++retained_total_;
+  recovery_dirty_ = true;
+  ++events_consumed_;
+  ++checkpoints_observed_;
+}
+
+long long OnlineEngine::events_consumed() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_consumed_;
+}
+
+CkptIndex OnlineEngine::current_interval(ProcessId p) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
+  return state_[static_cast<std::size_t>(p)].durable + 1;
+}
+
+Tdv OnlineEngine::live_tdv(ProcessId p) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
+  return machine_.at(p);
+}
+
+VectorClock OnlineEngine::live_clock(ProcessId p) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
+  return clocks_[static_cast<std::size_t>(p)];
+}
+
+bool OnlineEngine::is_rdt_so_far() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (permanent_ > 0) return false;
+  // Pending junctions target still-open intervals; they are violations of
+  // the current prefix exactly while the live TDV has not caught up.
+  for (ProcessId j = 0; j < num_processes(); ++j) {
+    const auto& pj = state_[static_cast<std::size_t>(j)];
+    const Tdv& live = machine_.at(j);
+    for (std::size_t k = 0; k < pj.pending.size(); ++k)
+      if (pj.pending[k] > live[k]) return false;
+  }
+  return true;
+}
+
+RecoveryOutcome OnlineEngine::recovery_line() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!recovery_dirty_) return recovery_cache_;
+  RDT_TRACE_SPAN("online", "recovery_sweep");
+
+  // Wang's rollback propagation from the frontier seeds: restarting P_i at
+  // its last durable checkpoint invalidates everything R-reachable from
+  // C_{i,durable+1} (when that interval has opened).
+  const auto n = static_cast<std::size_t>(num_processes());
+  std::vector<int> seeds;
+  for (const ProcessState& ps : state_)
+    if (ps.frontier != -1) seeds.push_back(ps.frontier);
+
+  std::vector<CkptIndex> min_invalid(n, std::numeric_limits<CkptIndex>::max());
+  propagate_rollback(
+      rollback_scratch_, reach_.num_nodes(), seeds,
+      [&](int u, auto&& emit) { reach_.for_each_successor(u, emit); },
+      [&](int u) {
+        const CkptId c = node_ckpt_[static_cast<std::size_t>(u)];
+        CkptIndex& m = min_invalid[static_cast<std::size_t>(c.process)];
+        m = std::min(m, c.index);
+      });
+
+  RecoveryOutcome out;
+  out.line.indices.resize(n);
+  out.rollback_intervals.resize(n);
+  for (ProcessId i = 0; i < num_processes(); ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    const CkptIndex upper = state_[idx].durable;
+    const CkptIndex line =
+        min_invalid[idx] <= upper ? min_invalid[idx] - 1 : upper;
+    RDT_ASSERT(line >= 0);  // C_{i,0} can never be invalidated
+    out.line.indices[idx] = line;
+    const CkptIndex lost = upper - line;
+    out.rollback_intervals[idx] = lost;
+    out.total_rollback += lost;
+    if (upper > 0)
+      out.worst_fraction =
+          std::max(out.worst_fraction,
+                   static_cast<double>(lost) / static_cast<double>(upper));
+  }
+
+  recovery_cache_ = out;
+  recovery_dirty_ = false;
+  ++recovery_sweeps_;
+  return recovery_cache_;
+}
+
+bool OnlineEngine::zreach(const CkptId& from, const CkptId& to) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return reach_.msg_reach(node_of(from), node_of(to));
+}
+
+OnlineStats OnlineEngine::stats() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  OnlineStats s;
+  s.processes = num_processes();
+  s.messages = delivered_;
+  s.causal_junctions = causal_junctions_;
+  s.noncausal_junctions = noncausal_junctions_;
+  int virtuals = 0;
+  int durable_ckpts = 0;
+  for (const ProcessState& ps : state_) {
+    if (ps.open_retained > 0) ++virtuals;  // build() would close this interval
+    durable_ckpts += ps.durable + 1;       // + the initial checkpoint
+  }
+  s.virtual_finals = virtuals;
+  s.events = retained_total_ + virtuals;
+  s.checkpoints = durable_ckpts + virtuals;
+  return s;
+}
+
+void OnlineEngine::flush_metrics() const {
+  if constexpr (!obs::kObsEnabled) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  obs::ObsSession* session = obs::ObsSession::current();
+  if (session == nullptr) return;
+  obs::MetricsRegistry& m = session->metrics();
+  m.add(m.counter("online.events"), events_consumed_);
+  m.add(m.counter("online.events.send"), sends_observed_);
+  m.add(m.counter("online.events.deliver"), delivered_);
+  m.add(m.counter("online.events.internal"), internals_observed_);
+  m.add(m.counter("online.events.checkpoint"), checkpoints_observed_);
+  m.add(m.counter("online.junctions.causal"), causal_junctions_);
+  m.add(m.counter("online.junctions.noncausal"), noncausal_junctions_);
+  m.add(m.counter("online.recovery.sweeps"), recovery_sweeps_);
+}
+
+}  // namespace rdt

@@ -97,17 +97,6 @@ void CicProtocol::on_send(ProcessId dest, const PiggybackSlot& out) {
   if (observer_) observer_->on_send(self_, dest);
 }
 
-// The deprecated owning overload is still provided for out-of-tree callers;
-// silence the self-referencing warning its definition would trigger.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-Piggyback CicProtocol::on_send(ProcessId dest) {
-  Piggyback out = make_payload();
-  on_send(dest, out.slot());
-  return out;
-}
-#pragma GCC diagnostic pop
-
 void CicProtocol::on_deliver(const PiggybackView& msg, ProcessId sender) {
   RDT_REQUIRE(sender >= 0 && sender < n_ && sender != self_, "bad sender");
   RDT_REQUIRE(static_cast<int>(msg.tdv.size()) == (transmits_tdv() ? n_ : 0),

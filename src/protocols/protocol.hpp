@@ -3,7 +3,8 @@
 // One CicProtocol instance embodies one process P_i of the computation. The
 // runtime (src/sim/replay.*) drives it through the three statements of the
 // paper's Figure 6:
-//   (S1) on_send(dest)            -> Piggyback to attach to the message;
+//   (S1) on_send(dest, slot)      -> writes the piggyback to attach to the
+//        message into a slot pre-sized via make_payload()/payload_shape();
 //   (S2) must_force(msg, sender)  -> take a forced checkpoint before
 //        delivery? then on_deliver(msg, sender) updates control state;
 //   plus on_basic_checkpoint() when the application decides to checkpoint.
@@ -70,12 +71,6 @@ class CicProtocol {
   // writes the control data into a slot pre-sized for payload_shape() and
   // records the destination. Every present field is fully overwritten.
   void on_send(ProcessId dest, const PiggybackSlot& out);
-  // (S1), legacy owning form. Superseded by the view-based interface: call
-  // make_payload() once and on_send(dest, payload.slot()) per message.
-  [[deprecated(
-      "use on_send(dest, slot) with a payload from make_payload(); the "
-      "owning overload allocates per message and will be removed")]]
-  Piggyback on_send(ProcessId dest);
 
   // (S2), decision half — must P_i take a forced checkpoint before
   // delivering this message? Reads only piggybacked + local state. An

@@ -15,6 +15,9 @@
 //   sim/         trace generation, the replay engine, parallel sweeps
 //   des/         the discrete-event runtime and example applications
 //   recovery/    recovery lines, domino effect, garbage collection
+//   online/      the incremental analysis kernel: OnlineEngine streams
+//                events once and keeps RDT / recovery / z-reach answers
+//                live at every prefix
 //   logging/     message logging for deterministic replay
 //   obs/         observability: metrics registry, span tracing, the
 //                RDT_TRACE_SPAN / RDT_COUNT hooks (chrome://tracing export)
@@ -45,6 +48,7 @@
 #include "obs/metrics.hpp"
 #include "obs/session.hpp"
 #include "obs/trace_log.hpp"
+#include "online/engine.hpp"
 #include "protocols/observer.hpp"
 #include "protocols/payload.hpp"
 #include "protocols/protocol.hpp"
@@ -52,8 +56,11 @@
 #include "recovery/domino.hpp"
 #include "recovery/gc.hpp"
 #include "recovery/recovery_line.hpp"
+#include "recovery/rollback.hpp"
+#include "rgraph/incremental.hpp"
 #include "rgraph/reachability.hpp"
 #include "rgraph/rgraph.hpp"
+#include "rgraph/rgraph_dot.hpp"
 #include "rgraph/zigzag.hpp"
 #include "sim/environments.hpp"
 #include "sim/payload_arena.hpp"

@@ -1,9 +1,11 @@
 #include "recovery/recovery_line.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "ccp/audit.hpp"
 #include "core/global_checkpoint.hpp"
+#include "recovery/rollback.hpp"
 #include "rgraph/rgraph.hpp"
 #include "util/check.hpp"
 
@@ -47,25 +49,62 @@ GlobalCkpt recovery_line_rgraph(const Pattern& p, const GlobalCkpt& upper) {
 
   // Rolling P_i back to upper[i] means "before C_{i,upper[i]+1}" whenever
   // later checkpoints exist; everything R-reachable from those seeds is
-  // invalidated.
-  BitVector invalid(static_cast<std::size_t>(p.total_ckpts()));
+  // invalidated. Batch = one propagate_rollback() sweep (the step the
+  // online engine repeats incrementally), folding each invalidated node
+  // into a per-process minimum instead of materializing the invalid set.
+  std::vector<int> seeds;
   for (ProcessId i = 0; i < p.num_processes(); ++i) {
     const CkptIndex next = upper.indices[static_cast<std::size_t>(i)] + 1;
-    if (next <= p.last_ckpt(i))
-      invalid.or_with(graph.reachable_from(p.node_id({i, next})));
+    if (next <= p.last_ckpt(i)) seeds.push_back(p.node_id({i, next}));
   }
+
+  std::vector<CkptIndex> min_invalid(
+      static_cast<std::size_t>(p.num_processes()),
+      std::numeric_limits<CkptIndex>::max());
+  RollbackScratch scratch;
+  propagate_rollback(
+      scratch, p.total_ckpts(), seeds,
+      [&](int u, auto&& emit) {
+        for (const int v : graph.successors(u)) emit(v);
+      },
+      [&](int u) {
+        const CkptId c = p.node_ckpt(u);
+        CkptIndex& m = min_invalid[static_cast<std::size_t>(c.process)];
+        m = std::min(m, c.index);
+      });
 
   GlobalCkpt line = upper;
   for (ProcessId j = 0; j < p.num_processes(); ++j) {
     const auto idx = static_cast<std::size_t>(j);
-    for (CkptIndex y = 0; y <= line.indices[idx]; ++y) {
-      if (invalid.get(static_cast<std::size_t>(p.node_id({j, y})))) {
-        line.indices[idx] = y - 1;  // restart below the first invalid node
-        break;
-      }
-    }
+    if (min_invalid[idx] <= line.indices[idx])
+      line.indices[idx] = min_invalid[idx] - 1;  // below the first invalid node
     RDT_ASSERT(line.indices[idx] >= 0);  // C_{j,0} can never be invalidated
   }
+
+  if constexpr (kAuditsEnabled) {
+    // The pre-split derivation, verbatim: union the reachable sets into one
+    // invalid bit vector and scan upward for the first invalid checkpoint.
+    BitVector invalid(static_cast<std::size_t>(p.total_ckpts()));
+    for (ProcessId i = 0; i < p.num_processes(); ++i) {
+      const CkptIndex next = upper.indices[static_cast<std::size_t>(i)] + 1;
+      if (next <= p.last_ckpt(i))
+        invalid.or_with(graph.reachable_from(p.node_id({i, next})));
+    }
+    GlobalCkpt expect = upper;
+    for (ProcessId j = 0; j < p.num_processes(); ++j) {
+      const auto idx = static_cast<std::size_t>(j);
+      for (CkptIndex y = 0; y <= expect.indices[idx]; ++y) {
+        if (invalid.get(static_cast<std::size_t>(p.node_id({j, y})))) {
+          expect.indices[idx] = y - 1;
+          break;
+        }
+      }
+    }
+    RDT_AUDIT(line == expect,
+              "rollback-propagation sweep disagrees with the direct "
+              "invalid-set derivation of the recovery line");
+  }
+
   return line;
 }
 

@@ -1,0 +1,88 @@
+// Incrementally extended two-layer reachability over a growing R-graph.
+//
+// IncrementalReach is the pure incremental step the batch
+// ReachabilityClosure folds: nodes and edges are appended one at a time
+// (never removed — an R-graph only grows as the computation runs), and both
+// closure relations stay queryable after every append:
+//  * reach(a, b)     — an R-path (possibly empty) from a to b;
+//  * msg_reach(a, b) — an R-path from a to b with >= 1 message edge.
+//
+// Representation: per source node, two bit layers
+//   l0 = nodes reachable via paths with NO message edge (process edges only);
+//   l1 = nodes reachable via paths with >= 1 message edge;
+// so reach = l0 | l1 (l0 is reflexive) and msg_reach = l1. The split makes
+// the "at least one message edge" qualifier a plain 2-state product
+// construction instead of a separate fixpoint.
+//
+// Incrementality: every appended edge goes into a global typed edge log.
+// A source row is materialized lazily on first query and then *catches up*
+// by scanning the log from its private cursor: a logged edge (u, v) whose
+// tail u the row already reaches seeds new frontier work, and one BFS drain
+// over the full adjacency completes the propagation. Each row consumes each
+// log entry exactly once and sets each (node, layer) bit at most once, so
+// the total work per row is O(V + E) over the row's whole lifetime —
+// amortized O(1) per appended edge per live row, with no recomputation of
+// already-known reachability.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "util/bit_matrix.hpp"
+
+namespace rdt {
+
+class IncrementalReach {
+ public:
+  IncrementalReach() = default;
+
+  int num_nodes() const { return static_cast<int>(adj_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  // Append a new node; returns its id (dense, starting at 0).
+  int add_node();
+
+  // Append a directed edge. Both endpoints must already exist. Duplicate
+  // edges are tolerated (they cost one log entry each but change nothing).
+  void add_edge(int from, int to, bool message);
+
+  // Closure queries. Non-const: the first query for a source materializes
+  // its row, later ones catch it up with the edge log.
+  bool reach(int from, int to);
+  bool msg_reach(int from, int to);
+
+  // Copy the current closure rows of `from` into caller-provided spans
+  // (bits OR-ed in; pass zeroed spans of width num_nodes()).
+  void snapshot(int from, BitSpan reach_out, BitSpan msg_reach_out);
+
+  // Forward adjacency walk (for rollback propagation); fn(successor) may be
+  // called more than once per successor if duplicate edges were appended.
+  template <typename Fn>
+  void for_each_successor(int node, Fn&& fn) const {
+    for (const std::uint32_t enc : adj_[static_cast<std::size_t>(node)])
+      fn(static_cast<int>(enc >> 1));
+  }
+
+ private:
+  // One source node's closure state. l0/l1 are word arrays sized lazily to
+  // the current node count; edge_pos is the row's cursor into edges_.
+  struct Row {
+    std::vector<std::uint64_t> l0, l1;
+    std::size_t edge_pos = 0;
+  };
+
+  Row& row_for(int from);
+  void catch_up(int from, Row& row);
+
+  // adj_[u] holds successors encoded (v << 1) | is_message.
+  std::vector<std::vector<std::uint32_t>> adj_;
+  // Append-only log of every edge: (u, (v << 1) | is_message).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
+  std::vector<std::unique_ptr<Row>> rows_;
+  // BFS scratch, entries encoded (node << 1) | layer.
+  std::vector<std::uint32_t> queue_;
+};
+
+}  // namespace rdt

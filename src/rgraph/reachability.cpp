@@ -5,26 +5,26 @@
 #include <utility>
 #include <vector>
 
+#include "rgraph/incremental.hpp"
 #include "util/check.hpp"
 
 namespace rdt {
 
 ReachabilityClosure::ReachabilityClosure(const RGraph& graph) : graph_(&graph) {
   const auto nodes = static_cast<std::size_t>(graph.num_nodes());
-  reach_ = BitMatrix(nodes, nodes);
-  for (std::size_t u = 0; u < nodes; ++u)
-    for (int v : graph.successors(static_cast<int>(u)))
-      reach_.set(u, static_cast<std::size_t>(v));
-  reach_.close_transitively();
-
-  // msg_reach(a, b) iff some message edge (u, v) has reach(a, u) and
-  // reach(v, b). Build it by OR-ing, for every message edge, v's reach row
-  // into the msg_reach row of every a that reaches u. To keep this
-  // word-parallel we iterate nodes a and collect message edges whose source
-  // is reachable from a.
-  msg_reach_ = BitMatrix(nodes, nodes);
   const Pattern& p = graph.pattern();
-  // Deduplicate message edges (many messages can induce the same edge).
+
+  // Batch = fold of the incremental step: append every node, then every
+  // typed edge (RGraph's successor lists erase the process/message
+  // distinction, so edges are re-derived from the pattern exactly as the
+  // RGraph constructor does), then snapshot each source row into the
+  // contiguous closure planes. Message edges are deduplicated only to avoid
+  // redundant log entries (IncrementalReach tolerates duplicates).
+  IncrementalReach inc;
+  for (std::size_t u = 0; u < nodes; ++u) inc.add_node();
+  for (ProcessId i = 0; i < p.num_processes(); ++i)
+    for (CkptIndex x = 0; x < p.last_ckpt(i); ++x)
+      inc.add_edge(p.node_id({i, x}), p.node_id({i, x + 1}), /*message=*/false);
   std::vector<std::pair<int, int>> msg_edges;
   msg_edges.reserve(p.messages().size());
   for (const Message& m : p.messages())
@@ -32,14 +32,12 @@ ReachabilityClosure::ReachabilityClosure(const RGraph& graph) : graph_(&graph) {
                            p.node_id({m.receiver, m.deliver_interval}));
   std::sort(msg_edges.begin(), msg_edges.end());
   msg_edges.erase(std::unique(msg_edges.begin(), msg_edges.end()), msg_edges.end());
+  for (const auto& [u, v] : msg_edges) inc.add_edge(u, v, /*message=*/true);
 
-  for (std::size_t a = 0; a < nodes; ++a) {
-    const ConstBitSpan from_a = std::as_const(reach_).row(a);
-    const BitSpan out = msg_reach_.row(a);
-    for (const auto& [u, v] : msg_edges)
-      if (from_a.get(static_cast<std::size_t>(u)))
-        out.or_with(std::as_const(reach_).row(static_cast<std::size_t>(v)));
-  }
+  reach_ = BitMatrix(nodes, nodes);
+  msg_reach_ = BitMatrix(nodes, nodes);
+  for (std::size_t a = 0; a < nodes; ++a)
+    inc.snapshot(static_cast<int>(a), reach_.row(a), msg_reach_.row(a));
 
   if constexpr (kAuditsEnabled) audit_reachability_closure(*this);
 }
@@ -50,13 +48,50 @@ void audit_reachability_closure(const ReachabilityClosure& closure) {
   const Pattern& p = graph.pattern();
   const auto nodes = static_cast<std::size_t>(graph.num_nodes());
 
-  // reach: each Warshall row must equal an independent BFS from the node.
+  // reach: each incremental row must equal an independent BFS from the node.
   std::vector<BitVector> bfs_rows(nodes);
   for (std::size_t u = 0; u < nodes; ++u) {
     bfs_rows[u] = graph.reachable_from(static_cast<int>(u));
     RDT_AUDIT(closure.reach_row(static_cast<int>(u)) == bfs_rows[u],
-              "Warshall reach closure disagrees with BFS at node " +
+              "incremental reach closure disagrees with BFS at node " +
                   std::to_string(u));
+  }
+
+  // The pre-split full rebuild, verbatim: word-parallel Warshall closure
+  // plus the message-edge OR pass — an independent derivation of both
+  // planes the incremental fold must reproduce bit for bit.
+  BitMatrix warshall(nodes, nodes);
+  for (std::size_t u = 0; u < nodes; ++u)
+    for (int v : graph.successors(static_cast<int>(u)))
+      warshall.set(u, static_cast<std::size_t>(v));
+  warshall.close_transitively();
+
+  BitMatrix msg_warshall(nodes, nodes);
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(p.messages().size());
+  for (const Message& m : p.messages())
+    edges.emplace_back(p.node_id({m.sender, m.send_interval}),
+                       p.node_id({m.receiver, m.deliver_interval}));
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  for (std::size_t a = 0; a < nodes; ++a) {
+    const ConstBitSpan from_a = std::as_const(warshall).row(a);
+    const BitSpan out = msg_warshall.row(a);
+    for (const auto& [u, v] : edges)
+      if (from_a.get(static_cast<std::size_t>(u)))
+        out.or_with(std::as_const(warshall).row(static_cast<std::size_t>(v)));
+  }
+  for (std::size_t a = 0; a < nodes; ++a) {
+    RDT_AUDIT(closure.reach_row(static_cast<int>(a)) ==
+                  std::as_const(warshall).row(a),
+              "incremental reach closure disagrees with the Warshall rebuild "
+              "at node " +
+                  std::to_string(a));
+    RDT_AUDIT(closure.msg_reach_row(static_cast<int>(a)) ==
+                  std::as_const(msg_warshall).row(a),
+              "incremental msg_reach closure disagrees with the Warshall "
+              "rebuild at node " +
+                  std::to_string(a));
   }
 
   // msg_reach: re-derive from the BFS rows — msg_reach(a, b) iff some

@@ -1,4 +1,4 @@
-#include "core/rgraph_dot.hpp"
+#include "rgraph/rgraph_dot.hpp"
 
 #include <map>
 #include <optional>

@@ -83,8 +83,10 @@ ReplayResult replay(const Trace& trace, ProtocolKind kind,
                  ProtocolRegistry::instance().info(kind).id.c_str());
 
   // Audit builds always materialize: the postconditions cross-check the
-  // protocols' on-line state against the offline pattern analysis.
-  const bool materialize = options.materialize_pattern || kAuditsEnabled;
+  // protocols' on-line state against the offline pattern analysis. An online
+  // subscriber forces it too — the stream is the pattern being recorded.
+  const bool materialize = options.materialize_pattern || kAuditsEnabled ||
+                           options.online != nullptr;
   const auto num_messages = static_cast<std::size_t>(trace.num_messages());
 
   const ProtocolRegistry& registry = ProtocolRegistry::instance();
@@ -107,6 +109,7 @@ ReplayResult replay(const Trace& trace, ProtocolKind kind,
   arena.reset(trace.num_processes, shape, num_messages);
 
   PatternBuilder builder(trace.num_processes);  // cheap when unused
+  builder.set_listener(options.online);
   std::vector<MsgId> msg_map;
   if (materialize) msg_map.assign(num_messages, kNoMsg);
 

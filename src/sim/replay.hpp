@@ -28,6 +28,8 @@
 
 namespace rdt {
 
+class PatternListener;  // ccp/builder.hpp
+
 struct ReplayOptions {
   // Build the Pattern, the forced-checkpoint inventory and saved_tdvs.
   // When false (and audits are off) the replay returns counters only:
@@ -46,6 +48,13 @@ struct ReplayOptions {
   // observer sees each send, delivery and checkpoint — forced ones with the
   // ForceReason naming the predicate that fired.
   ProtocolObserver* observer = nullptr;
+
+  // Optional pattern stream subscriber (non-owning; must outlive the call),
+  // installed on the replay's PatternBuilder — typically an OnlineEngine
+  // (online/engine.hpp), so live RDT/recovery/z-reach queries work while
+  // the replay runs. Forces pattern materialization: the stream IS the
+  // pattern being recorded.
+  PatternListener* online = nullptr;
 };
 
 struct ReplayResult {

@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "core/rgraph_dot.hpp"
+#include "rgraph/rgraph_dot.hpp"
 #include "fixtures.hpp"
 
 namespace rdt {

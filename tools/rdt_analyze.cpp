@@ -19,7 +19,7 @@
 #include "ccp/pattern_io.hpp"
 #include "core/global_checkpoint.hpp"
 #include "core/pattern_stats.hpp"
-#include "core/rgraph_dot.hpp"
+#include "rgraph/rgraph_dot.hpp"
 #include "core/rdt_checker.hpp"
 #include "logging/message_log.hpp"
 #include "recovery/gc.hpp"
