@@ -13,20 +13,33 @@
 //                           the perf-smoke CI gate wants >= 0.8
 //   rate_d1, rate_d10, growth10_d10_over_d1
 //                           same, per-decile: rate after 10x growth
+//   feed_events_per_sec     intake-only throughput, one on_* call per event
+//   batched_events_per_sec  intake-only throughput via feed() batches
+//   batched_speedup         batched / single intake throughput
+//   batch_size              events per feed() span (--batch, default 4096)
+//   concurrent_feed_events_per_sec, concurrent_queries_per_sec
+//                           batched feeder racing 2 query threads
 // and, for the random environment, a "naive" section timing the per-prefix
-// batch re-analysis with the resulting speedup.
+// batch re-analysis with the resulting speedup. The batched engine's end
+// state is cross-checked against the single-event engine's (hard failure on
+// divergence) — feed() must be bit-identical to N on_* calls.
 //
-// Usage: bench_stream [--events N] [--json <path>] [--trace <path>]
+// Usage: bench_stream [--events N] [--batch N] [--json <path>]
+//                     [--trace <path>]
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <iostream>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/characterizations.hpp"
 #include "core/rdt_checker.hpp"
 #include "online/engine.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
@@ -35,38 +48,30 @@ using namespace rdt::bench;
 using Clock = std::chrono::steady_clock;
 
 // 20 timing chunks: quartiles aggregate 5, deciles aggregate 2.
-constexpr int kChunks = 20;
+constexpr std::size_t kChunks = 20;
 
-struct RecordedOp {
-  EventKind kind = EventKind::kInternal;
-  ProcessId p = -1;
-  ProcessId q = -1;
-  MsgId msg = kNoMsg;
-  CkptIndex index = -1;
-};
-
-// Captures a replay's builder stream as a replayable op list (the feed side
-// of the online engine, decoupled from the replay so the timed loop is pure
-// engine cost).
+// Captures a replay's builder stream as a replayable event list (the feed
+// side of the online engine, decoupled from the replay so the timed loop is
+// pure engine cost).
 class Recorder final : public PatternListener {
  public:
   void on_send(MsgId m, ProcessId sender, ProcessId receiver) override {
-    ops.push_back({EventKind::kSend, sender, receiver, m, -1});
+    ops.push_back(StreamEvent::send(m, sender, receiver));
   }
   void on_deliver(MsgId m, ProcessId sender, ProcessId receiver) override {
-    ops.push_back({EventKind::kDeliver, sender, receiver, m, -1});
+    ops.push_back(StreamEvent::deliver(m, sender, receiver));
   }
   void on_internal(ProcessId p) override {
-    ops.push_back({EventKind::kInternal, p, -1, kNoMsg, -1});
+    ops.push_back(StreamEvent::internal(p));
   }
   void on_checkpoint(ProcessId p, CkptIndex index) override {
-    ops.push_back({EventKind::kCheckpoint, p, -1, kNoMsg, index});
+    ops.push_back(StreamEvent::checkpoint(p, index));
   }
 
-  std::vector<RecordedOp> ops;
+  std::vector<StreamEvent> ops;
 };
 
-std::vector<RecordedOp> record(const Trace& trace) {
+std::vector<StreamEvent> record(const Trace& trace) {
   Recorder recorder;
   replay(trace, ProtocolKind::kBhmr, {.online = &recorder});
   return recorder.ops;
@@ -88,18 +93,22 @@ struct StreamTimings {
 // warm and are extended incrementally (the intended live-query pattern);
 // targets walk the durable checkpoints as they appear.
 StreamTimings run_stream(int num_processes,
-                         const std::vector<RecordedOp>& ops) {
+                         const std::vector<StreamEvent>& ops) {
   StreamTimings t;
   t.events = ops.size();
   OnlineEngine engine(num_processes);
   std::vector<CkptIndex> durable(static_cast<std::size_t>(num_processes), 0);
   ProcessId target_p = 0;
 
-  const std::size_t chunk = (ops.size() + kChunks - 1) / kChunks;
+  // Chunk boundaries come from a BucketPlan so the remainder events land in
+  // the LAST chunk instead of dangling past a ceil-division grid (which
+  // used to leave the final chunk short while every rate still divided by a
+  // uniform events/kChunks).
+  const BucketPlan plan(ops.size(), kChunks);
   const auto start = Clock::now();
   auto chunk_start = start;
   for (std::size_t i = 0; i < ops.size(); ++i) {
-    const RecordedOp& op = ops[i];
+    const StreamEvent& op = ops[i];
     switch (op.kind) {
       case EventKind::kSend:
         engine.on_send(op.msg, op.p, op.q);
@@ -126,9 +135,9 @@ StreamTimings run_stream(int num_processes,
       const CkptId to{target_p, durable[static_cast<std::size_t>(target_p)]};
       t.zreach_hits += engine.zreach(from, to) ? 1 : 0;
     }
-    if ((i + 1) % chunk == 0 || i + 1 == ops.size()) {
+    if (plan.closes_bucket(i)) {
       const auto now = Clock::now();
-      t.chunk_wall[std::min<std::size_t>(i / chunk, kChunks - 1)] +=
+      t.chunk_wall[plan.bucket_of(i)] +=
           std::chrono::duration<double>(now - chunk_start).count();
       chunk_start = now;
     }
@@ -138,24 +147,124 @@ StreamTimings run_stream(int num_processes,
   return t;
 }
 
-double rate_over(const StreamTimings& t, int first_chunk, int num_chunks) {
-  const double per_chunk =
-      static_cast<double>(t.events) / static_cast<double>(kChunks);
+double rate_over(const StreamTimings& t, std::size_t first_chunk,
+                 std::size_t num_chunks) {
+  const BucketPlan plan(t.events, kChunks);
+  double events = 0.0;
   double wall = 0.0;
-  for (int c = first_chunk; c < first_chunk + num_chunks; ++c)
-    wall += t.chunk_wall[static_cast<std::size_t>(c)];
-  return wall > 0.0 ? per_chunk * num_chunks / wall : 0.0;
+  for (std::size_t c = first_chunk; c < first_chunk + num_chunks; ++c) {
+    events += static_cast<double>(plan.size_of(c));
+    wall += t.chunk_wall[c];
+  }
+  return wall > 0.0 ? events / wall : 0.0;
+}
+
+// Intake-only timing, one on_* call per event (the write-lock-per-event
+// baseline the batched path is gated against).
+double run_feed_single(OnlineEngine& engine,
+                       const std::vector<StreamEvent>& ops) {
+  const auto start = Clock::now();
+  for (const StreamEvent& op : ops) {
+    switch (op.kind) {
+      case EventKind::kSend:
+        engine.on_send(op.msg, op.p, op.q);
+        break;
+      case EventKind::kDeliver:
+        engine.on_deliver(op.msg, op.p, op.q);
+        break;
+      case EventKind::kInternal:
+        engine.on_internal(op.p);
+        break;
+      case EventKind::kCheckpoint:
+        engine.on_checkpoint(op.p, op.index);
+        break;
+    }
+  }
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Intake-only timing through feed(): one write-side acquisition per batch.
+double run_feed_batched(OnlineEngine& engine,
+                        const std::vector<StreamEvent>& ops,
+                        std::size_t batch) {
+  const std::span<const StreamEvent> all(ops);
+  const auto start = Clock::now();
+  for (std::size_t i = 0; i < all.size(); i += batch)
+    engine.feed(all.subspan(i, std::min(batch, all.size() - i)));
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// feed() must land the engine in exactly the state N single calls produce.
+bool same_end_state(const OnlineEngine& a, const OnlineEngine& b) {
+  if (a.events_consumed() != b.events_consumed()) return false;
+  if (a.is_rdt_so_far() != b.is_rdt_so_far()) return false;
+  if (a.stats() != b.stats()) return false;
+  for (ProcessId p = 0; p < a.num_processes(); ++p) {
+    if (a.current_interval(p) != b.current_interval(p)) return false;
+    if (a.live_tdv(p) != b.live_tdv(p)) return false;
+    if (a.live_clock(p) != b.live_clock(p)) return false;
+  }
+  const RecoveryOutcome ra = a.recovery_line();
+  const RecoveryOutcome rb = b.recovery_line();
+  return ra.line.indices == rb.line.indices &&
+         ra.total_rollback == rb.total_rollback;
+}
+
+struct ConcurrentTimings {
+  double feed_wall = 0.0;
+  long long queries = 0;
+  long long rdt_true = 0;  // keeps the query loops un-elidable
+};
+
+// One batched feeder racing two query threads over the seqlock read path —
+// the readers never take the feed lock, so the feeder's throughput should
+// stay near the uncontended batched rate.
+ConcurrentTimings run_concurrent(int num_processes,
+                                 const std::vector<StreamEvent>& ops,
+                                 std::size_t batch) {
+  OnlineEngine engine(num_processes);
+  ConcurrentTimings t;
+  std::atomic<bool> done{false};
+  std::atomic<long long> queries{0};
+  std::atomic<long long> rdt_true{0};
+
+  auto reader = [&](int lane) {
+    long long local_q = 0;
+    long long local_true = 0;
+    ProcessId p = static_cast<ProcessId>(lane % num_processes);
+    while (!done.load(std::memory_order_acquire)) {
+      local_true += engine.is_rdt_so_far() ? 1 : 0;
+      const OnlineStats s = engine.stats();
+      local_true += s.messages > 0 ? 1 : 0;
+      local_true += engine.live_tdv(p).back() > 0 ? 1 : 0;
+      p = static_cast<ProcessId>((p + 1) % num_processes);
+      local_q += 3;
+      if (local_q % 1024 == 0)
+        local_true += engine.recovery_line().total_rollback > 0 ? 1 : 0;
+    }
+    queries.fetch_add(local_q, std::memory_order_relaxed);
+    rdt_true.fetch_add(local_true, std::memory_order_relaxed);
+  };
+
+  std::thread r1(reader, 0), r2(reader, 1);
+  t.feed_wall = run_feed_batched(engine, ops, batch);
+  done.store(true, std::memory_order_release);
+  r1.join();
+  r2.join();
+  t.queries = queries.load(std::memory_order_relaxed);
+  t.rdt_true = rdt_true.load(std::memory_order_relaxed);
+  return t;
 }
 
 // The closed prefix ops[0..len) as the batch pipeline sees it: sends of
 // still-in-flight messages dropped, virtual finals added by build().
-Pattern closed_prefix(int num_processes, const std::vector<RecordedOp>& ops,
+Pattern closed_prefix(int num_processes, const std::vector<StreamEvent>& ops,
                       std::size_t len,
                       const std::vector<std::size_t>& deliver_pos) {
   PatternBuilder b(num_processes);
   std::vector<MsgId> remap(deliver_pos.size(), kNoMsg);
   for (std::size_t i = 0; i < len; ++i) {
-    const RecordedOp& op = ops[i];
+    const StreamEvent& op = ops[i];
     switch (op.kind) {
       case EventKind::kSend:
         if (deliver_pos[static_cast<std::size_t>(op.msg)] < len)
@@ -186,7 +295,7 @@ struct NaiveTimings {
 // (pattern rebuild + RdtAnalyses + RDT verdict + recovery line) at each
 // sampled prefix. Kept to a truncated stream and a handful of samples —
 // this is quadratic by construction.
-NaiveTimings run_naive(int num_processes, const std::vector<RecordedOp>& ops,
+NaiveTimings run_naive(int num_processes, const std::vector<StreamEvent>& ops,
                        std::size_t max_events, int samples) {
   NaiveTimings t;
   t.samples = samples;
@@ -220,15 +329,19 @@ int main(int argc, char** argv) {
   const BenchArgs args = parse_bench_args(argc, argv);
   BenchReport report("stream", args);
   const long long target = args.flag_or("--events", 1000000);
+  const std::size_t batch = static_cast<std::size_t>(
+      std::max(1, args.flag_or("--batch", 4096)));
 
   banner("stream throughput",
          "amortized per-event cost of the incremental online kernel");
   std::cout << "target ~" << target
             << " events/section; queries: rdt x1, recovery x1/64, "
-               "z-reach x1/256\n\n";
+               "z-reach x1/256; batch " << batch << "\n\n";
 
   Table table({"environment", "events", "ckpts", "wall s", "events/s",
                "flatness q4/q1", "growth10 d10/d1"});
+  Table feed_table({"environment", "feed ev/s", "batched ev/s", "speedup",
+                    "conc feed ev/s", "conc queries/s", "state match"});
 
   // Calibrate each environment to the event target by scaling its duration
   // knob linearly from a probe run at the preset size.
@@ -257,9 +370,10 @@ int main(int argc, char** argv) {
 
   double random_per_event = 0.0;
   int random_processes = 0;
-  std::vector<RecordedOp> random_ops;
+  std::vector<StreamEvent> random_ops;
+  bool all_states_match = true;
   for (const EnvPreset& env : env_presets()) {
-    const std::vector<RecordedOp> ops = scaled_ops(env);
+    const std::vector<StreamEvent> ops = scaled_ops(env);
     const int num_processes =
         env.name == "random"    ? random_env_preset().num_processes
         : env.name == "group"   ? group_env_preset().num_processes()
@@ -276,6 +390,32 @@ int main(int argc, char** argv) {
         .add(rate, 0)
         .add(q1 > 0 ? q4 / q1 : 0.0, 3)
         .add(d1 > 0 ? d10 / d1 : 0.0, 3);
+
+    // Intake-only single vs batched, plus the bit-identity cross-check.
+    OnlineEngine single(num_processes);
+    const double single_wall = run_feed_single(single, ops);
+    OnlineEngine batched(num_processes);
+    const double batched_wall = run_feed_batched(batched, ops, batch);
+    const bool match = same_end_state(single, batched);
+    all_states_match = all_states_match && match;
+    const double feed_rate =
+        single_wall > 0 ? static_cast<double>(ops.size()) / single_wall : 0.0;
+    const double batched_rate =
+        batched_wall > 0 ? static_cast<double>(ops.size()) / batched_wall : 0.0;
+    const ConcurrentTimings ct = run_concurrent(num_processes, ops, batch);
+    const double conc_feed_rate =
+        ct.feed_wall > 0 ? static_cast<double>(ops.size()) / ct.feed_wall : 0.0;
+    const double conc_query_rate =
+        ct.feed_wall > 0 ? static_cast<double>(ct.queries) / ct.feed_wall : 0.0;
+    feed_table.begin_row()
+        .add(env.name)
+        .add(feed_rate, 0)
+        .add(batched_rate, 0)
+        .add(feed_rate > 0 ? batched_rate / feed_rate : 0.0, 2)
+        .add(conc_feed_rate, 0)
+        .add(conc_query_rate, 0)
+        .add(match ? "ok" : "DIVERGED");
+
     report.add_metrics(
         env.name,
         JsonObject{{"events", static_cast<long long>(t.events)},
@@ -290,6 +430,14 @@ int main(int argc, char** argv) {
                    {"rate_d1", d1},
                    {"rate_d10", d10},
                    {"growth10_d10_over_d1", d1 > 0 ? d10 / d1 : 0.0},
+                   {"feed_events_per_sec", feed_rate},
+                   {"batched_events_per_sec", batched_rate},
+                   {"batched_speedup",
+                    feed_rate > 0 ? batched_rate / feed_rate : 0.0},
+                   {"batch_size", static_cast<long long>(batch)},
+                   {"batched_state_matches", match},
+                   {"concurrent_feed_events_per_sec", conc_feed_rate},
+                   {"concurrent_queries_per_sec", conc_query_rate},
                    {"rdt_true_checksum", t.rdt_true},
                    {"rollback_checksum", t.rollback_total},
                    {"zreach_hits", t.zreach_hits}});
@@ -300,6 +448,8 @@ int main(int argc, char** argv) {
     }
   }
   table.print(std::cout);
+  std::cout << '\n';
+  feed_table.print(std::cout);
 
   // Naive baseline: batch re-analysis per prefix, on a truncated stream.
   const NaiveTimings naive = run_naive(random_processes, random_ops,
@@ -327,5 +477,10 @@ int main(int argc, char** argv) {
                  {"speedup", speedup},
                  {"checksum", naive.checksum}});
   report.finish();
+  if (!all_states_match) {
+    std::cerr << "\nbench_stream: batched end state DIVERGED from the "
+                 "single-event end state\n";
+    return 1;
+  }
   return 0;
 }

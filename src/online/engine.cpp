@@ -2,33 +2,155 @@
 
 #include <algorithm>
 #include <limits>
+#include <thread>
 
 #include "obs/hooks.hpp"
 #include "util/check.hpp"
 
 namespace rdt {
 
+namespace {
+
+// Single-writer counter bump. The mirrors are atomic only so readers can
+// load them race-free; the feeder is the sole writer, so a relaxed
+// load/modify/store (not an RMW) is exact.
+template <typename T>
+inline void bump(std::atomic<T>& c, T d) {
+  c.store(c.load(std::memory_order_relaxed) + d, std::memory_order_relaxed);
+}
+
+}  // namespace
+
 OnlineEngine::OnlineEngine(int num_processes) : machine_(num_processes) {
   const auto n = static_cast<std::size_t>(num_processes);
   clocks_.assign(n, VectorClock(num_processes));
   state_.resize(n);
   node_ids_.resize(n);
+  tdv_pub_ = std::make_unique<std::atomic<CkptIndex>[]>(n * n);
+  clock_pub_ = std::make_unique<std::atomic<std::int64_t>[]>(n * n);
+  proc_pub_ = std::make_unique<PubProc[]>(n);
+  rc_.node_ids.resize(n);
+  rc_.durable_snap.assign(n, 0);
   for (ProcessId p = 0; p < num_processes; ++p) {
     auto& ps = state_[static_cast<std::size_t>(p)];
     ps.pending.assign(n, 0);
-    ps.last_node = reach_.add_node();  // the implicit initial C_{p,0}
-    node_ckpt_.push_back({p, 0});
+    ps.last_node = next_node_++;  // the implicit initial C_{p,0}
+    node_log_.push_back(CkptId{p, 0});
     node_ids_[static_cast<std::size_t>(p)].push_back(ps.last_node);
+    publish_tdv_row(p);  // own entry is already 1 (interval I_{p,1})
   }
 }
+
+template <typename Fn>
+auto OnlineEngine::read_stable(Fn&& fn) const -> decltype(fn()) {
+  for (int spins = 0;; ++spins) {
+    const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
+    if ((s1 & 1) == 0) {
+      auto out = fn();
+      seqlock_fence(std::memory_order_acquire);
+      if (seq_.load(std::memory_order_relaxed) == s1) return out;
+    }
+    // A long feed() batch keeps seq_ odd for its whole duration — back off
+    // instead of burning the feeder's core.
+    if (spins >= 32) std::this_thread::yield();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Feeder side: mirrors.
+
+void OnlineEngine::publish_tdv_row(ProcessId j) {
+  if (deferred_publish_) return;
+  const auto n = static_cast<std::size_t>(num_processes());
+  const Tdv& t = machine_.at(j);
+  std::atomic<CkptIndex>* row = tdv_pub_.get() + static_cast<std::size_t>(j) * n;
+  for (std::size_t i = 0; i < n; ++i)
+    row[i].store(t[i], std::memory_order_relaxed);
+}
+
+void OnlineEngine::publish_tdv_own(ProcessId j) {
+  if (deferred_publish_) return;
+  const auto n = static_cast<std::size_t>(num_processes());
+  const auto jj = static_cast<std::size_t>(j);
+  tdv_pub_[jj * n + jj].store(machine_.at(j)[jj], std::memory_order_relaxed);
+}
+
+void OnlineEngine::publish_clock_row(ProcessId j) {
+  if (deferred_publish_) return;
+  const auto n = static_cast<std::size_t>(num_processes());
+  const VectorClock& c = clocks_[static_cast<std::size_t>(j)];
+  std::atomic<std::int64_t>* row =
+      clock_pub_.get() + static_cast<std::size_t>(j) * n;
+  for (ProcessId i = 0; i < num_processes(); ++i)
+    row[static_cast<std::size_t>(i)].store(c.get(i), std::memory_order_relaxed);
+}
+
+void OnlineEngine::publish_clock_own(ProcessId j) {
+  if (deferred_publish_) return;
+  const auto n = static_cast<std::size_t>(num_processes());
+  const auto jj = static_cast<std::size_t>(j);
+  clock_pub_[jj * n + jj].store(clocks_[jj].get(j), std::memory_order_relaxed);
+}
+
+void OnlineEngine::publish_proc(ProcessId p) {
+  if (deferred_publish_) return;
+  const auto& ps = state_[static_cast<std::size_t>(p)];
+  PubProc& pub = proc_pub_[static_cast<std::size_t>(p)];
+  pub.durable.store(ps.durable, std::memory_order_relaxed);
+  pub.open_retained.store(ps.open_retained, std::memory_order_relaxed);
+}
+
+void OnlineEngine::publish_all() {
+  for (ProcessId p = 0; p < num_processes(); ++p) {
+    publish_tdv_row(p);
+    publish_clock_row(p);
+    publish_proc(p);
+  }
+}
+
+void OnlineEngine::audit_published_state() const {
+  if constexpr (!kAuditsEnabled) return;
+  const auto n = static_cast<std::size_t>(num_processes());
+  long long vio = 0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& ps = state_[j];
+    const Tdv& live = machine_.at(static_cast<ProcessId>(j));
+    int v = 0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (ps.pending[k] > live[k]) ++v;
+      RDT_AUDIT(tdv_pub_[j * n + k].load(std::memory_order_relaxed) == live[k],
+                "published TDV mirror diverged from the live TDV");
+      RDT_AUDIT(clock_pub_[j * n + k].load(std::memory_order_relaxed) ==
+                    clocks_[j].get(static_cast<ProcessId>(k)),
+                "published clock mirror diverged from the live clock");
+    }
+    RDT_AUDIT(v == ps.vio,
+              "per-process pending-vs-live census diverged from its counter");
+    vio += v;
+    RDT_AUDIT(proc_pub_[j].durable.load(std::memory_order_relaxed) ==
+                  ps.durable,
+              "published durable index diverged");
+    RDT_AUDIT(proc_pub_[j].open_retained.load(std::memory_order_relaxed) ==
+                  ps.open_retained,
+              "published open-interval event count diverged");
+  }
+  RDT_AUDIT(vio == live_vio_.load(std::memory_order_relaxed),
+            "live violation census diverged from its counter");
+}
+
+// ---------------------------------------------------------------------------
+// Feeder side: event bodies. Caller holds feed_mu_ inside a WriteTicket;
+// every RDT_REQUIRE fires before the first mutation of its event.
 
 void OnlineEngine::ensure_frontier(ProcessId p) {
   auto& ps = state_[static_cast<std::size_t>(p)];
   if (ps.frontier != -1) return;
-  ps.frontier = reach_.add_node();
-  node_ckpt_.push_back({p, ps.durable + 1});
-  reach_.add_edge(ps.last_node, ps.frontier, /*message=*/false);
-  recovery_dirty_ = true;
+  ps.frontier = next_node_++;
+  node_log_.push_back(CkptId{p, ps.durable + 1});
+  // The process edge C_{p,durable} -> C_{p,durable+1}.
+  edge_log_.push_back(EdgeRec{static_cast<std::uint32_t>(ps.last_node),
+                              static_cast<std::uint32_t>(ps.frontier) << 1});
+  bump(recovery_epoch_, std::uint64_t{1});
 }
 
 int OnlineEngine::node_of(const CkptId& c) const {
@@ -50,26 +172,47 @@ void OnlineEngine::evaluate_mm(const CkptId& target, ProcessId k,
   auto& pj = state_[static_cast<std::size_t>(j)];
   if (k == j) {
     // Same-process trackability is positional and never changes.
-    if (si > target.index) ++permanent_;
+    if (si > target.index) bump(permanent_, 1LL);
     return;
   }
   if (target.index <= pj.durable) {
     // Frozen target: the saved TDV is the final word.
     if (pj.saved[static_cast<std::size_t>(target.index - 1)]
                 [static_cast<std::size_t>(k)] < si)
-      ++permanent_;
+      bump(permanent_, 1LL);
     return;
   }
   // Open target: the live TDV can only grow, so once it covers the start
   // the junction is doubled forever; otherwise it stays pending until the
   // next checkpoint of P_j freezes the interval.
-  if (machine_.at(j)[static_cast<std::size_t>(k)] >= si) return;
+  const Tdv& live = machine_.at(j);
+  if (live[static_cast<std::size_t>(k)] >= si) return;
   CkptIndex& slot = pj.pending[static_cast<std::size_t>(k)];
+  const bool was_vio = slot > live[static_cast<std::size_t>(k)];
   slot = std::max(slot, si);
+  if (!was_vio) {
+    // The slot now exceeds the live entry (si does), so the census grows.
+    ++pj.vio;
+    bump(live_vio_, 1LL);
+  }
 }
 
-void OnlineEngine::on_send(MsgId m, ProcessId sender, ProcessId receiver) {
-  const std::lock_guard<std::mutex> lock(mu_);
+void OnlineEngine::refresh_vio(ProcessId j) {
+  auto& pj = state_[static_cast<std::size_t>(j)];
+  // Only a grown live TDV can change the census here, and growth can only
+  // cover violations — with none outstanding there is nothing to recount.
+  if (pj.vio == 0) return;
+  const Tdv& live = machine_.at(j);
+  int v = 0;
+  for (std::size_t k = 0; k < pj.pending.size(); ++k)
+    if (pj.pending[k] > live[k]) ++v;
+  if (v != pj.vio) {
+    bump(live_vio_, static_cast<long long>(v - pj.vio));
+    pj.vio = v;
+  }
+}
+
+void OnlineEngine::do_send(MsgId m, ProcessId sender, ProcessId receiver) {
   RDT_REQUIRE(sender >= 0 && sender < num_processes() && receiver >= 0 &&
                   receiver < num_processes() && sender != receiver,
               "invalid send endpoints");
@@ -78,23 +221,31 @@ void OnlineEngine::on_send(MsgId m, ProcessId sender, ProcessId receiver) {
   ensure_frontier(sender);
   auto& ps = state_[static_cast<std::size_t>(sender)];
   clocks_[static_cast<std::size_t>(sender)].tick(sender);
+  publish_clock_own(sender);
 
   MessageState ms;
   ms.sender = sender;
   ms.receiver = receiver;
   ms.send_interval = ps.durable + 1;
   ms.deliveries_at_sender = ps.deliveries;
+  if (!tdv_pool_.empty()) {
+    ms.tdv = std::move(tdv_pool_.back());
+    tdv_pool_.pop_back();
+  }
   machine_.send(sender, ms.tdv);
+  if (!clock_pool_.empty()) {
+    ms.clock = std::move(clock_pool_.back());
+    clock_pool_.pop_back();
+  }
   ms.clock = clocks_[static_cast<std::size_t>(sender)];
   ps.interval_sends.push_back(m);
   msgs_.push_back(std::move(ms));
 
-  ++events_consumed_;
-  ++sends_observed_;
+  bump(events_consumed_, 1LL);
+  bump(sends_observed_, 1LL);
 }
 
-void OnlineEngine::on_deliver(MsgId m, ProcessId sender, ProcessId receiver) {
-  const std::lock_guard<std::mutex> lock(mu_);
+void OnlineEngine::do_deliver(MsgId m, ProcessId sender, ProcessId receiver) {
   RDT_REQUIRE(m >= 0 && m < static_cast<MsgId>(msgs_.size()),
               "unknown message id");
   MessageState& ms = msgs_[static_cast<std::size_t>(m)];
@@ -107,21 +258,30 @@ void OnlineEngine::on_deliver(MsgId m, ProcessId sender, ProcessId receiver) {
   ms.delivered = true;
   ms.deliver_interval = pr.durable + 1;
   // The R-graph message edge C_{sender,send_interval} -> C_{receiver,open}.
-  reach_.add_edge(node_of({sender, ms.send_interval}), pr.frontier,
-                  /*message=*/true);
-  recovery_dirty_ = true;
+  edge_log_.push_back(EdgeRec{
+      static_cast<std::uint32_t>(node_of({sender, ms.send_interval})),
+      (static_cast<std::uint32_t>(pr.frontier) << 1) | 1u});
+  bump(recovery_epoch_, std::uint64_t{1});
 
   clocks_[static_cast<std::size_t>(receiver)].tick(receiver);
   clocks_[static_cast<std::size_t>(receiver)].merge(ms.clock);
+  publish_clock_row(receiver);
   machine_.deliver(receiver, ms.tdv);
+  publish_tdv_row(receiver);
+  // The merge may have covered pending starts; recount the receiver.
+  refresh_vio(receiver);
 
   // The delivery joins the closed prefix and retains its matching send.
-  ++delivered_;
-  retained_total_ += 2;
+  bump(delivered_, 1);
+  bump(retained_total_, 2);
   ++pr.open_retained;
-  if (ms.send_interval == state_[static_cast<std::size_t>(sender)].durable + 1)
-    ++state_[static_cast<std::size_t>(sender)].open_retained;
-  causal_junctions_ += ms.deliveries_at_sender;
+  publish_proc(receiver);
+  auto& psender = state_[static_cast<std::size_t>(sender)];
+  if (ms.send_interval == psender.durable + 1) {
+    ++psender.open_retained;
+    publish_proc(sender);
+  }
+  bump(causal_junctions_, ms.deliveries_at_sender);
 
   // Non-causal junctions with m as the *incoming* message: every send of
   // the receiver earlier in this same interval. A junction only exists in
@@ -130,7 +290,7 @@ void OnlineEngine::on_deliver(MsgId m, ProcessId sender, ProcessId receiver) {
   for (const MsgId out : pr.interval_sends) {
     MessageState& mo = msgs_[static_cast<std::size_t>(out)];
     if (mo.delivered) {
-      ++noncausal_junctions_;
+      bump(noncausal_junctions_, 1LL);
       evaluate_mm({mo.receiver, mo.deliver_interval}, ms.sender,
                   ms.send_interval);
     } else {
@@ -140,34 +300,36 @@ void OnlineEngine::on_deliver(MsgId m, ProcessId sender, ProcessId receiver) {
   // Junctions with m as the *outgoing* message, discovered while it was in
   // flight: they materialize now, targeting the receiver's open interval.
   for (const auto& [k, si] : ms.deferred) {
-    ++noncausal_junctions_;
+    bump(noncausal_junctions_, 1LL);
     evaluate_mm({receiver, pr.durable + 1}, k, si);
   }
   ms.deferred.clear();
   ms.deferred.shrink_to_fit();
   ++pr.deliveries;
 
-  // The piggyback snapshots are spent.
-  Tdv().swap(ms.tdv);
+  // The piggyback snapshots are spent; recycle their buffers for later sends.
+  tdv_pool_.push_back(std::move(ms.tdv));
+  ms.tdv = Tdv();
+  clock_pool_.push_back(std::move(ms.clock));
   ms.clock = VectorClock();
 
-  ++events_consumed_;
+  bump(events_consumed_, 1LL);
 }
 
-void OnlineEngine::on_internal(ProcessId p) {
-  const std::lock_guard<std::mutex> lock(mu_);
+void OnlineEngine::do_internal(ProcessId p) {
   RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
   ensure_frontier(p);
   auto& ps = state_[static_cast<std::size_t>(p)];
   clocks_[static_cast<std::size_t>(p)].tick(p);
+  publish_clock_own(p);
   ++ps.open_retained;
-  ++retained_total_;
-  ++events_consumed_;
-  ++internals_observed_;
+  publish_proc(p);
+  bump(retained_total_, 1);
+  bump(events_consumed_, 1LL);
+  bump(internals_observed_, 1LL);
 }
 
-void OnlineEngine::on_checkpoint(ProcessId p, CkptIndex index) {
-  const std::lock_guard<std::mutex> lock(mu_);
+void OnlineEngine::do_checkpoint(ProcessId p, CkptIndex index) {
   RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
   auto& ps = state_[static_cast<std::size_t>(p)];
   RDT_REQUIRE(index == ps.durable + 1,
@@ -175,13 +337,23 @@ void OnlineEngine::on_checkpoint(ProcessId p, CkptIndex index) {
   ensure_frontier(p);
 
   // Freeze the open interval: its TDV becomes the saved vector of C_{p,x},
-  // which settles every junction that was pending against it.
+  // which settles every junction that was pending against it. The saved
+  // vector IS the live one before the own-entry bump, so the number of
+  // settled violations is exactly the process's live census.
   machine_.checkpoint(p, ps.saved.emplace_back());
+  publish_tdv_own(p);
   const Tdv& saved = ps.saved.back();
+  long long settled = 0;
   for (std::size_t k = 0; k < ps.pending.size(); ++k) {
-    if (ps.pending[k] > saved[k]) ++permanent_;
+    if (ps.pending[k] > saved[k]) ++settled;
     ps.pending[k] = 0;
   }
+  RDT_ASSERT(settled == ps.vio);
+  if (settled > 0) {
+    bump(permanent_, settled);
+    bump(live_vio_, -settled);
+  }
+  ps.vio = 0;
 
   ++ps.durable;
   node_ids_[static_cast<std::size_t>(p)].push_back(ps.frontier);
@@ -190,69 +362,250 @@ void OnlineEngine::on_checkpoint(ProcessId p, CkptIndex index) {
   ps.interval_sends.clear();
   ps.open_retained = 0;
   clocks_[static_cast<std::size_t>(p)].tick(p);
+  publish_clock_own(p);
+  publish_proc(p);
 
-  ++retained_total_;
-  recovery_dirty_ = true;
-  ++events_consumed_;
-  ++checkpoints_observed_;
+  bump(retained_total_, 1);
+  bump(recovery_epoch_, std::uint64_t{1});
+  bump(events_consumed_, 1LL);
+  bump(checkpoints_observed_, 1LL);
 }
 
+void OnlineEngine::do_event(const StreamEvent& e) {
+  switch (e.kind) {
+    case EventKind::kSend:
+      do_send(e.msg, e.p, e.q);
+      return;
+    case EventKind::kDeliver:
+      do_deliver(e.msg, e.p, e.q);
+      return;
+    case EventKind::kInternal:
+      do_internal(e.p);
+      return;
+    case EventKind::kCheckpoint:
+      do_checkpoint(e.p, e.index);
+      return;
+  }
+  RDT_REQUIRE(false, "unknown stream event kind");
+}
+
+// ---------------------------------------------------------------------------
+// Intake entry points.
+
+void OnlineEngine::on_send(MsgId m, ProcessId sender, ProcessId receiver) {
+  const std::lock_guard<std::mutex> lock(feed_mu_);
+  const WriteTicket ticket(seq_);
+  do_send(m, sender, receiver);
+  audit_published_state();
+}
+
+void OnlineEngine::on_deliver(MsgId m, ProcessId sender, ProcessId receiver) {
+  const std::lock_guard<std::mutex> lock(feed_mu_);
+  const WriteTicket ticket(seq_);
+  do_deliver(m, sender, receiver);
+  audit_published_state();
+}
+
+void OnlineEngine::on_internal(ProcessId p) {
+  const std::lock_guard<std::mutex> lock(feed_mu_);
+  const WriteTicket ticket(seq_);
+  do_internal(p);
+  audit_published_state();
+}
+
+void OnlineEngine::on_checkpoint(ProcessId p, CkptIndex index) {
+  const std::lock_guard<std::mutex> lock(feed_mu_);
+  const WriteTicket ticket(seq_);
+  do_checkpoint(p, index);
+  audit_published_state();
+}
+
+void OnlineEngine::feed(std::span<const StreamEvent> events) {
+  const std::lock_guard<std::mutex> lock(feed_mu_);
+  if (events.empty()) return;
+  // Amortize the message-table growth across the batch — but keep the
+  // geometric growth policy: a bare reserve(size + sends) would reallocate
+  // to the exact request on every batch and make long streams quadratic.
+  std::size_t sends = 0;
+  for (const StreamEvent& e : events)
+    if (e.kind == EventKind::kSend) ++sends;
+  if (msgs_.size() + sends > msgs_.capacity())
+    msgs_.reserve(std::max(msgs_.size() + sends, msgs_.capacity() * 2));
+  const WriteTicket ticket(seq_);
+  // No reader can observe the mirrors while the ticket holds seq_ odd, so
+  // publish once at commit instead of per event. A precondition failure
+  // still republishes before the ticket closes — the contract is that
+  // event k failing leaves exactly events [0, k) applied AND visible.
+  deferred_publish_ = true;
+  try {
+    for (const StreamEvent& e : events) do_event(e);
+  } catch (...) {
+    deferred_publish_ = false;
+    publish_all();
+    throw;
+  }
+  deferred_publish_ = false;
+  publish_all();
+  audit_published_state();
+}
+
+// ---------------------------------------------------------------------------
+// Wait-free-ish queries: seqlock snapshots of the mirrors.
+
 long long OnlineEngine::events_consumed() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return events_consumed_;
+  return events_consumed_.load(std::memory_order_relaxed);
 }
 
 CkptIndex OnlineEngine::current_interval(ProcessId p) const {
-  const std::lock_guard<std::mutex> lock(mu_);
   RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
-  return state_[static_cast<std::size_t>(p)].durable + 1;
+  return proc_pub_[static_cast<std::size_t>(p)].durable.load(
+             std::memory_order_relaxed) +
+         1;
 }
 
 Tdv OnlineEngine::live_tdv(ProcessId p) const {
-  const std::lock_guard<std::mutex> lock(mu_);
   RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
-  return machine_.at(p);
+  const auto n = static_cast<std::size_t>(num_processes());
+  const std::atomic<CkptIndex>* row =
+      tdv_pub_.get() + static_cast<std::size_t>(p) * n;
+  return read_stable([&] {
+    Tdv t(n);
+    for (std::size_t i = 0; i < n; ++i)
+      t[i] = row[i].load(std::memory_order_relaxed);
+    return t;
+  });
 }
 
 VectorClock OnlineEngine::live_clock(ProcessId p) const {
-  const std::lock_guard<std::mutex> lock(mu_);
   RDT_REQUIRE(p >= 0 && p < num_processes(), "process id out of range");
-  return clocks_[static_cast<std::size_t>(p)];
+  const auto n = static_cast<std::size_t>(num_processes());
+  const std::atomic<std::int64_t>* row =
+      clock_pub_.get() + static_cast<std::size_t>(p) * n;
+  return read_stable([&] {
+    VectorClock c(num_processes());
+    for (ProcessId i = 0; i < num_processes(); ++i)
+      c.set(i, row[static_cast<std::size_t>(i)].load(std::memory_order_relaxed));
+    return c;
+  });
 }
 
 bool OnlineEngine::is_rdt_so_far() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (permanent_ > 0) return false;
-  // Pending junctions target still-open intervals; they are violations of
-  // the current prefix exactly while the live TDV has not caught up.
-  for (ProcessId j = 0; j < num_processes(); ++j) {
-    const auto& pj = state_[static_cast<std::size_t>(j)];
-    const Tdv& live = machine_.at(j);
-    for (std::size_t k = 0; k < pj.pending.size(); ++k)
-      if (pj.pending[k] > live[k]) return false;
+  // Both counters must come from one quiescent window: a checkpoint settles
+  // pending violations by moving them between the two.
+  return read_stable([&] {
+    return permanent_.load(std::memory_order_relaxed) == 0 &&
+           live_vio_.load(std::memory_order_relaxed) == 0;
+  });
+}
+
+OnlineStats OnlineEngine::stats() const {
+  const auto n = static_cast<std::size_t>(num_processes());
+  return read_stable([&] {
+    OnlineStats s;
+    s.processes = num_processes();
+    s.messages = delivered_.load(std::memory_order_relaxed);
+    s.causal_junctions = causal_junctions_.load(std::memory_order_relaxed);
+    s.noncausal_junctions =
+        noncausal_junctions_.load(std::memory_order_relaxed);
+    int virtuals = 0;
+    int durable_ckpts = 0;
+    for (std::size_t p = 0; p < n; ++p) {
+      if (proc_pub_[p].open_retained.load(std::memory_order_relaxed) > 0)
+        ++virtuals;  // build() would close this interval
+      durable_ckpts +=
+          proc_pub_[p].durable.load(std::memory_order_relaxed) + 1;
+    }
+    s.virtual_finals = virtuals;
+    s.events = retained_total_.load(std::memory_order_relaxed) + virtuals;
+    s.checkpoints = durable_ckpts + virtuals;
+    return s;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Heavy queries: reader-side cache under rc_.mu.
+
+void OnlineEngine::catch_up_reader(std::size_t nodes,
+                                   std::size_t edges) const {
+  for (; rc_.nodes_consumed < nodes; ++rc_.nodes_consumed) {
+    const CkptId c = node_log_[rc_.nodes_consumed];
+    const int id = rc_.reach.add_node();
+    rc_.node_ckpt.push_back(c);
+    auto& ids = rc_.node_ids[static_cast<std::size_t>(c.process)];
+    // Per-process node indexes appear consecutively in the log (C_{p,0},
+    // then each successive frontier), so the id table needs no gaps.
+    RDT_ASSERT(static_cast<std::size_t>(c.index) == ids.size());
+    ids.push_back(id);
   }
-  return true;
+  for (; rc_.edges_consumed < edges; ++rc_.edges_consumed) {
+    const EdgeRec e = edge_log_[rc_.edges_consumed];
+    rc_.reach.add_edge(static_cast<int>(e.from),
+                       static_cast<int>(e.enc >> 1), (e.enc & 1u) != 0);
+  }
+}
+
+int OnlineEngine::reader_node_of(const CkptId& c) const {
+  RDT_REQUIRE(c.process >= 0 && c.process < num_processes(),
+              "process id out of range");
+  const auto& ids = rc_.node_ids[static_cast<std::size_t>(c.process)];
+  RDT_REQUIRE(c.index >= 0 && static_cast<std::size_t>(c.index) < ids.size(),
+              "checkpoint not (yet) known to the engine");
+  return ids[static_cast<std::size_t>(c.index)];
+}
+
+bool OnlineEngine::zreach(const CkptId& from, const CkptId& to) const {
+  const std::lock_guard<std::mutex> lock(rc_.mu);
+  struct Counts {
+    std::size_t nodes, edges;
+  };
+  // Only the log counts need the seqlock; the entries below them are
+  // immutable and already published by the logs' own release stores.
+  const Counts c = read_stable([&] {
+    return Counts{node_log_.size_published(), edge_log_.size_published()};
+  });
+  catch_up_reader(c.nodes, c.edges);
+  return rc_.reach.msg_reach(reader_node_of(from), reader_node_of(to));
 }
 
 RecoveryOutcome OnlineEngine::recovery_line() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  if (!recovery_dirty_) return recovery_cache_;
+  const std::lock_guard<std::mutex> lock(rc_.mu);
+  const auto n = static_cast<std::size_t>(num_processes());
+  struct Snap {
+    std::uint64_t epoch = 0;
+    std::size_t nodes = 0, edges = 0;
+  };
+  const Snap snap = read_stable([&] {
+    Snap s;
+    s.epoch = recovery_epoch_.load(std::memory_order_relaxed);
+    s.nodes = node_log_.size_published();
+    s.edges = edge_log_.size_published();
+    for (std::size_t p = 0; p < n; ++p)
+      rc_.durable_snap[p] =
+          proc_pub_[p].durable.load(std::memory_order_relaxed);
+    return s;
+  });
+  if (rc_.recovery_memo_valid && rc_.recovery_memo_epoch == snap.epoch)
+    return rc_.recovery_memo;
+  catch_up_reader(snap.nodes, snap.edges);
   RDT_TRACE_SPAN("online", "recovery_sweep");
 
   // Wang's rollback propagation from the frontier seeds: restarting P_i at
   // its last durable checkpoint invalidates everything R-reachable from
-  // C_{i,durable+1} (when that interval has opened).
-  const auto n = static_cast<std::size_t>(num_processes());
+  // C_{i,durable+1} (when that interval has opened — visible to the reader
+  // as one node beyond the durable index).
   std::vector<int> seeds;
-  for (const ProcessState& ps : state_)
-    if (ps.frontier != -1) seeds.push_back(ps.frontier);
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto& ids = rc_.node_ids[p];
+    if (ids.size() == static_cast<std::size_t>(rc_.durable_snap[p]) + 2)
+      seeds.push_back(ids.back());
+  }
 
   std::vector<CkptIndex> min_invalid(n, std::numeric_limits<CkptIndex>::max());
   propagate_rollback(
-      rollback_scratch_, reach_.num_nodes(), seeds,
-      [&](int u, auto&& emit) { reach_.for_each_successor(u, emit); },
+      rc_.scratch, rc_.reach.num_nodes(), seeds,
+      [&](int u, auto&& emit) { rc_.reach.for_each_successor(u, emit); },
       [&](int u) {
-        const CkptId c = node_ckpt_[static_cast<std::size_t>(u)];
+        const CkptId c = rc_.node_ckpt[static_cast<std::size_t>(u)];
         CkptIndex& m = min_invalid[static_cast<std::size_t>(c.process)];
         m = std::min(m, c.index);
       });
@@ -262,7 +615,7 @@ RecoveryOutcome OnlineEngine::recovery_line() const {
   out.rollback_intervals.resize(n);
   for (ProcessId i = 0; i < num_processes(); ++i) {
     const auto idx = static_cast<std::size_t>(i);
-    const CkptIndex upper = state_[idx].durable;
+    const CkptIndex upper = rc_.durable_snap[idx];
     const CkptIndex line =
         min_invalid[idx] <= upper ? min_invalid[idx] - 1 : upper;
     RDT_ASSERT(line >= 0);  // C_{i,0} can never be invalidated
@@ -276,50 +629,38 @@ RecoveryOutcome OnlineEngine::recovery_line() const {
                    static_cast<double>(lost) / static_cast<double>(upper));
   }
 
-  recovery_cache_ = out;
-  recovery_dirty_ = false;
-  ++recovery_sweeps_;
-  return recovery_cache_;
-}
-
-bool OnlineEngine::zreach(const CkptId& from, const CkptId& to) const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  return reach_.msg_reach(node_of(from), node_of(to));
-}
-
-OnlineStats OnlineEngine::stats() const {
-  const std::lock_guard<std::mutex> lock(mu_);
-  OnlineStats s;
-  s.processes = num_processes();
-  s.messages = delivered_;
-  s.causal_junctions = causal_junctions_;
-  s.noncausal_junctions = noncausal_junctions_;
-  int virtuals = 0;
-  int durable_ckpts = 0;
-  for (const ProcessState& ps : state_) {
-    if (ps.open_retained > 0) ++virtuals;  // build() would close this interval
-    durable_ckpts += ps.durable + 1;       // + the initial checkpoint
-  }
-  s.virtual_finals = virtuals;
-  s.events = retained_total_ + virtuals;
-  s.checkpoints = durable_ckpts + virtuals;
-  return s;
+  rc_.recovery_memo = out;
+  rc_.recovery_memo_epoch = snap.epoch;
+  rc_.recovery_memo_valid = true;
+  ++rc_.recovery_sweeps;
+  return rc_.recovery_memo;
 }
 
 void OnlineEngine::flush_metrics() const {
   if constexpr (!obs::kObsEnabled) return;
-  const std::lock_guard<std::mutex> lock(mu_);
   obs::ObsSession* session = obs::ObsSession::current();
   if (session == nullptr) return;
   obs::MetricsRegistry& m = session->metrics();
-  m.add(m.counter("online.events"), events_consumed_);
-  m.add(m.counter("online.events.send"), sends_observed_);
-  m.add(m.counter("online.events.deliver"), delivered_);
-  m.add(m.counter("online.events.internal"), internals_observed_);
-  m.add(m.counter("online.events.checkpoint"), checkpoints_observed_);
-  m.add(m.counter("online.junctions.causal"), causal_junctions_);
-  m.add(m.counter("online.junctions.noncausal"), noncausal_junctions_);
-  m.add(m.counter("online.recovery.sweeps"), recovery_sweeps_);
+  m.add(m.counter("online.events"),
+        events_consumed_.load(std::memory_order_relaxed));
+  m.add(m.counter("online.events.send"),
+        sends_observed_.load(std::memory_order_relaxed));
+  m.add(m.counter("online.events.deliver"),
+        delivered_.load(std::memory_order_relaxed));
+  m.add(m.counter("online.events.internal"),
+        internals_observed_.load(std::memory_order_relaxed));
+  m.add(m.counter("online.events.checkpoint"),
+        checkpoints_observed_.load(std::memory_order_relaxed));
+  m.add(m.counter("online.junctions.causal"),
+        causal_junctions_.load(std::memory_order_relaxed));
+  m.add(m.counter("online.junctions.noncausal"),
+        noncausal_junctions_.load(std::memory_order_relaxed));
+  long long sweeps = 0;
+  {
+    const std::lock_guard<std::mutex> lock(rc_.mu);
+    sweeps = rc_.recovery_sweeps;
+  }
+  m.add(m.counter("online.recovery.sweeps"), sweeps);
 }
 
 }  // namespace rdt

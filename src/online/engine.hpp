@@ -28,8 +28,9 @@
 //                protocol's piggyback.
 //   * R-graph  — nodes are created lazily: C_{p,0} up front, then the
 //                *frontier* node C_{p,durable+1} on the first event of each
-//                open interval; IncrementalReach (rgraph/incremental.hpp)
-//                extends both closure planes edge by edge.
+//                open interval; nodes and edges go into append-only
+//                published logs that reader threads replay into their own
+//                IncrementalReach (rgraph/incremental.hpp).
 //   * RDT      — Wang's MM characterization (the minimal one: every
 //                two-message chain across a non-causal junction must be
 //                doubled), evaluated per junction at the moment both
@@ -37,27 +38,51 @@
 //                checkpoints are permanent (the engine keeps the saved-TDV
 //                history, because a junction can be discovered after its
 //                target froze); verdicts against the still-open interval
-//                stay *pending* and are re-read off the live TDV until the
-//                next checkpoint freezes them.
+//                stay *pending*, and the engine maintains the count of
+//                pending starts the live TDV has not yet covered, so the
+//                RDT verdict is two counter reads.
 //   * Recovery — one propagate_rollback() sweep (recovery/rollback.hpp)
-//                from the frontier seeds, memoized until the next event.
+//                on the reader-side graph, memoized per graph epoch.
 //
 // Amortized cost is O(1) per event in history length: every closure row
 // consumes every edge once, junction work is per junction, and all other
 // per-event work is O(n) in the process count only. bench/bench_stream.cpp
 // measures this (flat events/sec over 10x trace growth).
 //
-// Thread-safety: every public method takes one internal mutex, so any
-// number of reader threads may query while one feeder streams events
-// (queries mutate lazy caches, hence the lock even on const methods).
+// Thread-safety: ONE feeder thread, any number of reader threads, and the
+// readers never block the feeder.
+//   * The feeder (on_* / feed) serializes on a private feed mutex and
+//     publishes every reader-visible value either as a relaxed atomic
+//     mirror or through an append-only PublishedLog, bracketing each
+//     event batch with a seqlock version counter (odd = mutation in
+//     flight).
+//   * `const` queries are retry-safe: they snapshot the mirrors under the
+//     seqlock (retrying if a mutation raced), so they take no lock the
+//     feeder could ever contend on. is_rdt_so_far/stats/live_tdv/
+//     live_clock are wait-free apart from that retry;
+//     events_consumed/current_interval are single atomic loads.
+//   * The heavy queries (recovery_line, zreach) serialize on a separate
+//     reader-side mutex guarding a lazily caught-up closure cache and the
+//     memoized rollback sweep; they snapshot only O(n) counters under the
+//     seqlock and then compute on immutable log prefixes, so the feeder is
+//     again never blocked — a query observes the engine as of its snapshot.
+//   * A query overlapping a feed() batch retries until the batch commits;
+//     batches bound the retry window, so prefer moderate batch sizes when
+//     readers poll latency-sensitively.
 //
 // Feeding: implement-by-subscription — the engine IS a PatternListener.
 // Attach it to a PatternBuilder (set_listener), to a replay
-// (ReplayOptions::online) or a DES run (SimConfig::online), or call the
-// on_* methods directly.
+// (ReplayOptions::online) or a DES run (SimConfig::online), call the on_*
+// methods directly, or hand whole batches to feed() — one write-side
+// acquisition per batch, bit-identical to the same events fed one at a
+// time.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <memory>
 #include <mutex>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -67,8 +92,27 @@
 #include "recovery/recovery_line.hpp"
 #include "recovery/rollback.hpp"
 #include "rgraph/incremental.hpp"
+#include "util/published_log.hpp"
 
 namespace rdt {
+
+// TSan cannot instrument std::atomic_thread_fence (GCC's -Wtsan rejects it
+// under -Werror). Every value the engine's seqlock guards is itself a
+// std::atomic, so sanitizer builds drop the fences: TSan still proves every
+// shared access atomic, while regular builds keep the fences that order the
+// relaxed mirror traffic against the version counter.
+#if defined(__SANITIZE_THREAD__)
+#define RDT_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define RDT_TSAN_BUILD 1
+#endif
+#endif
+inline void seqlock_fence([[maybe_unused]] std::memory_order order) noexcept {
+#if !defined(RDT_TSAN_BUILD)
+  std::atomic_thread_fence(order);
+#endif
+}
 
 // Live counts over the closed prefix (the fields shared with PatternStats,
 // which they must equal at every prefix).
@@ -84,6 +128,32 @@ struct OnlineStats {
   friend bool operator==(const OnlineStats&, const OnlineStats&) = default;
 };
 
+// One stream event for batched ingest. ccp's Event describes a finished
+// pattern slot (no process endpoints), so the batch API carries the same
+// arguments the PatternListener callbacks take.
+struct StreamEvent {
+  EventKind kind = EventKind::kInternal;
+  ProcessId p = -1;      // acting process (the sender for send/deliver)
+  ProcessId q = -1;      // receiver for send/deliver
+  MsgId msg = kNoMsg;
+  CkptIndex index = -1;  // checkpoint index for kCheckpoint
+
+  static StreamEvent send(MsgId m, ProcessId sender, ProcessId receiver) {
+    return {EventKind::kSend, sender, receiver, m, -1};
+  }
+  static StreamEvent deliver(MsgId m, ProcessId sender, ProcessId receiver) {
+    return {EventKind::kDeliver, sender, receiver, m, -1};
+  }
+  static StreamEvent internal(ProcessId p) {
+    return {EventKind::kInternal, p, -1, kNoMsg, -1};
+  }
+  static StreamEvent checkpoint(ProcessId p, CkptIndex index) {
+    return {EventKind::kCheckpoint, p, -1, kNoMsg, index};
+  }
+
+  friend bool operator==(const StreamEvent&, const StreamEvent&) = default;
+};
+
 class OnlineEngine final : public PatternListener {
  public:
   explicit OnlineEngine(int num_processes);
@@ -93,6 +163,12 @@ class OnlineEngine final : public PatternListener {
   void on_deliver(MsgId m, ProcessId sender, ProcessId receiver) override;
   void on_internal(ProcessId p) override;
   void on_checkpoint(ProcessId p, CkptIndex index) override;
+
+  // Batched intake: one write-side acquisition for the whole span, with the
+  // message table reserved up front. Bit-identical to calling the on_*
+  // methods once per event in order (a precondition failure at event k
+  // leaves exactly events [0, k) applied, like k failing single calls).
+  void feed(std::span<const StreamEvent> events);
 
   // --- live queries ---------------------------------------------------------
   int num_processes() const { return machine_.num_processes(); }
@@ -124,16 +200,20 @@ class OnlineEngine final : public PatternListener {
   void flush_metrics() const;
 
  private:
+  // ----- feeder-private state (guarded by feed_mu_) ------------------------
   struct ProcessState {
     CkptIndex durable = 0;  // highest frozen checkpoint index
     int last_node = -1;     // engine node of C_{p,durable}
     int frontier = -1;      // engine node of C_{p,durable+1}, -1 until opened
     long long deliveries = 0;  // deliveries at p so far (causal junctions)
     int open_retained = 0;  // retained non-ckpt events in the open interval
+    // Count of pending[] entries the live TDV has not covered yet — the
+    // process's contribution to live_vio_.
+    int vio = 0;
     std::vector<MsgId> interval_sends;  // sends in the open interval
     // pending[k] = highest start index si of an unresolved MM junction from
-    // P_k whose target is the open interval (0 = none). Re-read off the
-    // live TDV by is_rdt_so_far(); settled at the next checkpoint.
+    // P_k whose target is the open interval (0 = none). Settled at the next
+    // checkpoint; its covered/uncovered census lives in `vio`.
     std::vector<CkptIndex> pending;
     // saved[x-1] = TDV frozen at C_{p,x} — kept forever, because a junction
     // targeting C_{p,x} can be discovered arbitrarily late.
@@ -154,41 +234,137 @@ class OnlineEngine final : public PatternListener {
     std::vector<std::pair<ProcessId, CkptIndex>> deferred;
   };
 
+  // R-graph edge as logged for readers: tail node and (head << 1) | message.
+  struct EdgeRec {
+    std::uint32_t from = 0;
+    std::uint32_t enc = 0;
+  };
+
+  // Per-process atomic mirrors of the feeder fields queries read.
+  struct PubProc {
+    std::atomic<CkptIndex> durable{0};
+    std::atomic<int> open_retained{0};
+  };
+
+  // Seqlock write bracket (Boehm's fence recipe). Readers observing an odd
+  // seq_, or a seq_ change across their reads, retry.
+  class WriteTicket {
+   public:
+    explicit WriteTicket(std::atomic<std::uint64_t>& seq) : seq_(seq) {
+      seq_.store(seq_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+      seqlock_fence(std::memory_order_release);
+    }
+    ~WriteTicket() {
+      seqlock_fence(std::memory_order_release);
+      seq_.store(seq_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_release);
+    }
+    WriteTicket(const WriteTicket&) = delete;
+    WriteTicket& operator=(const WriteTicket&) = delete;
+
+   private:
+    std::atomic<std::uint64_t>& seq_;
+  };
+
+  // Runs fn() under the seqlock read protocol until a tear-free execution;
+  // fn must only perform relaxed atomic loads of the published mirrors.
+  template <typename Fn>
+  auto read_stable(Fn&& fn) const -> decltype(fn());
+
+  // Lazily caught-up reader-side view of the R-graph plus the memoized
+  // rollback sweep. Guarded by its own mutex: heavy queries serialize with
+  // each other here, never with the feeder.
+  struct ReaderCache {
+    std::mutex mu;
+    IncrementalReach reach;
+    std::vector<CkptId> node_ckpt;            // engine node -> checkpoint
+    std::vector<std::vector<int>> node_ids;   // [p][x] -> engine node
+    std::size_t nodes_consumed = 0;
+    std::size_t edges_consumed = 0;
+    std::vector<CkptIndex> durable_snap;      // scratch for snapshots
+    RollbackScratch scratch;
+    RecoveryOutcome recovery_memo;
+    std::uint64_t recovery_memo_epoch = 0;
+    bool recovery_memo_valid = false;
+    long long recovery_sweeps = 0;
+  };
+
+  // Event bodies; caller holds feed_mu_ inside a WriteTicket.
+  void do_event(const StreamEvent& e);
+  void do_send(MsgId m, ProcessId sender, ProcessId receiver);
+  void do_deliver(MsgId m, ProcessId sender, ProcessId receiver);
+  void do_internal(ProcessId p);
+  void do_checkpoint(ProcessId p, CkptIndex index);
+
   void ensure_frontier(ProcessId p);
-  int node_of(const CkptId& c) const;  // caller holds mu_
+  int node_of(const CkptId& c) const;  // feeder side; caller holds feed_mu_
   // Verdict for one MM junction: the two-message chain entering target's
   // process from C_{k,si} must be trackable at `target`.
   void evaluate_mm(const CkptId& target, ProcessId k, CkptIndex si);
+  // Recount process j's pending-vs-live census after its live TDV grew.
+  void refresh_vio(ProcessId j);
 
-  mutable std::mutex mu_;
+  // Mirror maintenance (feeder side).
+  void publish_tdv_row(ProcessId j);
+  void publish_tdv_own(ProcessId j);
+  void publish_clock_row(ProcessId j);
+  void publish_clock_own(ProcessId j);
+  void publish_proc(ProcessId p);
+  // Republish every mirror (all TDV/clock rows, every per-process pub).
+  void publish_all();
+  // RDT_AUDITS-only: recompute every mirror from the feeder state.
+  void audit_published_state() const;
+
+  // Reader side; caller holds rc_.mu.
+  void catch_up_reader(std::size_t nodes, std::size_t edges) const;
+  int reader_node_of(const CkptId& c) const;
+
+  std::mutex feed_mu_;  // serializes feeders (on_* / feed)
 
   TdvMachine machine_;
   std::vector<VectorClock> clocks_;
   std::vector<ProcessState> state_;
   std::vector<MessageState> msgs_;
-
-  mutable IncrementalReach reach_;        // queries catch rows up lazily
-  std::vector<CkptId> node_ckpt_;         // engine node -> checkpoint
+  // Spent piggyback buffers, recycled: a delivery retires its message's TDV
+  // and clock snapshots here, the next send reuses their capacity, so the
+  // steady-state feed path performs no per-event heap allocation.
+  std::vector<Tdv> tdv_pool_;
+  std::vector<VectorClock> clock_pool_;
   std::vector<std::vector<int>> node_ids_;  // [p][x] -> engine node, x<=durable
+  int next_node_ = 0;
+  // While a feed() batch holds the seqlock odd no reader can observe the
+  // mirrors, so per-event publication is wasted work: the publish_* helpers
+  // become no-ops and one publish_all() runs at batch commit.
+  bool deferred_publish_ = false;
 
-  long long permanent_ = 0;  // MM junctions violated against frozen targets
+  // ----- published state (written by the feeder, read by anyone) -----------
+  std::atomic<std::uint64_t> seq_{0};
+  // Bumped whenever the R-graph or the durable frontier changes — the
+  // recovery memo's validity key.
+  std::atomic<std::uint64_t> recovery_epoch_{0};
+  PublishedLog<CkptId> node_log_;   // engine node -> checkpoint, append order
+  PublishedLog<EdgeRec> edge_log_;
+  std::unique_ptr<std::atomic<CkptIndex>[]> tdv_pub_;      // n*n, row-major
+  std::unique_ptr<std::atomic<std::int64_t>[]> clock_pub_; // n*n, row-major
+  std::unique_ptr<PubProc[]> proc_pub_;
+
+  std::atomic<long long> permanent_{0};  // MM violations vs frozen targets
+  std::atomic<long long> live_vio_{0};   // pending starts the live TDV misses
 
   // Prefix counters (see stats()).
-  int retained_total_ = 0;  // prefix events minus virtual finals
-  int delivered_ = 0;
-  long long causal_junctions_ = 0;
-  long long noncausal_junctions_ = 0;
+  std::atomic<int> retained_total_{0};  // prefix events minus virtual finals
+  std::atomic<int> delivered_{0};
+  std::atomic<long long> causal_junctions_{0};
+  std::atomic<long long> noncausal_junctions_{0};
 
   // Raw intake counters (flush_metrics / events_consumed).
-  long long events_consumed_ = 0;
-  long long sends_observed_ = 0;
-  long long internals_observed_ = 0;
-  long long checkpoints_observed_ = 0;
+  std::atomic<long long> events_consumed_{0};
+  std::atomic<long long> sends_observed_{0};
+  std::atomic<long long> internals_observed_{0};
+  std::atomic<long long> checkpoints_observed_{0};
 
-  mutable RecoveryOutcome recovery_cache_;
-  mutable bool recovery_dirty_ = true;
-  mutable RollbackScratch rollback_scratch_;
-  mutable long long recovery_sweeps_ = 0;
+  mutable ReaderCache rc_;
 };
 
 }  // namespace rdt

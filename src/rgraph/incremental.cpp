@@ -1,5 +1,6 @@
 #include "rgraph/incremental.hpp"
 
+#include "util/bit_kernels.hpp"
 #include "util/check.hpp"
 
 namespace rdt {
@@ -105,21 +106,19 @@ bool IncrementalReach::msg_reach(int from, int to) {
 
 void IncrementalReach::snapshot(int from, BitSpan reach_out,
                                 BitSpan msg_reach_out) {
+  const auto nodes = static_cast<std::size_t>(num_nodes());
+  RDT_REQUIRE(reach_out.size() == nodes && msg_reach_out.size() == nodes,
+              "snapshot spans must be num_nodes() bits wide");
   const Row& row = row_for(from);
-  for (std::size_t w = 0; w < row.l0.size(); ++w) {
-    std::uint64_t bits = row.l0[w] | row.l1[w];
-    while (bits != 0) {
-      const auto b = static_cast<unsigned>(__builtin_ctzll(bits));
-      reach_out.set(w * 64 + b);
-      bits &= bits - 1;
-    }
-    std::uint64_t mbits = row.l1[w];
-    while (mbits != 0) {
-      const auto b = static_cast<unsigned>(__builtin_ctzll(mbits));
-      msg_reach_out.set(w * 64 + b);
-      mbits &= mbits - 1;
-    }
-  }
+  // Row layers are word blocks over exactly num_nodes bits with zero tails
+  // (set_bit only ever sets in-range node ids), so the copy-out is three
+  // whole-block ORs instead of a per-set-bit scatter.
+  const std::size_t nw = row.l0.size();
+  bitkern::or_into(reach_out.words(), row.l0.data(), nw);
+  bitkern::or_into(reach_out.words(), row.l1.data(), nw);
+  bitkern::or_into(msg_reach_out.words(), row.l1.data(), nw);
+  RDT_AUDIT(reach_out.tail_zero() && msg_reach_out.tail_zero(),
+            "closure row snapshot set tail bits");
 }
 
 }  // namespace rdt

@@ -1,0 +1,189 @@
+// Word-level bitset kernels behind BitVector / BitSpan / BitMatrix.
+//
+// Three implementations of every kernel:
+//  * bitkern::scalar — one word per iteration, no unrolling. The reference
+//    every other implementation must match bit for bit (enforced by
+//    tests/bit_kernels_test.cpp).
+//  * bitkern::portable — 4x-unrolled word loops; the default dispatch target
+//    on every build.
+//  * AVX2 (bit_kernels_avx2.cpp, compiled only under -DRDT_SIMD=ON with
+//    -mavx2 on that one translation unit) — 256-bit unaligned loads/stores,
+//    selected at runtime iff the CPU reports AVX2.
+//
+// The public entry points (bitkern::or_into etc.) inline a short-block
+// scalar fast path — n <= kInlineWords words covers every per-process row at
+// realistic process counts, where a function-pointer dispatch would cost
+// more than the OR itself — and defer longer blocks through a dispatch table
+// resolved once on first use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace rdt::bitkern {
+
+// Function-pointer table for the long-block paths. The short-block paths
+// are inlined at the call site below and never dispatch.
+struct Kernels {
+  void (*or_into)(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+  bool (*or_into_changed)(std::uint64_t* dst, const std::uint64_t* src,
+                          std::size_t n);
+  void (*and_into)(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n);
+  bool (*equal)(const std::uint64_t* a, const std::uint64_t* b,
+                std::size_t n);
+  std::size_t (*popcount)(const std::uint64_t* p, std::size_t n);
+  bool (*any)(const std::uint64_t* p, std::size_t n);
+  std::size_t (*first_nonzero)(const std::uint64_t* p, std::size_t n);
+  const char* name;
+};
+
+// Table picked on first use: the AVX2 kernels when the build compiled them
+// in (-DRDT_SIMD=ON) and the CPU reports AVX2, the portable table otherwise.
+const Kernels& active();
+
+// The portable 4x-unrolled table — always available; dispatch fallback and
+// an explicit test target.
+const Kernels& portable_kernels();
+
+// The AVX2 table, or nullptr when the build did not compile it in or the
+// CPU lacks AVX2. Tests use this to cover the SIMD path explicitly instead
+// of trusting whatever active() happened to resolve to.
+const Kernels* simd_kernels();
+
+// Reference kernels: one word per iteration, nothing clever beyond
+// single-word popcount. Also the inlined short-block fast path.
+namespace scalar {
+
+inline void or_into(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+inline bool or_into_changed(std::uint64_t* dst, const std::uint64_t* src,
+                            std::size_t n) {
+  std::uint64_t diff = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t before = dst[i];
+    const std::uint64_t merged = before | src[i];
+    diff |= before ^ merged;
+    dst[i] = merged;
+  }
+  return diff != 0;
+}
+
+inline void and_into(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+inline bool equal(const std::uint64_t* a, const std::uint64_t* b,
+                  std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+inline std::size_t popcount(const std::uint64_t* p, std::size_t n) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    total += static_cast<std::size_t>(__builtin_popcountll(p[i]));
+  return total;
+}
+
+inline bool any(const std::uint64_t* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (p[i]) return true;
+  return false;
+}
+
+// Index of the first nonzero word, or n when all words are zero.
+inline std::size_t first_nonzero(const std::uint64_t* p, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i)
+    if (p[i]) return i;
+  return n;
+}
+
+}  // namespace scalar
+
+// Default dispatch target: 4x-unrolled word loops (definitions in
+// bit_kernels.cpp). Exposed so the equivalence tests can exercise this
+// implementation even when dispatch selects AVX2.
+namespace portable {
+
+void or_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+bool or_into_changed(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n);
+void and_into(std::uint64_t* dst, const std::uint64_t* src, std::size_t n);
+bool equal(const std::uint64_t* a, const std::uint64_t* b, std::size_t n);
+std::size_t popcount(const std::uint64_t* p, std::size_t n);
+bool any(const std::uint64_t* p, std::size_t n);
+std::size_t first_nonzero(const std::uint64_t* p, std::size_t n);
+
+}  // namespace portable
+
+namespace detail {
+// Defined in bit_kernels_avx2.cpp; that TU exists only under -DRDT_SIMD=ON,
+// and the dispatcher references this symbol only when RDT_SIMD_AVX2 is
+// defined. Returns nullptr if the TU was somehow built without -mavx2.
+const Kernels* avx2_kernels_impl();
+}  // namespace detail
+
+// Blocks at or under this many words run the scalar loop inline at the call
+// site: per-process bitsets are one word for up to 64 processes, and the
+// dispatch indirection would dominate the work.
+inline constexpr std::size_t kInlineWords = 4;
+
+inline void or_into(std::uint64_t* dst, const std::uint64_t* src,
+                    std::size_t n) {
+  if (n <= kInlineWords) {
+    scalar::or_into(dst, src, n);
+    return;
+  }
+  active().or_into(dst, src, n);
+}
+
+inline bool or_into_changed(std::uint64_t* dst, const std::uint64_t* src,
+                            std::size_t n) {
+  if (n <= kInlineWords) return scalar::or_into_changed(dst, src, n);
+  return active().or_into_changed(dst, src, n);
+}
+
+inline void and_into(std::uint64_t* dst, const std::uint64_t* src,
+                     std::size_t n) {
+  if (n <= kInlineWords) {
+    scalar::and_into(dst, src, n);
+    return;
+  }
+  active().and_into(dst, src, n);
+}
+
+inline bool equal(const std::uint64_t* a, const std::uint64_t* b,
+                  std::size_t n) {
+  if (n <= kInlineWords) return scalar::equal(a, b, n);
+  return active().equal(a, b, n);
+}
+
+inline std::size_t popcount(const std::uint64_t* p, std::size_t n) {
+  if (n <= kInlineWords) return scalar::popcount(p, n);
+  return active().popcount(p, n);
+}
+
+inline bool any(const std::uint64_t* p, std::size_t n) {
+  if (n <= kInlineWords) return scalar::any(p, n);
+  return active().any(p, n);
+}
+
+inline std::size_t first_nonzero(const std::uint64_t* p, std::size_t n) {
+  if (n <= kInlineWords) return scalar::first_nonzero(p, n);
+  return active().first_nonzero(p, n);
+}
+
+// Index of the first set bit at or after `from` in a block of `size` bits,
+// or `size` when there is none. Safe for any `from` including from >= size
+// (returns size without touching memory — callers probe one past the end
+// when iterating set bits, and empty spans carry a null word pointer).
+std::size_t find_next(const std::uint64_t* words, std::size_t size,
+                      std::size_t from);
+
+}  // namespace rdt::bitkern

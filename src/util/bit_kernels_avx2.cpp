@@ -1,0 +1,120 @@
+// AVX2 variants of the long-block bit kernels. This is the only translation
+// unit in the project compiled with -mavx2, and it is only part of the build
+// under -DRDT_SIMD=ON; the dispatcher in bit_kernels.cpp calls
+// avx2_kernels_impl() strictly behind a runtime __builtin_cpu_supports
+// check, so no AVX2 instruction executes on a CPU without the feature.
+#include "util/bit_kernels.hpp"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace rdt::bitkern {
+
+namespace {
+
+inline __m256i load(const std::uint64_t* p) {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+inline void store(std::uint64_t* p, __m256i v) {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+}
+
+void or_into_avx2(std::uint64_t* dst, const std::uint64_t* src,
+                  std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    store(dst + i, _mm256_or_si256(load(dst + i), load(src + i)));
+  for (; i < n; ++i) dst[i] |= src[i];
+}
+
+bool or_into_changed_avx2(std::uint64_t* dst, const std::uint64_t* src,
+                          std::size_t n) {
+  __m256i diff = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i before = load(dst + i);
+    const __m256i merged = _mm256_or_si256(before, load(src + i));
+    diff = _mm256_or_si256(diff, _mm256_xor_si256(before, merged));
+    store(dst + i, merged);
+  }
+  std::uint64_t tail_diff = 0;
+  for (; i < n; ++i) {
+    const std::uint64_t before = dst[i];
+    const std::uint64_t merged = before | src[i];
+    tail_diff |= before ^ merged;
+    dst[i] = merged;
+  }
+  return tail_diff != 0 || _mm256_testz_si256(diff, diff) == 0;
+}
+
+void and_into_avx2(std::uint64_t* dst, const std::uint64_t* src,
+                   std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4)
+    store(dst + i, _mm256_and_si256(load(dst + i), load(src + i)));
+  for (; i < n; ++i) dst[i] &= src[i];
+}
+
+bool equal_avx2(const std::uint64_t* a, const std::uint64_t* b,
+                std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i x = _mm256_xor_si256(load(a + i), load(b + i));
+    if (_mm256_testz_si256(x, x) == 0) return false;
+  }
+  for (; i < n; ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+bool any_avx2(const std::uint64_t* p, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = load(p + i);
+    if (_mm256_testz_si256(v, v) == 0) return true;
+  }
+  for (; i < n; ++i)
+    if (p[i]) return true;
+  return false;
+}
+
+std::size_t first_nonzero_avx2(const std::uint64_t* p, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = load(p + i);
+    if (_mm256_testz_si256(v, v) == 0) {
+      if (p[i]) return i;
+      if (p[i + 1]) return i + 1;
+      if (p[i + 2]) return i + 2;
+      return i + 3;
+    }
+  }
+  for (; i < n; ++i)
+    if (p[i]) return i;
+  return n;
+}
+
+}  // namespace
+
+const Kernels* detail::avx2_kernels_impl() {
+  // popcount stays on the portable kernel: AVX2 has no vector popcount and
+  // the Harley–Seal reduction only pays off far beyond our row sizes.
+  static const Kernels k = {or_into_avx2,       or_into_changed_avx2,
+                            and_into_avx2,      equal_avx2,
+                            portable::popcount, any_avx2,
+                            first_nonzero_avx2, "avx2"};
+  return &k;
+}
+
+}  // namespace rdt::bitkern
+
+#else  // !defined(__AVX2__)
+
+namespace rdt::bitkern {
+// Built without -mavx2 (misconfigured build): report the path unavailable.
+const Kernels* detail::avx2_kernels_impl() { return nullptr; }
+}  // namespace rdt::bitkern
+
+#endif

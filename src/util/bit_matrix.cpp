@@ -4,27 +4,6 @@
 
 namespace rdt {
 
-namespace bitdetail {
-
-std::size_t find_next(const std::uint64_t* words, std::size_t size,
-                      std::size_t from) {
-  if (from >= size) return size;
-  const std::size_t num_words = words_for(size);
-  std::size_t w = from >> 6;
-  std::uint64_t word = words[w] & (~0ULL << (from & 63));
-  while (true) {
-    if (word != 0) {
-      const std::size_t bit =
-          (w << 6) + static_cast<std::size_t>(__builtin_ctzll(word));
-      return bit < size ? bit : size;
-    }
-    if (++w >= num_words) return size;
-    word = words[w];
-  }
-}
-
-}  // namespace bitdetail
-
 void BitMatrix::close_transitively() {
   RDT_REQUIRE(rows_ == cols_, "transitive closure requires a square matrix");
   set_diagonal(true);

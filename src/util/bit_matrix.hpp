@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/bit_kernels.hpp"
 #include "util/check.hpp"
 
 namespace rdt {
@@ -31,8 +32,17 @@ inline void trim_tail(std::uint64_t* words, std::size_t bits) {
   if (bits % 64 != 0) words[bits / 64] &= (1ULL << (bits % 64)) - 1;
 }
 
-std::size_t find_next(const std::uint64_t* words, std::size_t size,
-                      std::size_t from);
+// True iff the bits beyond `bits` in the block's last word are all zero —
+// the invariant that makes word-parallel equality and popcount exact.
+inline bool tail_zero(const std::uint64_t* words, std::size_t bits) {
+  if (bits % 64 == 0) return true;
+  return (words[bits / 64] & ~((1ULL << (bits % 64)) - 1)) == 0;
+}
+
+inline std::size_t find_next(const std::uint64_t* words, std::size_t size,
+                             std::size_t from) {
+  return bitkern::find_next(words, size, from);
+}
 
 }  // namespace bitdetail
 
@@ -55,29 +65,29 @@ class ConstBitSpan {
     return (words_[i >> 6] >> (i & 63)) & 1ULL;
   }
 
+  // True iff the bits beyond size() in the last word are all zero. Always
+  // expected to hold; word-parallel count/equality silently break otherwise.
+  bool tail_zero() const { return empty() || bitdetail::tail_zero(words_, size_); }
+
   std::size_t count() const {
-    std::size_t total = 0;
-    for (std::size_t w = 0; w < num_words(); ++w)
-      total += static_cast<std::size_t>(__builtin_popcountll(words_[w]));
-    return total;
+    RDT_AUDIT(tail_zero(), "zero-tail invariant violated before popcount");
+    return bitkern::popcount(words_, num_words());
   }
 
-  bool any() const {
-    for (std::size_t w = 0; w < num_words(); ++w)
-      if (words_[w]) return true;
-    return false;
-  }
+  bool any() const { return bitkern::any(words_, num_words()); }
 
-  // Index of first set bit at or after `from`, or size() if none.
+  // Index of first set bit at or after `from`, or size() if none. Accepts
+  // any `from`, including from >= size() (returns size() without reading
+  // past the last word).
   std::size_t find_next(std::size_t from) const {
     return bitdetail::find_next(words_, size_, from);
   }
 
   friend bool operator==(ConstBitSpan a, ConstBitSpan b) {
     if (a.size_ != b.size_) return false;
-    for (std::size_t w = 0; w < a.num_words(); ++w)
-      if (a.words_[w] != b.words_[w]) return false;
-    return true;
+    RDT_AUDIT(a.tail_zero() && b.tail_zero(),
+              "zero-tail invariant violated before word-parallel equality");
+    return bitkern::equal(a.words_, b.words_, a.num_words());
   }
 
  private:
@@ -95,6 +105,7 @@ class BitSpan {
 
   std::size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+  std::uint64_t* words() const { return words_; }
   std::size_t num_words() const { return bitdetail::words_for(size_); }
 
   operator ConstBitSpan() const { return {words_, size_}; }  // NOLINT(*-explicit-*)
@@ -121,36 +132,44 @@ class BitSpan {
   void assign(ConstBitSpan other) const {
     RDT_REQUIRE(other.size() == size_, "size mismatch");
     for (std::size_t w = 0; w < num_words(); ++w) words_[w] = other.words()[w];
+    trim();
   }
 
   // *this |= other without change detection — cheaper than or_with in
   // sweeps that visit each edge exactly once and never test for a fixpoint.
   void merge(ConstBitSpan other) const {
     RDT_REQUIRE(other.size() == size_, "size mismatch");
-    for (std::size_t w = 0; w < num_words(); ++w) words_[w] |= other.words()[w];
+    bitkern::or_into(words_, other.words(), num_words());
+    trim();
   }
 
   // *this |= other; returns true iff any bit changed.
   bool or_with(ConstBitSpan other) const {
     RDT_REQUIRE(other.size() == size_, "size mismatch");
-    bool changed = false;
-    for (std::size_t w = 0; w < num_words(); ++w) {
-      const std::uint64_t merged = words_[w] | other.words()[w];
-      changed |= merged != words_[w];
-      words_[w] = merged;
-    }
+    const bool changed = bitkern::or_into_changed(words_, other.words(), num_words());
+    trim();
     return changed;
   }
 
   void and_with(ConstBitSpan other) const {
     RDT_REQUIRE(other.size() == size_, "size mismatch");
-    for (std::size_t w = 0; w < num_words(); ++w) words_[w] &= other.words()[w];
+    bitkern::and_into(words_, other.words(), num_words());
   }
 
+  bool tail_zero() const { return ConstBitSpan(*this).tail_zero(); }
   std::size_t count() const { return ConstBitSpan(*this).count(); }
   bool any() const { return ConstBitSpan(*this).any(); }
   std::size_t find_next(std::size_t from) const {
     return bitdetail::find_next(words_, size_, from);
+  }
+
+ private:
+  // Same-size sources that honor the invariant cannot set tail bits, but a
+  // span over foreign storage (arena, piggyback buffer) may not — re-trim
+  // after every op that ORs or copies whole words so the invariant is
+  // enforced here rather than assumed of every producer.
+  void trim() const {
+    if (!empty()) bitdetail::trim_tail(words_, size_);
   }
 
  private:
@@ -275,13 +294,17 @@ class BitMatrixSpan {
     row(r).set(c, value);
   }
 
-  // Whole-matrix copy (dimensions must match) — one contiguous word copy.
+  // Whole-matrix copy (dimensions must match) — one contiguous word copy,
+  // then a per-row tail trim in case the source block carried tail garbage.
   void assign(ConstBitMatrixSpan other) const {
     RDT_REQUIRE(other.rows() == rows_ && other.cols() == cols_,
                 "matrix dimensions mismatch");
     const std::size_t total = rows_ * row_words();
     const std::uint64_t* src = other.row(0).words();
     for (std::size_t w = 0; w < total; ++w) words_[w] = src[w];
+    if (cols_ % 64 != 0)
+      for (std::size_t r = 0; r < rows_; ++r)
+        bitdetail::trim_tail(words_ + r * row_words(), cols_);
   }
 
  private:
@@ -334,9 +357,7 @@ class BitMatrix {
   }
 
   std::size_t count() const {
-    std::size_t total = 0;
-    for (auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
-    return total;
+    return bitkern::popcount(words_.data(), words_.size());
   }
 
   // Reflexive-transitive closure of the adjacency matrix (Warshall with

@@ -1,0 +1,88 @@
+// Append-only single-writer log with lock-free readers.
+//
+// The online engine's feeder thread appends R-graph nodes and edges here;
+// any number of reader threads replay stable prefixes into their own caches
+// without ever blocking the feeder. Two properties make that safe:
+//
+//  * Stable addresses. Storage is a spine of geometrically growing chunks
+//    (2^10, 2^11, ... entries), never reallocated, so an entry's address is
+//    fixed the moment it is written — readers hold no iterator a later
+//    append could invalidate.
+//  * Publication by size. The writer stores the entry (plain write), then
+//    release-stores the new count; a reader acquire-loads the count and may
+//    then read entries [0, count) with plain loads. The release/acquire
+//    pair on size_ carries the happens-before edge for both the entry and
+//    its chunk pointer, so every access is either atomic or ordered — clean
+//    under TSan.
+//
+// Contract: exactly ONE writer thread (external synchronization, e.g. the
+// engine's feed mutex); entries are immutable once published.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+namespace rdt {
+
+template <typename T>
+class PublishedLog {
+ public:
+  PublishedLog() = default;
+  PublishedLog(const PublishedLog&) = delete;
+  PublishedLog& operator=(const PublishedLog&) = delete;
+
+  // Writer-side count (callable only by the writer).
+  std::size_t size() const { return count_; }
+
+  // Reader-side count: entries [0, size_published()) are safe to read.
+  std::size_t size_published() const {
+    return size_.load(std::memory_order_acquire);
+  }
+
+  // Valid for i < size_published() (readers) or i < size() (the writer).
+  const T& operator[](std::size_t i) const {
+    const Loc loc = locate(i);
+    return chunks_[loc.chunk][loc.offset];
+  }
+
+  // Writer only.
+  void push_back(T v) {
+    const Loc loc = locate(count_);
+    auto& chunk = chunks_[loc.chunk];
+    if (!chunk) chunk = std::make_unique<T[]>(capacity_of(loc.chunk));
+    chunk[loc.offset] = std::move(v);
+    ++count_;
+    size_.store(count_, std::memory_order_release);
+  }
+
+ private:
+  static constexpr std::size_t kBaseLog2 = 10;  // first chunk: 1024 entries
+  static constexpr std::size_t kMaxChunks = 64 - kBaseLog2;
+
+  struct Loc {
+    std::size_t chunk;
+    std::size_t offset;
+  };
+
+  // Chunk k holds entries [2^(10+k) - 2^10, 2^(10+k+1) - 2^10), so the
+  // (chunk, offset) of a global index falls out of one bit_width.
+  static Loc locate(std::size_t i) {
+    const std::size_t v = i + (std::size_t{1} << kBaseLog2);
+    const auto k = static_cast<std::size_t>(std::bit_width(v)) - 1;
+    return {k - kBaseLog2, v - (std::size_t{1} << k)};
+  }
+
+  static std::size_t capacity_of(std::size_t chunk) {
+    return std::size_t{1} << (kBaseLog2 + chunk);
+  }
+
+  std::array<std::unique_ptr<T[]>, kMaxChunks> chunks_;
+  std::size_t count_ = 0;                  // writer's private count
+  std::atomic<std::size_t> size_{0};       // published count
+};
+
+}  // namespace rdt

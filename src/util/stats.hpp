@@ -20,6 +20,40 @@ struct Summary {
 // Computes a Summary over the samples; an empty input yields all zeros.
 Summary summarize(const std::vector<double>& samples);
 
+// Partition of [0, items) into `buckets` contiguous ranges for per-phase
+// rate reporting. Every bucket holds items/buckets entries except the LAST,
+// which also absorbs the remainder — so no item is ever dropped from an
+// aggregate (a ceil-division plan instead leaves the last bucket short and
+// any uniform per-bucket divisor silently wrong). With items < buckets the
+// base is zero and everything lands in the last bucket.
+struct BucketPlan {
+  std::size_t items = 0;
+  std::size_t buckets = 1;
+
+  BucketPlan(std::size_t items_, std::size_t buckets_)
+      : items(items_), buckets(buckets_ == 0 ? 1 : buckets_) {}
+
+  std::size_t base() const { return items / buckets; }
+
+  // Bucket of item i (valid for i < items).
+  std::size_t bucket_of(std::size_t i) const {
+    const std::size_t b = base();
+    if (b == 0) return buckets - 1;
+    return i / b < buckets ? i / b : buckets - 1;
+  }
+
+  // Number of items in bucket b (valid for b < buckets).
+  std::size_t size_of(std::size_t b) const {
+    if (b + 1 < buckets) return base();
+    return items - base() * (buckets - 1);
+  }
+
+  // True when item i is the last item of its bucket.
+  bool closes_bucket(std::size_t i) const {
+    return i + 1 == items || bucket_of(i + 1) != bucket_of(i);
+  }
+};
+
 // Welford-style online accumulator for streaming settings.
 class RunningStats {
  public:

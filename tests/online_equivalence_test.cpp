@@ -3,11 +3,13 @@
 // the full batch analysis on the *closed prefix* — the events observed so
 // far minus the sends of still-in-flight messages, finalized with virtual
 // checkpoints — at EVERY prefix of the stream, across all protocol kinds,
-// three environments and several seeds; plus hand-built edge cases and a
-// TSan-covered concurrent-reader case.
+// three environments and several seeds; plus hand-built edge cases, a
+// batched-vs-single bit-identity sweep over feed() batch sizes, and
+// TSan-covered concurrent-reader cases (OnlineConcurrency.*).
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,34 +27,26 @@
 namespace rdt {
 namespace {
 
-struct RecordedOp {
-  EventKind kind = EventKind::kInternal;
-  ProcessId p = -1;       // acting process (sender for sends)
-  ProcessId q = -1;       // receiver, for sends/delivers
-  MsgId msg = kNoMsg;     // for sends/delivers
-  CkptIndex index = -1;   // for checkpoints
-};
-
-// Captures a builder's append stream as a replayable op list.
+// Captures a builder's append stream as a replayable event list.
 class Recorder final : public PatternListener {
  public:
   void on_send(MsgId m, ProcessId sender, ProcessId receiver) override {
-    ops.push_back({EventKind::kSend, sender, receiver, m, -1});
+    ops.push_back(StreamEvent::send(m, sender, receiver));
   }
   void on_deliver(MsgId m, ProcessId sender, ProcessId receiver) override {
-    ops.push_back({EventKind::kDeliver, sender, receiver, m, -1});
+    ops.push_back(StreamEvent::deliver(m, sender, receiver));
   }
   void on_internal(ProcessId p) override {
-    ops.push_back({EventKind::kInternal, p, -1, kNoMsg, -1});
+    ops.push_back(StreamEvent::internal(p));
   }
   void on_checkpoint(ProcessId p, CkptIndex index) override {
-    ops.push_back({EventKind::kCheckpoint, p, -1, kNoMsg, index});
+    ops.push_back(StreamEvent::checkpoint(p, index));
   }
 
-  std::vector<RecordedOp> ops;
+  std::vector<StreamEvent> ops;
 };
 
-void feed(OnlineEngine& engine, const RecordedOp& op) {
+void feed_one(OnlineEngine& engine, const StreamEvent& op) {
   switch (op.kind) {
     case EventKind::kSend:
       engine.on_send(op.msg, op.p, op.q);
@@ -72,13 +66,13 @@ void feed(OnlineEngine& engine, const RecordedOp& op) {
 // The batch pipeline's view of the prefix ops[0..len): drop sends whose
 // delivery lies at or beyond len (message ids are remapped densely), close
 // with virtual finals — exactly what the engine models.
-Pattern closed_prefix(int num_processes, const std::vector<RecordedOp>& ops,
+Pattern closed_prefix(int num_processes, const std::vector<StreamEvent>& ops,
                       std::size_t len,
                       const std::vector<std::size_t>& deliver_pos) {
   PatternBuilder b(num_processes);
   std::vector<MsgId> remap(deliver_pos.size(), kNoMsg);
   for (std::size_t i = 0; i < len; ++i) {
-    const RecordedOp& op = ops[i];
+    const StreamEvent& op = ops[i];
     switch (op.kind) {
       case EventKind::kSend:
         if (deliver_pos[static_cast<std::size_t>(op.msg)] < len)
@@ -130,9 +124,25 @@ void expect_prefix_equivalence(const OnlineEngine& engine, const Pattern& pat,
           << "zreach(" << pat.node_ckpt(u) << ", " << pat.node_ckpt(v) << ")";
 }
 
-std::vector<std::size_t> deliver_positions(const std::vector<RecordedOp>& ops) {
+// Every cheap live answer of the two engines, compared: the batched engine
+// must be indistinguishable from the single-event one at each boundary.
+void expect_same_live_state(const OnlineEngine& a, const OnlineEngine& b) {
+  ASSERT_EQ(a.num_processes(), b.num_processes());
+  EXPECT_EQ(a.events_consumed(), b.events_consumed());
+  EXPECT_EQ(a.is_rdt_so_far(), b.is_rdt_so_far());
+  EXPECT_EQ(a.stats(), b.stats());
+  for (ProcessId p = 0; p < a.num_processes(); ++p) {
+    SCOPED_TRACE("process " + std::to_string(p));
+    EXPECT_EQ(a.current_interval(p), b.current_interval(p));
+    EXPECT_EQ(a.live_tdv(p), b.live_tdv(p));
+    EXPECT_EQ(a.live_clock(p), b.live_clock(p));
+  }
+}
+
+std::vector<std::size_t> deliver_positions(
+    const std::vector<StreamEvent>& ops) {
   MsgId max_msg = -1;
-  for (const RecordedOp& op : ops)
+  for (const StreamEvent& op : ops)
     if (op.msg > max_msg) max_msg = op.msg;
   std::vector<std::size_t> pos(static_cast<std::size_t>(max_msg + 1),
                                ops.size());
@@ -143,20 +153,20 @@ std::vector<std::size_t> deliver_positions(const std::vector<RecordedOp>& ops) {
 }
 
 void check_all_prefixes(int num_processes,
-                        const std::vector<RecordedOp>& ops) {
+                        const std::vector<StreamEvent>& ops) {
   const std::vector<std::size_t> deliver_pos = deliver_positions(ops);
   OnlineEngine engine(num_processes);
   expect_prefix_equivalence(
       engine, closed_prefix(num_processes, ops, 0, deliver_pos), 0);
   for (std::size_t len = 1; len <= ops.size(); ++len) {
-    feed(engine, ops[len - 1]);
+    feed_one(engine, ops[len - 1]);
     expect_prefix_equivalence(
         engine, closed_prefix(num_processes, ops, len, deliver_pos), len);
     if (::testing::Test::HasFatalFailure()) return;
   }
 }
 
-std::vector<RecordedOp> record_replay(const Trace& trace, ProtocolKind kind) {
+std::vector<StreamEvent> record_replay(const Trace& trace, ProtocolKind kind) {
   Recorder recorder;
   replay(trace, kind, {.online = &recorder});
   return recorder.ops;
@@ -221,18 +231,18 @@ TEST(OnlineEquivalence, ClientServerEnvironmentAllProtocolsAllSeeds) {
 // path), and trailing undelivered sends.
 TEST(OnlineEquivalence, HandBuiltEdgeCases) {
   const ProcessId a = 0, b = 1, c = 2;  // process 3 stays idle throughout
-  std::vector<RecordedOp> ops;
+  std::vector<StreamEvent> ops;
   const auto send = [&](MsgId m, ProcessId s, ProcessId r) {
-    ops.push_back({EventKind::kSend, s, r, m, -1});
+    ops.push_back(StreamEvent::send(m, s, r));
   };
   const auto deliver = [&](MsgId m, ProcessId s, ProcessId r) {
-    ops.push_back({EventKind::kDeliver, s, r, m, -1});
+    ops.push_back(StreamEvent::deliver(m, s, r));
   };
   const auto internal = [&](ProcessId p) {
-    ops.push_back({EventKind::kInternal, p, -1, kNoMsg, -1});
+    ops.push_back(StreamEvent::internal(p));
   };
   const auto checkpoint = [&](ProcessId p, CkptIndex x) {
-    ops.push_back({EventKind::kCheckpoint, p, -1, kNoMsg, x});
+    ops.push_back(StreamEvent::checkpoint(p, x));
   };
 
   internal(a);
@@ -256,16 +266,110 @@ TEST(OnlineEquivalence, HandBuiltEdgeCases) {
 // at P2, P2 checkpoints, and only then is m delivered at P1 — the engine
 // must judge the junction against the saved TDV history, not the live TDV.
 TEST(OnlineEquivalence, JunctionAgainstFrozenTarget) {
-  std::vector<RecordedOp> ops = {
-      {EventKind::kSend, 1, 2, 0, -1},     // m' : P1 -> P2
-      {EventKind::kDeliver, 1, 2, 0, -1},
-      {EventKind::kCheckpoint, 2, -1, kNoMsg, 1},  // target C_{2,1} freezes
-      {EventKind::kSend, 0, 1, 1, -1},     // m : P0 -> P1
-      {EventKind::kDeliver, 0, 1, 1, -1},  // junction (m, m') discovered now
-      {EventKind::kCheckpoint, 0, -1, kNoMsg, 1},
-      {EventKind::kCheckpoint, 1, -1, kNoMsg, 1},
+  const std::vector<StreamEvent> ops = {
+      StreamEvent::send(0, 1, 2),        // m' : P1 -> P2
+      StreamEvent::deliver(0, 1, 2),
+      StreamEvent::checkpoint(2, 1),     // target C_{2,1} freezes
+      StreamEvent::send(1, 0, 1),        // m : P0 -> P1
+      StreamEvent::deliver(1, 0, 1),     // junction (m, m') discovered now
+      StreamEvent::checkpoint(0, 1),
+      StreamEvent::checkpoint(1, 1),
   };
   check_all_prefixes(3, ops);
+}
+
+// feed() must be bit-identical to the same events fed one at a time: at
+// every batch boundary the two engines answer every cheap query the same,
+// and at the end the batched engine matches the batch pipeline exactly
+// (including the full z-reach matrix).
+void check_batched_vs_single(int num_processes,
+                             const std::vector<StreamEvent>& ops,
+                             std::size_t batch) {
+  SCOPED_TRACE("batch size " + std::to_string(batch));
+  OnlineEngine single(num_processes);
+  OnlineEngine batched(num_processes);
+  const std::span<const StreamEvent> all(ops);
+  for (std::size_t i = 0; i < all.size(); i += batch) {
+    const std::size_t n = std::min(batch, all.size() - i);
+    batched.feed(all.subspan(i, n));
+    for (std::size_t k = 0; k < n; ++k) feed_one(single, all[i + k]);
+    expect_same_live_state(single, batched);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  const std::vector<std::size_t> deliver_pos = deliver_positions(ops);
+  expect_prefix_equivalence(
+      batched, closed_prefix(num_processes, ops, ops.size(), deliver_pos),
+      ops.size());
+}
+
+TEST(OnlineBatched, MatchesSingleAllProtocolsEnvironmentsBatchSizes) {
+  constexpr std::size_t kBatchSizes[] = {1, 7, 64, 4096};
+  for (const ProtocolKind kind : all_protocol_kinds()) {
+    SCOPED_TRACE(ProtocolRegistry::instance().info(kind).id);
+    for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+      SCOPED_TRACE("seed " + std::to_string(seed));
+      RandomEnvConfig rnd;
+      rnd.num_processes = 4;
+      rnd.duration = 25.0;
+      rnd.basic_ckpt_mean = 5.0;
+      rnd.seed = seed;
+      GroupEnvConfig grp;
+      grp.num_groups = 2;
+      grp.group_size = 3;
+      grp.overlap = 1;
+      grp.duration = 20.0;
+      grp.basic_ckpt_mean = 5.0;
+      grp.seed = seed;
+      ClientServerEnvConfig cs;
+      cs.num_servers = 3;
+      cs.num_requests = 16;
+      cs.basic_ckpt_mean = 5.0;
+      cs.seed = seed;
+      const struct {
+        const char* name;
+        int processes;
+        std::vector<StreamEvent> ops;
+      } envs[] = {
+          {"random", rnd.num_processes,
+           record_replay(random_environment(rnd), kind)},
+          {"group", grp.num_processes(),
+           record_replay(group_environment(grp), kind)},
+          {"client_server", cs.num_processes(),
+           record_replay(client_server_environment(cs), kind)},
+      };
+      for (const auto& env : envs) {
+        SCOPED_TRACE(env.name);
+        for (const std::size_t batch : kBatchSizes) {
+          check_batched_vs_single(env.processes, env.ops, batch);
+          if (::testing::Test::HasFatalFailure()) return;
+        }
+      }
+    }
+  }
+}
+
+// feed() with an empty span is a no-op, and a batch can span the whole
+// stream in one call.
+TEST(OnlineBatched, EmptyAndWholeStreamBatches) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 4;
+  cfg.duration = 12.0;
+  cfg.basic_ckpt_mean = 5.0;
+  cfg.seed = 3;
+  const std::vector<StreamEvent> ops =
+      record_replay(random_environment(cfg), ProtocolKind::kBhmr);
+
+  OnlineEngine engine(cfg.num_processes);
+  engine.feed({});  // no-op
+  EXPECT_EQ(engine.events_consumed(), 0);
+  engine.feed(ops);
+  engine.feed({});
+  EXPECT_EQ(engine.events_consumed(),
+            static_cast<long long>(ops.size()));
+
+  OnlineEngine single(cfg.num_processes);
+  for (const StreamEvent& op : ops) feed_one(single, op);
+  expect_same_live_state(single, engine);
 }
 
 TEST(OnlineConcurrency, QueriesDuringFeed) {
@@ -274,7 +378,7 @@ TEST(OnlineConcurrency, QueriesDuringFeed) {
   cfg.duration = 40.0;
   cfg.basic_ckpt_mean = 8.0;
   cfg.seed = 7;
-  const std::vector<RecordedOp> ops =
+  const std::vector<StreamEvent> ops =
       record_replay(random_environment(cfg), ProtocolKind::kBhmr);
 
   OnlineEngine engine(cfg.num_processes);
@@ -295,11 +399,65 @@ TEST(OnlineConcurrency, QueriesDuringFeed) {
     });
   }
 
-  for (const RecordedOp& op : ops) feed(engine, op);
+  for (const StreamEvent& op : ops) feed_one(engine, op);
   done.store(true, std::memory_order_release);
   for (std::thread& r : readers) r.join();
 
   // The feed's end state must still match the batch pipeline exactly.
+  const std::vector<std::size_t> deliver_pos = deliver_positions(ops);
+  expect_prefix_equivalence(
+      engine,
+      closed_prefix(cfg.num_processes, ops, ops.size(), deliver_pos),
+      ops.size());
+}
+
+// The seqlock torture case: one feeder streaming batches while FOUR reader
+// threads hammer every query — the wait-free ones (which retry under the
+// seqlock) and the heavy cached ones (which serialize on the reader mutex
+// only). Run under TSan in CI, this is the proof the read path takes no
+// lock the feeder holds; the end state must still be exact.
+TEST(OnlineConcurrency, SeqlockTortureFourReaders) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 4;
+  cfg.duration = 60.0;
+  cfg.basic_ckpt_mean = 8.0;
+  cfg.seed = 11;
+  const std::vector<StreamEvent> ops =
+      record_replay(random_environment(cfg), ProtocolKind::kBhmr);
+
+  OnlineEngine engine(cfg.num_processes);
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&engine, &done, t] {
+      long long sink = 0;
+      ProcessId p = static_cast<ProcessId>(t % engine.num_processes());
+      while (!done.load(std::memory_order_acquire)) {
+        sink += engine.is_rdt_so_far() ? 1 : 0;
+        sink += engine.events_consumed();
+        sink += engine.current_interval(p);
+        sink += engine.live_tdv(p).back();
+        sink += engine.live_clock(p).get(p);
+        const OnlineStats s = engine.stats();
+        sink += s.events + s.checkpoints;
+        if (t % 2 == 0) {
+          sink += engine.recovery_line().total_rollback;
+          sink += engine.zreach({p, 0}, {0, 0}) ? 1 : 0;
+        }
+        p = static_cast<ProcessId>((p + 1) % engine.num_processes());
+      }
+      EXPECT_GE(sink, 0);
+    });
+  }
+
+  const std::span<const StreamEvent> all(ops);
+  constexpr std::size_t kBatch = 64;
+  for (std::size_t i = 0; i < all.size(); i += kBatch)
+    engine.feed(all.subspan(i, std::min(kBatch, all.size() - i)));
+  done.store(true, std::memory_order_release);
+  for (std::thread& r : readers) r.join();
+
   const std::vector<std::size_t> deliver_pos = deliver_positions(ops);
   expect_prefix_equivalence(
       engine,

@@ -154,6 +154,37 @@ TEST(BitVector, Equality) {
   EXPECT_EQ(a, b);
 }
 
+// The zero-tail-bits invariant: every mutating op on a non-word-multiple
+// size must leave the bits past size() clear, or the word-parallel count/
+// equality/any kernels would silently read garbage.
+TEST(BitVector, TailBitsStayZeroAfterMutations) {
+  BitVector full(70, true);  // fill at construction trims the tail
+  EXPECT_TRUE(full.span().tail_zero());
+  EXPECT_EQ(full.count(), 70u);
+
+  BitVector a(70);
+  a.merge(full);
+  EXPECT_TRUE(a.span().tail_zero());
+  EXPECT_EQ(a.count(), 70u);
+
+  BitVector b(70);
+  EXPECT_TRUE(b.or_with(full));
+  EXPECT_TRUE(b.span().tail_zero());
+  EXPECT_EQ(b.count(), 70u);
+  EXPECT_FALSE(b.or_with(full));  // idempotent: no change reported
+
+  BitVector c(70);
+  c.assign(full);
+  EXPECT_TRUE(c.span().tail_zero());
+  EXPECT_EQ(c, full);
+
+  c.fill(true);
+  EXPECT_TRUE(c.span().tail_zero());
+  EXPECT_EQ(c.count(), 70u);
+  EXPECT_EQ(c.find_next(69), 69u);
+  EXPECT_EQ(c.find_next(70), 70u);  // tail bits never surface as hits
+}
+
 // ---------------------------------------------------------------- BitMatrix
 
 TEST(BitMatrix, Shape) {
@@ -396,6 +427,56 @@ TEST(Check, RequireThrowsInvalidArgument) {
 TEST(Check, AssertThrowsLogicError) {
   EXPECT_THROW(RDT_ASSERT(false), std::logic_error);
   EXPECT_NO_THROW(RDT_ASSERT(true));
+}
+
+// ---------------------------------------------------------------- BucketPlan
+
+// The regression this pins: a 10k+3-event stream split into 20 rate buckets
+// must not drop the 3 remainder events — they belong to the LAST bucket.
+TEST(BucketPlan, RemainderFoldsIntoLastBucket) {
+  const BucketPlan plan(10003, 20);
+  EXPECT_EQ(plan.base(), 500u);
+  std::size_t total = 0;
+  for (std::size_t b = 0; b < 20; ++b) total += plan.size_of(b);
+  EXPECT_EQ(total, 10003u);
+  for (std::size_t b = 0; b + 1 < 20; ++b) EXPECT_EQ(plan.size_of(b), 500u);
+  EXPECT_EQ(plan.size_of(19), 503u);
+  EXPECT_EQ(plan.bucket_of(0), 0u);
+  EXPECT_EQ(plan.bucket_of(499), 0u);
+  EXPECT_EQ(plan.bucket_of(500), 1u);
+  EXPECT_EQ(plan.bucket_of(9499), 18u);
+  EXPECT_EQ(plan.bucket_of(9500), 19u);
+  EXPECT_EQ(plan.bucket_of(10002), 19u);  // remainder clamps to the last
+  EXPECT_TRUE(plan.closes_bucket(499));
+  EXPECT_FALSE(plan.closes_bucket(500));
+  EXPECT_FALSE(plan.closes_bucket(9999));  // 500*20 is NOT a boundary here
+  EXPECT_TRUE(plan.closes_bucket(10002));
+}
+
+TEST(BucketPlan, BucketOfAgreesWithSizes) {
+  for (const std::size_t items : {0u, 1u, 19u, 20u, 21u, 10003u}) {
+    const BucketPlan plan(items, 20);
+    std::vector<std::size_t> counts(20, 0);
+    for (std::size_t i = 0; i < items; ++i) ++counts[plan.bucket_of(i)];
+    for (std::size_t b = 0; b < 20; ++b) EXPECT_EQ(counts[b], plan.size_of(b));
+  }
+}
+
+TEST(BucketPlan, FewerItemsThanBuckets) {
+  const BucketPlan plan(3, 20);
+  EXPECT_EQ(plan.base(), 0u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(plan.bucket_of(i), 19u);
+  EXPECT_EQ(plan.size_of(0), 0u);
+  EXPECT_EQ(plan.size_of(19), 3u);
+  EXPECT_FALSE(plan.closes_bucket(0));
+  EXPECT_TRUE(plan.closes_bucket(2));
+}
+
+TEST(BucketPlan, ZeroBucketsClampsToOne) {
+  const BucketPlan plan(5, 0);
+  EXPECT_EQ(plan.buckets, 1u);
+  EXPECT_EQ(plan.bucket_of(4), 0u);
+  EXPECT_EQ(plan.size_of(0), 5u);
 }
 
 }  // namespace
