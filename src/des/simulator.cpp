@@ -223,7 +223,7 @@ class Runtime {
     if constexpr (!obs::kObsEnabled) return;
     obs::ObsSession* session = obs::ObsSession::current();
     if (session == nullptr) return;
-    obs::MetricsRegistry& m = session->metrics();
+    auto& m = session->metrics();
     const std::string prefix =
         "des." + ProtocolRegistry::instance().info(config_.protocol).id;
     m.add(m.counter(prefix + ".runs"), 1);

@@ -21,7 +21,8 @@ inline void bump(std::atomic<T>& c, T d) {
 
 }  // namespace
 
-OnlineEngine::OnlineEngine(int num_processes) : machine_(num_processes) {
+OnlineEngine::OnlineEngine(int num_processes)
+    : num_processes_(num_processes), machine_(num_processes) {
   const auto n = static_cast<std::size_t>(num_processes);
   clocks_.assign(n, VectorClock(num_processes));
   state_.resize(n);
@@ -640,7 +641,7 @@ void OnlineEngine::flush_metrics() const {
   if constexpr (!obs::kObsEnabled) return;
   obs::ObsSession* session = obs::ObsSession::current();
   if (session == nullptr) return;
-  obs::MetricsRegistry& m = session->metrics();
+  auto& m = session->metrics();
   m.add(m.counter("online.events"),
         events_consumed_.load(std::memory_order_relaxed));
   m.add(m.counter("online.events.send"),

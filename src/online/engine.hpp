@@ -171,7 +171,7 @@ class OnlineEngine final : public PatternListener {
   void feed(std::span<const StreamEvent> events);
 
   // --- live queries ---------------------------------------------------------
-  int num_processes() const { return machine_.num_processes(); }
+  int num_processes() const { return num_processes_; }
   // Raw events observed (including in-flight sends; not the prefix count).
   long long events_consumed() const;
   // The open interval index I_{p,durable+1} the next event of p lands in.
@@ -321,6 +321,8 @@ class OnlineEngine final : public PatternListener {
   int reader_node_of(const CkptId& c) const;
 
   std::mutex feed_mu_;  // serializes feeders (on_* / feed)
+
+  const int num_processes_;  // immutable after construction; lock-free reads
 
   TdvMachine machine_;
   std::vector<VectorClock> clocks_;

@@ -59,7 +59,7 @@ void flush_replay_metrics(const ReplayResult& result) {
   if constexpr (!obs::kObsEnabled) return;
   obs::ObsSession* session = obs::ObsSession::current();
   if (session == nullptr) return;
-  obs::MetricsRegistry& m = session->metrics();
+  auto& m = session->metrics();
   const std::string prefix =
       "replay." + ProtocolRegistry::instance().info(result.kind).id;
   m.add(m.counter(prefix + ".replays"), 1);
