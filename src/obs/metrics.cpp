@@ -70,7 +70,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
   thread_local Shard* cached_shard = nullptr;
   if (cached_generation != generation_) {
     auto shard = std::make_unique<Shard>();
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     shards_.push_back(std::move(shard));
     cached_shard = shards_.back().get();
     cached_generation = generation_;
@@ -80,7 +80,7 @@ MetricsRegistry::Shard& MetricsRegistry::local_shard() {
 
 CounterId MetricsRegistry::counter(std::string_view name) {
   RDT_REQUIRE(!name.empty(), "counter name must be non-empty");
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (std::size_t i = 0; i < counter_names_.size(); ++i)
     if (counter_names_[i] == name) return static_cast<CounterId>(i);
   RDT_REQUIRE(counter_names_.size() < kMaxCounters,
@@ -96,7 +96,7 @@ HistogramId MetricsRegistry::histogram(std::string_view name,
               "histogram needs 1..kMaxBuckets-1 bucket bounds");
   RDT_REQUIRE(std::is_sorted(bounds.begin(), bounds.end()),
               "histogram bounds must be sorted");
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   for (std::size_t i = 0; i < histogram_names_.size(); ++i) {
     if (histogram_names_[i] == name) {
       RDT_REQUIRE(std::equal(bounds.begin(), bounds.end(),
@@ -176,19 +176,19 @@ HistogramSnapshot MetricsRegistry::histogram_snapshot_locked(
 }
 
 long long MetricsRegistry::counter_total(CounterId id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   RDT_REQUIRE(id < counter_names_.size(), "counter not registered");
   return counter_total_locked(id);
 }
 
 HistogramSnapshot MetricsRegistry::histogram_snapshot(HistogramId id) const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   RDT_REQUIRE(id < histogram_names_.size(), "histogram not registered");
   return histogram_snapshot_locked(id);
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   MetricsSnapshot out;
   out.counters.reserve(counter_names_.size());
   for (std::size_t i = 0; i < counter_names_.size(); ++i)
@@ -202,17 +202,17 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 std::size_t MetricsRegistry::num_counters() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return counter_names_.size();
 }
 
 std::size_t MetricsRegistry::num_histograms() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return histogram_names_.size();
 }
 
 std::size_t MetricsRegistry::num_shards() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   return shards_.size();
 }
 

@@ -26,11 +26,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace rdt::obs {
 
@@ -101,19 +102,23 @@ class MetricsRegistry {
  private:
   struct Shard;
   Shard& local_shard();
-  long long counter_total_locked(CounterId id) const;
-  HistogramSnapshot histogram_snapshot_locked(HistogramId id) const;
+  long long counter_total_locked(CounterId id) const RDT_REQUIRES(mutex_);
+  HistogramSnapshot histogram_snapshot_locked(HistogramId id) const
+      RDT_REQUIRES(mutex_);
 
   const std::uint64_t generation_;  // distinguishes registry instances
-  mutable std::mutex mutex_;
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> histogram_names_;
-  std::vector<std::vector<long long>> histogram_bounds_;
+  mutable AnnotatedMutex mutex_;
+  std::vector<std::string> counter_names_ RDT_GUARDED_BY(mutex_);
+  std::vector<std::string> histogram_names_ RDT_GUARDED_BY(mutex_);
+  std::vector<std::vector<long long>> histogram_bounds_ RDT_GUARDED_BY(mutex_);
   // Lock-free (pointer, size) view of each histogram's bounds for record();
-  // published with release semantics at registration.
+  // published with release semantics at registration. Deliberately not
+  // guarded: record() reads them without the mutex by design.
   std::array<std::atomic<const long long*>, kMaxHistograms> bounds_data_;
   std::array<std::atomic<std::size_t>, kMaxHistograms> bounds_size_;
-  std::vector<std::unique_ptr<Shard>> shards_;  // registration order
+  // Registration order. The vector is guarded; the Shards behind the
+  // pointers are each written only by their owning thread (atomic slots).
+  std::vector<std::unique_ptr<Shard>> shards_ RDT_GUARDED_BY(mutex_);
 };
 
 }  // namespace rdt::obs

@@ -26,7 +26,7 @@ TraceLog::Buffer& TraceLog::local_buffer() {
   thread_local Buffer* cached_buffer = nullptr;
   if (cached_generation != generation_) {
     auto buffer = std::make_unique<Buffer>();
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     buffer->tid = static_cast<std::uint32_t>(buffers_.size());
     buffer->events.reserve(256);
     buffers_.push_back(std::move(buffer));
@@ -45,7 +45,7 @@ void TraceLog::record(SpanEvent ev) {
 std::vector<SpanEvent> TraceLog::sorted_events() const {
   std::vector<SpanEvent> out;
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (const auto& buffer : buffers_)
       out.insert(out.end(), buffer->events.begin(), buffer->events.end());
   }
@@ -58,7 +58,7 @@ std::vector<SpanEvent> TraceLog::sorted_events() const {
 }
 
 std::size_t TraceLog::size() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const MutexLock lock(mutex_);
   std::size_t n = 0;
   for (const auto& buffer : buffers_) n += buffer->events.size();
   return n;

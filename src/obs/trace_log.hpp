@@ -16,8 +16,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace rdt::obs {
 
@@ -51,8 +52,11 @@ class TraceLog {
   Buffer& local_buffer();
 
   const std::uint64_t generation_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<Buffer>> buffers_;
+  mutable AnnotatedMutex mutex_;
+  // The vector (registration) is guarded; the per-thread event buffers
+  // behind the pointers are written lock-free by their owning threads and
+  // read only after quiescence — the documented reader contract above.
+  std::vector<std::unique_ptr<Buffer>> buffers_ RDT_GUARDED_BY(mutex_);
 };
 
 }  // namespace rdt::obs

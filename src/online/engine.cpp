@@ -23,6 +23,9 @@ inline void bump(std::atomic<T>& c, T d) {
 
 OnlineEngine::OnlineEngine(int num_processes)
     : num_processes_(num_processes), machine_(num_processes) {
+  // TSA checks calls into RDT_REQUIRES helpers even from the constructor,
+  // so take the (uncontended, single-threaded) feed lock for the body.
+  const MutexLock lock(feed_mu_);
   const auto n = static_cast<std::size_t>(num_processes);
   clocks_.assign(n, VectorClock(num_processes));
   state_.resize(n);
@@ -394,35 +397,35 @@ void OnlineEngine::do_event(const StreamEvent& e) {
 // Intake entry points.
 
 void OnlineEngine::on_send(MsgId m, ProcessId sender, ProcessId receiver) {
-  const std::lock_guard<std::mutex> lock(feed_mu_);
+  const MutexLock lock(feed_mu_);
   const WriteTicket ticket(seq_);
   do_send(m, sender, receiver);
   audit_published_state();
 }
 
 void OnlineEngine::on_deliver(MsgId m, ProcessId sender, ProcessId receiver) {
-  const std::lock_guard<std::mutex> lock(feed_mu_);
+  const MutexLock lock(feed_mu_);
   const WriteTicket ticket(seq_);
   do_deliver(m, sender, receiver);
   audit_published_state();
 }
 
 void OnlineEngine::on_internal(ProcessId p) {
-  const std::lock_guard<std::mutex> lock(feed_mu_);
+  const MutexLock lock(feed_mu_);
   const WriteTicket ticket(seq_);
   do_internal(p);
   audit_published_state();
 }
 
 void OnlineEngine::on_checkpoint(ProcessId p, CkptIndex index) {
-  const std::lock_guard<std::mutex> lock(feed_mu_);
+  const MutexLock lock(feed_mu_);
   const WriteTicket ticket(seq_);
   do_checkpoint(p, index);
   audit_published_state();
 }
 
 void OnlineEngine::feed(std::span<const StreamEvent> events) {
-  const std::lock_guard<std::mutex> lock(feed_mu_);
+  const MutexLock lock(feed_mu_);
   if (events.empty()) return;
   // Amortize the message-table growth across the batch — but keep the
   // geometric growth policy: a bare reserve(size + sends) would reallocate
@@ -555,7 +558,7 @@ int OnlineEngine::reader_node_of(const CkptId& c) const {
 }
 
 bool OnlineEngine::zreach(const CkptId& from, const CkptId& to) const {
-  const std::lock_guard<std::mutex> lock(rc_.mu);
+  const MutexLock lock(rc_.mu);
   struct Counts {
     std::size_t nodes, edges;
   };
@@ -569,20 +572,23 @@ bool OnlineEngine::zreach(const CkptId& from, const CkptId& to) const {
 }
 
 RecoveryOutcome OnlineEngine::recovery_line() const {
-  const std::lock_guard<std::mutex> lock(rc_.mu);
+  const MutexLock lock(rc_.mu);
   const auto n = static_cast<std::size_t>(num_processes());
   struct Snap {
     std::uint64_t epoch = 0;
     std::size_t nodes = 0, edges = 0;
   };
+  // TSA analyzes the lambda as a separate function that does not hold
+  // rc_.mu; bind the scratch vector under the lock and capture the alias
+  // (the house idiom from util/thread_annotations.hpp).
+  std::vector<CkptIndex>& durable_snap = rc_.durable_snap;
   const Snap snap = read_stable([&] {
     Snap s;
     s.epoch = recovery_epoch_.load(std::memory_order_relaxed);
     s.nodes = node_log_.size_published();
     s.edges = edge_log_.size_published();
     for (std::size_t p = 0; p < n; ++p)
-      rc_.durable_snap[p] =
-          proc_pub_[p].durable.load(std::memory_order_relaxed);
+      durable_snap[p] = proc_pub_[p].durable.load(std::memory_order_relaxed);
     return s;
   });
   if (rc_.recovery_memo_valid && rc_.recovery_memo_epoch == snap.epoch)
@@ -602,11 +608,15 @@ RecoveryOutcome OnlineEngine::recovery_line() const {
   }
 
   std::vector<CkptIndex> min_invalid(n, std::numeric_limits<CkptIndex>::max());
+  // Aliases bound under rc_.mu for the propagate_rollback callbacks (the
+  // lambda-vs-TSA idiom again).
+  const IncrementalReach& reach = rc_.reach;
+  const std::vector<CkptId>& node_ckpt = rc_.node_ckpt;
   propagate_rollback(
-      rc_.scratch, rc_.reach.num_nodes(), seeds,
-      [&](int u, auto&& emit) { rc_.reach.for_each_successor(u, emit); },
+      rc_.scratch, reach.num_nodes(), seeds,
+      [&](int u, auto&& emit) { reach.for_each_successor(u, emit); },
       [&](int u) {
-        const CkptId c = rc_.node_ckpt[static_cast<std::size_t>(u)];
+        const CkptId c = node_ckpt[static_cast<std::size_t>(u)];
         CkptIndex& m = min_invalid[static_cast<std::size_t>(c.process)];
         m = std::min(m, c.index);
       });
@@ -658,7 +668,7 @@ void OnlineEngine::flush_metrics() const {
         noncausal_junctions_.load(std::memory_order_relaxed));
   long long sweeps = 0;
   {
-    const std::lock_guard<std::mutex> lock(rc_.mu);
+    const MutexLock lock(rc_.mu);
     sweeps = rc_.recovery_sweeps;
   }
   m.add(m.counter("online.recovery.sweeps"), sweeps);

@@ -81,7 +81,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
@@ -93,6 +92,7 @@
 #include "recovery/rollback.hpp"
 #include "rgraph/incremental.hpp"
 #include "util/published_log.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdt {
 
@@ -276,69 +276,77 @@ class OnlineEngine final : public PatternListener {
   // rollback sweep. Guarded by its own mutex: heavy queries serialize with
   // each other here, never with the feeder.
   struct ReaderCache {
-    std::mutex mu;
-    IncrementalReach reach;
-    std::vector<CkptId> node_ckpt;            // engine node -> checkpoint
-    std::vector<std::vector<int>> node_ids;   // [p][x] -> engine node
-    std::size_t nodes_consumed = 0;
-    std::size_t edges_consumed = 0;
-    std::vector<CkptIndex> durable_snap;      // scratch for snapshots
-    RollbackScratch scratch;
-    RecoveryOutcome recovery_memo;
-    std::uint64_t recovery_memo_epoch = 0;
-    bool recovery_memo_valid = false;
-    long long recovery_sweeps = 0;
+    AnnotatedMutex mu;
+    IncrementalReach reach RDT_GUARDED_BY(mu);
+    // engine node -> checkpoint
+    std::vector<CkptId> node_ckpt RDT_GUARDED_BY(mu);
+    // [p][x] -> engine node
+    std::vector<std::vector<int>> node_ids RDT_GUARDED_BY(mu);
+    std::size_t nodes_consumed RDT_GUARDED_BY(mu) = 0;
+    std::size_t edges_consumed RDT_GUARDED_BY(mu) = 0;
+    // scratch for snapshots
+    std::vector<CkptIndex> durable_snap RDT_GUARDED_BY(mu);
+    RollbackScratch scratch RDT_GUARDED_BY(mu);
+    RecoveryOutcome recovery_memo RDT_GUARDED_BY(mu);
+    std::uint64_t recovery_memo_epoch RDT_GUARDED_BY(mu) = 0;
+    bool recovery_memo_valid RDT_GUARDED_BY(mu) = false;
+    long long recovery_sweeps RDT_GUARDED_BY(mu) = 0;
   };
 
   // Event bodies; caller holds feed_mu_ inside a WriteTicket.
-  void do_event(const StreamEvent& e);
-  void do_send(MsgId m, ProcessId sender, ProcessId receiver);
-  void do_deliver(MsgId m, ProcessId sender, ProcessId receiver);
-  void do_internal(ProcessId p);
-  void do_checkpoint(ProcessId p, CkptIndex index);
+  void do_event(const StreamEvent& e) RDT_REQUIRES(feed_mu_);
+  void do_send(MsgId m, ProcessId sender, ProcessId receiver)
+      RDT_REQUIRES(feed_mu_);
+  void do_deliver(MsgId m, ProcessId sender, ProcessId receiver)
+      RDT_REQUIRES(feed_mu_);
+  void do_internal(ProcessId p) RDT_REQUIRES(feed_mu_);
+  void do_checkpoint(ProcessId p, CkptIndex index) RDT_REQUIRES(feed_mu_);
 
-  void ensure_frontier(ProcessId p);
-  int node_of(const CkptId& c) const;  // feeder side; caller holds feed_mu_
+  void ensure_frontier(ProcessId p) RDT_REQUIRES(feed_mu_);
+  int node_of(const CkptId& c) const RDT_REQUIRES(feed_mu_);  // feeder side
   // Verdict for one MM junction: the two-message chain entering target's
   // process from C_{k,si} must be trackable at `target`.
-  void evaluate_mm(const CkptId& target, ProcessId k, CkptIndex si);
+  void evaluate_mm(const CkptId& target, ProcessId k, CkptIndex si)
+      RDT_REQUIRES(feed_mu_);
   // Recount process j's pending-vs-live census after its live TDV grew.
-  void refresh_vio(ProcessId j);
+  void refresh_vio(ProcessId j) RDT_REQUIRES(feed_mu_);
 
   // Mirror maintenance (feeder side).
-  void publish_tdv_row(ProcessId j);
-  void publish_tdv_own(ProcessId j);
-  void publish_clock_row(ProcessId j);
-  void publish_clock_own(ProcessId j);
-  void publish_proc(ProcessId p);
+  void publish_tdv_row(ProcessId j) RDT_REQUIRES(feed_mu_);
+  void publish_tdv_own(ProcessId j) RDT_REQUIRES(feed_mu_);
+  void publish_clock_row(ProcessId j) RDT_REQUIRES(feed_mu_);
+  void publish_clock_own(ProcessId j) RDT_REQUIRES(feed_mu_);
+  void publish_proc(ProcessId p) RDT_REQUIRES(feed_mu_);
   // Republish every mirror (all TDV/clock rows, every per-process pub).
-  void publish_all();
+  void publish_all() RDT_REQUIRES(feed_mu_);
   // RDT_AUDITS-only: recompute every mirror from the feeder state.
-  void audit_published_state() const;
+  void audit_published_state() const RDT_REQUIRES(feed_mu_);
 
   // Reader side; caller holds rc_.mu.
-  void catch_up_reader(std::size_t nodes, std::size_t edges) const;
-  int reader_node_of(const CkptId& c) const;
+  void catch_up_reader(std::size_t nodes, std::size_t edges) const
+      RDT_REQUIRES(rc_.mu);
+  int reader_node_of(const CkptId& c) const RDT_REQUIRES(rc_.mu);
 
-  std::mutex feed_mu_;  // serializes feeders (on_* / feed)
+  mutable AnnotatedMutex feed_mu_;  // serializes feeders (on_* / feed)
 
   const int num_processes_;  // immutable after construction; lock-free reads
 
-  TdvMachine machine_;
-  std::vector<VectorClock> clocks_;
-  std::vector<ProcessState> state_;
-  std::vector<MessageState> msgs_;
+  TdvMachine machine_ RDT_GUARDED_BY(feed_mu_);
+  std::vector<VectorClock> clocks_ RDT_GUARDED_BY(feed_mu_);
+  std::vector<ProcessState> state_ RDT_GUARDED_BY(feed_mu_);
+  std::vector<MessageState> msgs_ RDT_GUARDED_BY(feed_mu_);
   // Spent piggyback buffers, recycled: a delivery retires its message's TDV
   // and clock snapshots here, the next send reuses their capacity, so the
   // steady-state feed path performs no per-event heap allocation.
-  std::vector<Tdv> tdv_pool_;
-  std::vector<VectorClock> clock_pool_;
-  std::vector<std::vector<int>> node_ids_;  // [p][x] -> engine node, x<=durable
-  int next_node_ = 0;
+  std::vector<Tdv> tdv_pool_ RDT_GUARDED_BY(feed_mu_);
+  std::vector<VectorClock> clock_pool_ RDT_GUARDED_BY(feed_mu_);
+  // [p][x] -> engine node, x<=durable
+  std::vector<std::vector<int>> node_ids_ RDT_GUARDED_BY(feed_mu_);
+  int next_node_ RDT_GUARDED_BY(feed_mu_) = 0;
   // While a feed() batch holds the seqlock odd no reader can observe the
   // mirrors, so per-event publication is wasted work: the publish_* helpers
   // become no-ops and one publish_all() runs at batch commit.
-  bool deferred_publish_ = false;
+  bool deferred_publish_ RDT_GUARDED_BY(feed_mu_) = false;
 
   // ----- published state (written by the feeder, read by anyone) -----------
   std::atomic<std::uint64_t> seq_{0};

@@ -3,12 +3,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 
 #include "obs/hooks.hpp"
 #include "util/check.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace rdt {
 
@@ -63,12 +63,16 @@ std::vector<ProtocolStats> fold(std::span<const ProtocolKind> kinds,
 }
 
 // One generated trace shared (read-only) by every protocol replay of its
-// seed. `remaining` counts outstanding protocol work items; the worker that
-// finishes the last one releases the trace so memory stays bounded by the
-// number of in-flight seeds, not the sweep size.
+// seed. The first worker to reach the seed generates the trace under the
+// slot mutex; later workers acquire the same mutex (the happens-before
+// edge) and then replay through a plain pointer, since nothing mutates the
+// trace until the last replay. `remaining` counts outstanding protocol work
+// items; the worker that finishes the last one releases the trace so memory
+// stays bounded by the number of in-flight seeds, not the sweep size.
 struct SeedSlot {
-  std::once_flag generated;
-  std::optional<Trace> trace;
+  AnnotatedMutex mu;
+  bool generated RDT_GUARDED_BY(mu) = false;
+  std::optional<Trace> trace RDT_GUARDED_BY(mu);
   std::atomic<int> remaining{0};
 };
 
@@ -121,7 +125,7 @@ std::vector<ProtocolStats> sweep_parallel(
     RDT_TRACE_SPAN("sweep", "sweep.worker");
     // Observability (compiled out by default): the per-item latency and the
     // queue-wait — time this worker spends blocked on another worker's
-    // trace generation inside call_once — as histograms.
+    // trace generation inside the slot's critical section — as histograms.
     obs::ObsSession* session = nullptr;
     obs::HistogramId h_item = 0;
     obs::HistogramId h_wait = 0;
@@ -141,17 +145,28 @@ std::vector<ProtocolStats> sweep_parallel(
       const auto k = static_cast<std::size_t>(w % num_kinds);
       SeedSlot& slot = slots[s];
       const std::int64_t t0 = session != nullptr ? session->now_us() : 0;
-      std::call_once(slot.generated, [&] {
-        slot.trace.emplace(
-            generate(seed0 + static_cast<std::uint64_t>(s)));
-      });
+      const Trace* trace = nullptr;
+      {
+        const MutexLock lock(slot.mu);
+        if (!slot.generated) {
+          slot.trace.emplace(generate(seed0 + static_cast<std::uint64_t>(s)));
+          slot.generated = true;
+        }
+        // Read-only until this seed's last replay drops it, and this worker
+        // still holds one `remaining` count — the pointer cannot dangle.
+        trace = &*slot.trace;
+      }
       if (session != nullptr)
         session->metrics().record(h_wait, session->now_us() - t0);
-      matrix[s][k] = measure(*slot.trace, kinds[k], arena);
+      matrix[s][k] = measure(*trace, kinds[k], arena);
       if (session != nullptr)
         session->metrics().record(h_item, session->now_us() - t0);
-      if (slot.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
-        slot.trace.reset();  // last replay of this seed: drop the trace
+      if (slot.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last replay of this seed: drop the trace. The acq_rel RMW orders
+        // every replay's reads before this release.
+        const MutexLock lock(slot.mu);
+        slot.trace.reset();
+      }
     }
   };
   {

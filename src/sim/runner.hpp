@@ -34,8 +34,8 @@ std::vector<ProtocolStats> sweep(
 
 // Same computation fanned out over `threads` worker threads with a fused
 // (seed x protocol) work queue: each work item replays one protocol over
-// one seed's trace. The trace is generated once per seed (std::call_once),
-// shared *const* by the replays of that seed — replay() never mutates its
+// one seed's trace. The trace is generated once per seed (under a per-slot
+// mutex), shared *const* by the replays of that seed — replay() never mutates its
 // Trace, see docs/api_tour.md — and released after its last replay. Each
 // worker owns a private PayloadArena. Per-seed rows are folded in seed
 // order, making the aggregate bit-identical to the serial sweep for any
