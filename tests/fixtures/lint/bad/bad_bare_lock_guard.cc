@@ -1,0 +1,6 @@
+// bare-mutex: locking with std::lock_guard instead of rdt::MutexLock, so
+// the acquire/release bracket is invisible to the analysis.
+int Cache::get() const {
+  const std::lock_guard lock(mu_);
+  return value_;
+}

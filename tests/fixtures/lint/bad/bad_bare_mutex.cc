@@ -1,0 +1,6 @@
+// bare-mutex: a raw std::mutex member — invisible to the thread-safety
+// analysis; the house rule is rdt::AnnotatedMutex.
+struct Cache {
+  int get() const;
+  mutable std::mutex mu_;
+};

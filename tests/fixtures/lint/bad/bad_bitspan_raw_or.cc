@@ -1,0 +1,6 @@
+// bitspan-trim: same seam through the change-tracking kernel; the early
+// return makes it easy to skip the trim on one path.
+bool fold_row_changed(BitSpan dst, BitSpan src) {
+  if (src.empty()) return false;
+  return bitkern::or_into_changed(dst.words(), src.words(), src.num_words());
+}

@@ -1,0 +1,5 @@
+// bitspan-trim: a raw word-level OR with no trim_tail / tail_zero proof in
+// the enclosing function — the BitSpan tail invariant is unprotected.
+void fold_row(BitSpan dst, BitSpan src) {
+  bitkern::or_into(dst.words(), src.words(), src.num_words());
+}

@@ -1,0 +1,6 @@
+// obs-hot-path: a hot-path TU including the metrics header directly
+// instead of going through obs/hooks.hpp.
+// rdt-lint: hot-path
+#include "obs/metrics.hpp"
+
+void replay_one() {}

@@ -1,0 +1,6 @@
+// obs-hot-path: naming the registry type in a hot-path TU reintroduces the
+// unconditional observability dependency the hooks layer hides.
+// rdt-lint: hot-path
+#include "obs/hooks.hpp"
+
+void replay_one(obs::MetricsRegistry& m) { m.add(0, 1); }

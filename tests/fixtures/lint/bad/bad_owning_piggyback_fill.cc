@@ -1,0 +1,6 @@
+// owning-piggyback: the pre-arena fill hook signature; it compiles in a
+// fork but costs a heap allocation per message.
+class LegacyProtocol final : public Protocol {
+ public:
+  void fill_payload(Piggyback& out, ProcessId sender) override;
+};

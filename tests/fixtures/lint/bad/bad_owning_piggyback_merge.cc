@@ -1,0 +1,5 @@
+// owning-piggyback: the removed owning merge hook.
+class LegacyProtocol final : public Protocol {
+ public:
+  void merge_payload(const Piggyback& in, ProcessId receiver) override;
+};

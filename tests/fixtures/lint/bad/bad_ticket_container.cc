@@ -1,0 +1,10 @@
+// ticket-atomics: a container member mutated inside the write bracket
+// without being a PublishedLog or on the audited feeder-private allowlist.
+struct Engine {
+  void on_event(int v) {
+    const WriteTicket ticket(seq_);
+    events_.push_back(v);
+  }
+  std::atomic<unsigned long long> seq_{0};
+  std::vector<int> events_;
+};

@@ -1,0 +1,10 @@
+// ticket-atomics: a plain int mutated in a TU that brackets writes with a
+// seqlock WriteTicket — a reader on the lock-free path could tear it.
+struct Engine {
+  void on_event() {
+    const WriteTicket ticket(seq_);
+    counter_ = counter_ + 1;
+  }
+  std::atomic<unsigned long long> seq_{0};
+  int counter_;
+};

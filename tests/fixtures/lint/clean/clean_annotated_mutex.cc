@@ -1,0 +1,15 @@
+// The house locking idiom: an annotated mutex, guarded fields, and the
+// scoped MutexLock — everything the thread-safety analysis can check.
+#include "util/thread_annotations.hpp"
+
+class Cache {
+ public:
+  int get() const {
+    const rdt::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable rdt::AnnotatedMutex mu_;
+  int value_ RDT_GUARDED_BY(mu_) = 0;
+};

@@ -1,0 +1,13 @@
+// Raw OR kernels with the tail invariant re-established (trim_tail) or
+// proven preserved (tail_zero audit) in the same function.
+void fold_row(BitSpan dst, BitSpan src) {
+  bitkern::or_into(dst.words(), src.words(), src.num_words());
+  bitdetail::trim_tail(dst.words(), dst.num_bits());
+}
+
+bool fold_row_checked(BitSpan dst, BitSpan src) {
+  const bool changed =
+      bitkern::or_into_changed(dst.words(), src.words(), src.num_words());
+  RDT_AUDIT(dst.tail_zero(), "tail stayed zero: operands share num_bits");
+  return changed;
+}

@@ -1,0 +1,14 @@
+// A hot-path TU talking to observability the sanctioned way: the hooks
+// macros and the ObsSession accessors (no registry type ever named).
+// rdt-lint: hot-path
+#include "obs/hooks.hpp"
+
+void replay_one() {
+  RDT_TRACE_SPAN("replay", "replay_one");
+  RDT_COUNT("replay.messages");
+  obs::ObsSession* session = obs::ObsSession::current();
+  if (session != nullptr) {
+    auto& m = session->metrics();
+    m.add(m.counter("replay.batches"), 1);
+  }
+}

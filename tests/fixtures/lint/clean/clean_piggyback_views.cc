@@ -1,0 +1,7 @@
+// The arena-based protocol hook signatures: views in, slots out.
+class ModernProtocol final : public Protocol {
+ public:
+  void fill_payload(PiggybackSlot out, ProcessId sender) override;
+  void merge_payload(PiggybackView in, ProcessId receiver) override;
+  bool must_force(PiggybackView in, ProcessId receiver) const override;
+};

@@ -1,0 +1,15 @@
+// Inside a WriteTicket bracket only atomics, PublishedLogs, and audited
+// feeder-private members (here: via the allowlist names) are mutated.
+struct Engine {
+  void on_event(int v) {
+    const WriteTicket ticket(seq_);
+    count_.store(count_.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+    node_log_.push_back(v);
+    msgs_.push_back(v);  // audited: feeder-private, GUARDED_BY(feed_mu_)
+  }
+  std::atomic<unsigned long long> seq_{0};
+  std::atomic<long long> count_{0};
+  PublishedLog<int> node_log_;
+  std::vector<int> msgs_;
+};

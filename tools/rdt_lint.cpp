@@ -1,0 +1,129 @@
+// rdt-lint — walk source trees and enforce the repo-specific concurrency
+// and representation rules (see lint/rules.hpp and docs/analysis.md,
+// "Concurrency contract").
+//
+//   rdt-lint <file-or-dir>...   lint every *.cpp / *.hpp / *.cc reachable
+//   rdt-lint --list-rules       print the rule table
+//
+// Exit codes: 0 clean, 1 findings, 2 usage / IO error — the same contract
+// as rdt-analyze, so the CI job and the WILL_FAIL ctest wiring carry over.
+#include <algorithm>
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/rules.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using rdt::lint::FileInput;
+using rdt::lint::Finding;
+
+struct UsageError : std::exception {
+  const char* what() const noexcept override {
+    return "usage: rdt-lint --list-rules | <file-or-dir>...";
+  }
+};
+
+std::string slurp(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open '" + path.string() + "'");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return std::move(ss).str();
+}
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc";
+}
+
+// Generic (/-separated) path string, so the rules' path scoping matches on
+// every platform.
+std::string generic(const fs::path& path) { return path.generic_string(); }
+
+FileInput load(const fs::path& path) {
+  return FileInput{generic(path), slurp(path)};
+}
+
+// The same-basename header next to a source file, when present — the
+// ticket-atomics rule reads member declarations from it.
+FileInput sibling_header(const fs::path& source) {
+  if (source.extension() != ".cpp" && source.extension() != ".cc")
+    return FileInput{};
+  fs::path header = source;
+  header.replace_extension(".hpp");
+  std::error_code ec;
+  if (!fs::is_regular_file(header, ec)) return FileInput{};
+  return load(header);
+}
+
+void collect(const fs::path& root, std::vector<fs::path>& out) {
+  std::error_code ec;
+  if (fs::is_directory(root, ec)) {
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file() && lintable(entry.path()))
+        out.push_back(entry.path());
+    }
+    return;
+  }
+  if (fs::is_regular_file(root, ec)) {
+    out.push_back(root);
+    return;
+  }
+  throw std::runtime_error("no such file or directory: '" + root.string() +
+                           "'");
+}
+
+int run(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) throw UsageError{};
+  if (args[0] == "--list-rules") {
+    if (args.size() != 1) throw UsageError{};
+    for (const auto& rule : rdt::lint::rules())
+      std::cout << rule.id << ": " << rule.summary << "\n";
+    return 0;
+  }
+
+  std::vector<fs::path> files;
+  for (const std::string& arg : args) {
+    if (!arg.empty() && arg[0] == '-') throw UsageError{};
+    collect(arg, files);
+  }
+  std::sort(files.begin(), files.end());
+
+  std::size_t findings = 0;
+  for (const fs::path& path : files) {
+    const FileInput file = load(path);
+    for (const Finding& f : rdt::lint::lint_file(file, sibling_header(path))) {
+      std::cout << f.path << ":" << f.line << ": [" << f.rule << "] "
+                << f.message << "\n";
+      ++findings;
+    }
+  }
+  if (findings > 0) {
+    std::cerr << "rdt-lint: " << findings << " finding(s) in " << files.size()
+              << " file(s)\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const UsageError& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "rdt-lint: " << e.what() << "\n";
+    return 2;
+  }
+}
