@@ -33,6 +33,10 @@ namespace {
 
 using namespace rdt;
 
+// Thrown for bad invocations; main() maps it to exit code 2. (The tools
+// avoid std::exit: it skips destructors and trips concurrency-mt-unsafe.)
+struct UsageError {};
+
 [[noreturn]] void usage() {
   std::cerr <<
       "usage: rdt-analyze <command> ...\n"
@@ -44,16 +48,13 @@ using namespace rdt;
       "  stats    <pattern.ccp>\n"
       "  dot      <pattern.ccp>        (Graphviz R-graph, hidden deps in red)\n"
       "  simulate <random|group|client-server> <protocol> [seed]\n";
-  std::exit(2);
+  throw UsageError{};
 }
 
 Pattern load(const std::string& path) {
   if (path == "-") return read_pattern(std::cin);
   std::ifstream in(path);
-  if (!in) {
-    std::cerr << "rdt-analyze: cannot open '" << path << "'\n";
-    std::exit(1);
-  }
+  if (!in) throw std::runtime_error("cannot open '" + path + "'");
   return read_pattern(in);
 }
 
@@ -251,6 +252,8 @@ int main(int argc, char** argv) {
       return cmd_simulate(args[1], args[2],
                           args.size() == 4 ? std::stoull(args[3]) : 1);
     usage();
+  } catch (const UsageError&) {
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "rdt-analyze: " << e.what() << '\n';
     return 1;

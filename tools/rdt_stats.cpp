@@ -25,11 +25,15 @@ namespace {
 
 using namespace rdt;
 
+// Thrown for bad invocations; main() maps it to exit code 2. (The tools
+// avoid std::exit: it skips destructors and trips concurrency-mt-unsafe.)
+struct UsageError {};
+
 [[noreturn]] void usage() {
   std::cerr << "usage: rdt-stats <command> <file.json>\n"
                "  trace <trace.json>    rdt-trace-v1 (chrome://tracing)\n"
                "  bench <report.json>   rdt-bench-v1\n";
-  std::exit(2);
+  throw UsageError{};
 }
 
 std::string slurp(const std::string& path) {
@@ -38,10 +42,7 @@ std::string slurp(const std::string& path) {
     buf << std::cin.rdbuf();
   } else {
     std::ifstream in(path);
-    if (!in) {
-      std::cerr << "rdt-stats: cannot open '" << path << "'\n";
-      std::exit(1);
-    }
+    if (!in) throw std::runtime_error("cannot open the file");
     buf << in.rdbuf();
   }
   return buf.str();
@@ -182,14 +183,17 @@ int cmd_bench(const std::string& path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) usage();
-  const std::string command = argv[1];
   try {
+    if (argc != 3) usage();
+    const std::string command = argv[1];
     if (command == "trace") return cmd_trace(argv[2]);
     if (command == "bench") return cmd_bench(argv[2]);
+    usage();
+  } catch (const UsageError&) {
+    return 2;
   } catch (const std::exception& e) {
+    // Only the commands throw std::exception, so argv[2] is present here.
     std::cerr << "rdt-stats: " << argv[2] << ": " << e.what() << '\n';
     return 1;
   }
-  usage();
 }
