@@ -29,6 +29,11 @@ class VectorClock {
   explicit VectorClock(int num_processes) : entries_(num_processes, 0) {}
 
   int size() const { return static_cast<int>(entries_.size()); }
+  // Back to all-zero over `num_processes` entries, reusing the buffer.
+  void reset(int num_processes) {
+    entries_.assign(static_cast<std::size_t>(num_processes), 0);
+  }
+
   std::int64_t get(ProcessId p) const;
   void set(ProcessId p, std::int64_t value);
 

@@ -15,6 +15,16 @@ TdvMachine::TdvMachine(int num_processes) {
   for (std::size_t i = 0; i < n; ++i) current_[i][i] = 1;
 }
 
+void TdvMachine::reset(int num_processes) {
+  RDT_REQUIRE(num_processes >= 1, "need at least one process");
+  const auto n = static_cast<std::size_t>(num_processes);
+  current_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    current_[i].assign(n, 0);
+    current_[i][i] = 1;
+  }
+}
+
 void TdvMachine::deliver(ProcessId receiver, const Tdv& piggyback) {
   Tdv& tdv = current_[static_cast<std::size_t>(receiver)];
   RDT_CHECK(piggyback.size() == tdv.size(),

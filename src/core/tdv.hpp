@@ -45,6 +45,10 @@ class TdvMachine {
  public:
   explicit TdvMachine(int num_processes);
 
+  // Back to the constructor's initial state over `num_processes` processes,
+  // reusing the existing vectors' capacity where the count allows.
+  void reset(int num_processes);
+
   int num_processes() const { return static_cast<int>(current_.size()); }
 
   // The live vector TDV_i (own entry = current interval index).

@@ -35,14 +35,102 @@ OnlineEngine::OnlineEngine(int num_processes)
   proc_pub_ = std::make_unique<PubProc[]>(n);
   rc_.node_ids.resize(n);
   rc_.durable_snap.assign(n, 0);
-  for (ProcessId p = 0; p < num_processes; ++p) {
+  bootstrap_processes();
+}
+
+void OnlineEngine::bootstrap_processes() {
+  const auto n = static_cast<std::size_t>(num_processes());
+  for (ProcessId p = 0; p < num_processes(); ++p) {
     auto& ps = state_[static_cast<std::size_t>(p)];
     ps.pending.assign(n, 0);
     ps.last_node = next_node_++;  // the implicit initial C_{p,0}
     node_log_.push_back(CkptId{p, 0});
     node_ids_[static_cast<std::size_t>(p)].push_back(ps.last_node);
-    publish_tdv_row(p);  // own entry is already 1 (interval I_{p,1})
   }
+  publish_all();  // own TDV entries are already 1 (interval I_{p,1})
+}
+
+void OnlineEngine::reset(int num_processes) {
+  RDT_REQUIRE(num_processes >= 1, "need at least one process");
+  const MutexLock lock(feed_mu_);
+  // Bracket with the seqlock so a contract-violating late reader spins
+  // through the teardown instead of tearing a half-reset snapshot.
+  const WriteTicket ticket(seq_);
+  const auto n = static_cast<std::size_t>(num_processes);
+  const bool resized = num_processes != this->num_processes();
+  num_processes_.store(num_processes, std::memory_order_relaxed);
+
+  machine_.reset(num_processes);
+  clocks_.resize(n);
+  for (VectorClock& c : clocks_) c.reset(num_processes);
+
+  // Retire every live piggyback buffer into the pools before dropping the
+  // message table, so the next stream's sends start out allocation-free.
+  for (MessageState& ms : msgs_) {
+    if (ms.delivered) continue;  // delivery already recycled these
+    tdv_pool_.push_back(std::move(ms.tdv));
+    clock_pool_.push_back(std::move(ms.clock));
+  }
+  msgs_.clear();
+
+  state_.resize(n);
+  for (auto& ps : state_) {
+    ps.durable = 0;
+    ps.last_node = -1;
+    ps.frontier = -1;
+    ps.deliveries = 0;
+    ps.open_retained = 0;
+    ps.vio = 0;
+    ps.interval_sends.clear();
+    for (Tdv& t : ps.saved) tdv_pool_.push_back(std::move(t));
+    ps.saved.clear();
+  }
+
+  node_ids_.resize(n);
+  for (auto& ids : node_ids_) ids.clear();
+  next_node_ = 0;
+  deferred_publish_ = false;
+  node_log_.reset();
+  edge_log_.reset();
+
+  if (resized) {
+    tdv_pub_ = std::make_unique<std::atomic<CkptIndex>[]>(n * n);
+    clock_pub_ = std::make_unique<std::atomic<std::int64_t>[]>(n * n);
+    proc_pub_ = std::make_unique<PubProc[]>(n);
+  }
+
+  permanent_.store(0, std::memory_order_relaxed);
+  live_vio_.store(0, std::memory_order_relaxed);
+  retained_total_.store(0, std::memory_order_relaxed);
+  delivered_.store(0, std::memory_order_relaxed);
+  causal_junctions_.store(0, std::memory_order_relaxed);
+  noncausal_junctions_.store(0, std::memory_order_relaxed);
+  events_consumed_.store(0, std::memory_order_relaxed);
+  sends_observed_.store(0, std::memory_order_relaxed);
+  internals_observed_.store(0, std::memory_order_relaxed);
+  checkpoints_observed_.store(0, std::memory_order_relaxed);
+  // Bump (never rewind) the epoch: a memo keyed to a pre-reset epoch must
+  // not validate against the recycled graph.
+  bump(recovery_epoch_, std::uint64_t{1});
+
+  {
+    // feed_mu_ -> rc_.mu is a fresh lock order, but safe: no query path
+    // acquires them in the other order (heavy queries take rc_.mu and then
+    // only the seqlock, never feed_mu_).
+    const MutexLock reader_lock(rc_.mu);
+    rc_.reach.reset();
+    rc_.node_ckpt.clear();
+    rc_.node_ids.resize(n);
+    for (auto& ids : rc_.node_ids) ids.clear();
+    rc_.nodes_consumed = 0;
+    rc_.edges_consumed = 0;
+    rc_.durable_snap.assign(n, 0);
+    rc_.recovery_memo_valid = false;
+    // rc_.recovery_sweeps survives: it is a cumulative metrics counter.
+  }
+
+  bootstrap_processes();
+  audit_published_state();
 }
 
 template <typename Fn>

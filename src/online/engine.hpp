@@ -158,6 +158,22 @@ class OnlineEngine final : public PatternListener {
  public:
   explicit OnlineEngine(int num_processes);
 
+  // Rewind to the freshly-constructed state over `num_processes` processes,
+  // recycling every arena the old stream grew: the message table, piggyback
+  // pools, published logs, closure rows, and (when the process count is
+  // unchanged) the mirror arrays all keep their allocations, so a serving
+  // pool can hand a recycled engine to a new session without paying the
+  // stream's warm-up allocations again. The recycled engine is
+  // bit-identical to a fresh OnlineEngine(num_processes) on every query
+  // (tests/online_equivalence_test.cpp pins this).
+  //
+  // Concurrency contract: reset is a *lifecycle* operation, not a feed —
+  // the caller must guarantee no concurrent feeder OR reader for its
+  // duration (the serving pool quiesces the session's shard first). The
+  // seqlock is still bracketed so a stray late reader spins rather than
+  // tearing, but log prefixes a reader captured before reset are dead.
+  void reset(int num_processes);
+
   // --- event intake (PatternListener) --------------------------------------
   void on_send(MsgId m, ProcessId sender, ProcessId receiver) override;
   void on_deliver(MsgId m, ProcessId sender, ProcessId receiver) override;
@@ -171,7 +187,9 @@ class OnlineEngine final : public PatternListener {
   void feed(std::span<const StreamEvent> events);
 
   // --- live queries ---------------------------------------------------------
-  int num_processes() const { return num_processes_; }
+  int num_processes() const {
+    return num_processes_.load(std::memory_order_relaxed);
+  }
   // Raw events observed (including in-flight sends; not the prefix count).
   long long events_consumed() const;
   // The open interval index I_{p,durable+1} the next event of p lands in.
@@ -302,6 +320,10 @@ class OnlineEngine final : public PatternListener {
   void do_internal(ProcessId p) RDT_REQUIRES(feed_mu_);
   void do_checkpoint(ProcessId p, CkptIndex index) RDT_REQUIRES(feed_mu_);
 
+  // Seed the initial checkpoints C_{p,0} into an empty engine and publish
+  // every mirror; shared by the constructor and reset().
+  void bootstrap_processes() RDT_REQUIRES(feed_mu_);
+
   void ensure_frontier(ProcessId p) RDT_REQUIRES(feed_mu_);
   int node_of(const CkptId& c) const RDT_REQUIRES(feed_mu_);  // feeder side
   // Verdict for one MM junction: the two-message chain entering target's
@@ -329,7 +351,9 @@ class OnlineEngine final : public PatternListener {
 
   mutable AnnotatedMutex feed_mu_;  // serializes feeders (on_* / feed)
 
-  const int num_processes_;  // immutable after construction; lock-free reads
+  // Changes only in the constructor and reset() (a quiesced lifecycle
+  // operation); atomic so the lock-free query paths may read it race-free.
+  std::atomic<int> num_processes_;
 
   TdvMachine machine_ RDT_GUARDED_BY(feed_mu_);
   std::vector<VectorClock> clocks_ RDT_GUARDED_BY(feed_mu_);

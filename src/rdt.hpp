@@ -18,6 +18,9 @@
 //   online/      the incremental analysis kernel: OnlineEngine streams
 //                events once and keeps RDT / recovery / z-reach answers
 //                live at every prefix
+//   serve/       the multi-tenant serving layer: a wire format for
+//                StreamEvent frames and a session-sharded engine pool
+//                that scales many concurrent streams across cores
 //   logging/     message logging for deterministic replay
 //   obs/         observability: metrics registry, span tracing, the
 //                RDT_TRACE_SPAN / RDT_COUNT hooks (chrome://tracing export)
@@ -62,6 +65,9 @@
 #include "rgraph/rgraph.hpp"
 #include "rgraph/rgraph_dot.hpp"
 #include "rgraph/zigzag.hpp"
+#include "serve/driver.hpp"
+#include "serve/pool.hpp"
+#include "serve/wire.hpp"
 #include "sim/environments.hpp"
 #include "sim/payload_arena.hpp"
 #include "sim/replay.hpp"

@@ -23,6 +23,13 @@ bool set_bit(std::vector<std::uint64_t>& words, std::uint32_t i) {
 
 }  // namespace
 
+void IncrementalReach::reset() {
+  adj_.clear();
+  edges_.clear();
+  rows_.clear();
+  queue_.clear();
+}
+
 int IncrementalReach::add_node() {
   const int id = static_cast<int>(adj_.size());
   adj_.emplace_back();

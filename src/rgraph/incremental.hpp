@@ -44,6 +44,10 @@ class IncrementalReach {
   // Append a new node; returns its id (dense, starting at 0).
   int add_node();
 
+  // Back to the empty graph, keeping the outer containers' capacity so a
+  // recycled instance regrows without reallocating its spines.
+  void reset();
+
   // Append a directed edge. Both endpoints must already exist. Duplicate
   // edges are tolerated (they cost one log entry each but change nothing).
   void add_edge(int from, int to, bool message);

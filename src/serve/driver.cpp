@@ -1,0 +1,147 @@
+#include "serve/driver.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace rdt::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double micros_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+// One producer's accumulated results, merged into the report post-join.
+struct ClientTally {
+  long long frames = 0;
+  long long cheap_queries = 0;
+  long long recovery_queries = 0;
+  long long checksum = 0;  // folds the racing answers; keeps them un-elidable
+  std::vector<double> cheap_query_us;
+  std::vector<double> recovery_query_us;
+};
+
+// The producer body: round-robin the owned sessions, one frame each per
+// pass, so every shard sees interleaved multi-tenant traffic. The frame
+// scratch buffer and the per-session cursors live for the thread's whole
+// run — steady-state submission allocates nothing once the buffer warms up.
+void run_one_client(ServePool& pool, std::span<const StreamEvent> events,
+                    const DriverOptions& options, SessionId first,
+                    int num_sessions, ClientTally& tally) {
+  const std::size_t batch = options.batch_events;
+  const std::size_t num_frames = (events.size() + batch - 1) / batch;
+  std::vector<std::uint8_t> frame;
+  long long submitted = 0;
+  for (std::size_t f = 0; f < num_frames; ++f) {
+    const std::span<const StreamEvent> chunk =
+        events.subspan(f * batch, std::min(batch, events.size() - f * batch));
+    for (int k = 0; k < num_sessions; ++k) {
+      const SessionId sid = first + static_cast<SessionId>(k);
+      frame.clear();
+      encode_frame(sid, chunk, frame);
+      pool.submit(frame);
+      ++tally.frames;
+      ++submitted;
+      // Live queries against the session just fed: answers race the shard
+      // worker by design — the timing is the point, the values are checked
+      // after drain().
+      if (options.cheap_query_stride > 0 &&
+          submitted % options.cheap_query_stride == 0) {
+        const auto start = Clock::now();
+        const bool rdt = pool.is_rdt_so_far(sid);
+        const OnlineStats stats = pool.session_stats(sid);
+        tally.cheap_query_us.push_back(micros_since(start));
+        ++tally.cheap_queries;
+        tally.checksum += (rdt ? 1 : 0) + stats.messages;
+      }
+      if (options.recovery_query_stride > 0 &&
+          submitted % options.recovery_query_stride == 0) {
+        const auto start = Clock::now();
+        const RecoveryOutcome rec = pool.recovery_line(sid);
+        tally.recovery_query_us.push_back(micros_since(start));
+        ++tally.recovery_queries;
+        tally.checksum += rec.total_rollback;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DriverReport run_clients(ServePool& pool, std::span<const StreamEvent> events,
+                         const DriverOptions& options) {
+  RDT_REQUIRE(options.sessions >= 1, "need at least one session");
+  RDT_REQUIRE(options.clients >= 1, "need at least one client");
+  RDT_REQUIRE(options.batch_events >= 1, "need at least one event per frame");
+  RDT_REQUIRE(!events.empty(), "need a non-empty event stream");
+
+  DriverReport report;
+  report.events =
+      static_cast<long long>(events.size()) * options.sessions;
+
+  const auto start = Clock::now();
+  for (int k = 0; k < options.sessions; ++k)
+    pool.open_session(options.first_session + static_cast<SessionId>(k));
+
+  // Split the sessions into `clients` contiguous ranges; the last range
+  // absorbs the remainder (every session is owned by exactly one producer,
+  // which keeps per-session frame order = submission order).
+  const int clients = std::min(options.clients, options.sessions);
+  const int per_client = options.sessions / clients;
+  std::vector<ClientTally> tallies(static_cast<std::size_t>(clients));
+  std::vector<std::thread> producers;
+  producers.reserve(static_cast<std::size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    const SessionId first =
+        options.first_session + static_cast<SessionId>(c * per_client);
+    const int owned =
+        c + 1 == clients ? options.sessions - c * per_client : per_client;
+    ClientTally& tally = tallies[static_cast<std::size_t>(c)];
+    producers.emplace_back([&pool, events, &options, first, owned, &tally] {
+      run_one_client(pool, events, options, first, owned, tally);
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  pool.drain();
+  report.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  for (ClientTally& tally : tallies) {
+    report.frames += tally.frames;
+    report.cheap_queries += tally.cheap_queries;
+    report.recovery_queries += tally.recovery_queries;
+    report.cheap_query_us.insert(report.cheap_query_us.end(),
+                                 tally.cheap_query_us.begin(),
+                                 tally.cheap_query_us.end());
+    report.recovery_query_us.insert(report.recovery_query_us.end(),
+                                    tally.recovery_query_us.begin(),
+                                    tally.recovery_query_us.end());
+  }
+
+  // Final audit sweep (outside the timed window): every session's settled
+  // answers, summed for the caller's equivalence check.
+  for (int k = 0; k < options.sessions; ++k) {
+    const SessionId sid = options.first_session + static_cast<SessionId>(k);
+    report.rdt_sessions += pool.is_rdt_so_far(sid) ? 1 : 0;
+    report.rollback_total += pool.recovery_line(sid).total_rollback;
+    report.events_consumed += pool.events_consumed(sid);
+    report.delivered_messages += pool.session_stats(sid).messages;
+  }
+
+  if (options.close_sessions) {
+    for (int k = 0; k < options.sessions; ++k)
+      pool.close_session(options.first_session + static_cast<SessionId>(k));
+    pool.drain();
+  }
+  return report;
+}
+
+}  // namespace rdt::serve

@@ -1,0 +1,250 @@
+#include "serve/pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "obs/hooks.hpp"
+#include "util/check.hpp"
+
+namespace rdt::serve {
+
+ServePool::ServePool(PoolOptions options) : options_(options) {
+  RDT_REQUIRE(options_.shards >= 1, "need at least one shard");
+  RDT_REQUIRE(options_.num_processes >= 1, "need at least one process");
+  RDT_REQUIRE(options_.queue_frames >= 1, "need a queue of at least one frame");
+  shards_.reserve(static_cast<std::size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    {
+      // The worker is not running yet, but TSA checks the guarded writes.
+      const MutexLock lock(shard->mu);
+      shard->ring.resize(options_.queue_frames);
+    }
+    shards_.push_back(std::move(shard));
+  }
+  // Workers start only once the shard table is complete and immutable.
+  for (auto& shard : shards_) {
+    Shard& s = *shard;
+    s.worker = std::thread([this, &s] { worker_loop(s); });
+  }
+}
+
+ServePool::~ServePool() {
+  for (auto& shard : shards_) {
+    const MutexLock lock(shard->mu);
+    shard->stopping = true;
+    shard->nonempty.notify_all();
+  }
+  // Workers drain whatever is still queued, then exit.
+  for (auto& shard : shards_)
+    if (shard->worker.joinable()) shard->worker.join();
+}
+
+int ServePool::shard_of(SessionId id) const {
+  // splitmix64 finalizer: adjacent session ids (the common client pattern)
+  // must not pile onto one shard, so the route mixes before it reduces.
+  std::uint64_t x = id + 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<int>(x % static_cast<std::uint64_t>(shards_.size()));
+}
+
+void ServePool::open_session(SessionId id) {
+  Shard& s = shard_for(id);
+  std::shared_ptr<OnlineEngine> engine;
+  bool recycled = false;
+  {
+    const MutexLock lock(s.mu);
+    RDT_REQUIRE(s.sessions.find(id) == s.sessions.end(),
+                "session id is already open on this pool");
+    // Reuse guard: the shard mu is where every engine reference is minted,
+    // so use_count() == 1 observed here proves no query still holds it.
+    if (!s.free_engines.empty() && s.free_engines.back().use_count() == 1) {
+      engine = std::move(s.free_engines.back());
+      s.free_engines.pop_back();
+      recycled = true;
+    }
+  }
+  // Construction / reset runs outside the lock: both are O(n^2) in the
+  // process count and must not stall the shard worker.
+  if (recycled)
+    engine->reset(options_.num_processes);
+  else
+    engine = std::make_shared<OnlineEngine>(options_.num_processes);
+  const MutexLock lock(s.mu);
+  const bool inserted =
+      s.sessions.emplace(id, Session{std::move(engine), false}).second;
+  RDT_REQUIRE(inserted, "session id is already open on this pool");
+  ++s.stats.sessions_opened;
+  if (recycled) ++s.stats.engines_recycled;
+}
+
+void ServePool::push_item(Shard& shard, Item item) {
+  const std::size_t slot = (shard.head + shard.count) % shard.ring.size();
+  shard.ring[slot] = std::move(item);
+  ++shard.count;
+  shard.stats.max_queue_depth =
+      std::max(shard.stats.max_queue_depth, shard.count);
+  shard.nonempty.notify_one();
+}
+
+void ServePool::submit(std::span<const std::uint8_t> frame) {
+  const FrameHeader header = peek_frame(frame, 0);
+  RDT_REQUIRE(header.frame_end == frame.size(),
+              "submit expects exactly one encoded frame");
+  Shard& s = shard_for(header.session);
+  const MutexLock lock(s.mu);
+  std::shared_ptr<OnlineEngine> engine;
+  for (;;) {
+    // Re-validate after every wait: the session can be closed (or the map
+    // rehashed by another open) while this thread slept on backpressure.
+    const auto it = s.sessions.find(header.session);
+    RDT_REQUIRE(it != s.sessions.end() && !it->second.closing,
+                "frame submitted for a session that is not open");
+    if (s.count < s.ring.size()) {
+      engine = it->second.engine;
+      break;
+    }
+    s.space.wait(s.mu);
+  }
+  Item item;
+  if (!s.buffer_pool.empty()) {
+    item.bytes = std::move(s.buffer_pool.back());
+    s.buffer_pool.pop_back();
+  }
+  item.bytes.assign(frame.begin(), frame.end());
+  item.session = header.session;
+  item.engine = std::move(engine);
+  push_item(s, std::move(item));
+}
+
+void ServePool::close_session(SessionId id) {
+  Shard& s = shard_for(id);
+  const MutexLock lock(s.mu);
+  const auto it = s.sessions.find(id);
+  RDT_REQUIRE(it != s.sessions.end() && !it->second.closing,
+              "close of a session that is not open");
+  it->second.closing = true;  // later submits fail; queued frames still apply
+  while (s.count == s.ring.size()) s.space.wait(s.mu);
+  Item item;
+  item.session = id;
+  item.close = true;
+  push_item(s, std::move(item));
+}
+
+void ServePool::drain() {
+  for (auto& shard : shards_) {
+    const MutexLock lock(shard->mu);
+    while (shard->count > 0 || shard->busy) shard->idle.wait(shard->mu);
+  }
+}
+
+void ServePool::worker_loop(Shard& s) {
+  Frame scratch;  // reused across frames: zero steady-state allocation
+  for (;;) {
+    Item item;
+    {
+      const MutexLock lock(s.mu);
+      s.busy = false;
+      if (s.count == 0) {
+        s.idle.notify_all();
+        while (s.count == 0 && !s.stopping) s.nonempty.wait(s.mu);
+        if (s.count == 0) return;  // stopping, queue fully drained
+      }
+      item = std::move(s.ring[s.head]);
+      s.head = (s.head + 1) % s.ring.size();
+      --s.count;
+      s.busy = true;
+      s.space.notify_one();
+    }
+    if (item.close) {
+      const MutexLock lock(s.mu);
+      const auto it = s.sessions.find(item.session);
+      // The closing flag blocks a second close and open_session rejects the
+      // id while mapped, so the entry must still be here.
+      RDT_ASSERT(it != s.sessions.end());
+      s.free_engines.push_back(std::move(it->second.engine));
+      s.sessions.erase(it);
+      continue;
+    }
+    bool ok = true;
+    try {
+      std::size_t offset = 0;
+      decode_frame(item.bytes, offset, scratch);
+      item.engine->feed(scratch.events);
+    } catch (const std::invalid_argument&) {
+      // Envelope checks passed at submit, but the payload (or the stream's
+      // own sequencing rules, enforced by feed) can still be bad. One bad
+      // frame is the client's problem, not the pool's: count and drop it.
+      ok = false;
+    }
+    // Drop the engine reference before parking, so an idle worker never
+    // pins a closed session's engine against the reuse guard.
+    item.engine.reset();
+    const MutexLock lock(s.mu);
+    if (ok) {
+      ++s.stats.frames;
+      s.stats.events += static_cast<long long>(scratch.events.size());
+    } else {
+      ++s.stats.rejected;
+    }
+    s.buffer_pool.push_back(std::move(item.bytes));
+  }
+}
+
+std::shared_ptr<OnlineEngine> ServePool::engine_of(SessionId id) const {
+  Shard& s = shard_for(id);
+  const MutexLock lock(s.mu);
+  const auto it = s.sessions.find(id);
+  RDT_REQUIRE(it != s.sessions.end(),
+              "query for a session that is not open");
+  return it->second.engine;
+}
+
+bool ServePool::is_rdt_so_far(SessionId id) const {
+  return engine_of(id)->is_rdt_so_far();
+}
+
+RecoveryOutcome ServePool::recovery_line(SessionId id) const {
+  return engine_of(id)->recovery_line();
+}
+
+OnlineStats ServePool::session_stats(SessionId id) const {
+  return engine_of(id)->stats();
+}
+
+long long ServePool::events_consumed(SessionId id) const {
+  return engine_of(id)->events_consumed();
+}
+
+ShardStats ServePool::shard_stats(int shard) const {
+  RDT_REQUIRE(shard >= 0 && shard < num_shards(), "shard index out of range");
+  Shard& s = *shards_[static_cast<std::size_t>(shard)];
+  const MutexLock lock(s.mu);
+  return s.stats;
+}
+
+void ServePool::flush_metrics() const {
+  if constexpr (!obs::kObsEnabled) return;
+  obs::ObsSession* session = obs::ObsSession::current();
+  if (session == nullptr) return;
+  auto& m = session->metrics();
+  for (int i = 0; i < num_shards(); ++i) {
+    const ShardStats s = shard_stats(i);
+    const std::string prefix = "serve.shard" + std::to_string(i) + ".";
+    m.add(m.counter(prefix + "frames"), s.frames);
+    m.add(m.counter(prefix + "events"), s.events);
+    m.add(m.counter(prefix + "rejected"), s.rejected);
+    m.add(m.counter(prefix + "queue.max_depth"),
+          static_cast<long long>(s.max_queue_depth));
+    m.add(m.counter("serve.frames"), s.frames);
+    m.add(m.counter("serve.events"), s.events);
+    m.add(m.counter("serve.sessions.opened"), s.sessions_opened);
+    m.add(m.counter("serve.engines.recycled"), s.engines_recycled);
+  }
+}
+
+}  // namespace rdt::serve

@@ -1,0 +1,162 @@
+// ServePool — the multi-tenant serving layer over OnlineEngine.
+//
+// One pool multiplexes many client *sessions* (independent checkpoint
+// streams, each with its own OnlineEngine) over a fixed set of S *shards*.
+// A session hashes to one shard for its whole lifetime; each shard owns a
+// bounded MPSC frame queue and one worker thread that drains frames into
+// the session engines via the batched feed(span) fast path. Clients submit
+// pre-encoded wire frames (serve/wire.hpp) from any thread and run live
+// queries (is_rdt_so_far / recovery_line / stats) concurrently — queries
+// ride the engine's lock-free read path, so a query never blocks a shard
+// worker and a worker never blocks a query.
+//
+// Lifecycle per session:
+//   open_session(id)   — bind id to an engine (recycled via reset() when a
+//                        closed session's engine is free, else fresh);
+//   submit(frame)      — enqueue one encoded frame for the owning shard
+//                        (FIFO per shard, so per-session event order is the
+//                        submission order); blocks when the shard queue is
+//                        full (backpressure, never unbounded memory);
+//   queries            — valid from open until close_session returns;
+//   close_session(id)  — enqueue the close *behind* every already-submitted
+//                        frame; when the worker reaches it, the engine is
+//                        retired to the shard's free list for reuse.
+// drain() blocks until every shard's queue is empty and its worker idle —
+// the pool-wide "all submitted work applied" barrier.
+//
+// Steady-state serving does not allocate per event: frame byte buffers are
+// recycled through a per-shard pool, the worker decodes into one reused
+// Frame, feed() reuses the engine's internal pools, and a reopened session
+// reuses a reset engine's arenas.
+//
+// Thread-safety contract (TSA-annotated, lint-enforced):
+//   * every shard field is guarded by that shard's mu; cross-shard state is
+//     immutable after construction;
+//   * engines are held by shared_ptr: a query copies the pointer under the
+//     shard mu, releases it, then queries lock-free — so a racing close
+//     cannot free an engine out from under a query, and an engine is only
+//     reset for reuse once no query still holds it (use_count() == 1 under
+//     the shard mu, where every new reference is minted);
+//   * exactly one thread (the shard worker) ever feeds a given engine, as
+//     OnlineEngine's single-feeder contract requires.
+//
+// A malformed frame *payload* (the envelope was validated at submit) is
+// dropped at decode time and counted in ShardStats::rejected — one bad
+// client must not take down the pool. The events of a rejected frame that
+// preceded the fault are applied, exactly like a failing feed() batch.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "online/engine.hpp"
+#include "serve/wire.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace rdt::serve {
+
+struct PoolOptions {
+  int shards = 1;
+  int num_processes = 2;           // process count of every session engine
+  std::size_t queue_frames = 256;  // per-shard queue bound (backpressure)
+};
+
+// Per-shard counters, read via shard_stats() or flushed to the obs registry
+// by flush_metrics(). Average batch size is events / frames; events per
+// second is events over the caller's wall clock (bench/bench_serve.cpp).
+struct ShardStats {
+  long long frames = 0;            // frames fed into engines
+  long long events = 0;            // events those frames carried
+  long long rejected = 0;          // frames dropped for a malformed payload
+  long long sessions_opened = 0;
+  long long engines_recycled = 0;  // opens served by a reset() engine
+  std::size_t max_queue_depth = 0;
+};
+
+class ServePool {
+ public:
+  explicit ServePool(PoolOptions options);
+  ~ServePool();
+  ServePool(const ServePool&) = delete;
+  ServePool& operator=(const ServePool&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  int num_processes() const { return options_.num_processes; }
+  // The shard a session's frames are routed to (stable for the pool's
+  // lifetime; exposed so tests can build shard-colliding workloads).
+  int shard_of(SessionId id) const;
+
+  // --- lifecycle -----------------------------------------------------------
+  void open_session(SessionId id);
+  // One encoded frame, exactly (the span must end where the frame ends).
+  // Throws std::invalid_argument for a malformed envelope, an unknown or
+  // closing session; blocks while the owning shard's queue is full.
+  void submit(std::span<const std::uint8_t> frame);
+  void close_session(SessionId id);
+  // Blocks until every shard's queue is empty and its worker is idle.
+  void drain();
+
+  // --- live queries (valid between open_session and close_session) --------
+  bool is_rdt_so_far(SessionId id) const;
+  RecoveryOutcome recovery_line(SessionId id) const;
+  OnlineStats session_stats(SessionId id) const;
+  long long events_consumed(SessionId id) const;
+
+  ShardStats shard_stats(int shard) const;
+  // In an observability build with a session active, fold the per-shard
+  // counters into the registry (names "serve.*" / "serve.shard<k>.*").
+  void flush_metrics() const;
+
+ private:
+  // One queue slot: an encoded frame, or a close marker (empty bytes).
+  // The engine pointer is resolved at submit time so the worker feeds
+  // without a second session-map lookup.
+  struct Item {
+    std::vector<std::uint8_t> bytes;
+    SessionId session = 0;
+    std::shared_ptr<OnlineEngine> engine;
+    bool close = false;
+  };
+
+  struct Session {
+    std::shared_ptr<OnlineEngine> engine;
+    bool closing = false;  // close queued; rejects further submits
+  };
+
+  struct Shard {
+    mutable AnnotatedMutex mu;
+    // Condition variables pair with mu (std::condition_variable_any waits
+    // directly on the AnnotatedMutex, keeping the capability visible to
+    // TSA at every guarded access).
+    std::condition_variable_any nonempty;  // queue gained an item
+    std::condition_variable_any space;     // queue lost an item
+    std::condition_variable_any idle;      // queue empty and worker idle
+    std::vector<Item> ring RDT_GUARDED_BY(mu);  // fixed-capacity FIFO
+    std::size_t head RDT_GUARDED_BY(mu) = 0;
+    std::size_t count RDT_GUARDED_BY(mu) = 0;
+    bool busy RDT_GUARDED_BY(mu) = false;  // worker applying an item
+    bool stopping RDT_GUARDED_BY(mu) = false;
+    std::unordered_map<SessionId, Session> sessions RDT_GUARDED_BY(mu);
+    std::vector<std::shared_ptr<OnlineEngine>> free_engines
+        RDT_GUARDED_BY(mu);
+    std::vector<std::vector<std::uint8_t>> buffer_pool RDT_GUARDED_BY(mu);
+    ShardStats stats RDT_GUARDED_BY(mu);
+    std::thread worker;  // started last in the constructor, joined first
+  };
+
+  Shard& shard_for(SessionId id) const { return *shards_[static_cast<std::size_t>(shard_of(id))]; }
+  std::shared_ptr<OnlineEngine> engine_of(SessionId id) const;
+  void push_item(Shard& shard, Item item) RDT_REQUIRES(shard.mu);
+  void worker_loop(Shard& shard);
+
+  const PoolOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace rdt::serve

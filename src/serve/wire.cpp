@@ -1,0 +1,218 @@
+#include "serve/wire.hpp"
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace rdt::serve {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t offset, const std::string& what) {
+  std::ostringstream os;
+  os << "wire: byte " << offset << ": " << what;
+  throw std::invalid_argument(os.str());
+}
+
+void put_varint(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// LEB128 decode, bounded to `end`. Rejects truncation, encodings longer
+// than 10 bytes, and 10-byte encodings whose final byte overflows 64 bits.
+std::uint64_t get_varint(std::span<const std::uint8_t> bytes,
+                         std::size_t& offset, std::size_t end,
+                         const char* what) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (offset >= end)
+      fail(offset, std::string("truncated varint while reading ") + what);
+    const std::uint8_t b = bytes[offset++];
+    if (shift == 63 && (b & 0x7Eu) != 0)
+      fail(offset - 1, std::string(what) + " varint overflows 64 bits");
+    v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+    if ((b & 0x80u) == 0) return v;
+  }
+  fail(offset - 1, std::string(what) + " varint runs past 10 bytes");
+}
+
+// Narrow a decoded varint into a non-negative int below `cap`.
+int get_bounded_int(std::span<const std::uint8_t> bytes, std::size_t& offset,
+                    std::size_t end, std::uint64_t cap, const char* what) {
+  const std::size_t at = offset;
+  const std::uint64_t v = get_varint(bytes, offset, end, what);
+  if (v >= cap)
+    fail(at, std::string(what) + " " + std::to_string(v) +
+                 " exceeds the wire cap " + std::to_string(cap - 1));
+  return static_cast<int>(v);
+}
+
+void encode_event(const StreamEvent& e, std::vector<std::uint8_t>& out) {
+  RDT_REQUIRE(e.p >= 0 && e.p < kMaxWireProcesses,
+              "stream event process id outside the wire range");
+  const auto kind = static_cast<std::uint64_t>(e.kind);
+  RDT_REQUIRE(kind < 4, "unknown stream event kind");
+  put_varint((static_cast<std::uint64_t>(e.p) << 2) | kind, out);
+  switch (e.kind) {
+    case EventKind::kSend:
+    case EventKind::kDeliver:
+      RDT_REQUIRE(e.msg >= 0 && e.msg < kMaxWireIndex,
+                  "message id outside the wire range");
+      RDT_REQUIRE(e.q >= 0 && e.q < kMaxWireProcesses && e.q != e.p,
+                  "peer process id outside the wire range");
+      put_varint(static_cast<std::uint64_t>(e.msg), out);
+      put_varint(static_cast<std::uint64_t>(e.q), out);
+      return;
+    case EventKind::kInternal:
+      return;
+    case EventKind::kCheckpoint:
+      RDT_REQUIRE(e.index >= 1 && e.index < kMaxWireIndex,
+                  "checkpoint index outside the wire range");
+      put_varint(static_cast<std::uint64_t>(e.index), out);
+      return;
+  }
+}
+
+StreamEvent decode_event(std::span<const std::uint8_t> bytes,
+                         std::size_t& offset, std::size_t end) {
+  const std::size_t at = offset;
+  const std::uint64_t header = get_varint(bytes, offset, end, "event header");
+  const std::uint64_t kind = header & 3u;
+  const std::uint64_t p = header >> 2;
+  if (p >= static_cast<std::uint64_t>(kMaxWireProcesses))
+    fail(at, "event process id " + std::to_string(p) +
+                 " exceeds the wire cap");
+  const auto process = static_cast<ProcessId>(p);
+  switch (static_cast<EventKind>(kind)) {
+    case EventKind::kInternal:
+      return StreamEvent::internal(process);
+    case EventKind::kSend:
+    case EventKind::kDeliver: {
+      const int msg = get_bounded_int(
+          bytes, offset, end, static_cast<std::uint64_t>(kMaxWireIndex),
+          "message id");
+      const std::size_t peer_at = offset;
+      const int peer = get_bounded_int(
+          bytes, offset, end, static_cast<std::uint64_t>(kMaxWireProcesses),
+          "peer process id");
+      if (peer == process)
+        fail(peer_at, "send/deliver peer equals the acting process " +
+                          std::to_string(peer));
+      return static_cast<EventKind>(kind) == EventKind::kSend
+                 ? StreamEvent::send(msg, process, peer)
+                 : StreamEvent::deliver(msg, process, peer);
+    }
+    case EventKind::kCheckpoint: {
+      const std::size_t index_at = offset;
+      const int index = get_bounded_int(
+          bytes, offset, end, static_cast<std::uint64_t>(kMaxWireIndex),
+          "checkpoint index");
+      if (index < 1) fail(index_at, "checkpoint index 0 is the implicit initial checkpoint");
+      return StreamEvent::checkpoint(process, index);
+    }
+  }
+  fail(at, "unreachable event kind");  // the 2-bit kind covers all four
+}
+
+// Shared envelope parse: length prefix + session id, with the payload
+// bounds fully validated. `payload_end` is also the frame end.
+struct Envelope {
+  SessionId session = 0;
+  std::size_t events_at = 0;   // offset of the event_count varint
+  std::size_t payload_end = 0;
+};
+
+Envelope parse_envelope(std::span<const std::uint8_t> bytes,
+                        std::size_t offset) {
+  if (offset >= bytes.size()) fail(offset, "empty input where a frame was expected");
+  const std::size_t len_at = offset;
+  const std::uint64_t payload =
+      get_varint(bytes, offset, bytes.size(), "frame length");
+  if (payload > kMaxFramePayload)
+    fail(len_at, "frame payload of " + std::to_string(payload) +
+                     " bytes exceeds the cap of " +
+                     std::to_string(kMaxFramePayload));
+  if (payload > bytes.size() - offset)
+    fail(len_at, "frame length " + std::to_string(payload) +
+                     " runs past the " + std::to_string(bytes.size() - offset) +
+                     " remaining bytes");
+  Envelope env;
+  env.payload_end = offset + static_cast<std::size_t>(payload);
+  env.session = get_varint(bytes, offset, env.payload_end, "session id");
+  env.events_at = offset;
+  return env;
+}
+
+}  // namespace
+
+std::size_t encode_frame(SessionId session, std::span<const StreamEvent> events,
+                         std::vector<std::uint8_t>& out) {
+  RDT_REQUIRE(events.size() <= kMaxFrameEvents,
+              "frame batch exceeds kMaxFrameEvents");
+  // Encode the payload after a placeholder gap, then write the length
+  // prefix where the gap allows — one pass, no second buffer.
+  const std::size_t start = out.size();
+  constexpr std::size_t kMaxPrefix = 4;  // varint(kMaxFramePayload) fits
+  out.resize(start + kMaxPrefix);
+  put_varint(session, out);
+  put_varint(events.size(), out);
+  for (const StreamEvent& e : events) encode_event(e, out);
+  const std::size_t payload = out.size() - start - kMaxPrefix;
+  RDT_REQUIRE(payload <= kMaxFramePayload,
+              "encoded frame payload exceeds kMaxFramePayload");
+  std::vector<std::uint8_t> prefix;
+  prefix.reserve(kMaxPrefix);
+  put_varint(payload, prefix);
+  // Close the gap: shift the payload down over the unused prefix bytes.
+  const std::size_t slack = kMaxPrefix - prefix.size();
+  std::copy(prefix.begin(), prefix.end(), out.begin() + static_cast<std::ptrdiff_t>(start));
+  if (slack > 0) {
+    std::copy(out.begin() + static_cast<std::ptrdiff_t>(start + kMaxPrefix),
+              out.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(start + prefix.size()));
+    out.resize(out.size() - slack);
+  }
+  return out.size() - start;
+}
+
+void decode_frame(std::span<const std::uint8_t> bytes, std::size_t& offset,
+                  Frame& out) {
+  const Envelope env = parse_envelope(bytes, offset);
+  std::size_t at = env.events_at;
+  const std::size_t count_at = at;
+  const std::uint64_t count =
+      get_varint(bytes, at, env.payload_end, "event count");
+  if (count > kMaxFrameEvents)
+    fail(count_at, "frame of " + std::to_string(count) +
+                       " events exceeds the cap of " +
+                       std::to_string(kMaxFrameEvents));
+  // The tightest event is one byte, so a count beyond the remaining payload
+  // bytes can never complete — reject before reserving.
+  if (count > env.payload_end - at)
+    fail(count_at, "event count " + std::to_string(count) +
+                       " cannot fit the " + std::to_string(env.payload_end - at) +
+                       " remaining payload bytes");
+  out.session = env.session;
+  out.events.clear();
+  out.events.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i)
+    out.events.push_back(decode_event(bytes, at, env.payload_end));
+  if (at != env.payload_end)
+    fail(at, "frame payload has " + std::to_string(env.payload_end - at) +
+                 " trailing bytes after the last event");
+  offset = env.payload_end;
+}
+
+FrameHeader peek_frame(std::span<const std::uint8_t> bytes,
+                       std::size_t offset) {
+  const Envelope env = parse_envelope(bytes, offset);
+  return {env.session, env.payload_end};
+}
+
+}  // namespace rdt::serve

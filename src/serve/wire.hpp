@@ -1,0 +1,82 @@
+// Compact binary wire format for StreamEvent batches — the ingest side of
+// the multi-tenant serving pool (serve/pool.hpp).
+//
+// A client ships its checkpoint stream to the pool as *frames*: each frame
+// carries one session's batch of events, length-prefixed so frames can be
+// concatenated into a single byte stream and routed without decoding the
+// payload. All integers are unsigned LEB128 varints (7 value bits per byte,
+// high bit = continuation), so the common small ids cost one byte instead
+// of the four a fixed-width encoding would spend:
+//
+//   frame   := varint(payload_bytes) payload
+//   payload := varint(session_id) varint(event_count) event*
+//   event   := varint(header) tail
+//   header  := (process << 2) | kind      kind: 0 internal, 1 send,
+//                                               2 deliver, 3 checkpoint
+//   tail    := send/deliver: varint(msg) varint(peer)
+//              internal:     (empty)
+//              checkpoint:   varint(index)
+//
+// The event kind rides in the low two bits of the first varint, so an
+// internal event of a small process id is a single byte and a send in an
+// 8-process session is three.
+//
+// The decoder handles untrusted bytes and is hardened like ccp/pattern_io:
+// every size is capped before any allocation (kMaxFramePayload,
+// kMaxFrameEvents, kMaxWireProcesses, kMaxWireIndex), truncation at any
+// point is a distinct error, a frame's payload must be consumed exactly
+// (trailing garbage inside the length prefix is rejected), and every
+// std::invalid_argument carries the absolute byte offset of the fault.
+// Malformed input NEVER produces UB or a partially valid Frame
+// (tests/fuzz/fuzz_wire.cpp keeps this honest).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "online/engine.hpp"
+
+namespace rdt::serve {
+
+// A serving-pool tenant. Ids are opaque 64-bit values chosen by the client.
+using SessionId = std::uint64_t;
+
+// Hardening caps, checked before any allocation the input could size.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{1} << 22;
+inline constexpr std::size_t kMaxFrameEvents = std::size_t{1} << 20;
+inline constexpr int kMaxWireProcesses = 1 << 20;  // == kMaxIoProcesses
+inline constexpr int kMaxWireIndex = 1 << 30;      // msg ids and ckpt indexes
+
+// One decoded frame. `events` is cleared and refilled by decode_frame, so a
+// reused Frame decodes with no steady-state allocation.
+struct Frame {
+  SessionId session = 0;
+  std::vector<StreamEvent> events;
+};
+
+// Appends one encoded frame to `out` and returns the bytes appended.
+// Requires every event to be well-formed (valid kind, process/peer ids in
+// [0, kMaxWireProcesses), msg/index in [0, kMaxWireIndex)) and the batch to
+// fit the frame caps; violations throw std::invalid_argument.
+std::size_t encode_frame(SessionId session, std::span<const StreamEvent> events,
+                         std::vector<std::uint8_t>& out);
+
+// Decodes the frame starting at `offset`. On success, fills `out`, advances
+// `offset` to the first byte past the frame, and returns. On malformed or
+// truncated input throws std::invalid_argument ("wire: byte N: ...") and
+// leaves `offset` untouched.
+void decode_frame(std::span<const std::uint8_t> bytes, std::size_t& offset,
+                  Frame& out);
+
+// Reads only the frame envelope at `offset` — the session id for routing
+// and where the frame ends — without touching the event payload. Same error
+// contract as decode_frame.
+struct FrameHeader {
+  SessionId session = 0;
+  std::size_t frame_end = 0;  // offset of the first byte past the frame
+};
+FrameHeader peek_frame(std::span<const std::uint8_t> bytes, std::size_t offset);
+
+}  // namespace rdt::serve

@@ -49,6 +49,17 @@ class PublishedLog {
     return chunks_[loc.chunk][loc.offset];
   }
 
+  // Writer only, and only while no reader holds a prefix: rewinds the log
+  // to empty but keeps every allocated chunk, so refilling after a reset
+  // reuses the old storage. Entries above the new count become writable
+  // again — the "immutable once published" guarantee restarts from here,
+  // which is why concurrent readers are excluded (the engine's reset()
+  // contract, not a lock, enforces that).
+  void reset() {
+    count_ = 0;
+    size_.store(0, std::memory_order_release);
+  }
+
   // Writer only.
   void push_back(T v) {
     const Loc loc = locate(count_);

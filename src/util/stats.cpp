@@ -3,12 +3,43 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace rdt {
 
 Summary summarize(const std::vector<double>& samples) {
   RunningStats acc;
   for (double x : samples) acc.add(x);
   return acc.summary();
+}
+
+double percentile(const std::vector<double>& sorted, double q) {
+  RDT_REQUIRE(q >= 0.0 && q <= 100.0, "percentile must lie in [0, 100]");
+  if (sorted.empty()) return 0.0;
+  RDT_REQUIRE(sorted.front() <= sorted.back(),
+              "percentile input must be sorted ascending");
+  RDT_AUDIT(std::is_sorted(sorted.begin(), sorted.end()),
+            "percentile input must be sorted ascending");
+  // Linear interpolation between closest ranks: rank (n-1) * q / 100.
+  const double rank =
+      static_cast<double>(sorted.size() - 1) * (q / 100.0);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+PercentileSummary percentile_summary(std::vector<double>& samples) {
+  PercentileSummary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  s.p50 = percentile(samples, 50.0);
+  s.p90 = percentile(samples, 90.0);
+  s.p99 = percentile(samples, 99.0);
+  s.min = samples.front();
+  s.max = samples.back();
+  return s;
 }
 
 void RunningStats::add(double x) {

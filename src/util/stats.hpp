@@ -20,6 +20,28 @@ struct Summary {
 // Computes a Summary over the samples; an empty input yields all zeros.
 Summary summarize(const std::vector<double>& samples);
 
+// The q-th percentile (q in [0, 100]) of an ascending-sorted sample, with
+// linear interpolation between the two closest ranks (the rank is
+// (count - 1) * q / 100, so p0 = min, p100 = max, and a single-element
+// sample answers that element at every q). Empty input yields 0. Throws
+// std::invalid_argument when q is outside [0, 100] or the sample is not
+// sorted ascending (checked at audit tier for large inputs, always for the
+// endpoints).
+double percentile(const std::vector<double>& sorted, double q);
+
+// Latency-report bundle over one sample set. percentile_summary sorts the
+// sample in place (the caller's vector doubles as the scratch buffer) and
+// reads the standard serving percentiles off the sorted data.
+struct PercentileSummary {
+  std::size_t count = 0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+PercentileSummary percentile_summary(std::vector<double>& samples);
+
 // Partition of [0, items) into `buckets` contiguous ranges for per-phase
 // rate reporting. Every bucket holds items/buckets entries except the LAST,
 // which also absorbs the remainder — so no item is ever dropped from an

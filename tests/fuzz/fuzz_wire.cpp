@@ -1,0 +1,47 @@
+// libFuzzer harness for the serve/wire frame codec — the pool's ingest
+// boundary, fed by untrusted clients. Same contract as the other parsers:
+// arbitrary bytes either decode into Frames or throw std::invalid_argument;
+// logic_error, UB, OOM and signals are bugs. A successfully decoded frame
+// must additionally survive a re-encode/re-decode roundtrip bit-identically
+// (the codec halves must agree on what "valid" means), and a throwing
+// decode must leave the caller's offset untouched.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size) {
+  // Frames are capped at kMaxFramePayload anyway; bound pathological input.
+  if (size > (1u << 23)) return 0;
+  const std::span<const std::uint8_t> bytes(data, size);
+  rdt::serve::Frame frame;
+  std::size_t offset = 0;
+  // Decode the whole input as a concatenated frame stream, the way the
+  // serving pool consumes a client connection.
+  while (offset < size) {
+    const std::size_t before = offset;
+    try {
+      const rdt::serve::FrameHeader header = rdt::serve::peek_frame(bytes, offset);
+      rdt::serve::decode_frame(bytes, offset, frame);
+      // peek and decode must agree on the frame boundary and session.
+      if (header.frame_end != offset || header.session != frame.session)
+        __builtin_trap();
+    } catch (const std::invalid_argument&) {
+      // Malformed input, correctly rejected — with the offset untouched.
+      if (offset != before) __builtin_trap();
+      return 0;
+    }
+    // Valid frames must roundtrip bit-identically through the encoder.
+    std::vector<std::uint8_t> reencoded;
+    rdt::serve::encode_frame(frame.session, frame.events, reencoded);
+    rdt::serve::Frame again;
+    std::size_t reoffset = 0;
+    rdt::serve::decode_frame(reencoded, reoffset, again);
+    if (reoffset != reencoded.size() || again.session != frame.session ||
+        again.events != frame.events)
+      __builtin_trap();
+  }
+  return 0;
+}

@@ -372,6 +372,105 @@ TEST(OnlineBatched, EmptyAndWholeStreamBatches) {
   expect_same_live_state(single, engine);
 }
 
+// reset() must hand back an engine bit-identical to a freshly constructed
+// one: warm an engine on one stream (optionally only part of it, so
+// in-flight messages sit in the recycled pools), reset, then replay a
+// different stream into the recycled and a fresh engine side by side —
+// every live answer must match at each batch boundary, and the end state
+// must match the batch pipeline exactly.
+void check_reset_matches_fresh(int warm_processes,
+                               const std::vector<StreamEvent>& warm,
+                               std::size_t warm_len, int num_processes,
+                               const std::vector<StreamEvent>& ops) {
+  SCOPED_TRACE("warmed on " + std::to_string(warm_len) + " of " +
+               std::to_string(warm.size()) + " events, reset " +
+               std::to_string(warm_processes) + " -> " +
+               std::to_string(num_processes) + " processes");
+  OnlineEngine recycled(warm_processes);
+  recycled.feed(std::span<const StreamEvent>(warm).first(warm_len));
+  recycled.reset(num_processes);
+
+  OnlineEngine fresh(num_processes);
+  expect_same_live_state(fresh, recycled);
+  const std::span<const StreamEvent> all(ops);
+  constexpr std::size_t kBatch = 32;
+  for (std::size_t i = 0; i < all.size(); i += kBatch) {
+    const std::size_t n = std::min(kBatch, all.size() - i);
+    recycled.feed(all.subspan(i, n));
+    fresh.feed(all.subspan(i, n));
+    expect_same_live_state(fresh, recycled);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  const std::vector<std::size_t> deliver_pos = deliver_positions(ops);
+  expect_prefix_equivalence(
+      recycled, closed_prefix(num_processes, ops, ops.size(), deliver_pos),
+      ops.size());
+}
+
+TEST(OnlineReset, RecycledEngineMatchesFreshSameProcessCount) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 4;
+  cfg.duration = 12.0;
+  cfg.basic_ckpt_mean = 5.0;
+  cfg.seed = 21;
+  const std::vector<StreamEvent> warm =
+      record_replay(random_environment(cfg), ProtocolKind::kNoForce);
+  cfg.seed = 22;
+  const std::vector<StreamEvent> ops =
+      record_replay(random_environment(cfg), ProtocolKind::kBhmr);
+
+  check_reset_matches_fresh(4, warm, warm.size(), 4, ops);
+  // Mid-stream reset: undelivered sends' TDVs/clocks go back to the pools.
+  check_reset_matches_fresh(4, warm, warm.size() / 2, 4, ops);
+}
+
+TEST(OnlineReset, RecycledEngineMatchesFreshAcrossProcessCounts) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 4;
+  cfg.duration = 12.0;
+  cfg.basic_ckpt_mean = 5.0;
+  cfg.seed = 23;
+  const std::vector<StreamEvent> warm =
+      record_replay(random_environment(cfg), ProtocolKind::kFdas);
+  RandomEnvConfig narrow;
+  narrow.num_processes = 3;
+  narrow.duration = 12.0;
+  narrow.basic_ckpt_mean = 5.0;
+  narrow.seed = 24;
+  const std::vector<StreamEvent> ops =
+      record_replay(random_environment(narrow), ProtocolKind::kBhmr);
+
+  check_reset_matches_fresh(4, warm, warm.size(), 3, ops);  // shrink
+  check_reset_matches_fresh(3, ops, ops.size(), 4, warm);   // grow
+}
+
+TEST(OnlineReset, RepeatedResetStaysFresh) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 4;
+  cfg.duration = 12.0;
+  cfg.basic_ckpt_mean = 5.0;
+  cfg.seed = 25;
+  const std::vector<StreamEvent> ops =
+      record_replay(random_environment(cfg), ProtocolKind::kBhmr);
+
+  OnlineEngine recycled(cfg.num_processes);
+  OnlineEngine fresh(cfg.num_processes);
+  fresh.feed(ops);
+  for (int round = 0; round < 3; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    recycled.reset(cfg.num_processes);
+    EXPECT_EQ(recycled.events_consumed(), 0);
+    recycled.feed(ops);
+    expect_same_live_state(fresh, recycled);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+  const std::vector<std::size_t> deliver_pos = deliver_positions(ops);
+  expect_prefix_equivalence(
+      recycled,
+      closed_prefix(cfg.num_processes, ops, ops.size(), deliver_pos),
+      ops.size());
+}
+
 TEST(OnlineConcurrency, QueriesDuringFeed) {
   RandomEnvConfig cfg;
   cfg.num_processes = 4;

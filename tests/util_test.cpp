@@ -384,6 +384,56 @@ TEST(Stats, Ci95ShrinksWithSamples) {
   EXPECT_GT(small.summary().ci95, large.summary().ci95);
 }
 
+TEST(Stats, PercentileEmptyIsZero) {
+  EXPECT_EQ(percentile({}, 50.0), 0.0);
+  EXPECT_EQ(percentile({}, 0.0), 0.0);
+}
+
+TEST(Stats, PercentileSingleElementAnswersItAtEveryQ) {
+  const std::vector<double> one = {42.0};
+  for (const double q : {0.0, 1.0, 50.0, 99.0, 100.0})
+    EXPECT_DOUBLE_EQ(percentile(one, q), 42.0) << "q = " << q;
+}
+
+TEST(Stats, PercentileOddCountMedianIsMiddleElement) {
+  const std::vector<double> odd = {1.0, 2.0, 10.0, 20.0, 100.0};
+  EXPECT_DOUBLE_EQ(percentile(odd, 50.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(odd, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(odd, 100.0), 100.0);
+  // Rank 25% of n-1 = 1 exactly: no interpolation.
+  EXPECT_DOUBLE_EQ(percentile(odd, 25.0), 2.0);
+}
+
+TEST(Stats, PercentileEvenCountInterpolatesMedian) {
+  const std::vector<double> even = {1.0, 3.0, 5.0, 7.0};
+  // Rank (4-1)*0.5 = 1.5: halfway between 3 and 5.
+  EXPECT_DOUBLE_EQ(percentile(even, 50.0), 4.0);
+  // Rank 3 * 0.99 = 2.97: 97% of the way from 5 to 7.
+  EXPECT_DOUBLE_EQ(percentile(even, 99.0), 5.0 + 0.97 * 2.0);
+}
+
+TEST(Stats, PercentileRejectsBadInput) {
+  const std::vector<double> sorted = {1.0, 2.0};
+  EXPECT_THROW(percentile(sorted, -0.5), std::invalid_argument);
+  EXPECT_THROW(percentile(sorted, 100.5), std::invalid_argument);
+  EXPECT_THROW(percentile({5.0, 1.0}, 50.0), std::invalid_argument);
+}
+
+TEST(Stats, PercentileSummarySortsInPlace) {
+  std::vector<double> samples = {9.0, 1.0, 5.0, 3.0, 7.0};
+  const PercentileSummary s = percentile_summary(samples);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_TRUE(std::is_sorted(samples.begin(), samples.end()));
+
+  std::vector<double> empty;
+  const PercentileSummary zero = percentile_summary(empty);
+  EXPECT_EQ(zero.count, 0u);
+  EXPECT_EQ(zero.p99, 0.0);
+}
+
 // --------------------------------------------------------------------- Table
 
 TEST(Table, RendersAlignedBox) {
