@@ -94,9 +94,9 @@ Reference standalone_reference(int num_processes,
   engine.feed(ops);
   Reference ref;
   ref.rdt = engine.is_rdt_so_far();
-  ref.rollback = engine.recovery_line().total_rollback;
+  ref.rollback = engine.recovery_line().value.total_rollback;
   ref.events = engine.events_consumed();
-  ref.messages = engine.stats().messages;
+  ref.messages = engine.stats().value.messages;
   return ref;
 }
 

@@ -126,14 +126,15 @@ StreamTimings run_stream(int num_processes,
         break;
     }
     t.rdt_true += engine.is_rdt_so_far() ? 1 : 0;
-    if (i % 64 == 0) t.rollback_total += engine.recovery_line().total_rollback;
+    if (i % 64 == 0)
+      t.rollback_total += engine.recovery_line().value.total_rollback;
     if (i % 256 == 0) {
       const ProcessId src = static_cast<ProcessId>(
           (i / 256) % static_cast<std::size_t>(num_processes));
       target_p = static_cast<ProcessId>((target_p + 1) % num_processes);
       const CkptId from{src, 0};
       const CkptId to{target_p, durable[static_cast<std::size_t>(target_p)]};
-      t.zreach_hits += engine.zreach(from, to) ? 1 : 0;
+      t.zreach_hits += engine.zreach(from, to).value ? 1 : 0;
     }
     if (plan.closes_bucket(i)) {
       const auto now = Clock::now();
@@ -198,14 +199,14 @@ double run_feed_batched(OnlineEngine& engine,
 bool same_end_state(const OnlineEngine& a, const OnlineEngine& b) {
   if (a.events_consumed() != b.events_consumed()) return false;
   if (a.is_rdt_so_far() != b.is_rdt_so_far()) return false;
-  if (a.stats() != b.stats()) return false;
+  if (a.stats().value != b.stats().value) return false;
   for (ProcessId p = 0; p < a.num_processes(); ++p) {
     if (a.current_interval(p) != b.current_interval(p)) return false;
     if (a.live_tdv(p) != b.live_tdv(p)) return false;
     if (a.live_clock(p) != b.live_clock(p)) return false;
   }
-  const RecoveryOutcome ra = a.recovery_line();
-  const RecoveryOutcome rb = b.recovery_line();
+  const RecoveryOutcome ra = a.recovery_line().value;
+  const RecoveryOutcome rb = b.recovery_line().value;
   return ra.line.indices == rb.line.indices &&
          ra.total_rollback == rb.total_rollback;
 }
@@ -234,13 +235,13 @@ ConcurrentTimings run_concurrent(int num_processes,
     ProcessId p = static_cast<ProcessId>(lane % num_processes);
     while (!done.load(std::memory_order_acquire)) {
       local_true += engine.is_rdt_so_far() ? 1 : 0;
-      const OnlineStats s = engine.stats();
+      const OnlineStats s = engine.stats().value;
       local_true += s.messages > 0 ? 1 : 0;
       local_true += engine.live_tdv(p).back() > 0 ? 1 : 0;
       p = static_cast<ProcessId>((p + 1) % num_processes);
       local_q += 3;
       if (local_q % 1024 == 0)
-        local_true += engine.recovery_line().total_rollback > 0 ? 1 : 0;
+        local_true += engine.recovery_line().value.total_rollback > 0 ? 1 : 0;
     }
     queries.fetch_add(local_q, std::memory_order_relaxed);
     rdt_true.fetch_add(local_true, std::memory_order_relaxed);

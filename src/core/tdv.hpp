@@ -16,16 +16,90 @@
 //    reaches P_j at or before C_{j,y}.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "ccp/consistency.hpp"
 #include "ccp/pattern.hpp"
+#include "util/check.hpp"
+#include "util/mem_accounting.hpp"
 
 namespace rdt {
 
 // An integer dependency vector; entry j refers to a checkpoint interval
 // index of P_j.
 using Tdv = std::vector<CkptIndex>;
+
+// The saved-TDV history of one process, windowed for prefix compaction.
+//
+// The online engine keeps TDV_{p,x} for every frozen checkpoint C_{p,x}
+// because a junction targeting C_{p,x} can be discovered arbitrarily late —
+// but only while C_{p,x} is strictly above the recovery line: a junction
+// verdict's frozen target always carries an in-edge from a still-volatile
+// node, so it is invalid in the current sweep and therefore above the line.
+// Once the line passes x the row can never be read again, and
+// release_through() returns its buffer to the caller's recycling pool.
+//
+// Window layout: rows are stored for indices (base(), base()+size()]; the
+// saved vector of C_{p,x} lives at rows_[x - base() - 1]. base() starts at
+// 0 (C_{p,0} saves the all-zero vector, which the engine never stores) and
+// only grows.
+class SavedTdvWindow {
+ public:
+  CkptIndex base() const { return base_; }
+  std::size_t size() const { return rows_.size(); }
+  // Highest index with a resident row (== the process's durable index when
+  // the engine keeps the window current).
+  CkptIndex last_index() const {
+    return base_ + static_cast<CkptIndex>(rows_.size());
+  }
+
+  bool contains(CkptIndex x) const { return x > base_ && x <= last_index(); }
+
+  const Tdv& at(CkptIndex x) const {
+    RDT_CHECK(contains(x), "saved-TDV row is not resident in the window");
+    return rows_[static_cast<std::size_t>(x - base_ - 1)];
+  }
+
+  // Append the row for index last_index()+1, drawing buffer capacity from
+  // `pool` when available so the steady-state path never allocates.
+  Tdv& emplace_back(std::vector<Tdv>& pool) {
+    if (pool.empty()) return rows_.emplace_back();
+    Tdv& row = rows_.emplace_back(std::move(pool.back()));
+    pool.pop_back();
+    row.clear();
+    return row;
+  }
+
+  // Release every resident row with index <= stable into `pool` and advance
+  // the base; returns how many rows were released.
+  std::size_t release_through(CkptIndex stable, std::vector<Tdv>& pool) {
+    if (stable <= base_) return 0;
+    const auto drop = std::min(static_cast<std::size_t>(stable - base_),
+                               rows_.size());
+    for (std::size_t i = 0; i < drop; ++i)
+      pool.push_back(std::move(rows_[i]));
+    rows_.erase(rows_.begin(),
+                rows_.begin() + static_cast<std::ptrdiff_t>(drop));
+    base_ += static_cast<CkptIndex>(drop);
+    return drop;
+  }
+
+  // Back to an empty window at base 0, recycling every row into `pool`.
+  void reset(std::vector<Tdv>& pool) {
+    for (Tdv& row : rows_) pool.push_back(std::move(row));
+    rows_.clear();
+    base_ = 0;
+  }
+
+  std::size_t resident_bytes() const { return mem::nested_vec_bytes(rows_); }
+
+ private:
+  std::vector<Tdv> rows_;
+  CkptIndex base_ = 0;
+};
 
 // The pure incremental TDV step — exactly the per-event transition the
 // paper's protocols run (S0/S1/S2 of Figure 6), with no pattern and no

@@ -76,9 +76,34 @@
 // methods directly, or hand whole batches to feed() — one write-side
 // acquisition per batch, bit-identical to the same events fed one at a
 // time.
+//
+// Retention (PR 9). With a RetentionPolicy enabled (EngineOptions), the
+// engine bounds resident memory to the live frontier: compact() — manual or
+// automatic on the policy's cadence — folds everything at or behind the
+// current recovery line into one summary node per process and releases the
+// storage (saved-TDV rows, R-graph nodes/edges, closure rows, the
+// delivered-and-closed message prefix). Correctness rests on two facts the
+// paper provides:
+//  * The recovery line is monotone. A node's in-edges freeze when its
+//    interval closes, and every new edge's head is volatile at creation —
+//    so once no volatile node reaches C_{p,x}, none ever will, and a
+//    checkpoint at or behind the line stays there forever.
+//  * The evicted region is closed. Any node that reaches a valid node is
+//    itself valid (reaching an invalid... conversely: a retained node can
+//    never have an edge to an evicted one, because the edge would make the
+//    evicted head's validity imply the tail's). Hence dropping the evicted
+//    prefix changes no retained-to-retained Z-path, no recovery sweep, and
+//    no junction verdict — every query about retained state is bit-identical
+//    to a keep-all engine, which RDT_AUDITS builds cross-check against a
+//    shadow unevicted twin at every compaction.
+// Queries about evicted checkpoints are unanswerable by design, so the
+// query surface is structured: zreach/recovery_line/stats return a
+// QueryResult whose status distinguishes "false" from "evicted — behind
+// the retention horizon" (online/options.hpp).
 #pragma once
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -88,6 +113,7 @@
 #include "causality/vector_clock.hpp"
 #include "ccp/builder.hpp"
 #include "core/tdv.hpp"
+#include "online/options.hpp"
 #include "recovery/recovery_line.hpp"
 #include "recovery/rollback.hpp"
 #include "rgraph/incremental.hpp"
@@ -154,25 +180,47 @@ struct StreamEvent {
   friend bool operator==(const StreamEvent&, const StreamEvent&) = default;
 };
 
+// Structured query answers (online/options.hpp has the status semantics).
+using ZreachResult = QueryResult<bool>;
+using RecoveryResult = QueryResult<RecoveryOutcome>;
+using StatsResult = QueryResult<OnlineStats>;
+
 class OnlineEngine final : public PatternListener {
  public:
+  // The canonical construction path: process count + retention policy.
+  explicit OnlineEngine(const EngineOptions& options);
+  // Compatibility wrapper — a keep-all engine over `num_processes`
+  // processes, exactly OnlineEngine(EngineOptions{num_processes}).
   explicit OnlineEngine(int num_processes);
 
-  // Rewind to the freshly-constructed state over `num_processes` processes,
-  // recycling every arena the old stream grew: the message table, piggyback
-  // pools, published logs, closure rows, and (when the process count is
-  // unchanged) the mirror arrays all keep their allocations, so a serving
-  // pool can hand a recycled engine to a new session without paying the
-  // stream's warm-up allocations again. The recycled engine is
-  // bit-identical to a fresh OnlineEngine(num_processes) on every query
+  // Rewind to the freshly-constructed state under `options`, recycling
+  // every arena the old stream grew: the message table, piggyback pools,
+  // published logs, closure rows, and (when the process count is unchanged)
+  // the mirror arrays all keep their allocations, so a serving pool can
+  // hand a recycled engine to a new session without paying the stream's
+  // warm-up allocations again. The recycled engine is bit-identical to a
+  // fresh OnlineEngine(options) on every query
   // (tests/online_equivalence_test.cpp pins this).
+  //
+  // When the incoming policy is retention-enabled, recycled capacity is
+  // capped (max_pool_buffers / max_reset_message_capacity /
+  // max_pooled_reach_rows and the published logs' unused chunks), so a
+  // pathological previous session cannot permanently inflate a pooled
+  // engine. A keep-all reset preserves the historical unbounded recycling.
   //
   // Concurrency contract: reset is a *lifecycle* operation, not a feed —
   // the caller must guarantee no concurrent feeder OR reader for its
   // duration (the serving pool quiesces the session's shard first). The
   // seqlock is still bracketed so a stray late reader spins rather than
   // tearing, but log prefixes a reader captured before reset are dead.
+  void reset(const EngineOptions& options);
+  // Compatibility wrapper: reset(EngineOptions{num_processes}) — keep-all.
   void reset(int num_processes);
+
+  // The policy the engine was constructed/reset with. Lifecycle-stable:
+  // changes only in the constructor and reset(), whose contract excludes
+  // concurrent callers.
+  const RetentionPolicy& retention() const { return retention_; }
 
   // --- event intake (PatternListener) --------------------------------------
   void on_send(MsgId m, ProcessId sender, ProcessId receiver) override;
@@ -202,15 +250,36 @@ class OnlineEngine final : public PatternListener {
   VectorClock live_clock(ProcessId p) const;
 
   // RDT verdict for the closed prefix (== satisfies_rdt of its Pattern).
+  // Counter-based, unaffected by eviction — always answerable.
   bool is_rdt_so_far() const;
   // Recovery outcome if a failure happened now: every process restarts at
   // or below its last durable checkpoint (== recover_after_failure).
-  RecoveryOutcome recovery_line() const;
+  // Always kOk: the recovery sweep runs entirely above the horizon.
+  RecoveryResult recovery_line() const;
   // Z-path between two checkpoints (== ReachabilityClosure::msg_reach).
-  // Valid ids: index <= durable, or durable+1 when that interval has opened.
-  bool zreach(const CkptId& from, const CkptId& to) const;
+  // kOk with the answer when both endpoints are retained (index in
+  // [first_retained(p), durable], or durable+1 when that interval has
+  // opened); kEvicted when either endpoint is behind the retention horizon;
+  // kInvalid when either names a checkpoint the stream never produced
+  // (which used to throw).
+  ZreachResult zreach(const CkptId& from, const CkptId& to) const;
 
-  OnlineStats stats() const;
+  // Always kOk: the prefix counters are never evicted.
+  StatsResult stats() const;
+
+  // --- retention ------------------------------------------------------------
+  // Fold everything at or behind the current recovery line into per-process
+  // summary nodes and release the storage. Returns true when anything was
+  // evicted. Feeder-side operation (serializes on the feed mutex): call it
+  // from the feeding thread, or rely on the policy's automatic cadence.
+  bool compact();
+  // The smallest checkpoint index of p still answerable: 0 until a
+  // compaction first advances the horizon to recovery line + 1 (the at-line
+  // checkpoint is evicted too — its Z-paths may run through the evicted
+  // region). Lock-free.
+  CkptIndex first_retained(ProcessId p) const;
+  // Cumulative eviction counters + the resident-bytes snapshot. Lock-free.
+  RetentionStats retention_stats() const;
 
   // In an observability build with a session active, fold the engine's
   // accumulated counters into the session registry (names "online.*").
@@ -233,9 +302,10 @@ class OnlineEngine final : public PatternListener {
     // P_k whose target is the open interval (0 = none). Settled at the next
     // checkpoint; its covered/uncovered census lives in `vio`.
     std::vector<CkptIndex> pending;
-    // saved[x-1] = TDV frozen at C_{p,x} — kept forever, because a junction
-    // targeting C_{p,x} can be discovered arbitrarily late.
-    std::vector<Tdv> saved;
+    // The TDV frozen at each C_{p,x} — needed because a junction targeting
+    // C_{p,x} can be discovered arbitrarily late, but only while C_{p,x} is
+    // above the recovery line; compact() releases the rows behind it.
+    SavedTdvWindow saved;
   };
 
   struct MessageState {
@@ -262,6 +332,17 @@ class OnlineEngine final : public PatternListener {
   struct PubProc {
     std::atomic<CkptIndex> durable{0};
     std::atomic<int> open_retained{0};
+    // first_retained(p): smallest retained checkpoint index (the retention
+    // horizon). 0 until a compaction advances it.
+    std::atomic<CkptIndex> horizon{0};
+  };
+
+  // [p]: engine node of C_{p,x} at ids[x - base]; base is the retention
+  // horizon (first retained index). The feeder table covers x <= durable;
+  // the reader-cache table additionally holds the open frontier node.
+  struct NodeIdTable {
+    CkptIndex base = 0;
+    std::vector<int> ids;
   };
 
   // Seqlock write bracket (Boehm's fence recipe). Readers observing an odd
@@ -296,10 +377,9 @@ class OnlineEngine final : public PatternListener {
   struct ReaderCache {
     AnnotatedMutex mu;
     IncrementalReach reach RDT_GUARDED_BY(mu);
-    // engine node -> checkpoint
+    // engine node -> checkpoint (index -1 marks a per-process summary node)
     std::vector<CkptId> node_ckpt RDT_GUARDED_BY(mu);
-    // [p][x] -> engine node
-    std::vector<std::vector<int>> node_ids RDT_GUARDED_BY(mu);
+    std::vector<NodeIdTable> node_ids RDT_GUARDED_BY(mu);
     std::size_t nodes_consumed RDT_GUARDED_BY(mu) = 0;
     std::size_t edges_consumed RDT_GUARDED_BY(mu) = 0;
     // scratch for snapshots
@@ -324,6 +404,20 @@ class OnlineEngine final : public PatternListener {
   // every mirror; shared by the constructor and reset().
   void bootstrap_processes() RDT_REQUIRES(feed_mu_);
 
+  // Post-commit feeder work that must run outside the event's WriteTicket:
+  // the policy's automatic compaction and the periodic resident-bytes probe.
+  void after_commit() RDT_REQUIRES(feed_mu_);
+  // The compaction pass proper; returns true when anything was evicted.
+  // Skips the rebuild when fewer than `min_evictable` checkpoints lie at or
+  // behind the line (the recovery sweep it ran is memoized either way).
+  bool compact_locked(long long min_evictable) RDT_REQUIRES(feed_mu_);
+  // RDT_AUDITS + retention builds only: compare every answerable query
+  // against the keep-all shadow twin after a compaction.
+  void audit_compact_equivalence() RDT_REQUIRES(feed_mu_);
+  // Recompute the resident-bytes mirror (takes rc_.mu for the reader side).
+  void refresh_resident_bytes() RDT_REQUIRES(feed_mu_);
+  std::size_t feeder_resident_bytes() const RDT_REQUIRES(feed_mu_);
+
   void ensure_frontier(ProcessId p) RDT_REQUIRES(feed_mu_);
   int node_of(const CkptId& c) const RDT_REQUIRES(feed_mu_);  // feeder side
   // Verdict for one MM junction: the two-message chain entering target's
@@ -347,26 +441,53 @@ class OnlineEngine final : public PatternListener {
   // Reader side; caller holds rc_.mu.
   void catch_up_reader(std::size_t nodes, std::size_t edges) const
       RDT_REQUIRES(rc_.mu);
-  int reader_node_of(const CkptId& c) const RDT_REQUIRES(rc_.mu);
+  // Horizon-aware checkpoint-id resolution against the reader tables.
+  struct NodeLookup {
+    QueryStatus status = QueryStatus::kInvalid;
+    int node = -1;
+  };
+  NodeLookup reader_lookup(const CkptId& c) const RDT_REQUIRES(rc_.mu);
+  // One rollback sweep over the caught-up reader graph using
+  // rc_.durable_snap (caller fills it); bumps rc_.recovery_sweeps.
+  RecoveryOutcome recovery_sweep_locked() const RDT_REQUIRES(rc_.mu);
 
   mutable AnnotatedMutex feed_mu_;  // serializes feeders (on_* / feed)
 
   // Changes only in the constructor and reset() (a quiesced lifecycle
   // operation); atomic so the lock-free query paths may read it race-free.
   std::atomic<int> num_processes_;
+  // Lifecycle-stable like num_processes_ (written only by the constructor
+  // and reset(), read by retention()); plain because it is never written
+  // while another thread can run.
+  RetentionPolicy retention_;
 
   TdvMachine machine_ RDT_GUARDED_BY(feed_mu_);
   std::vector<VectorClock> clocks_ RDT_GUARDED_BY(feed_mu_);
   std::vector<ProcessState> state_ RDT_GUARDED_BY(feed_mu_);
+  // The live message window: msgs_[m - msgs_base_] for m >= msgs_base_.
+  // compact() drops the prefix of messages that are delivered AND whose
+  // send interval has closed — nothing can ever read those rows again.
   std::vector<MessageState> msgs_ RDT_GUARDED_BY(feed_mu_);
+  MsgId msgs_base_ RDT_GUARDED_BY(feed_mu_) = 0;
   // Spent piggyback buffers, recycled: a delivery retires its message's TDV
   // and clock snapshots here, the next send reuses their capacity, so the
   // steady-state feed path performs no per-event heap allocation.
   std::vector<Tdv> tdv_pool_ RDT_GUARDED_BY(feed_mu_);
   std::vector<VectorClock> clock_pool_ RDT_GUARDED_BY(feed_mu_);
-  // [p][x] -> engine node, x<=durable
-  std::vector<std::vector<int>> node_ids_ RDT_GUARDED_BY(feed_mu_);
+  std::vector<NodeIdTable> node_ids_ RDT_GUARDED_BY(feed_mu_);
+  // Engine node of each process's summary node (-1 before the first
+  // compaction). A summary node stands for the whole evicted prefix of its
+  // process: it has no in-edges, so it can never affect a retained answer,
+  // but it gives late edges (a delivery whose send interval was evicted)
+  // and the collapsed in-edges of retained nodes a well-formed tail.
+  std::vector<int> summary_nodes_ RDT_GUARDED_BY(feed_mu_);
   int next_node_ RDT_GUARDED_BY(feed_mu_) = 0;
+  // Events applied since the last compaction attempt / resident probe.
+  long long events_since_compact_ RDT_GUARDED_BY(feed_mu_) = 0;
+  long long events_since_mem_probe_ RDT_GUARDED_BY(feed_mu_) = 0;
+  // RDT_AUDITS + retention builds: a keep-all twin fed the same events,
+  // the oracle for audit_compact_equivalence(). Null otherwise.
+  std::unique_ptr<OnlineEngine> shadow_ RDT_GUARDED_BY(feed_mu_);
   // While a feed() batch holds the seqlock odd no reader can observe the
   // mirrors, so per-event publication is wasted work: the publish_* helpers
   // become no-ops and one publish_all() runs at batch commit.
@@ -397,6 +518,17 @@ class OnlineEngine final : public PatternListener {
   std::atomic<long long> sends_observed_{0};
   std::atomic<long long> internals_observed_{0};
   std::atomic<long long> checkpoints_observed_{0};
+
+  // Retention counters (retention_stats(); cumulative across reset()).
+  std::atomic<long long> compactions_{0};
+  std::atomic<long long> evicted_ckpts_{0};
+  std::atomic<long long> evicted_edges_{0};
+  std::atomic<long long> evicted_saved_{0};
+  std::atomic<long long> evicted_msgs_{0};
+  std::atomic<long long> late_edges_{0};
+  // Capacity-accounted footprint (util/mem_accounting.hpp), refreshed at
+  // construction, reset, every compaction and every ~256k fed events.
+  std::atomic<std::size_t> resident_bytes_{0};
 
   mutable ReaderCache rc_;
 };

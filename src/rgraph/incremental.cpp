@@ -2,6 +2,7 @@
 
 #include "util/bit_kernels.hpp"
 #include "util/check.hpp"
+#include "util/mem_accounting.hpp"
 
 namespace rdt {
 
@@ -23,7 +24,17 @@ bool set_bit(std::vector<std::uint64_t>& words, std::uint32_t i) {
 
 }  // namespace
 
-void IncrementalReach::reset() {
+void IncrementalReach::reset(std::size_t max_pooled_rows) {
+  for (auto& slot : rows_) {
+    if (!slot || row_pool_.size() >= max_pooled_rows) continue;
+    // A pooled row must look fresh to catch_up (empty l0 => reflexive
+    // reseed + full log replay) while keeping its word buffers' capacity.
+    slot->l0.clear();
+    slot->l1.clear();
+    slot->edge_pos = 0;
+    row_pool_.push_back(std::move(slot));
+  }
+  if (row_pool_.size() > max_pooled_rows) row_pool_.resize(max_pooled_rows);
   adj_.clear();
   edges_.clear();
   rows_.clear();
@@ -49,7 +60,14 @@ void IncrementalReach::add_edge(int from, int to, bool message) {
 IncrementalReach::Row& IncrementalReach::row_for(int from) {
   RDT_REQUIRE(from >= 0 && from < num_nodes(), "node id out of range");
   auto& slot = rows_[static_cast<std::size_t>(from)];
-  if (!slot) slot = std::make_unique<Row>();
+  if (!slot) {
+    if (!row_pool_.empty()) {
+      slot = std::move(row_pool_.back());
+      row_pool_.pop_back();
+    } else {
+      slot = std::make_unique<Row>();
+    }
+  }
   catch_up(from, *slot);
   return *slot;
 }
@@ -109,6 +127,19 @@ bool IncrementalReach::reach(int from, int to) {
 bool IncrementalReach::msg_reach(int from, int to) {
   RDT_REQUIRE(to >= 0 && to < num_nodes(), "node id out of range");
   return test_bit(row_for(from).l1, static_cast<std::uint32_t>(to));
+}
+
+std::size_t IncrementalReach::resident_bytes() const {
+  std::size_t bytes = mem::nested_vec_bytes(adj_) + mem::vec_bytes(edges_) +
+                      mem::vec_bytes(rows_) + mem::vec_bytes(row_pool_) +
+                      mem::vec_bytes(queue_);
+  const auto row_bytes = [](const std::unique_ptr<Row>& row) {
+    if (!row) return std::size_t{0};
+    return sizeof(Row) + mem::vec_bytes(row->l0) + mem::vec_bytes(row->l1);
+  };
+  for (const auto& row : rows_) bytes += row_bytes(row);
+  for (const auto& row : row_pool_) bytes += row_bytes(row);
+  return bytes;
 }
 
 void IncrementalReach::snapshot(int from, BitSpan reach_out,

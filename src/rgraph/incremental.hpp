@@ -25,6 +25,7 @@
 // already-known reachability.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -45,8 +46,15 @@ class IncrementalReach {
   int add_node();
 
   // Back to the empty graph, keeping the outer containers' capacity so a
-  // recycled instance regrows without reallocating its spines.
-  void reset();
+  // recycled instance regrows without reallocating its spines. The
+  // one-argument form additionally moves up to `max_pooled_rows`
+  // materialized closure rows into an internal pool (their word buffers
+  // keep their capacity) and trims the pool to that cap — the engine's
+  // compaction pass rebuilds the graph through this, so the post-rebuild
+  // queries re-materialize rows without reallocating. reset() alone pools
+  // nothing and frees any existing pool: full release.
+  void reset() { reset(0); }
+  void reset(std::size_t max_pooled_rows);
 
   // Append a directed edge. Both endpoints must already exist. Duplicate
   // edges are tolerated (they cost one log entry each but change nothing).
@@ -60,6 +68,10 @@ class IncrementalReach {
   // Copy the current closure rows of `from` into caller-provided spans
   // (bits OR-ed in; pass zeroed spans of width num_nodes()).
   void snapshot(int from, BitSpan reach_out, BitSpan msg_reach_out);
+
+  // Heap payload of the graph: adjacency, edge log, materialized and pooled
+  // closure rows (capacities, per util/mem_accounting.hpp's convention).
+  std::size_t resident_bytes() const;
 
   // Forward adjacency walk (for rollback propagation); fn(successor) may be
   // called more than once per successor if duplicate edges were appended.
@@ -85,6 +97,9 @@ class IncrementalReach {
   // Append-only log of every edge: (u, (v << 1) | is_message).
   std::vector<std::pair<std::uint32_t, std::uint32_t>> edges_;
   std::vector<std::unique_ptr<Row>> rows_;
+  // Rows recycled by reset(max_pooled_rows): cleared (so a reuse looks
+  // fresh to catch_up) but capacity-bearing.
+  std::vector<std::unique_ptr<Row>> row_pool_;
   // BFS scratch, entries encoded (node << 1) | layer.
   std::vector<std::uint32_t> queue_;
 };

@@ -57,7 +57,7 @@ void run_one_client(ServePool& pool, std::span<const StreamEvent> events,
           submitted % options.cheap_query_stride == 0) {
         const auto start = Clock::now();
         const bool rdt = pool.is_rdt_so_far(sid);
-        const OnlineStats stats = pool.session_stats(sid);
+        const OnlineStats stats = pool.session_stats(sid).value;
         tally.cheap_query_us.push_back(micros_since(start));
         ++tally.cheap_queries;
         tally.checksum += (rdt ? 1 : 0) + stats.messages;
@@ -65,7 +65,7 @@ void run_one_client(ServePool& pool, std::span<const StreamEvent> events,
       if (options.recovery_query_stride > 0 &&
           submitted % options.recovery_query_stride == 0) {
         const auto start = Clock::now();
-        const RecoveryOutcome rec = pool.recovery_line(sid);
+        const RecoveryOutcome rec = pool.recovery_line(sid).value;
         tally.recovery_query_us.push_back(micros_since(start));
         ++tally.recovery_queries;
         tally.checksum += rec.total_rollback;
@@ -131,9 +131,9 @@ DriverReport run_clients(ServePool& pool, std::span<const StreamEvent> events,
   for (int k = 0; k < options.sessions; ++k) {
     const SessionId sid = options.first_session + static_cast<SessionId>(k);
     report.rdt_sessions += pool.is_rdt_so_far(sid) ? 1 : 0;
-    report.rollback_total += pool.recovery_line(sid).total_rollback;
+    report.rollback_total += pool.recovery_line(sid).value.total_rollback;
     report.events_consumed += pool.events_consumed(sid);
-    report.delivered_messages += pool.session_stats(sid).messages;
+    report.delivered_messages += pool.session_stats(sid).value.messages;
   }
 
   if (options.close_sessions) {

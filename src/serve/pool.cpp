@@ -53,6 +53,10 @@ int ServePool::shard_of(SessionId id) const {
 }
 
 void ServePool::open_session(SessionId id) {
+  open_session(id, options_.retention);
+}
+
+void ServePool::open_session(SessionId id, const RetentionPolicy& retention) {
   Shard& s = shard_for(id);
   std::shared_ptr<OnlineEngine> engine;
   bool recycled = false;
@@ -69,11 +73,14 @@ void ServePool::open_session(SessionId id) {
     }
   }
   // Construction / reset runs outside the lock: both are O(n^2) in the
-  // process count and must not stall the shard worker.
+  // process count and must not stall the shard worker. A recycled engine is
+  // reset under the *incoming* session's policy — the retention caps keep a
+  // previous tenant's arenas from leaking capacity into this one.
+  const EngineOptions engine_options{options_.num_processes, retention};
   if (recycled)
-    engine->reset(options_.num_processes);
+    engine->reset(engine_options);
   else
-    engine = std::make_shared<OnlineEngine>(options_.num_processes);
+    engine = std::make_shared<OnlineEngine>(engine_options);
   const MutexLock lock(s.mu);
   const bool inserted =
       s.sessions.emplace(id, Session{std::move(engine), false}).second;
@@ -208,12 +215,16 @@ bool ServePool::is_rdt_so_far(SessionId id) const {
   return engine_of(id)->is_rdt_so_far();
 }
 
-RecoveryOutcome ServePool::recovery_line(SessionId id) const {
+RecoveryResult ServePool::recovery_line(SessionId id) const {
   return engine_of(id)->recovery_line();
 }
 
-OnlineStats ServePool::session_stats(SessionId id) const {
+StatsResult ServePool::session_stats(SessionId id) const {
   return engine_of(id)->stats();
+}
+
+RetentionStats ServePool::session_retention(SessionId id) const {
+  return engine_of(id)->retention_stats();
 }
 
 long long ServePool::events_consumed(SessionId id) const {
@@ -224,7 +235,16 @@ ShardStats ServePool::shard_stats(int shard) const {
   RDT_REQUIRE(shard >= 0 && shard < num_shards(), "shard index out of range");
   Shard& s = *shards_[static_cast<std::size_t>(shard)];
   const MutexLock lock(s.mu);
-  return s.stats;
+  ShardStats out = s.stats;
+  // Retention sampling: each engine's counters are lock-free relaxed loads,
+  // so holding the shard mu here never blocks the worker's feed path.
+  for (const auto& [id, session] : s.sessions) {
+    const RetentionStats r = session.engine->retention_stats();
+    out.compactions += r.compactions;
+    out.evicted_checkpoints += r.evicted_checkpoints;
+    out.resident_bytes += r.resident_bytes;
+  }
+  return out;
 }
 
 void ServePool::flush_metrics() const {
@@ -244,6 +264,11 @@ void ServePool::flush_metrics() const {
     m.add(m.counter("serve.events"), s.events);
     m.add(m.counter("serve.sessions.opened"), s.sessions_opened);
     m.add(m.counter("serve.engines.recycled"), s.engines_recycled);
+    m.add(m.counter("serve.retention.compactions"), s.compactions);
+    m.add(m.counter("serve.retention.evicted_checkpoints"),
+          s.evicted_checkpoints);
+    m.add(m.counter("serve.retention.resident_bytes"),
+          static_cast<long long>(s.resident_bytes));
   }
 }
 

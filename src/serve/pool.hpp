@@ -65,11 +65,19 @@ struct PoolOptions {
   int shards = 1;
   int num_processes = 2;           // process count of every session engine
   std::size_t queue_frames = 256;  // per-shard queue bound (backpressure)
+  // Default retention policy of every session engine. A long-lived pool
+  // should run bounded (RetentionPolicy::bounded()) so no single session can
+  // grow without limit; open_session's two-argument overload opts an
+  // individual session out of (or into) the default.
+  RetentionPolicy retention{};
 };
 
 // Per-shard counters, read via shard_stats() or flushed to the obs registry
 // by flush_metrics(). Average batch size is events / frames; events per
 // second is events over the caller's wall clock (bench/bench_serve.cpp).
+// The retention fields are point-in-time samples over the shard's *open*
+// sessions (engines on the free list are excluded): cumulative compaction /
+// eviction counters plus the summed resident-bytes accounting.
 struct ShardStats {
   long long frames = 0;            // frames fed into engines
   long long events = 0;            // events those frames carried
@@ -77,6 +85,9 @@ struct ShardStats {
   long long sessions_opened = 0;
   long long engines_recycled = 0;  // opens served by a reset() engine
   std::size_t max_queue_depth = 0;
+  long long compactions = 0;           // across open sessions (cumulative)
+  long long evicted_checkpoints = 0;   // across open sessions (cumulative)
+  std::size_t resident_bytes = 0;      // summed engine accounting, sampled
 };
 
 class ServePool {
@@ -93,7 +104,13 @@ class ServePool {
   int shard_of(SessionId id) const;
 
   // --- lifecycle -----------------------------------------------------------
+  // Opens under the pool's default retention policy (PoolOptions::retention).
   void open_session(SessionId id);
+  // Opens with a per-session policy: a trusted long-running tenant may keep
+  // full history (RetentionPolicy::keep_all()) on a pool whose default is
+  // bounded, and vice versa. The engine — fresh or recycled — is
+  // constructed/reset under exactly this policy.
+  void open_session(SessionId id, const RetentionPolicy& retention);
   // One encoded frame, exactly (the span must end where the frame ends).
   // Throws std::invalid_argument for a malformed envelope, an unknown or
   // closing session; blocks while the owning shard's queue is full.
@@ -103,9 +120,14 @@ class ServePool {
   void drain();
 
   // --- live queries (valid between open_session and close_session) --------
+  // The structured results mirror OnlineEngine's horizon-aware surface
+  // (online/options.hpp): recovery_line and session_stats are always kOk,
+  // but the shape is shared so callers handle one result type.
   bool is_rdt_so_far(SessionId id) const;
-  RecoveryOutcome recovery_line(SessionId id) const;
-  OnlineStats session_stats(SessionId id) const;
+  RecoveryResult recovery_line(SessionId id) const;
+  StatsResult session_stats(SessionId id) const;
+  // The session engine's cumulative eviction counters + resident bytes.
+  RetentionStats session_retention(SessionId id) const;
   long long events_consumed(SessionId id) const;
 
   ShardStats shard_stats(int shard) const;

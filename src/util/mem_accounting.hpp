@@ -1,0 +1,34 @@
+// Allocation accounting helpers for the retention layer.
+//
+// The engine's O(live frontier) memory claim is gated in CI by
+// bench_longrun, which needs a number it can trust more than VmRSS (the
+// allocator keeps freed pages for a while). These helpers sum the
+// *capacity* footprint of the containers the engine actually owns — what
+// the engine would free if destroyed — so the resident-bytes curve tracks
+// eviction exactly even when the OS-visible RSS plateaus at its high-water
+// mark. The numbers are container payloads only (no allocator headers, no
+// malloc slack): a consistent, comparable accounting, not a heap profiler.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rdt::mem {
+
+// Heap payload of one vector: capacity, not size — unused capacity is
+// resident memory too, which is exactly what a capacity cap must see.
+template <typename T>
+std::size_t vec_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+// Heap payload of a vector of vectors: the outer spine plus every inner
+// buffer (the inner elements must themselves be heap-free).
+template <typename T>
+std::size_t nested_vec_bytes(const std::vector<std::vector<T>>& v) {
+  std::size_t bytes = vec_bytes(v);
+  for (const auto& inner : v) bytes += vec_bytes(inner);
+  return bytes;
+}
+
+}  // namespace rdt::mem

@@ -60,6 +60,27 @@ class PublishedLog {
     size_.store(0, std::memory_order_release);
   }
 
+  // Writer only, same exclusion contract as reset(): frees every chunk that
+  // lies entirely above the current count. reset() deliberately keeps the
+  // chunks so a recycled log regrows allocation-free; a *compacting* caller
+  // pairs reset()+refill with this call to actually return the prefix
+  // storage — the large tail chunks a long stream grew — to the allocator.
+  // The spine itself is untouched, so reader addressing never changes.
+  void release_unused_chunks() {
+    const std::size_t first_free =
+        count_ == 0 ? 0 : locate(count_ - 1).chunk + 1;
+    for (std::size_t k = first_free; k < kMaxChunks; ++k) chunks_[k].reset();
+  }
+
+  // Writer-side accounting: bytes of allocated chunk storage (capacity, not
+  // count — an allocated chunk is resident whether or not it is full).
+  std::size_t resident_bytes() const {
+    std::size_t bytes = 0;
+    for (std::size_t k = 0; k < kMaxChunks; ++k)
+      if (chunks_[k]) bytes += capacity_of(k) * sizeof(T);
+    return bytes;
+  }
+
   // Writer only.
   void push_back(T v) {
     const Loc loc = locate(count_);

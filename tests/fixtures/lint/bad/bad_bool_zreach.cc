@@ -1,0 +1,6 @@
+// bool-zreach: a raw bool return conflates "evicted operand" with
+// "unreachable" — the retention-aware surface returns ZreachResult.
+class LegacyEngine {
+ public:
+  bool zreach(CkptId from, CkptId to) const;
+};

@@ -1,0 +1,11 @@
+// The structured surface: ZreachResult carries a status alongside the
+// answer, and the batch-side accessor's bool *parameter* stays legal.
+class Engine {
+ public:
+  ZreachResult zreach(CkptId from, CkptId to) const;
+};
+
+class RdtAnalyses {
+ public:
+  const ZReachTable& zreach(bool causal_only) const;
+};

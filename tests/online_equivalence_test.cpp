@@ -99,7 +99,7 @@ void expect_prefix_equivalence(const OnlineEngine& engine, const Pattern& pat,
 
   EXPECT_EQ(engine.is_rdt_so_far(), satisfies_rdt(analyses));
 
-  const RecoveryOutcome online = engine.recovery_line();
+  const RecoveryOutcome online = engine.recovery_line().value;
   const RecoveryOutcome batch = recover_after_failure(pat, 0);
   EXPECT_EQ(online.line, batch.line);
   EXPECT_EQ(online.rollback_intervals, batch.rollback_intervals);
@@ -107,7 +107,7 @@ void expect_prefix_equivalence(const OnlineEngine& engine, const Pattern& pat,
   EXPECT_EQ(online.worst_fraction, batch.worst_fraction);  // bit-identical
 
   const PatternStats ps = compute_stats(analyses);
-  const OnlineStats os = engine.stats();
+  const OnlineStats os = engine.stats().value;
   EXPECT_EQ(os.processes, ps.processes);
   EXPECT_EQ(os.messages, ps.messages);
   EXPECT_EQ(os.events, ps.events);
@@ -120,7 +120,7 @@ void expect_prefix_equivalence(const OnlineEngine& engine, const Pattern& pat,
   for (int u = 0; u < pat.total_ckpts(); ++u)
     for (int v = 0; v < pat.total_ckpts(); ++v)
       ASSERT_EQ(engine.zreach(pat.node_ckpt(u), pat.node_ckpt(v)),
-                closure.msg_reach(u, v))
+                ZreachResult::make(closure.msg_reach(u, v)))
           << "zreach(" << pat.node_ckpt(u) << ", " << pat.node_ckpt(v) << ")";
 }
 
@@ -130,7 +130,7 @@ void expect_same_live_state(const OnlineEngine& a, const OnlineEngine& b) {
   ASSERT_EQ(a.num_processes(), b.num_processes());
   EXPECT_EQ(a.events_consumed(), b.events_consumed());
   EXPECT_EQ(a.is_rdt_so_far(), b.is_rdt_so_far());
-  EXPECT_EQ(a.stats(), b.stats());
+  EXPECT_EQ(a.stats().value, b.stats().value);
   for (ProcessId p = 0; p < a.num_processes(); ++p) {
     SCOPED_TRACE("process " + std::to_string(p));
     EXPECT_EQ(a.current_interval(p), b.current_interval(p));
@@ -489,9 +489,9 @@ TEST(OnlineConcurrency, QueriesDuringFeed) {
       long long sink = 0;
       while (!done.load(std::memory_order_acquire)) {
         sink += engine.is_rdt_so_far() ? 1 : 0;
-        sink += engine.recovery_line().total_rollback;
-        sink += engine.stats().noncausal_junctions;
-        sink += engine.zreach({0, 0}, {1, 0}) ? 1 : 0;
+        sink += engine.recovery_line().value.total_rollback;
+        sink += engine.stats().value.noncausal_junctions;
+        sink += engine.zreach({0, 0}, {1, 0}).value ? 1 : 0;
         sink += engine.live_tdv(0).size();
       }
       EXPECT_GE(sink, 0);
@@ -538,11 +538,11 @@ TEST(OnlineConcurrency, SeqlockTortureFourReaders) {
         sink += engine.current_interval(p);
         sink += engine.live_tdv(p).back();
         sink += engine.live_clock(p).get(p);
-        const OnlineStats s = engine.stats();
+        const OnlineStats s = engine.stats().value;
         sink += s.events + s.checkpoints;
         if (t % 2 == 0) {
-          sink += engine.recovery_line().total_rollback;
-          sink += engine.zreach({p, 0}, {0, 0}) ? 1 : 0;
+          sink += engine.recovery_line().value.total_rollback;
+          sink += engine.zreach({p, 0}, {0, 0}).value ? 1 : 0;
         }
         p = static_cast<ProcessId>((p + 1) % engine.num_processes());
       }
@@ -562,6 +562,71 @@ TEST(OnlineConcurrency, SeqlockTortureFourReaders) {
       engine,
       closed_prefix(cfg.num_processes, ops, ops.size(), deliver_pos),
       ops.size());
+}
+
+// Readers racing compaction: the feeder interleaves feed() batches with
+// compact() passes (which rebuild the published logs under the seqlock and
+// the reader-cache under its mutex) while three reader threads hammer every
+// query — including zreach on ids that cross the moving retention horizon,
+// whose status may legitimately flip to kEvicted but must never tear or
+// return a guessed value. Run under TSan in CI; the retained end state must
+// still match a keep-all engine's.
+TEST(OnlineConcurrency, ReadersAcrossCompaction) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 4;
+  cfg.duration = 60.0;
+  cfg.basic_ckpt_mean = 4.0;
+  cfg.seed = 19;
+  const std::vector<StreamEvent> ops =
+      record_replay(random_environment(cfg), ProtocolKind::kBhmr);
+
+  RetentionPolicy policy;
+  policy.enabled = true;
+  policy.compact_every_events = 0;  // the feeder compacts explicitly below
+  policy.min_evictable_checkpoints = 1;
+  OnlineEngine engine(EngineOptions{cfg.num_processes, policy});
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&engine, &done, t] {
+      long long sink = 0;
+      ProcessId p = static_cast<ProcessId>(t % engine.num_processes());
+      while (!done.load(std::memory_order_acquire)) {
+        sink += engine.is_rdt_so_far() ? 1 : 0;
+        sink += engine.stats().value.checkpoints;
+        sink += engine.first_retained(p);
+        sink += engine.retention_stats().evicted_checkpoints;
+        const ZreachResult z = engine.zreach({p, 0}, {0, 0});
+        sink += z.ok() && z.value ? 1 : 0;
+        sink += engine.recovery_line().value.total_rollback;
+        p = static_cast<ProcessId>((p + 1) % engine.num_processes());
+      }
+      EXPECT_GE(sink, 0);
+    });
+  }
+
+  const std::span<const StreamEvent> all(ops);
+  constexpr std::size_t kBatch = 48;
+  std::size_t batches = 0;
+  for (std::size_t i = 0; i < all.size(); i += kBatch) {
+    engine.feed(all.subspan(i, std::min(kBatch, all.size() - i)));
+    if (++batches % 4 == 0) engine.compact();
+  }
+  engine.compact();
+  done.store(true, std::memory_order_release);
+  for (std::thread& r : readers) r.join();
+
+  // Retained-state answers still match a keep-all engine.
+  OnlineEngine keepall(cfg.num_processes);
+  keepall.feed(ops);
+  EXPECT_EQ(engine.is_rdt_so_far(), keepall.is_rdt_so_far());
+  EXPECT_EQ(engine.stats().value, keepall.stats().value);
+  const RecoveryOutcome got = engine.recovery_line().value;
+  const RecoveryOutcome want = keepall.recovery_line().value;
+  EXPECT_EQ(got.line, want.line);
+  EXPECT_EQ(got.total_rollback, want.total_rollback);
+  EXPECT_GT(engine.retention_stats().compactions, 0);
 }
 
 }  // namespace

@@ -78,8 +78,8 @@ void expect_matches_standalone(const ServePool& pool, SessionId session,
   EXPECT_EQ(pool.events_consumed(session), standalone.events_consumed());
   EXPECT_EQ(pool.is_rdt_so_far(session), standalone.is_rdt_so_far());
   EXPECT_EQ(pool.session_stats(session), standalone.stats());
-  const RecoveryOutcome pooled = pool.recovery_line(session);
-  const RecoveryOutcome direct = standalone.recovery_line();
+  const RecoveryOutcome pooled = pool.recovery_line(session).value;
+  const RecoveryOutcome direct = standalone.recovery_line().value;
   EXPECT_EQ(pooled.line, direct.line);
   EXPECT_EQ(pooled.rollback_intervals, direct.rollback_intervals);
   EXPECT_EQ(pooled.total_rollback, direct.total_rollback);
@@ -315,9 +315,9 @@ TEST(ServeDriver, SummedAnswersMatchStandalone) {
   EXPECT_EQ(report.events_consumed, standalone.events_consumed() * 8);
   EXPECT_EQ(report.rdt_sessions, standalone.is_rdt_so_far() ? 8 : 0);
   EXPECT_EQ(report.rollback_total,
-            standalone.recovery_line().total_rollback * 8);
+            standalone.recovery_line().value.total_rollback * 8);
   EXPECT_EQ(report.delivered_messages,
-            static_cast<long long>(standalone.stats().messages) * 8);
+            static_cast<long long>(standalone.stats().value.messages) * 8);
   EXPECT_GT(report.cheap_queries, 0);
   EXPECT_EQ(report.cheap_query_us.size(),
             static_cast<std::size_t>(report.cheap_queries));
@@ -351,8 +351,8 @@ TEST(ServeConcurrency, QueryThreadsDuringConcurrentIngest) {
       while (!done.load(std::memory_order_relaxed)) {
         for (SessionId id = 1; id <= kSessions; ++id) {
           fold += pool.is_rdt_so_far(id) ? 1 : 0;
-          fold += pool.session_stats(id).checkpoints;
-          fold += pool.recovery_line(id).total_rollback;
+          fold += pool.session_stats(id).value.checkpoints;
+          fold += pool.recovery_line(id).value.total_rollback;
         }
       }
       query_fold.fetch_add(fold, std::memory_order_relaxed);
@@ -409,7 +409,7 @@ TEST(ServeConcurrency, DriverWorkloadWithRecycling) {
     EXPECT_EQ(report.events_consumed, standalone.events_consumed() * 16);
     EXPECT_EQ(report.rdt_sessions, standalone.is_rdt_so_far() ? 16 : 0);
     EXPECT_EQ(report.rollback_total,
-              standalone.recovery_line().total_rollback * 16);
+              standalone.recovery_line().value.total_rollback * 16);
   }
   long long recycled = 0;
   for (int s = 0; s < pool.num_shards(); ++s)

@@ -158,7 +158,7 @@ void rule_obs_hot_path(const FileInput& file, std::string_view stripped,
 // Feeder-private state, audited: guarded by feed_mu_ (or rc_.mu for rc_)
 // and never read by the lock-free query path. Each entry is a deliberate,
 // reviewed exemption — extend only with the matching GUARDED_BY annotation.
-constexpr std::array<std::string_view, 10> kTicketAllowlist = {
+constexpr std::array<std::string_view, 16> kTicketAllowlist = {
     "machine_",    // feeder-private TDV machine, GUARDED_BY(feed_mu_)
     "clocks_",     // feeder-private vector clocks, GUARDED_BY(feed_mu_)
     "state_",      // feeder-private per-process state, GUARDED_BY(feed_mu_)
@@ -169,6 +169,12 @@ constexpr std::array<std::string_view, 10> kTicketAllowlist = {
     "next_node_",  // feeder-side node counter, GUARDED_BY(feed_mu_)
     "deferred_publish_",  // feeder-only batching flag, GUARDED_BY(feed_mu_)
     "rc_",         // reader cache, all fields GUARDED_BY(rc_.mu)
+    "retention_",  // retention policy, set at init/reset, GUARDED_BY(feed_mu_)
+    "msgs_base_",  // message-window base, GUARDED_BY(feed_mu_)
+    "summary_nodes_",        // per-process summary ids, GUARDED_BY(feed_mu_)
+    "events_since_compact_",    // compaction cadence, GUARDED_BY(feed_mu_)
+    "events_since_mem_probe_",  // accounting cadence, GUARDED_BY(feed_mu_)
+    "shadow_",     // audit-only keep-all twin, GUARDED_BY(feed_mu_)
 };
 
 enum class MemberClass { kPlain, kAtomic, kLog, kMutex };
@@ -495,6 +501,41 @@ void rule_owning_piggyback(const FileInput& file, std::string_view stripped,
   }
 }
 
+// ---------------------------------------------------------------------------
+// bool-zreach: the retention-aware engine (online/options.hpp) replaced the
+// raw `bool zreach(...)` query with the structured ZreachResult, whose
+// status distinguishes an evicted operand from an invalid one. Declaring a
+// zreach that returns plain bool reintroduces the surface that conflated
+// "unreachable" with "unanswerable" — new code must return a QueryResult.
+// (The batch-side `zreach(bool causal_only)` accessor is untouched: there
+// `bool` is a parameter, not the return type preceding the name.)
+void rule_bool_zreach(const FileInput& file, std::string_view stripped,
+                      std::vector<Finding>& out) {
+  for (std::size_t pos = find_token(stripped, "zreach", 0);
+       pos != std::string_view::npos;
+       pos = find_token(stripped, "zreach", pos + 1)) {
+    // The token immediately before `zreach` must be the return type `bool`.
+    std::size_t b = pos;
+    while (b > 0 && std::isspace(static_cast<unsigned char>(stripped[b - 1])) != 0)
+      --b;
+    std::size_t w = b;
+    while (w > 0 && is_word(stripped[w - 1])) --w;
+    if (stripped.substr(w, b - w) != "bool") continue;
+    // Only a declaration/definition counts: the name must open a parameter
+    // list (a call site cannot start with `bool`, but stay precise anyway).
+    std::size_t i = pos + 6;
+    while (i < stripped.size() &&
+           std::isspace(static_cast<unsigned char>(stripped[i])) != 0)
+      ++i;
+    if (i >= stripped.size() || stripped[i] != '(') continue;
+    if (suppressed(file.text, pos, "bool-zreach")) continue;
+    out.push_back({file.path, line_of(stripped, pos), "bool-zreach",
+                   "zreach declared with a raw bool return; return "
+                   "ZreachResult (online/options.hpp) so evicted/invalid "
+                   "operands stay distinguishable"});
+  }
+}
+
 }  // namespace
 
 std::string strip_comments_and_strings(std::string_view text) {
@@ -559,6 +600,9 @@ const std::vector<RuleInfo>& rules() {
       {"owning-piggyback",
        "protocol hooks must take PiggybackView/PiggybackSlot, not an owning "
        "Piggyback"},
+      {"bool-zreach",
+       "zreach must return ZreachResult, not a raw bool that conflates "
+       "evicted and unreachable"},
   };
   return kRules;
 }
@@ -574,6 +618,7 @@ std::vector<Finding> lint_file(const FileInput& file,
   rule_obs_hot_path(file, stripped, out);
   rule_bitspan_trim(file, stripped, out);
   rule_owning_piggyback(file, stripped, out);
+  rule_bool_zreach(file, stripped, out);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return a.line < b.line;
   });
