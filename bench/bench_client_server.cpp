@@ -20,7 +20,7 @@ using namespace rdt::bench;
 
 void sweep_chain_length(BenchReport& report, int seeds) {
   Table table({"servers", "CBR", "NRAS", "FDI", "FDAS", "BHMR-V2", "BHMR-V1",
-               "BHMR"});
+               "BHMR", "ADAPT"});
   for (int servers : {2, 4, 8, 12}) {
     auto generate = [&](std::uint64_t seed) {
       ClientServerEnvConfig cfg = client_server_env_preset();
@@ -42,7 +42,7 @@ void sweep_chain_length(BenchReport& report, int seeds) {
 
 void sweep_forward_prob(BenchReport& report, int seeds) {
   Table table({"fwd prob", "CBR", "NRAS", "FDI", "FDAS", "BHMR-V2", "BHMR-V1",
-               "BHMR"});
+               "BHMR", "ADAPT"});
   for (double prob : {0.25, 0.5, 0.75, 1.0}) {
     auto generate = [&](std::uint64_t seed) {
       ClientServerEnvConfig cfg = client_server_env_preset();

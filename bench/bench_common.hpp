@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/session.hpp"
+#include "protocols/registry.hpp"
 #include "sim/environments.hpp"
 #include "sim/runner.hpp"
 #include "util/table.hpp"
@@ -34,7 +35,7 @@ namespace rdt::bench {
 // Command line. Every experiment binary accepts the same core flags —
 //   --seeds N     sweep width (each binary picks its own default)
 //   --threads N   worker threads (defaults to the hardware concurrency)
-//   --json PATH   write the rdt-bench-v1 report
+//   --json PATH   write the rdt-bench-v2 report
 //   --trace PATH  capture an observability session, write a chrome trace
 // — plus whatever experiment-specific flags it reads via flag_or()/has().
 // ---------------------------------------------------------------------------
@@ -160,13 +161,14 @@ inline std::vector<ProtocolStats> parallel_sweep(
 }
 
 // The dependency-tracking protocols the study sweeps (baseline first). CBR
-// is included as the classic upper bound; NRAS as the piggyback-free one.
+// is included as the classic upper bound; NRAS as the piggyback-free one;
+// the adaptive meta-protocol closes the list as the lattice traveller.
 inline const std::vector<ProtocolKind>& study_protocols() {
   static const std::vector<ProtocolKind> kinds = {
       ProtocolKind::kCbr,          ProtocolKind::kNras,
       ProtocolKind::kFdi,          ProtocolKind::kFdas,
       ProtocolKind::kBhmrC1Only,   ProtocolKind::kBhmrNoSimple,
-      ProtocolKind::kBhmr};
+      ProtocolKind::kBhmr,         ProtocolKind::kAdaptive};
   return kinds;
 }
 
@@ -282,18 +284,26 @@ inline JsonValue to_json(const Summary& s) {
 }
 
 inline JsonValue to_json(const ProtocolStats& s) {
+  // wire_bits_per_message is measured through the protocol's declared
+  // codec; flat_bits_per_message keeps the analytic flat-plane figure as
+  // the labeled comparison column (the pre-codec reports' constant).
   return JsonObject{{"protocol", to_string(s.kind)},
+                    {"codec",
+                     to_cstring(ProtocolRegistry::instance().info(s.kind).codec)},
                     {"r_forced_per_basic", to_json(s.r_forced_per_basic)},
                     {"forced_per_message", to_json(s.forced_per_message)},
-                    {"piggyback_bits_per_message", to_json(s.piggyback_bits)},
+                    {"wire_bits_per_message", to_json(s.wire_bits)},
+                    {"flat_bits_per_message", to_json(s.flat_bits)},
                     {"total_messages", s.total_messages},
                     {"total_basic", s.total_basic},
                     {"total_forced", s.total_forced}};
 }
 
 // ---------------------------------------------------------------------------
-// BenchReport — machine-readable run record, schema "rdt-bench-v1":
-//   { "schema": "rdt-bench-v1", "experiment": ..., "wall_seconds": ...,
+// BenchReport — machine-readable run record, schema "rdt-bench-v2" (v2
+// replaced the flat piggyback_bits_per_message constant with measured
+// wire_bits_per_message + the flat_bits_per_message comparison column):
+//   { "schema": "rdt-bench-v2", "experiment": ..., "wall_seconds": ...,
 //     "sections": [ { "name": ..., "params": {...},
 //                     "protocols": [...] | "metrics": {...} } ] }
 // Construct it first thing in main() with the parsed BenchArgs (or argc/
@@ -363,7 +373,7 @@ class BenchReport {
     if (!enabled()) return;
     const double wall =
         std::chrono::duration<double>(Clock::now() - start_).count();
-    const JsonValue root = JsonObject{{"schema", "rdt-bench-v1"},
+    const JsonValue root = JsonObject{{"schema", "rdt-bench-v2"},
                                       {"experiment", experiment_},
                                       {"wall_seconds", wall},
                                       {"sections", std::move(sections_)}};

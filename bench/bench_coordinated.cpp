@@ -78,7 +78,7 @@ int main(int argc, char** argv) {
                    {"seeds", seeds},
                    {"cl_control_msgs_per_snapshot", markers / seeds},
                    {"cl_latency", to_json(latency.summary())},
-                   {"bhmr_piggyback_bytes_per_msg", piggy_bytes},
+                   {"bhmr_wire_bytes_per_msg", piggy_bytes},
                    {"bhmr_consistent_cuts", to_json(cuts.summary())}});
     table.begin_row()
         .add(n)

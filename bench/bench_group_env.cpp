@@ -19,7 +19,7 @@ using namespace rdt::bench;
 
 void sweep_overlap(BenchReport& report, int seeds) {
   Table table({"overlap", "n", "CBR", "NRAS", "FDI", "FDAS", "BHMR-V2",
-               "BHMR-V1", "BHMR"});
+               "BHMR-V1", "BHMR", "ADAPT"});
   for (int overlap : {0, 1, 2}) {
     GroupEnvConfig base = group_env_preset();
     base.overlap = overlap;
@@ -45,7 +45,7 @@ void sweep_overlap(BenchReport& report, int seeds) {
 
 void sweep_group_count(BenchReport& report, int seeds) {
   Table table({"groups", "n", "CBR", "NRAS", "FDI", "FDAS", "BHMR-V2",
-               "BHMR-V1", "BHMR"});
+               "BHMR-V1", "BHMR", "ADAPT"});
   for (int groups : {2, 4, 6}) {
     GroupEnvConfig base = group_env_preset();
     base.num_groups = groups;

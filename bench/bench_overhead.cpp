@@ -1,7 +1,10 @@
 // Experiment E5 — the piggyback-size trade-off of Section 5.2: "the price
 // to be paid is in terms of increased size of piggybacked information".
 // Control bits each protocol adds to every application message, as a
-// function of the process count (TDV entries counted as 32-bit integers).
+// function of the process count. The flat columns are the paper's analytic
+// figures (TDV entries counted as 32-bit integers, one bit per plane
+// cell); the wire columns are what the protocol's declared codec actually
+// puts on a first message — the honest number the sweeps now report.
 #include <iostream>
 
 #include "bench_common.hpp"
@@ -14,35 +17,45 @@ int main(int argc, char** argv) {
   const ProtocolRegistry& registry = ProtocolRegistry::instance();
   std::cout << "==================================================================\n"
                "E5 (piggyback overhead) — control bits per application message\n"
-               "TDV = n x 32-bit integers; simple = n bits; causal = n^2 bits\n"
+               "flat: TDV = n x 32-bit integers; simple = n bits; causal = n^2\n"
+               "wire: the declared codec's first-message encoding (measured)\n"
                "==================================================================\n";
-  Table table({"n", "NRAS/CBR/CAS", "FDI", "FDAS", "BHMR-V1/V2", "BHMR",
-               "BHMR bytes"});
+  Table table({"n", "FDAS flat", "FDAS wire", "BHMR-V1 flat", "BHMR-V1 wire",
+               "BHMR flat", "BHMR wire", "BHMR wire bytes"});
   JsonArray rows;
   for (int n : {4, 8, 16, 32, 64, 128}) {
     table.begin_row().add(n);
-    table.add(registry.info(ProtocolKind::kNras).piggyback_bits(n));
-    table.add(registry.info(ProtocolKind::kFdi).piggyback_bits(n));
-    table.add(registry.info(ProtocolKind::kFdas).piggyback_bits(n));
-    table.add(registry.info(ProtocolKind::kBhmrNoSimple).piggyback_bits(n));
+    for (ProtocolKind kind : {ProtocolKind::kFdas, ProtocolKind::kBhmrNoSimple,
+                              ProtocolKind::kBhmr}) {
+      // This bench IS the flat-vs-wire comparison table.
+      table.add(
+          registry.info(kind)
+              .flat_piggyback_bits(n));  // rdt-lint: allow(flat-piggyback)
+      table.add(registry.info(kind).piggyback_bits(n));
+    }
     const auto bhmr = registry.info(ProtocolKind::kBhmr).piggyback_bits(n);
-    table.add(bhmr);
     table.add(static_cast<long long>(bhmr / 8));
     JsonObject row{{"num_processes", n}};
     for (ProtocolKind kind :
          {ProtocolKind::kNras, ProtocolKind::kFdi, ProtocolKind::kFdas,
-          ProtocolKind::kBhmrNoSimple, ProtocolKind::kBhmr}) {
-      row.emplace_back(registry.info(kind).id,
-                       static_cast<unsigned long long>(
-                           registry.info(kind).piggyback_bits(n)));
+          ProtocolKind::kBhmrNoSimple, ProtocolKind::kBhmr,
+          ProtocolKind::kAdaptive}) {
+      const ProtocolInfo& info = registry.info(kind);
+      row.emplace_back(
+          info.id + "_flat",
+          static_cast<unsigned long long>(
+              info.flat_piggyback_bits(n)));  // rdt-lint: allow(flat-piggyback)
+      row.emplace_back(info.id + "_wire", static_cast<unsigned long long>(
+                                              info.piggyback_bits(n)));
     }
     rows.push_back(std::move(row));
   }
-  report.add_metrics("piggyback_bits_per_message", std::move(rows));
+  report.add_metrics("first_message_bits", std::move(rows));
   table.print(std::cout);
   std::cout << "\nthe BHMR family trades O(n^2) piggyback bits for fewer "
                "forced checkpoints;\nthe quadratic term overtakes the TDV "
-               "itself beyond n = 32.\n";
+               "itself beyond n = 32 — on the wire the delta codec\n"
+               "defers that cost to what a message actually changes.\n";
   report.finish();
   return 0;
 }

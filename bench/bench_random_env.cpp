@@ -18,7 +18,7 @@ using namespace rdt::bench;
 
 void sweep_ckpt_period(BenchReport& report, int num_processes, int seeds) {
   Table table({"basic-ckpt period", "msgs/interval", "CBR", "NRAS", "FDI",
-               "FDAS", "BHMR-V2", "BHMR-V1", "BHMR"});
+               "FDAS", "BHMR-V2", "BHMR-V1", "BHMR", "ADAPT"});
   for (double period : {2.0, 5.0, 10.0, 20.0, 40.0}) {
     auto generate = [&](std::uint64_t seed) {
       RandomEnvConfig cfg = random_env_preset();
@@ -46,7 +46,7 @@ void sweep_ckpt_period(BenchReport& report, int num_processes, int seeds) {
 
 void sweep_process_count(BenchReport& report, int seeds) {
   Table table({"n", "CBR", "NRAS", "FDI", "FDAS", "BHMR-V2", "BHMR-V1",
-               "BHMR"});
+               "BHMR", "ADAPT"});
   for (int n : {4, 8, 16}) {
     auto generate = [&](std::uint64_t seed) {
       RandomEnvConfig cfg = random_env_preset();

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
          "E10 (useless checkpoints & storage) — no-force vs BCS vs RDT family\n"
          "==================================================================\n";
   const int seeds = 8;
-  Table table({"protocol", "piggyback bits", "useless ckpt %", "RDT runs",
+  Table table({"protocol", "wire bits/msg", "useless ckpt %", "RDT runs",
                "GC-collectable %", "forced/basic"});
   for (ProtocolKind kind :
        {ProtocolKind::kNoForce, ProtocolKind::kBcs, ProtocolKind::kNras,
@@ -61,7 +61,7 @@ int main(int argc, char** argv) {
     report.add_metrics(
         "useless_ckpts",
         JsonObject{{"protocol", to_string(kind)},
-                   {"piggyback_bits",
+                   {"wire_bits",
                     static_cast<unsigned long long>(
                         ProtocolRegistry::instance().info(kind).piggyback_bits(6))},
                    {"useless_pct", to_json(useless_frac.summary())},

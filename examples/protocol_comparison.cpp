@@ -62,8 +62,8 @@ int main(int argc, char** argv) {
   for (const ProtocolInfo& info : registry.all()) kinds.push_back(info.kind);
   const auto stats = sweep(generate, kinds, seeds);
 
-  Table table({"protocol", "R = forced/basic", "forced/message",
-               "piggyback bits/msg", "ensures RDT"});
+  Table table({"protocol", "codec", "R = forced/basic", "forced/message",
+               "wire bits/msg", "flat bits/msg", "ensures RDT"});
   for (const ProtocolStats& s : stats) {
     const ProtocolInfo& info = registry.info(s.kind);
     // Verify the registry's RDT claim on one replayed pattern per protocol.
@@ -71,9 +71,11 @@ int main(int argc, char** argv) {
     const bool observed = satisfies_rdt(one.pattern);
     table.begin_row()
         .add(info.id)
+        .add(to_cstring(info.codec))
         .add(s.r_forced_per_basic.mean, 3)
         .add(s.forced_per_message.mean, 3)
-        .add(s.piggyback_bits.mean, 0)
+        .add(s.wire_bits.mean, 1)
+        .add(s.flat_bits.mean, 0)
         .add(info.ensures_rdt ? (observed ? "yes" : "CLAIMED, VIOLATED")
                               : (observed ? "no (held here)" : "no"));
   }

@@ -1,0 +1,522 @@
+#include "protocols/codec.hpp"
+
+#include <bit>
+#include <cstring>
+#include <string>
+
+#include "util/bit_matrix.hpp"
+#include "util/check.hpp"
+#include "util/varint.hpp"
+
+namespace rdt {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t offset, const std::string& what) {
+  varint::fail("piggyback", offset, what);
+}
+
+std::uint64_t get_varint(std::span<const std::uint8_t> bytes,
+                         std::size_t& offset, std::size_t end,
+                         const char* what) {
+  return varint::get(bytes, offset, end, "piggyback", what);
+}
+
+// A varint bounded by an inclusive-exclusive cap — the workhorse for plane
+// counts and gap offsets, where anything at or past the plane size is
+// hostile input rather than a caller bug.
+std::uint64_t get_capped(std::span<const std::uint8_t> bytes,
+                         std::size_t& offset, std::size_t end,
+                         std::uint64_t cap, const char* what) {
+  const std::size_t at = offset;
+  const std::uint64_t v = get_varint(bytes, offset, end, what);
+  if (v >= cap)
+    fail(at, std::string(what) + " " + std::to_string(v) +
+                 " exceeds the piggyback cap " + std::to_string(cap - 1));
+  return v;
+}
+
+void need_bytes(std::size_t at, std::size_t end, std::size_t want,
+                const char* what) {
+  if (end - at < want)
+    fail(at, std::string("truncated ") + what + " (need " +
+                 std::to_string(want) + " bytes, have " +
+                 std::to_string(end - at) + ")");
+}
+
+std::size_t plane_bytes(std::size_t bits) { return (bits + 7) / 8; }
+
+// --- byte-aligned bit planes (flat codec + delta causal masks) ---
+
+void put_bits(ConstBitSpan bits, std::vector<std::uint8_t>& out) {
+  const std::uint64_t* words = bits.words();
+  const std::size_t nbytes = plane_bytes(bits.size());
+  for (std::size_t i = 0; i < nbytes; ++i)
+    out.push_back(static_cast<std::uint8_t>(words[i / 8] >> (8 * (i % 8))));
+}
+
+// Reads ceil(size)/8 bytes into `dst`'s words, rejecting stray bits beyond
+// the plane width (they would silently vanish on re-encode, breaking the
+// roundtrip identity the fuzzer pins).
+void get_bits(std::span<const std::uint8_t> bytes, std::size_t& at,
+              std::size_t end, BitSpan dst, const char* what) {
+  const std::size_t nbytes = plane_bytes(dst.size());
+  need_bytes(at, end, nbytes, what);
+  std::uint64_t* words = dst.words();
+  for (std::size_t w = 0; w < dst.num_words(); ++w) words[w] = 0;
+  for (std::size_t i = 0; i < nbytes; ++i)
+    words[i / 8] |= static_cast<std::uint64_t>(bytes[at + i]) << (8 * (i % 8));
+  at += nbytes;
+  if (!dst.tail_zero())
+    fail(at - 1, std::string(what) + " has stray bits beyond the plane width");
+}
+
+void put_index_u32(CkptIndex v, std::vector<std::uint8_t>& out) {
+  RDT_CHECK(v >= 0 && v < kMaxPiggybackIndex,
+            "piggyback index outside the encodable range");
+  const auto u = static_cast<std::uint32_t>(v);
+  out.push_back(static_cast<std::uint8_t>(u));
+  out.push_back(static_cast<std::uint8_t>(u >> 8));
+  out.push_back(static_cast<std::uint8_t>(u >> 16));
+  out.push_back(static_cast<std::uint8_t>(u >> 24));
+}
+
+CkptIndex get_index_u32(std::span<const std::uint8_t> bytes, std::size_t& at,
+                        std::size_t end, const char* what) {
+  need_bytes(at, end, 4, what);
+  std::uint32_t u = 0;
+  for (int i = 0; i < 4; ++i)
+    u |= static_cast<std::uint32_t>(bytes[at + i]) << (8 * i);
+  if (u >= static_cast<std::uint32_t>(kMaxPiggybackIndex))
+    fail(at, std::string(what) + " " + std::to_string(u) +
+                 " exceeds the piggyback cap");
+  at += 4;
+  return static_cast<CkptIndex>(u);
+}
+
+// --- gap-encoded strictly-increasing offset lists (sparse + delta) ---
+
+// Decodes one strictly-increasing gap-encoded offset list (the first gap
+// is the position itself, each later gap is pos - prev - 1). Calls
+// visit(pos) for each decoded position; positions are guaranteed in
+// [0, limit) and strictly increasing.
+template <typename Visit>
+void get_offsets(std::span<const std::uint8_t> bytes, std::size_t& at,
+                 std::size_t end, std::uint64_t limit, const char* what,
+                 Visit&& visit) {
+  const std::uint64_t count = get_capped(bytes, at, end, limit + 1, what);
+  std::uint64_t pos = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::size_t gap_at = at;
+    const std::uint64_t gap = get_varint(bytes, at, end, what);
+    // pos < limit and gap < limit after this check, so no overflow below.
+    if (gap >= limit)
+      fail(gap_at, std::string(what) + " offset gap " + std::to_string(gap) +
+                       " runs past the plane size " + std::to_string(limit));
+    pos = (i == 0) ? gap : pos + 1 + gap;
+    if (pos >= limit)
+      fail(gap_at, std::string(what) + " offset " + std::to_string(pos) +
+                       " runs past the plane size " + std::to_string(limit));
+    visit(static_cast<std::size_t>(pos));
+  }
+}
+
+// Set-bit positions of (a XOR b) over `words` 64-bit words.
+template <typename Visit>
+void for_each_diff_bit(const std::uint64_t* a, const std::uint64_t* b,
+                       std::size_t words, Visit&& visit) {
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t diff = a[w] ^ b[w];
+    while (diff != 0) {
+      const int bit = std::countr_zero(diff);
+      visit(w * 64 + static_cast<std::size_t>(bit));
+      diff &= diff - 1;
+    }
+  }
+}
+
+std::size_t count_diff_bits(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t words) {
+  std::size_t count = 0;
+  for (std::size_t w = 0; w < words; ++w)
+    count += static_cast<std::size_t>(std::popcount(a[w] ^ b[w]));
+  return count;
+}
+
+}  // namespace
+
+const char* to_cstring(PiggybackCodecKind kind) {
+  switch (kind) {
+    case PiggybackCodecKind::kFlat: return "flat";
+    case PiggybackCodecKind::kDelta: return "delta";
+    case PiggybackCodecKind::kSparse: return "sparse";
+  }
+  return "unknown";
+}
+
+std::optional<PiggybackCodecKind> codec_from_string(std::string_view id) {
+  if (id == "flat") return PiggybackCodecKind::kFlat;
+  if (id == "delta") return PiggybackCodecKind::kDelta;
+  if (id == "sparse") return PiggybackCodecKind::kSparse;
+  return std::nullopt;
+}
+
+void PiggybackCodec::reset(PiggybackCodecKind kind, int num_processes,
+                           PayloadShape shape) {
+  RDT_REQUIRE(num_processes >= 1 && num_processes <= kMaxCodecProcesses,
+              "codec process count outside [1, kMaxCodecProcesses]");
+  RDT_REQUIRE(kind != PiggybackCodecKind::kDelta ||
+                  num_processes <= kMaxDeltaProcesses,
+              "delta codec shadows are capped at kMaxDeltaProcesses");
+  kind_ = kind;
+  n_ = num_processes;
+  shape_ = shape;
+  const auto n = static_cast<std::size_t>(n_);
+  row_words_ = bitdetail::words_for(n);
+  // assign() zeroes in place once grown — steady-state reset allocates
+  // nothing, matching the PayloadArena discipline.
+  const std::size_t chs = kind == PiggybackCodecKind::kDelta ? n * n : 0;
+  for (ChannelPlanes* side : {&enc_, &dec_}) {
+    side->tdv.assign(shape.tdv ? chs * n : 0, 0);
+    side->simple.assign(shape.simple ? chs * row_words_ : 0, 0);
+    side->causal.assign(shape.causal ? chs * n * row_words_ : 0, 0);
+    side->index.assign(shape.index ? chs : 0, 0);
+  }
+}
+
+std::size_t PiggybackCodec::max_encoded_bytes() const {
+  const auto n = static_cast<std::size_t>(n_);
+  std::size_t bytes = 0;
+  // Every plane's worst case across the three codecs: full varint lists
+  // (10 bytes per entry plus a count) dominate the flat layout.
+  if (shape_.tdv) bytes += 10 + n * 20;
+  if (shape_.simple) bytes += 10 + n * 10;
+  if (shape_.causal) bytes += 10 + n * (10 + n * 10 + plane_bytes(n));
+  if (shape_.index) bytes += 10;
+  return bytes;
+}
+
+std::size_t PiggybackCodec::channel(ProcessId src, ProcessId dest) const {
+  RDT_CHECK(src >= 0 && src < n_ && dest >= 0 && dest < n_,
+            "piggyback channel endpoints outside [0, n)");
+  return static_cast<std::size_t>(src) * static_cast<std::size_t>(n_) +
+         static_cast<std::size_t>(dest);
+}
+
+void PiggybackCodec::check_shape(std::size_t tdv_size, std::size_t simple_size,
+                                 std::size_t causal_rows,
+                                 std::size_t causal_cols,
+                                 bool has_index) const {
+  const auto n = static_cast<std::size_t>(n_);
+  RDT_CHECK(tdv_size == (shape_.tdv ? n : 0),
+            "payload tdv plane does not match the codec shape");
+  RDT_CHECK(simple_size == (shape_.simple ? n : 0),
+            "payload simple plane does not match the codec shape");
+  RDT_CHECK(causal_rows == (shape_.causal ? n : 0) &&
+                causal_cols == (shape_.causal ? n : 0),
+            "payload causal plane does not match the codec shape");
+  RDT_CHECK(has_index == shape_.index,
+            "payload scalar index does not match the codec shape");
+}
+
+std::size_t PiggybackCodec::encode(ProcessId src, ProcessId dest,
+                                   const PiggybackView& payload,
+                                   std::vector<std::uint8_t>& out) {
+  RDT_REQUIRE(n_ > 0, "encode() on a codec that was never reset()");
+  check_shape(payload.tdv.size(), payload.simple.size(), payload.causal.rows(),
+              payload.causal.cols(), payload.index != PiggybackView::kNoIndex);
+  const std::size_t ch = channel(src, dest);
+  switch (kind_) {
+    case PiggybackCodecKind::kFlat: return encode_flat(payload, out);
+    case PiggybackCodecKind::kSparse: return encode_sparse(payload, out);
+    case PiggybackCodecKind::kDelta: return encode_delta(ch, payload, out);
+  }
+  RDT_ASSERT(false);
+  return 0;
+}
+
+void PiggybackCodec::decode(ProcessId src, ProcessId dest,
+                            std::span<const std::uint8_t> bytes,
+                            std::size_t& offset, const PiggybackSlot& slot) {
+  RDT_REQUIRE(n_ > 0, "decode() on a codec that was never reset()");
+  check_shape(slot.tdv.size(), slot.simple.size(), slot.causal.rows(),
+              slot.causal.cols(), slot.index != nullptr);
+  const std::size_t ch = channel(src, dest);
+  std::size_t at = offset;  // committed only on success
+  switch (kind_) {
+    case PiggybackCodecKind::kFlat: decode_flat(bytes, at, slot); break;
+    case PiggybackCodecKind::kSparse: decode_sparse(bytes, at, slot); break;
+    case PiggybackCodecKind::kDelta: decode_delta(ch, bytes, at, slot); break;
+  }
+  offset = at;
+}
+
+// --- flat: the byte-aligned reference layout ---
+
+std::size_t PiggybackCodec::encode_flat(const PiggybackView& payload,
+                                        std::vector<std::uint8_t>& out) const {
+  const std::size_t start = out.size();
+  for (const CkptIndex v : payload.tdv) put_index_u32(v, out);
+  if (shape_.simple) put_bits(payload.simple, out);
+  if (shape_.causal)
+    for (int r = 0; r < n_; ++r)
+      put_bits(payload.causal.row(static_cast<std::size_t>(r)), out);
+  if (shape_.index) put_index_u32(payload.index, out);
+  return out.size() - start;
+}
+
+void PiggybackCodec::decode_flat(std::span<const std::uint8_t> bytes,
+                                 std::size_t& at,
+                                 const PiggybackSlot& slot) const {
+  const std::size_t end = bytes.size();
+  for (CkptIndex& v : slot.tdv) v = get_index_u32(bytes, at, end, "tdv entry");
+  if (shape_.simple) get_bits(bytes, at, end, slot.simple, "simple plane");
+  if (shape_.causal)
+    for (int r = 0; r < n_; ++r)
+      get_bits(bytes, at, end, slot.causal.row(static_cast<std::size_t>(r)),
+               "causal row");
+  if (shape_.index) *slot.index = get_index_u32(bytes, at, end, "scalar index");
+}
+
+// --- sparse: stateless varint planes + gap-encoded set bits ---
+
+std::size_t PiggybackCodec::encode_sparse(const PiggybackView& payload,
+                                          std::vector<std::uint8_t>& out) const {
+  const std::size_t start = out.size();
+  for (const CkptIndex v : payload.tdv) {
+    RDT_CHECK(v >= 0 && v < kMaxPiggybackIndex,
+              "piggyback tdv entry outside the encodable range");
+    varint::put(static_cast<std::uint64_t>(v), out);
+  }
+  const auto n = static_cast<std::size_t>(n_);
+  if (shape_.simple) {
+    varint::put(payload.simple.count(), out);
+    std::size_t prev = 0;
+    bool first = true;
+    for (std::size_t i = payload.simple.find_next(0); i < n;
+         i = payload.simple.find_next(i + 1)) {
+      varint::put(first ? i : i - prev - 1, out);
+      prev = i;
+      first = false;
+    }
+  }
+  if (shape_.causal) {
+    std::size_t count = 0;
+    for (std::size_t r = 0; r < n; ++r) count += payload.causal.row(r).count();
+    varint::put(count, out);
+    std::size_t prev = 0;
+    bool first = true;
+    for (std::size_t r = 0; r < n; ++r) {
+      const ConstBitSpan row = payload.causal.row(r);
+      for (std::size_t c = row.find_next(0); c < n; c = row.find_next(c + 1)) {
+        const std::size_t pos = r * n + c;
+        varint::put(first ? pos : pos - prev - 1, out);
+        prev = pos;
+        first = false;
+      }
+    }
+  }
+  if (shape_.index) {
+    RDT_CHECK(payload.index >= 0 && payload.index < kMaxPiggybackIndex,
+              "piggyback index outside the encodable range");
+    varint::put(static_cast<std::uint64_t>(payload.index), out);
+  }
+  return out.size() - start;
+}
+
+void PiggybackCodec::decode_sparse(std::span<const std::uint8_t> bytes,
+                                   std::size_t& at,
+                                   const PiggybackSlot& slot) const {
+  const std::size_t end = bytes.size();
+  const auto n = static_cast<std::size_t>(n_);
+  for (CkptIndex& v : slot.tdv)
+    v = static_cast<CkptIndex>(
+        get_capped(bytes, at, end,
+                   static_cast<std::uint64_t>(kMaxPiggybackIndex), "tdv entry"));
+  if (shape_.simple) {
+    slot.simple.reset();
+    get_offsets(bytes, at, end, n, "simple set-bit",
+                [&](std::size_t pos) { slot.simple.set(pos); });
+  }
+  if (shape_.causal) {
+    for (std::size_t r = 0; r < n; ++r) slot.causal.row(r).reset();
+    get_offsets(bytes, at, end, n * n, "causal set-bit", [&](std::size_t pos) {
+      slot.causal.row(pos / n).set(pos % n);
+    });
+  }
+  if (shape_.index)
+    *slot.index = static_cast<CkptIndex>(
+        get_capped(bytes, at, end,
+                   static_cast<std::uint64_t>(kMaxPiggybackIndex),
+                   "scalar index"));
+}
+
+// --- delta: per-channel shadows, encode only what changed ---
+
+std::size_t PiggybackCodec::encode_delta(std::size_t ch,
+                                         const PiggybackView& payload,
+                                         std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  const auto n = static_cast<std::size_t>(n_);
+  if (shape_.tdv) {
+    CkptIndex* shadow = enc_.tdv.data() + ch * n;
+    std::size_t count = 0;
+    for (std::size_t k = 0; k < n; ++k)
+      if (payload.tdv[k] != shadow[k]) ++count;
+    varint::put(count, out);
+    std::size_t prev = 0;
+    bool first = true;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (payload.tdv[k] == shadow[k]) continue;
+      RDT_CHECK(payload.tdv[k] > shadow[k] &&
+                    payload.tdv[k] < kMaxPiggybackIndex,
+                "tdv entries must grow monotonically per channel");
+      varint::put(first ? k : k - prev - 1, out);
+      varint::put(static_cast<std::uint64_t>(payload.tdv[k] - shadow[k]), out);
+      prev = k;
+      first = false;
+      shadow[k] = payload.tdv[k];
+    }
+  }
+  if (shape_.simple) {
+    std::uint64_t* shadow = enc_.simple.data() + ch * row_words_;
+    varint::put(count_diff_bits(payload.simple.words(), shadow, row_words_),
+                out);
+    std::size_t prev = 0;
+    bool first = true;
+    for_each_diff_bit(payload.simple.words(), shadow, row_words_,
+                      [&](std::size_t pos) {
+                        varint::put(first ? pos : pos - prev - 1, out);
+                        prev = pos;
+                        first = false;
+                      });
+    std::memcpy(shadow, payload.simple.words(),
+                row_words_ * sizeof(std::uint64_t));
+  }
+  if (shape_.causal) {
+    std::uint64_t* shadow = enc_.causal.data() + ch * n * row_words_;
+    std::size_t rows_changed = 0;
+    for (std::size_t r = 0; r < n; ++r)
+      if (count_diff_bits(payload.causal.row(r).words(),
+                          shadow + r * row_words_, row_words_) != 0)
+        ++rows_changed;
+    varint::put(rows_changed, out);
+    std::size_t prev = 0;
+    bool first = true;
+    for (std::size_t r = 0; r < n; ++r) {
+      const std::uint64_t* row = payload.causal.row(r).words();
+      std::uint64_t* row_shadow = shadow + r * row_words_;
+      if (count_diff_bits(row, row_shadow, row_words_) == 0) continue;
+      varint::put(first ? r : r - prev - 1, out);
+      // XOR mask, byte-aligned like a flat causal row.
+      for (std::size_t i = 0; i < plane_bytes(n); ++i)
+        out.push_back(static_cast<std::uint8_t>(
+            (row[i / 8] ^ row_shadow[i / 8]) >> (8 * (i % 8))));
+      prev = r;
+      first = false;
+      std::memcpy(row_shadow, row, row_words_ * sizeof(std::uint64_t));
+    }
+  }
+  if (shape_.index) {
+    CkptIndex& shadow = enc_.index[ch];
+    RDT_CHECK(payload.index >= shadow && payload.index < kMaxPiggybackIndex,
+              "the scalar index must grow monotonically per channel");
+    varint::put(static_cast<std::uint64_t>(payload.index - shadow), out);
+    shadow = payload.index;
+  }
+  return out.size() - start;
+}
+
+void PiggybackCodec::decode_delta(std::size_t ch,
+                                  std::span<const std::uint8_t> bytes,
+                                  std::size_t& at, const PiggybackSlot& slot) {
+  const std::size_t end = bytes.size();
+  const auto n = static_cast<std::size_t>(n_);
+  // Parse into the slot seeded from the shadow; the shadow itself is only
+  // advanced after the whole payload parsed, so a throw poisons nothing.
+  if (shape_.tdv) {
+    const CkptIndex* shadow = dec_.tdv.data() + ch * n;
+    std::memcpy(slot.tdv.data(), shadow, n * sizeof(CkptIndex));
+    std::uint64_t pos = 0;
+    bool first = true;
+    const std::uint64_t count = get_capped(bytes, at, end, n + 1, "tdv delta count");
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::size_t gap_at = at;
+      const std::uint64_t gap = get_varint(bytes, at, end, "tdv delta gap");
+      if (gap >= n) fail(gap_at, "tdv delta gap runs past the plane size");
+      pos = first ? gap : pos + 1 + gap;
+      first = false;
+      if (pos >= n) fail(gap_at, "tdv delta offset runs past the plane size");
+      const std::size_t d_at = at;
+      const std::uint64_t d = get_varint(bytes, at, end, "tdv delta");
+      if (d == 0) fail(d_at, "zero tdv delta is non-canonical");
+      const std::uint64_t next =
+          static_cast<std::uint64_t>(shadow[pos]) + d;
+      if (d >= static_cast<std::uint64_t>(kMaxPiggybackIndex) ||
+          next >= static_cast<std::uint64_t>(kMaxPiggybackIndex))
+        fail(d_at, "tdv delta pushes the entry past the piggyback cap");
+      slot.tdv[pos] = static_cast<CkptIndex>(next);
+    }
+  }
+  if (shape_.simple) {
+    const std::uint64_t* shadow = dec_.simple.data() + ch * row_words_;
+    std::memcpy(slot.simple.words(), shadow,
+                row_words_ * sizeof(std::uint64_t));
+    get_offsets(bytes, at, end, n, "simple flip", [&](std::size_t pos) {
+      slot.simple.set(pos, !slot.simple.get(pos));
+    });
+  }
+  if (shape_.causal) {
+    const std::uint64_t* shadow = dec_.causal.data() + ch * n * row_words_;
+    std::memcpy(slot.causal.row(0).words(), shadow,
+                n * row_words_ * sizeof(std::uint64_t));
+    const std::uint64_t rows = get_capped(bytes, at, end, n + 1, "causal row count");
+    std::uint64_t r = 0;
+    bool first = true;
+    for (std::uint64_t i = 0; i < rows; ++i) {
+      const std::size_t gap_at = at;
+      const std::uint64_t gap = get_varint(bytes, at, end, "causal row gap");
+      if (gap >= n) fail(gap_at, "causal row gap runs past the plane size");
+      r = first ? gap : r + 1 + gap;
+      first = false;
+      if (r >= n) fail(gap_at, "causal row offset runs past the plane size");
+      const std::size_t mask_at = at;
+      need_bytes(at, end, plane_bytes(n), "causal row mask");
+      std::uint64_t* row = slot.causal.row(static_cast<std::size_t>(r)).words();
+      bool any = false;
+      for (std::size_t b = 0; b < plane_bytes(n); ++b) {
+        const std::uint8_t m = bytes[at + b];
+        any = any || m != 0;
+        row[b / 8] ^= static_cast<std::uint64_t>(m) << (8 * (b % 8));
+      }
+      at += plane_bytes(n);
+      if (!any) fail(mask_at, "all-zero causal row mask is non-canonical");
+      if (!slot.causal.row(static_cast<std::size_t>(r)).tail_zero())
+        fail(mask_at, "causal row mask has stray bits beyond the plane width");
+    }
+  }
+  if (shape_.index) {
+    const CkptIndex shadow = dec_.index[ch];
+    const std::size_t d_at = at;
+    const std::uint64_t d = get_varint(bytes, at, end, "scalar index delta");
+    const std::uint64_t next = static_cast<std::uint64_t>(shadow) + d;
+    if (d >= static_cast<std::uint64_t>(kMaxPiggybackIndex) ||
+        next >= static_cast<std::uint64_t>(kMaxPiggybackIndex))
+      fail(d_at, "scalar index delta pushes the index past the piggyback cap");
+    *slot.index = static_cast<CkptIndex>(next);
+  }
+  // Full success: advance the channel's decoder shadow to the new planes.
+  if (shape_.tdv)
+    std::memcpy(dec_.tdv.data() + ch * n, slot.tdv.data(),
+                n * sizeof(CkptIndex));
+  if (shape_.simple)
+    std::memcpy(dec_.simple.data() + ch * row_words_, slot.simple.words(),
+                row_words_ * sizeof(std::uint64_t));
+  if (shape_.causal)
+    std::memcpy(dec_.causal.data() + ch * n * row_words_,
+                slot.causal.row(0).words(),
+                n * row_words_ * sizeof(std::uint64_t));
+  if (shape_.index) dec_.index[ch] = *slot.index;
+}
+
+}  // namespace rdt

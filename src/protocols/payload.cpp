@@ -2,7 +2,7 @@
 
 namespace rdt {
 
-std::size_t Piggyback::wire_bits() const {
+std::size_t Piggyback::flat_bits() const {
   return tdv.size() * 32 + simple.size() + causal.rows() * causal.cols() +
          (index == kNoIndex ? 0 : 32);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "protocols/adaptive.hpp"
 #include "protocols/baselines.hpp"
 #include "protocols/bhmr.hpp"
 #include "protocols/index_based.hpp"
@@ -22,6 +23,7 @@ std::string to_string(ProtocolKind kind) {
     case ProtocolKind::kBhmrNoSimple: return "bhmr-v1";
     case ProtocolKind::kBhmrC1Only: return "bhmr-v2";
     case ProtocolKind::kBcs: return "bcs";
+    case ProtocolKind::kAdaptive: return "adaptive";
   }
   RDT_ASSERT(false);
 }
@@ -51,15 +53,21 @@ const std::vector<ProtocolKind>& all_protocol_kinds() {
       ProtocolKind::kNoForce, ProtocolKind::kCbr,  ProtocolKind::kCas,
       ProtocolKind::kNras,    ProtocolKind::kFdi,  ProtocolKind::kFdas,
       ProtocolKind::kBhmr,    ProtocolKind::kBhmrNoSimple,
-      ProtocolKind::kBhmrC1Only, ProtocolKind::kBcs};
+      ProtocolKind::kBhmrC1Only, ProtocolKind::kBcs,
+      ProtocolKind::kAdaptive};
   return kinds;
 }
 
 const std::vector<ProtocolKind>& rdt_protocol_kinds() {
+  // kAdaptive qualifies: both of its modes force at least whenever the
+  // paper's C1 v C2 predicate holds on accurate knowledge (lean mode via
+  // the proven implication C1 v C2 => C_FDAS), so every run it produces
+  // is RDT — see protocols/adaptive.hpp.
   static const std::vector<ProtocolKind> kinds = {
       ProtocolKind::kCbr,  ProtocolKind::kCas,  ProtocolKind::kNras,
       ProtocolKind::kFdi,  ProtocolKind::kFdas, ProtocolKind::kBhmr,
-      ProtocolKind::kBhmrNoSimple, ProtocolKind::kBhmrC1Only};
+      ProtocolKind::kBhmrNoSimple, ProtocolKind::kBhmrC1Only,
+      ProtocolKind::kAdaptive};
   return kinds;
 }
 
@@ -145,10 +153,10 @@ GlobalCkpt CicProtocol::min_global_ckpt(CkptIndex x) const {
   return g;
 }
 
-std::size_t CicProtocol::piggyback_bits() const {
-  // wire_bits depends only on the payload shape, which is constant per
+std::size_t CicProtocol::flat_piggyback_bits() const {
+  // flat_bits depends only on the payload shape, which is constant per
   // kind; a zero payload of the right shape measures exactly one message.
-  return make_payload().wire_bits();
+  return make_payload().flat_bits();
 }
 
 void audit_tdv_merge(const Tdv& before, std::span<const CkptIndex> piggyback,
@@ -193,6 +201,8 @@ std::unique_ptr<CicProtocol> make_protocol(ProtocolKind kind, int num_processes,
                                             BhmrProtocol::Variant::kC1Only);
     case ProtocolKind::kBcs:
       return std::make_unique<BcsProtocol>(num_processes, self);
+    case ProtocolKind::kAdaptive:
+      return std::make_unique<AdaptiveProtocol>(num_processes, self);
   }
   RDT_ASSERT(false);
 }

@@ -37,6 +37,9 @@ enum class ProtocolKind {
   kBhmrC1Only,    // variant 2: C1 alone, `causal` diagonal pinned false
   kBcs,           // index-based (Briatico–Ciuffoletti–Simoncini): prevents
                   // useless checkpoints (Z-cycles) but NOT full RDT
+  kAdaptive,      // meta-protocol: switches between family members (BHMR's
+                  // rich predicates vs FDAS's lean one) from observed
+                  // traffic shape; see protocols/adaptive.hpp
 };
 
 std::string to_string(ProtocolKind kind);
@@ -136,8 +139,10 @@ class CicProtocol {
   long long basic_count() const { return basic_; }
   long long forced_count() const { return forced_; }
 
-  // Control bits this protocol adds to each message (for experiment E5).
-  std::size_t piggyback_bits() const;
+  // Flat (un-encoded) control bits this protocol adds to each message —
+  // the analytic comparison figure. Actual bits on the wire depend on the
+  // PiggybackCodec and are measured per message by the replay engine.
+  std::size_t flat_piggyback_bits() const;
 
  protected:
   // Subclass hooks. fill_payload must fully overwrite every field its

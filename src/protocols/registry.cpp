@@ -1,6 +1,8 @@
 #include "protocols/registry.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <vector>
 
 #include "util/check.hpp"
 
@@ -16,7 +18,9 @@ ProtocolInfo describe(ProtocolKind kind) {
               .ensures_rdt = false,
               .transmits_tdv = false,
               .checkpoint_after_send = false,
-              .predicates = {}};
+              .predicates = {},
+              .shape = {},
+              .codec = PiggybackCodecKind::kFlat};
     case ProtocolKind::kCbr:
       return {.kind = kind,
               .id = to_string(kind),
@@ -24,7 +28,9 @@ ProtocolInfo describe(ProtocolKind kind) {
               .ensures_rdt = true,
               .transmits_tdv = false,
               .checkpoint_after_send = false,
-              .predicates = {ForceReason::kEveryDelivery}};
+              .predicates = {ForceReason::kEveryDelivery},
+              .shape = {},
+              .codec = PiggybackCodecKind::kFlat};
     case ProtocolKind::kCas:
       return {.kind = kind,
               .id = to_string(kind),
@@ -32,7 +38,9 @@ ProtocolInfo describe(ProtocolKind kind) {
               .ensures_rdt = true,
               .transmits_tdv = false,
               .checkpoint_after_send = true,
-              .predicates = {ForceReason::kCheckpointAfterSend}};
+              .predicates = {ForceReason::kCheckpointAfterSend},
+              .shape = {},
+              .codec = PiggybackCodecKind::kFlat};
     case ProtocolKind::kNras:
       return {.kind = kind,
               .id = to_string(kind),
@@ -40,7 +48,9 @@ ProtocolInfo describe(ProtocolKind kind) {
               .ensures_rdt = true,
               .transmits_tdv = false,
               .checkpoint_after_send = false,
-              .predicates = {ForceReason::kAfterSend}};
+              .predicates = {ForceReason::kAfterSend},
+              .shape = {},
+              .codec = PiggybackCodecKind::kFlat};
     case ProtocolKind::kFdi:
       return {.kind = kind,
               .id = to_string(kind),
@@ -48,7 +58,9 @@ ProtocolInfo describe(ProtocolKind kind) {
               .ensures_rdt = true,
               .transmits_tdv = true,
               .checkpoint_after_send = false,
-              .predicates = {ForceReason::kNewDependency}};
+              .predicates = {ForceReason::kNewDependency},
+              .shape = {.tdv = true},
+              .codec = PiggybackCodecKind::kDelta};
     case ProtocolKind::kFdas:
       return {.kind = kind,
               .id = to_string(kind),
@@ -56,7 +68,9 @@ ProtocolInfo describe(ProtocolKind kind) {
               .ensures_rdt = true,
               .transmits_tdv = true,
               .checkpoint_after_send = false,
-              .predicates = {ForceReason::kNewDependency}};
+              .predicates = {ForceReason::kNewDependency},
+              .shape = {.tdv = true},
+              .codec = PiggybackCodecKind::kDelta};
     case ProtocolKind::kBhmr:
       return {.kind = kind,
               .id = to_string(kind),
@@ -64,7 +78,9 @@ ProtocolInfo describe(ProtocolKind kind) {
               .ensures_rdt = true,
               .transmits_tdv = true,
               .checkpoint_after_send = false,
-              .predicates = {ForceReason::kC1, ForceReason::kC2}};
+              .predicates = {ForceReason::kC1, ForceReason::kC2},
+              .shape = {.tdv = true, .simple = true, .causal = true},
+              .codec = PiggybackCodecKind::kDelta};
     case ProtocolKind::kBhmrNoSimple:
       return {.kind = kind,
               .id = to_string(kind),
@@ -72,7 +88,9 @@ ProtocolInfo describe(ProtocolKind kind) {
               .ensures_rdt = true,
               .transmits_tdv = true,
               .checkpoint_after_send = false,
-              .predicates = {ForceReason::kC1, ForceReason::kC2}};
+              .predicates = {ForceReason::kC1, ForceReason::kC2},
+              .shape = {.tdv = true, .causal = true},
+              .codec = PiggybackCodecKind::kDelta};
     case ProtocolKind::kBhmrC1Only:
       return {.kind = kind,
               .id = to_string(kind),
@@ -80,7 +98,9 @@ ProtocolInfo describe(ProtocolKind kind) {
               .ensures_rdt = true,
               .transmits_tdv = true,
               .checkpoint_after_send = false,
-              .predicates = {ForceReason::kC1}};
+              .predicates = {ForceReason::kC1},
+              .shape = {.tdv = true, .causal = true},
+              .codec = PiggybackCodecKind::kSparse};
     case ProtocolKind::kBcs:
       return {.kind = kind,
               .id = to_string(kind),
@@ -90,7 +110,22 @@ ProtocolInfo describe(ProtocolKind kind) {
               .ensures_rdt = false,
               .transmits_tdv = false,
               .checkpoint_after_send = false,
-              .predicates = {ForceReason::kIndexAhead}};
+              .predicates = {ForceReason::kIndexAhead},
+              .shape = {.index = true},
+              .codec = PiggybackCodecKind::kSparse};
+    case ProtocolKind::kAdaptive:
+      return {.kind = kind,
+              .id = to_string(kind),
+              .description =
+                  "adaptive meta-protocol: BHMR's rich predicates vs FDAS's "
+                  "lean one, switched from observed traffic shape",
+              .ensures_rdt = true,
+              .transmits_tdv = true,
+              .checkpoint_after_send = false,
+              .predicates = {ForceReason::kC1, ForceReason::kC2,
+                             ForceReason::kNewDependency},
+              .shape = {.tdv = true, .simple = true, .causal = true},
+              .codec = PiggybackCodecKind::kDelta};
   }
   RDT_ASSERT(false);
 }
@@ -98,11 +133,25 @@ ProtocolInfo describe(ProtocolKind kind) {
 }  // namespace
 
 std::size_t ProtocolInfo::piggyback_bits(int num_processes) const {
+  // Measured: the declared codec's encoding of the protocol's first
+  // message, P_0 -> P_1 on fresh state. With one process no channel
+  // exists and nothing is ever piggybacked.
+  if (num_processes < 2) return 0;
+  const auto proto =
+      ProtocolRegistry::instance().create(kind, num_processes, /*self=*/0);
+  Piggyback payload = proto->make_payload();
+  proto->on_send(/*dest=*/1, payload.slot());
+  PiggybackCodec wire(codec, num_processes, proto->payload_shape());
+  std::vector<std::uint8_t> bytes;
+  return wire.encode(/*src=*/0, /*dest=*/1, payload.view(), bytes) * 8;
+}
+
+std::size_t ProtocolInfo::flat_piggyback_bits(int num_processes) const {
   // Shapes are constant per kind, so a throwaway instance of P_0 measures
   // exactly one message.
   return ProtocolRegistry::instance()
       .create(kind, num_processes, /*self=*/0)
-      ->piggyback_bits();
+      ->flat_piggyback_bits();
 }
 
 ProtocolRegistry::ProtocolRegistry() {

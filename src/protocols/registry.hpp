@@ -19,6 +19,7 @@
 #include <string_view>
 #include <vector>
 
+#include "protocols/codec.hpp"
 #include "protocols/protocol.hpp"
 
 namespace rdt {
@@ -33,9 +34,20 @@ struct ProtocolInfo {
   // The forcing predicates this protocol can report, in priority order
   // (empty for no-force baselines).
   std::vector<ForceReason> predicates;
+  // Which payload planes exist on a message (constant per kind; what the
+  // arena carves) and which PiggybackCodec carries them on the wire.
+  PayloadShape shape;
+  PiggybackCodecKind codec = PiggybackCodecKind::kFlat;
 
-  // Control bits one message carries for an n-process computation.
+  // *Measured* control bits one message carries for an n-process
+  // computation: the declared codec's encoding of the protocol's first
+  // message (P0 -> P1 on fresh state). Per-replay means come from
+  // ReplayResult::wire_bits_total; with fewer than two processes no
+  // message can exist and this is 0.
   std::size_t piggyback_bits(int num_processes) const;
+  // The analytic flat-plane figure (TDV entries as 32-bit integers, one
+  // bit per plane cell) kept as the labeled comparison column.
+  std::size_t flat_piggyback_bits(int num_processes) const;
 };
 
 class ProtocolRegistry {

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
+#include "protocols/registry.hpp"
 #include "util/check.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -29,12 +32,86 @@ struct ClientTally {
   std::vector<double> recovery_query_us;
 };
 
+// Replays `events` through real protocol instances and encodes each send's
+// payload with the protocol's declared codec, chopped into one
+// PiggybackSection per `batch`-event frame. Runs once per driver run; the
+// per-frame sections are then shared read-only by every producer thread.
+std::vector<PiggybackSection> build_piggyback_sections(
+    std::span<const StreamEvent> events, ProtocolKind kind, int num_processes,
+    std::size_t batch) {
+  const ProtocolRegistry& registry = ProtocolRegistry::instance();
+  const ProtocolInfo& info = registry.info(kind);
+  std::vector<std::unique_ptr<CicProtocol>> procs;
+  procs.reserve(static_cast<std::size_t>(num_processes));
+  for (int p = 0; p < num_processes; ++p)
+    procs.push_back(registry.create(kind, num_processes, p));
+  PiggybackCodec codec;
+  codec.reset(info.codec, num_processes, info.shape);
+  std::unordered_map<int, Piggyback> in_flight;  // msg id -> sent payload
+  const std::size_t num_frames = (events.size() + batch - 1) / batch;
+  std::vector<PiggybackSection> sections(num_frames);
+  for (std::size_t f = 0; f < num_frames; ++f) {
+    PiggybackSection& section = sections[f];
+    section.protocol = kind;
+    section.codec = info.codec;
+    section.num_processes = num_processes;
+    const std::span<const StreamEvent> chunk =
+        events.subspan(f * batch, std::min(batch, events.size() - f * batch));
+    for (const StreamEvent& e : chunk) {
+      RDT_REQUIRE(e.p >= 0 && e.p < num_processes &&
+                      (e.kind == EventKind::kInternal ||
+                       e.kind == EventKind::kCheckpoint ||
+                       (e.q >= 0 && e.q < num_processes)),
+                  "piggyback generation needs stream processes inside the "
+                  "pool's process count");
+      switch (e.kind) {
+        case EventKind::kSend: {
+          // e.p is the sender, e.q the receiver.
+          CicProtocol& sender = *procs[static_cast<std::size_t>(e.p)];
+          Piggyback payload = sender.make_payload();
+          sender.on_send(e.q, payload.slot());
+          const std::size_t len =
+              codec.encode(e.p, e.q, payload.view(), section.bytes);
+          section.sizes.push_back(static_cast<std::uint32_t>(len));
+          if (sender.checkpoint_after_send())
+            sender.on_forced_checkpoint(ForceReason::kCheckpointAfterSend);
+          in_flight.insert_or_assign(e.msg, std::move(payload));
+          break;
+        }
+        case EventKind::kDeliver: {
+          // Streams are recorded traces, so the matching send precedes the
+          // deliver; an unmatched msg id would be a malformed stream. The
+          // acting protocol is the receiver (e.q); e.p names the sender.
+          const auto it = in_flight.find(e.msg);
+          RDT_REQUIRE(it != in_flight.end(),
+                      "deliver of a message the stream never sent");
+          CicProtocol& receiver = *procs[static_cast<std::size_t>(e.q)];
+          const PiggybackView view = it->second.view();
+          if (const ForceReason reason = receiver.force_reason(view, e.p);
+              reason != ForceReason::kNone)
+            receiver.on_forced_checkpoint(reason);
+          receiver.on_deliver(view, e.p);
+          in_flight.erase(it);
+          break;
+        }
+        case EventKind::kCheckpoint:
+          procs[static_cast<std::size_t>(e.p)]->on_basic_checkpoint();
+          break;
+        case EventKind::kInternal:
+          break;
+      }
+    }
+  }
+  return sections;
+}
+
 // The producer body: round-robin the owned sessions, one frame each per
 // pass, so every shard sees interleaved multi-tenant traffic. The frame
 // scratch buffer and the per-session cursors live for the thread's whole
 // run — steady-state submission allocates nothing once the buffer warms up.
 void run_one_client(ServePool& pool, std::span<const StreamEvent> events,
-                    const DriverOptions& options, SessionId first,
+                    const DriverOptions& options,
+                    std::span<const PiggybackSection> sections, SessionId first,
                     int num_sessions, ClientTally& tally) {
   const std::size_t batch = options.batch_events;
   const std::size_t num_frames = (events.size() + batch - 1) / batch;
@@ -46,7 +123,10 @@ void run_one_client(ServePool& pool, std::span<const StreamEvent> events,
     for (int k = 0; k < num_sessions; ++k) {
       const SessionId sid = first + static_cast<SessionId>(k);
       frame.clear();
-      encode_frame(sid, chunk, frame);
+      if (sections.empty())
+        encode_frame(sid, chunk, frame);
+      else
+        encode_frame(sid, chunk, sections[f], frame);
       pool.submit(frame);
       ++tally.frames;
       ++submitted;
@@ -87,6 +167,14 @@ DriverReport run_clients(ServePool& pool, std::span<const StreamEvent> events,
   report.events =
       static_cast<long long>(events.size()) * options.sessions;
 
+  // Generated before the timed window opens: the encode work is the
+  // client's, the pool only ever decodes.
+  std::vector<PiggybackSection> sections;
+  if (options.piggyback)
+    sections = build_piggyback_sections(events, *options.piggyback,
+                                        pool.num_processes(),
+                                        options.batch_events);
+
   const auto start = Clock::now();
   for (int k = 0; k < options.sessions; ++k)
     pool.open_session(options.first_session + static_cast<SessionId>(k));
@@ -105,9 +193,10 @@ DriverReport run_clients(ServePool& pool, std::span<const StreamEvent> events,
     const int owned =
         c + 1 == clients ? options.sessions - c * per_client : per_client;
     ClientTally& tally = tallies[static_cast<std::size_t>(c)];
-    producers.emplace_back([&pool, events, &options, first, owned, &tally] {
-      run_one_client(pool, events, options, first, owned, tally);
-    });
+    producers.emplace_back(
+        [&pool, events, &options, &sections, first, owned, &tally] {
+          run_one_client(pool, events, options, sections, first, owned, tally);
+        });
   }
   for (std::thread& t : producers) t.join();
   pool.drain();
@@ -124,6 +213,13 @@ DriverReport run_clients(ServePool& pool, std::span<const StreamEvent> events,
     report.recovery_query_us.insert(report.recovery_query_us.end(),
                                     tally.recovery_query_us.begin(),
                                     tally.recovery_query_us.end());
+  }
+
+  for (int i = 0; i < pool.num_shards(); ++i) {
+    const ShardStats shard = pool.shard_stats(i);
+    report.piggyback_frames += shard.piggyback_frames;
+    report.piggyback_bits += shard.piggyback_bits;
+    report.piggyback_rejected += shard.piggyback_rejected;
   }
 
   // Final audit sweep (outside the timed window): every session's settled

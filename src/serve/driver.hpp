@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -35,6 +36,13 @@ struct DriverOptions {
   int cheap_query_stride = 4;      // timed cheap query every k frames
   int recovery_query_stride = 32;  // timed recovery_line every k frames
   bool close_sessions = true;      // close + drain at the end of the run
+  // When set, every frame also carries the piggyback section this
+  // protocol's declared codec produces for the chunk's send events. The
+  // sections are generated once per run (real protocol instances replayed
+  // over the stream) and shared by all sessions — each session receives
+  // the identical frame sequence, so each per-session decoder walks the
+  // same shadow evolution the one generator-side encoder did.
+  std::optional<ProtocolKind> piggyback;
 };
 
 struct DriverReport {
@@ -50,6 +58,10 @@ struct DriverReport {
   long long rollback_total = 0;    // sum of recovery_line().total_rollback
   long long events_consumed = 0;   // sum of engine-reported intake counts
   long long delivered_messages = 0;  // sum of stats().messages
+  // Pool-side piggyback accounting, summed over shards after drain().
+  long long piggyback_frames = 0;
+  long long piggyback_bits = 0;
+  long long piggyback_rejected = 0;
 };
 
 DriverReport run_clients(ServePool& pool, std::span<const StreamEvent> events,

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "obs/hooks.hpp"
+#include "protocols/registry.hpp"
 #include "util/check.hpp"
 
 namespace rdt::serve {
@@ -83,7 +84,10 @@ void ServePool::open_session(SessionId id, const RetentionPolicy& retention) {
     engine = std::make_shared<OnlineEngine>(engine_options);
   const MutexLock lock(s.mu);
   const bool inserted =
-      s.sessions.emplace(id, Session{std::move(engine), false}).second;
+      s.sessions
+          .emplace(id, Session{std::move(engine),
+                               std::make_shared<SessionCodec>(), false})
+          .second;
   RDT_REQUIRE(inserted, "session id is already open on this pool");
   ++s.stats.sessions_opened;
   if (recycled) ++s.stats.engines_recycled;
@@ -105,6 +109,7 @@ void ServePool::submit(std::span<const std::uint8_t> frame) {
   Shard& s = shard_for(header.session);
   const MutexLock lock(s.mu);
   std::shared_ptr<OnlineEngine> engine;
+  std::shared_ptr<SessionCodec> codec;
   for (;;) {
     // Re-validate after every wait: the session can be closed (or the map
     // rehashed by another open) while this thread slept on backpressure.
@@ -113,6 +118,7 @@ void ServePool::submit(std::span<const std::uint8_t> frame) {
                 "frame submitted for a session that is not open");
     if (s.count < s.ring.size()) {
       engine = it->second.engine;
+      codec = it->second.codec;
       break;
     }
     s.space.wait(s.mu);
@@ -125,6 +131,7 @@ void ServePool::submit(std::span<const std::uint8_t> frame) {
   item.bytes.assign(frame.begin(), frame.end());
   item.session = header.session;
   item.engine = std::move(engine);
+  item.codec = std::move(codec);
   push_item(s, std::move(item));
 }
 
@@ -151,6 +158,7 @@ void ServePool::drain() {
 
 void ServePool::worker_loop(Shard& s) {
   Frame scratch;  // reused across frames: zero steady-state allocation
+  PiggybackScratch pb_scratch;
   for (;;) {
     Item item;
     {
@@ -178,10 +186,20 @@ void ServePool::worker_loop(Shard& s) {
       continue;
     }
     bool ok = true;
+    bool pb_ok = true;
+    bool pb_present = false;
+    long long pb_bits = 0;
     try {
       std::size_t offset = 0;
       decode_frame(item.bytes, offset, scratch);
       item.engine->feed(scratch.events);
+      // Control data rides behind the events: decode it through the
+      // session codec so serve traffic exercises the exact path the
+      // replay engine measures. A bad section is counted separately — the
+      // events already applied stand, like a failing feed() batch tail.
+      pb_present = scratch.has_piggyback;
+      if (pb_present)
+        pb_ok = apply_piggyback(*item.codec, scratch, pb_scratch, &pb_bits);
     } catch (const std::invalid_argument&) {
       // Envelope checks passed at submit, but the payload (or the stream's
       // own sequencing rules, enforced by feed) can still be bad. One bad
@@ -191,15 +209,80 @@ void ServePool::worker_loop(Shard& s) {
     // Drop the engine reference before parking, so an idle worker never
     // pins a closed session's engine against the reuse guard.
     item.engine.reset();
+    item.codec.reset();
     const MutexLock lock(s.mu);
     if (ok) {
       ++s.stats.frames;
       s.stats.events += static_cast<long long>(scratch.events.size());
+      if (pb_present && pb_ok) {
+        ++s.stats.piggyback_frames;
+        s.stats.piggyback_bits += pb_bits;
+      }
+      if (pb_present && !pb_ok) ++s.stats.piggyback_rejected;
     } else {
       ++s.stats.rejected;
     }
     s.buffer_pool.push_back(std::move(item.bytes));
   }
+}
+
+bool ServePool::apply_piggyback(SessionCodec& sc, const Frame& frame,
+                                PiggybackScratch& scratch,
+                                long long* bits) const {
+  const PiggybackSection& pb = frame.piggyback;
+  if (pb.num_processes != options_.num_processes) return false;
+  if (sc.num_processes == 0) {
+    const ProtocolInfo& info = ProtocolRegistry::instance().info(pb.protocol);
+    sc.codec.reset(pb.codec, pb.num_processes, info.shape);
+    sc.protocol = pb.protocol;
+    sc.kind = pb.codec;
+    sc.shape = info.shape;
+    sc.num_processes = pb.num_processes;
+  } else if (sc.protocol != pb.protocol || sc.kind != pb.codec) {
+    // The delta codec's shadows are per-(protocol, codec) state; a stream
+    // that changes either mid-session is out of contract. Unconfigure so
+    // the client can start over cleanly.
+    sc.num_processes = 0;
+    return false;
+  }
+  const auto n = static_cast<std::size_t>(sc.num_processes);
+  const std::size_t row_words = bitdetail::words_for(n);
+  if (sc.shape.tdv && scratch.tdv.size() < n) scratch.tdv.resize(n);
+  if (sc.shape.simple && scratch.simple.size() < row_words)
+    scratch.simple.resize(row_words);
+  if (sc.shape.causal && scratch.causal.size() < n * row_words)
+    scratch.causal.resize(n * row_words);
+  std::size_t start = 0;
+  std::size_t blob = 0;
+  for (const StreamEvent& e : frame.events) {
+    if (e.kind != EventKind::kSend) continue;
+    const std::uint32_t len = pb.sizes[blob++];
+    if (e.p >= sc.num_processes || e.q >= sc.num_processes) {
+      sc.num_processes = 0;
+      return false;
+    }
+    PiggybackSlot slot;
+    if (sc.shape.tdv) slot.tdv = {scratch.tdv.data(), n};
+    if (sc.shape.simple) slot.simple = {scratch.simple.data(), n};
+    if (sc.shape.causal) slot.causal = {scratch.causal.data(), n, n};
+    if (sc.shape.index) slot.index = &scratch.index;
+    std::size_t offset = 0;
+    const std::span<const std::uint8_t> blob_bytes{pb.bytes.data() + start,
+                                                   len};
+    try {
+      sc.codec.decode(e.p, e.q, blob_bytes, offset, slot);
+    } catch (const std::invalid_argument&) {
+      sc.num_processes = 0;
+      return false;
+    }
+    if (offset != len) {  // trailing bytes inside the blob framing
+      sc.num_processes = 0;
+      return false;
+    }
+    *bits += 8LL * len;
+    start += len;
+  }
+  return true;
 }
 
 std::shared_ptr<OnlineEngine> ServePool::engine_of(SessionId id) const {
@@ -258,6 +341,9 @@ void ServePool::flush_metrics() const {
     m.add(m.counter(prefix + "frames"), s.frames);
     m.add(m.counter(prefix + "events"), s.events);
     m.add(m.counter(prefix + "rejected"), s.rejected);
+    m.add(m.counter(prefix + "piggyback.frames"), s.piggyback_frames);
+    m.add(m.counter(prefix + "piggyback.bits"), s.piggyback_bits);
+    m.add(m.counter(prefix + "piggyback.rejected"), s.piggyback_rejected);
     m.add(m.counter(prefix + "queue.max_depth"),
           static_cast<long long>(s.max_queue_depth));
     m.add(m.counter("serve.frames"), s.frames);

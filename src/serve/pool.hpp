@@ -82,6 +82,9 @@ struct ShardStats {
   long long frames = 0;            // frames fed into engines
   long long events = 0;            // events those frames carried
   long long rejected = 0;          // frames dropped for a malformed payload
+  long long piggyback_frames = 0;  // frames whose piggyback section decoded
+  long long piggyback_bits = 0;    // wire bits those sections carried
+  long long piggyback_rejected = 0;  // sections dropped (bad ids or bytes)
   long long sessions_opened = 0;
   long long engines_recycled = 0;  // opens served by a reset() engine
   std::size_t max_queue_depth = 0;
@@ -139,15 +142,31 @@ class ServePool {
   // One queue slot: an encoded frame, or a close marker (empty bytes).
   // The engine pointer is resolved at submit time so the worker feeds
   // without a second session-map lookup.
+  // Per-session piggyback decoder. Only the shard worker touches the
+  // contents (one worker per shard, items applied in submission order);
+  // client threads merely create and drop the shared_ptr. num_processes
+  // == 0 means "not yet configured" — the first piggyback frame fixes the
+  // (protocol, codec) pair for the session's lifetime, since the delta
+  // codec's channel shadows are stateful across frames.
+  struct SessionCodec {
+    PiggybackCodec codec;
+    ProtocolKind protocol = ProtocolKind::kNoForce;
+    PiggybackCodecKind kind = PiggybackCodecKind::kFlat;
+    PayloadShape shape;
+    int num_processes = 0;
+  };
+
   struct Item {
     std::vector<std::uint8_t> bytes;
     SessionId session = 0;
     std::shared_ptr<OnlineEngine> engine;
+    std::shared_ptr<SessionCodec> codec;
     bool close = false;
   };
 
   struct Session {
     std::shared_ptr<OnlineEngine> engine;
+    std::shared_ptr<SessionCodec> codec;
     bool closing = false;  // close queued; rejects further submits
   };
 
@@ -172,10 +191,26 @@ class ServePool {
     std::thread worker;  // started last in the constructor, joined first
   };
 
+  // Worker-local scratch planes the piggyback decoder fills; grow-only so
+  // the steady state stays allocation-free.
+  struct PiggybackScratch {
+    std::vector<CkptIndex> tdv;
+    std::vector<std::uint64_t> simple;
+    std::vector<std::uint64_t> causal;
+    CkptIndex index = 0;
+  };
+
   Shard& shard_for(SessionId id) const { return *shards_[static_cast<std::size_t>(shard_of(id))]; }
   std::shared_ptr<OnlineEngine> engine_of(SessionId id) const;
   void push_item(Shard& shard, Item item) RDT_REQUIRES(shard.mu);
   void worker_loop(Shard& shard);
+  // Decodes `frame`'s piggyback section through the session codec into the
+  // scratch planes. Returns false (and leaves the codec unconfigured, so a
+  // later frame can start over) when the section's ids disagree with the
+  // pool or the bytes are malformed; `bits` accumulates the wire bits of
+  // a successful decode.
+  bool apply_piggyback(SessionCodec& sc, const Frame& frame,
+                       PiggybackScratch& scratch, long long* bits) const;
 
   const PoolOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "util/check.hpp"
+#include "util/varint.hpp"
 
 namespace rdt::serve {
 
@@ -16,30 +17,17 @@ namespace {
   throw std::invalid_argument(os.str());
 }
 
+// The LEB128 primitives live in util/varint.hpp so the piggyback codec
+// layer shares the exact encode/reject behavior; these wrappers pin the
+// "wire:" error-message domain this format has always used.
 void put_varint(std::uint64_t v, std::vector<std::uint8_t>& out) {
-  while (v >= 0x80) {
-    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
-    v >>= 7;
-  }
-  out.push_back(static_cast<std::uint8_t>(v));
+  varint::put(v, out);
 }
 
-// LEB128 decode, bounded to `end`. Rejects truncation, encodings longer
-// than 10 bytes, and 10-byte encodings whose final byte overflows 64 bits.
 std::uint64_t get_varint(std::span<const std::uint8_t> bytes,
                          std::size_t& offset, std::size_t end,
                          const char* what) {
-  std::uint64_t v = 0;
-  for (int shift = 0; shift < 64; shift += 7) {
-    if (offset >= end)
-      fail(offset, std::string("truncated varint while reading ") + what);
-    const std::uint8_t b = bytes[offset++];
-    if (shift == 63 && (b & 0x7Eu) != 0)
-      fail(offset - 1, std::string(what) + " varint overflows 64 bits");
-    v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
-    if ((b & 0x80u) == 0) return v;
-  }
-  fail(offset - 1, std::string(what) + " varint runs past 10 bytes");
+  return varint::get(bytes, offset, end, "wire", what);
 }
 
 // Narrow a decoded varint into a non-negative int below `cap`.
@@ -149,12 +137,25 @@ Envelope parse_envelope(std::span<const std::uint8_t> bytes,
   return env;
 }
 
-}  // namespace
-
-std::size_t encode_frame(SessionId session, std::span<const StreamEvent> events,
-                         std::vector<std::uint8_t>& out) {
+std::size_t encode_frame_impl(SessionId session,
+                              std::span<const StreamEvent> events,
+                              const PiggybackSection* pb,
+                              std::vector<std::uint8_t>& out) {
   RDT_REQUIRE(events.size() <= kMaxFrameEvents,
               "frame batch exceeds kMaxFrameEvents");
+  if (pb != nullptr) {
+    std::size_t sends = 0;
+    for (const StreamEvent& e : events) sends += e.kind == EventKind::kSend;
+    RDT_REQUIRE(pb->sizes.size() == sends,
+                "piggyback section needs exactly one blob per send event");
+    std::size_t total = 0;
+    for (const std::uint32_t size : pb->sizes) total += size;
+    RDT_REQUIRE(total == pb->bytes.size(),
+                "piggyback blob sizes do not sum to the byte buffer");
+    RDT_REQUIRE(pb->num_processes >= 1 &&
+                    pb->num_processes <= kMaxCodecProcesses,
+                "piggyback process count outside the codec range");
+  }
   // Encode the payload after a placeholder gap, then write the length
   // prefix where the gap allows — one pass, no second buffer.
   const std::size_t start = out.size();
@@ -163,6 +164,18 @@ std::size_t encode_frame(SessionId session, std::span<const StreamEvent> events,
   put_varint(session, out);
   put_varint(events.size(), out);
   for (const StreamEvent& e : events) encode_event(e, out);
+  if (pb != nullptr) {
+    put_varint(static_cast<std::uint64_t>(pb->protocol), out);
+    put_varint(static_cast<std::uint64_t>(pb->codec), out);
+    put_varint(static_cast<std::uint64_t>(pb->num_processes), out);
+    std::size_t consumed = 0;
+    for (const std::uint32_t size : pb->sizes) {
+      put_varint(size, out);
+      out.insert(out.end(), pb->bytes.begin() + static_cast<std::ptrdiff_t>(consumed),
+                 pb->bytes.begin() + static_cast<std::ptrdiff_t>(consumed + size));
+      consumed += size;
+    }
+  }
   const std::size_t payload = out.size() - start - kMaxPrefix;
   RDT_REQUIRE(payload <= kMaxFramePayload,
               "encoded frame payload exceeds kMaxFramePayload");
@@ -179,6 +192,19 @@ std::size_t encode_frame(SessionId session, std::span<const StreamEvent> events,
     out.resize(out.size() - slack);
   }
   return out.size() - start;
+}
+
+}  // namespace
+
+std::size_t encode_frame(SessionId session, std::span<const StreamEvent> events,
+                         std::vector<std::uint8_t>& out) {
+  return encode_frame_impl(session, events, nullptr, out);
+}
+
+std::size_t encode_frame(SessionId session, std::span<const StreamEvent> events,
+                         const PiggybackSection& piggyback,
+                         std::vector<std::uint8_t>& out) {
+  return encode_frame_impl(session, events, &piggyback, out);
 }
 
 void decode_frame(std::span<const std::uint8_t> bytes, std::size_t& offset,
@@ -203,9 +229,54 @@ void decode_frame(std::span<const std::uint8_t> bytes, std::size_t& offset,
   out.events.reserve(static_cast<std::size_t>(count));
   for (std::uint64_t i = 0; i < count; ++i)
     out.events.push_back(decode_event(bytes, at, env.payload_end));
-  if (at != env.payload_end)
-    fail(at, "frame payload has " + std::to_string(env.payload_end - at) +
-                 " trailing bytes after the last event");
+  // Remaining payload bytes are the optional piggyback section — anything
+  // else would be trailing garbage, which the section parser rejects via
+  // its own exact-consumption check.
+  out.has_piggyback = at != env.payload_end;
+  if (out.has_piggyback) {
+    const std::size_t proto_at = at;
+    const std::uint64_t proto =
+        get_varint(bytes, at, env.payload_end, "piggyback protocol");
+    if (proto >= all_protocol_kinds().size())
+      fail(proto_at, "piggyback protocol id " + std::to_string(proto) +
+                         " is not a registered kind");
+    const std::size_t codec_at = at;
+    const std::uint64_t codec =
+        get_varint(bytes, at, env.payload_end, "piggyback codec");
+    if (codec >= kNumPiggybackCodecKinds)
+      fail(codec_at, "piggyback codec id " + std::to_string(codec) +
+                         " is not a known codec");
+    const std::size_t n_at = at;
+    const int n = get_bounded_int(
+        bytes, at, env.payload_end,
+        static_cast<std::uint64_t>(kMaxCodecProcesses) + 1,
+        "piggyback process count");
+    if (n < 1) fail(n_at, "piggyback process count 0 names no computation");
+    out.piggyback.protocol = static_cast<ProtocolKind>(proto);
+    out.piggyback.codec = static_cast<PiggybackCodecKind>(codec);
+    out.piggyback.num_processes = n;
+    out.piggyback.bytes.clear();
+    out.piggyback.sizes.clear();
+    for (const StreamEvent& e : out.events) {
+      if (e.kind != EventKind::kSend) continue;
+      const std::size_t len_at = at;
+      const std::uint64_t len =
+          get_varint(bytes, at, env.payload_end, "piggyback blob length");
+      if (len > env.payload_end - at)
+        fail(len_at, "piggyback blob of " + std::to_string(len) +
+                         " bytes runs past the " +
+                         std::to_string(env.payload_end - at) +
+                         " remaining payload bytes");
+      out.piggyback.sizes.push_back(static_cast<std::uint32_t>(len));
+      out.piggyback.bytes.insert(
+          out.piggyback.bytes.end(), bytes.begin() + static_cast<std::ptrdiff_t>(at),
+          bytes.begin() + static_cast<std::ptrdiff_t>(at + len));
+      at += static_cast<std::size_t>(len);
+    }
+    if (at != env.payload_end)
+      fail(at, "frame payload has " + std::to_string(env.payload_end - at) +
+                   " trailing bytes after the piggyback section");
+  }
   offset = env.payload_end;
 }
 

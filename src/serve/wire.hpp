@@ -9,17 +9,27 @@
 // of the four a fixed-width encoding would spend:
 //
 //   frame   := varint(payload_bytes) payload
-//   payload := varint(session_id) varint(event_count) event*
+//   payload := varint(session_id) varint(event_count) event* [piggyback]
 //   event   := varint(header) tail
 //   header  := (process << 2) | kind      kind: 0 internal, 1 send,
 //                                               2 deliver, 3 checkpoint
 //   tail    := send/deliver: varint(msg) varint(peer)
 //              internal:     (empty)
 //              checkpoint:   varint(index)
+//   piggyback := varint(protocol) varint(codec) varint(num_processes)
+//                blob*                 one blob per send event, in order
+//   blob    := varint(byte_count) bytes
 //
 // The event kind rides in the low two bits of the first varint, so an
 // internal event of a small process id is a single byte and a send in an
 // 8-process session is three.
+//
+// The optional piggyback section ships the control data each send event
+// carries, already encoded by the named PiggybackCodec (protocols/
+// codec.hpp) — present exactly when payload bytes remain after the last
+// event. The wire layer treats the blobs as opaque; the serving pool
+// decodes them with a per-session codec so serve traffic exercises the
+// same decode path the replay engine measures.
 //
 // The decoder handles untrusted bytes and is hardened like ccp/pattern_io:
 // every size is capped before any allocation (kMaxFramePayload,
@@ -37,6 +47,8 @@
 #include <vector>
 
 #include "online/engine.hpp"
+#include "protocols/codec.hpp"
+#include "protocols/protocol.hpp"
 
 namespace rdt::serve {
 
@@ -49,11 +61,28 @@ inline constexpr std::size_t kMaxFrameEvents = std::size_t{1} << 20;
 inline constexpr int kMaxWireProcesses = 1 << 20;  // == kMaxIoProcesses
 inline constexpr int kMaxWireIndex = 1 << 30;      // msg ids and ckpt indexes
 
+// The optional control-data section of a frame: one codec-encoded blob per
+// send event, stored back to back (`sizes[i]` bytes each) so a reused
+// Frame decodes with no steady-state allocation. The wire layer validates
+// the header ids and the blob framing; blob *contents* are opaque here and
+// decoded by the receiver's PiggybackCodec.
+struct PiggybackSection {
+  ProtocolKind protocol = ProtocolKind::kNoForce;
+  PiggybackCodecKind codec = PiggybackCodecKind::kFlat;
+  int num_processes = 0;
+  std::vector<std::uint8_t> bytes;
+  std::vector<std::uint32_t> sizes;  // one entry per send event, in order
+};
+
 // One decoded frame. `events` is cleared and refilled by decode_frame, so a
-// reused Frame decodes with no steady-state allocation.
+// reused Frame decodes with no steady-state allocation. `piggyback` holds
+// decoded control data when the frame carried the optional section
+// (has_piggyback; otherwise its contents are stale from the previous use).
 struct Frame {
   SessionId session = 0;
   std::vector<StreamEvent> events;
+  bool has_piggyback = false;
+  PiggybackSection piggyback;
 };
 
 // Appends one encoded frame to `out` and returns the bytes appended.
@@ -61,6 +90,13 @@ struct Frame {
 // [0, kMaxWireProcesses), msg/index in [0, kMaxWireIndex)) and the batch to
 // fit the frame caps; violations throw std::invalid_argument.
 std::size_t encode_frame(SessionId session, std::span<const StreamEvent> events,
+                         std::vector<std::uint8_t>& out);
+
+// Same, with the piggyback section appended. `piggyback.sizes` must carry
+// exactly one entry per send event in `events` (their sum sized to
+// `piggyback.bytes`), and num_processes must fit the codec layer's cap.
+std::size_t encode_frame(SessionId session, std::span<const StreamEvent> events,
+                         const PiggybackSection& piggyback,
                          std::vector<std::uint8_t>& out);
 
 // Decodes the frame starting at `offset`. On success, fills `out`, advances

@@ -1,5 +1,7 @@
 #include "sim/payload_arena.hpp"
 
+#include <cstring>
+
 #include "util/check.hpp"
 
 namespace rdt {
@@ -16,7 +18,8 @@ void ensure_size(std::vector<T>& v, std::size_t size) {
 }  // namespace
 
 void PayloadArena::reset(int num_processes, PayloadShape shape,
-                         std::size_t num_messages) {
+                         std::size_t num_messages,
+                         std::optional<PiggybackCodecKind> codec) {
   RDT_REQUIRE(num_processes >= 1, "need at least one process");
   n_ = num_processes;
   shape_ = shape;
@@ -27,6 +30,13 @@ void PayloadArena::reset(int num_processes, PayloadShape shape,
   if (shape.simple) ensure_size(simple_plane_, row_words_ * num_messages);
   if (shape.causal) ensure_size(causal_plane_, n * row_words_ * num_messages);
   if (shape.index) ensure_size(index_plane_, num_messages);
+  codec_ = codec;
+  if (codec_) {
+    wire_.reset(*codec_, num_processes, shape);
+    if (shape.tdv) ensure_size(staging_tdv_, n);
+    if (shape.simple) ensure_size(staging_simple_, row_words_);
+    if (shape.causal) ensure_size(staging_causal_, n * row_words_);
+  }
 }
 
 PiggybackSlot PayloadArena::slot(MsgId m) {
@@ -51,6 +61,63 @@ PiggybackView PayloadArena::view(MsgId m) const {
     v.causal = {causal_plane_.data() + i * n * row_words_, n, n};
   if (shape_.index) v.index = index_plane_[i];
   return v;
+}
+
+PiggybackSlot PayloadArena::send_slot(MsgId m) {
+  if (!codec_) return slot(m);
+  check(m);
+  const auto n = static_cast<std::size_t>(n_);
+  PiggybackSlot s;
+  if (shape_.tdv) s.tdv = {staging_tdv_.data(), n};
+  if (shape_.simple) s.simple = {staging_simple_.data(), n};
+  if (shape_.causal) s.causal = {staging_causal_.data(), n, n};
+  if (shape_.index) s.index = &staging_index_;
+  return s;
+}
+
+PiggybackView PayloadArena::staging_view() const {
+  const auto n = static_cast<std::size_t>(n_);
+  PiggybackView v;
+  if (shape_.tdv) v.tdv = {staging_tdv_.data(), n};
+  if (shape_.simple) v.simple = {staging_simple_.data(), n};
+  if (shape_.causal) v.causal = {staging_causal_.data(), n, n};
+  if (shape_.index) v.index = staging_index_;
+  return v;
+}
+
+std::size_t PayloadArena::commit_send(MsgId m, ProcessId src, ProcessId dest) {
+  RDT_REQUIRE(codec_.has_value(), "commit_send() needs a wire codec");
+  encode_buf_.clear();  // capacity retained — no steady-state allocation
+  const PiggybackView staged = staging_view();
+  const std::size_t bytes = wire_.encode(src, dest, staged, encode_buf_);
+  std::size_t offset = 0;
+  wire_.decode(src, dest, encode_buf_, offset, slot(m));
+  RDT_CHECK(offset == encode_buf_.size(),
+            "piggyback decode consumed a different byte count than encode "
+            "produced");
+  // The decode-back cross-check: the planes that came out of the wire must
+  // be bit-identical to the planes that went in.
+  if constexpr (kAuditsEnabled) {
+    const PiggybackView decoded = view(m);
+    if (shape_.tdv)
+      RDT_AUDIT(std::memcmp(decoded.tdv.data(), staged.tdv.data(),
+                            staged.tdv.size() * sizeof(CkptIndex)) == 0,
+                "wire codec roundtrip changed the TDV plane");
+    if (shape_.simple)
+      RDT_AUDIT(std::memcmp(decoded.simple.words(), staged.simple.words(),
+                            decoded.simple.num_words() *
+                                sizeof(std::uint64_t)) == 0,
+                "wire codec roundtrip changed the simple plane");
+    if (shape_.causal)
+      RDT_AUDIT(std::memcmp(decoded.causal.row(0).words(),
+                            staged.causal.row(0).words(),
+                            decoded.causal.rows() * decoded.causal.row_words() *
+                                sizeof(std::uint64_t)) == 0,
+                "wire codec roundtrip changed the causal plane");
+    RDT_AUDIT(decoded.index == staged.index,
+              "wire codec roundtrip changed the scalar index");
+  }
+  return bytes * 8;
 }
 
 }  // namespace rdt

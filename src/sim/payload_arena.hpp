@@ -12,6 +12,18 @@
 // more capacity, so sweeping many seeds through one arena reaches a steady
 // state with zero per-message heap allocations.
 //
+// Wire-codec mode: reset() with a PiggybackCodecKind routes every send
+// through the real encode/decode path. send_slot(m) then hands out a
+// one-message staging slot for the protocol to fill; commit_send(m, src,
+// dest) encodes the staged payload with the codec, decodes the bytes back
+// into message m's arena planes (what view(m) serves at delivery), and
+// returns the measured wire bits. The codec scratch — per-channel delta
+// shadows, the encode buffer, the staging planes — obeys the same
+// grow-only, zero-steady-state-allocation discipline as the planes. Under
+// RDT_AUDITS every commit cross-checks the decoded planes against the
+// staged originals bit for bit: codecs change representation, never
+// semantics.
+//
 // Slots are handed out uncleaned: the sending protocol fully overwrites
 // every present field (the fill_payload contract), and a trace's delivery
 // of message m always follows its send, so a view never observes stale
@@ -19,8 +31,10 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
+#include "protocols/codec.hpp"
 #include "protocols/payload.hpp"
 #include "sim/trace.hpp"
 
@@ -30,13 +44,27 @@ class PayloadArena {
  public:
   // Prepare slots for `num_messages` messages of `shape` among
   // `num_processes` processes. Existing capacity is reused; contents become
-  // unspecified.
-  void reset(int num_processes, PayloadShape shape, std::size_t num_messages);
+  // unspecified. With a codec kind, sends must go through
+  // send_slot()/commit_send() and the codec's channel shadows start fresh.
+  void reset(int num_processes, PayloadShape shape, std::size_t num_messages,
+             std::optional<PiggybackCodecKind> codec = std::nullopt);
 
   std::size_t capacity() const { return capacity_; }
+  bool has_codec() const { return codec_.has_value(); }
+  PiggybackCodecKind codec_kind() const { return *codec_; }
 
   PiggybackSlot slot(MsgId m);
   PiggybackView view(MsgId m) const;
+
+  // Where on_send() writes: message m's planes directly (no codec), or the
+  // staging planes (codec mode — commit_send() then moves them through the
+  // wire encoding into message m's planes).
+  PiggybackSlot send_slot(MsgId m);
+  // Codec mode only: encode the staged payload for channel src -> dest,
+  // decode it into message m's planes, and return the encoded size in
+  // bits. Must be called exactly once per send_slot(), in trace send
+  // order (the delta codec's shadows advance per channel).
+  std::size_t commit_send(MsgId m, ProcessId src, ProcessId dest);
 
  private:
   std::size_t check(MsgId m) const {
@@ -44,6 +72,7 @@ class PayloadArena {
                 "message id outside the arena");
     return static_cast<std::size_t>(m);
   }
+  PiggybackView staging_view() const;
 
   int n_ = 0;
   PayloadShape shape_{};
@@ -53,6 +82,15 @@ class PayloadArena {
   std::vector<std::uint64_t> simple_plane_;  // row_words * capacity
   std::vector<std::uint64_t> causal_plane_;  // n * row_words * capacity
   std::vector<CkptIndex> index_plane_;       // capacity
+
+  // Wire-codec scratch (codec mode only; all grow-only).
+  std::optional<PiggybackCodecKind> codec_;
+  PiggybackCodec wire_;
+  std::vector<CkptIndex> staging_tdv_;          // n
+  std::vector<std::uint64_t> staging_simple_;   // row_words
+  std::vector<std::uint64_t> staging_causal_;   // n * row_words
+  CkptIndex staging_index_ = 0;
+  std::vector<std::uint8_t> encode_buf_;
 };
 
 }  // namespace rdt

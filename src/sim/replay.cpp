@@ -99,14 +99,15 @@ ReplayResult replay(const Trace& trace, ProtocolKind kind,
   }
 
   // All processes run the same protocol, so every message carries the same
-  // payload shape and its wire size is a per-replay constant.
+  // payload shape and its flat size is a per-replay constant. Measured wire
+  // bits, when a codec is active, vary per message.
   const PayloadShape shape = procs.front()->payload_shape();
-  const unsigned long long bits_per_message =
-      procs.front()->piggyback_bits();
+  const unsigned long long flat_bits_per_message =
+      procs.front()->flat_piggyback_bits();
 
   PayloadArena local_arena;
   PayloadArena& arena = options.arena ? *options.arena : local_arena;
-  arena.reset(trace.num_processes, shape, num_messages);
+  arena.reset(trace.num_processes, shape, num_messages, options.wire_codec);
 
   PatternBuilder builder(trace.num_processes);  // cheap when unused
   builder.set_listener(options.online);
@@ -117,6 +118,7 @@ ReplayResult replay(const Trace& trace, ProtocolKind kind,
   result.kind = kind;
   result.pattern_built = materialize;
   result.messages = trace.num_messages();
+  result.wire_measured = options.wire_codec.has_value();
   if (materialize) result.forced_ckpts.reserve(num_messages);
 
   for (const TraceOp& op : trace.ops) {
@@ -125,8 +127,11 @@ ReplayResult replay(const Trace& trace, ProtocolKind kind,
       case TraceOpKind::kSend: {
         const TraceMessage& m = trace.messages[static_cast<std::size_t>(op.msg)];
         RDT_ASSERT(m.sender == op.process);
-        self.on_send(m.receiver, arena.slot(op.msg));
-        result.piggyback_bits_total += bits_per_message;
+        self.on_send(m.receiver, arena.send_slot(op.msg));
+        result.flat_bits_total += flat_bits_per_message;
+        if (arena.has_codec())
+          result.wire_bits_total +=
+              arena.commit_send(op.msg, m.sender, m.receiver);
         if (materialize)
           msg_map[static_cast<std::size_t>(op.msg)] =
               builder.send(m.sender, m.receiver);

@@ -12,6 +12,10 @@
 //  * ReplayOptions::materialize_pattern = false skips the PatternBuilder,
 //    the forced-checkpoint inventory and the saved-TDV extraction — the
 //    counters (messages/basic/forced/piggyback bits) are unchanged;
+//  * ReplayOptions::wire_codec routes every payload through the real
+//    encode/decode path of a PiggybackCodec and measures wire_bits_total;
+//    analysis results are bit-identical to the flat path (cross-checked
+//    per message under RDT_AUDITS);
 //  * ReplayOptions::arena points at a caller-owned PayloadArena so the
 //    steady-state replay loop performs no per-message heap allocation.
 // Audit builds (RDT_AUDITS=ON) always materialize the pattern so the
@@ -19,6 +23,7 @@
 #pragma once
 
 #include <array>
+#include <optional>
 #include <vector>
 
 #include "ccp/pattern.hpp"
@@ -49,6 +54,14 @@ struct ReplayOptions {
   // ForceReason naming the predicate that fired.
   ProtocolObserver* observer = nullptr;
 
+  // Optional wire codec. When set, every send stages its payload, encodes
+  // it with this codec, and decodes the bytes back into the arena — the
+  // planes a delivery reads went through the real wire representation, and
+  // ReplayResult::wire_bits_total measures the encoded size. When unset
+  // (the legacy flat path) payloads are written to the arena directly and
+  // wire bits are not measured. Codecs never change analysis results.
+  std::optional<PiggybackCodecKind> wire_codec = std::nullopt;
+
   // Optional pattern stream subscriber (non-owning; must outlive the call),
   // installed on the replay's PatternBuilder — typically an OnlineEngine
   // (online/engine.hpp), so live RDT/recovery/z-reach queries work while
@@ -67,7 +80,13 @@ struct ReplayResult {
   long long messages = 0;
   long long basic = 0;
   long long forced = 0;
-  unsigned long long piggyback_bits_total = 0;  // sum over sent messages
+  // Analytic flat-plane piggyback bits summed over sent messages (constant
+  // per message for a given kind) — the labeled comparison column.
+  unsigned long long flat_bits_total = 0;
+  // Measured encoded bits summed over sent messages; only meaningful when
+  // the replay ran with a wire codec (wire_measured).
+  unsigned long long wire_bits_total = 0;
+  bool wire_measured = false;
 
   // `forced` broken down by the predicate that fired (indexed by
   // ForceReason; the kNone slot stays zero). The entries sum to `forced` —
@@ -97,10 +116,16 @@ struct ReplayResult {
                ? static_cast<double>(forced) / static_cast<double>(messages)
                : 0.0;
   }
-  double piggyback_bits_per_message() const {
-    return messages > 0 ? static_cast<double>(piggyback_bits_total) /
+  double flat_bits_per_message() const {
+    return messages > 0 ? static_cast<double>(flat_bits_total) /
                               static_cast<double>(messages)
                         : 0.0;
+  }
+  double wire_bits_per_message() const {
+    return messages > 0 && wire_measured
+               ? static_cast<double>(wire_bits_total) /
+                     static_cast<double>(messages)
+               : 0.0;
   }
 };
 
@@ -108,11 +133,14 @@ ReplayResult replay(const Trace& trace, ProtocolKind kind,
                     const ReplayOptions& options = {});
 
 // Counters-only convenience wrapper: replay(trace, kind) without the
-// pattern/TDV materialization (unless audits force it).
-inline ReplayResult replay_metrics(const Trace& trace, ProtocolKind kind,
-                                   PayloadArena* arena = nullptr) {
+// pattern/TDV materialization (unless audits force it). Pass a codec kind
+// to measure wire bits through the real encode/decode path.
+inline ReplayResult replay_metrics(
+    const Trace& trace, ProtocolKind kind, PayloadArena* arena = nullptr,
+    std::optional<PiggybackCodecKind> wire_codec = std::nullopt) {
   return replay(trace, kind,
-                {.materialize_pattern = false, .arena = arena});
+                {.materialize_pattern = false, .arena = arena,
+                 .wire_codec = wire_codec});
 }
 
 }  // namespace rdt

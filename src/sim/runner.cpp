@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "obs/hooks.hpp"
+#include "protocols/registry.hpp"
 #include "util/check.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -17,7 +18,8 @@ namespace {
 struct SeedMetrics {
   double r = 0.0;
   double fpm = 0.0;
-  double bits = 0.0;
+  double wire_bits = 0.0;
+  double flat_bits = 0.0;
   long long messages = 0;
   long long basic = 0;
   long long forced = 0;
@@ -25,13 +27,17 @@ struct SeedMetrics {
 
 // Sweeps only need the overhead counters, so they take the counters-only
 // replay path (no PatternBuilder, no saved-TDV extraction) through a
-// reusable arena: zero steady-state heap traffic per message.
+// reusable arena: zero steady-state heap traffic per message. Payloads run
+// through the protocol's declared wire codec so wire_bits is measured, not
+// asserted; codecs never change the forced-checkpoint counters.
 SeedMetrics measure(const Trace& trace, ProtocolKind kind,
                     PayloadArena& arena) {
-  const ReplayResult res = replay_metrics(trace, kind, &arena);
+  const PiggybackCodecKind codec =
+      ProtocolRegistry::instance().info(kind).codec;
+  const ReplayResult res = replay_metrics(trace, kind, &arena, codec);
   return {res.forced_per_basic(), res.forced_per_message(),
-          res.piggyback_bits_per_message(), res.messages,
-          res.basic,              res.forced};
+          res.wire_bits_per_message(), res.flat_bits_per_message(),
+          res.messages, res.basic, res.forced};
 }
 
 // Folds the per-seed metric matrix (seed-major) into aggregate statistics;
@@ -40,7 +46,8 @@ std::vector<ProtocolStats> fold(std::span<const ProtocolKind> kinds,
                                 const std::vector<std::vector<SeedMetrics>>& m) {
   std::vector<RunningStats> r(kinds.size());
   std::vector<RunningStats> fpm(kinds.size());
-  std::vector<RunningStats> bits(kinds.size());
+  std::vector<RunningStats> wire(kinds.size());
+  std::vector<RunningStats> flat(kinds.size());
   std::vector<ProtocolStats> out(kinds.size());
   for (std::size_t i = 0; i < kinds.size(); ++i) out[i].kind = kinds[i];
   for (const auto& row : m) {
@@ -48,7 +55,8 @@ std::vector<ProtocolStats> fold(std::span<const ProtocolKind> kinds,
     for (std::size_t i = 0; i < kinds.size(); ++i) {
       r[i].add(row[i].r);
       fpm[i].add(row[i].fpm);
-      bits[i].add(row[i].bits);
+      wire[i].add(row[i].wire_bits);
+      flat[i].add(row[i].flat_bits);
       out[i].total_messages += row[i].messages;
       out[i].total_basic += row[i].basic;
       out[i].total_forced += row[i].forced;
@@ -57,7 +65,8 @@ std::vector<ProtocolStats> fold(std::span<const ProtocolKind> kinds,
   for (std::size_t i = 0; i < kinds.size(); ++i) {
     out[i].r_forced_per_basic = r[i].summary();
     out[i].forced_per_message = fpm[i].summary();
-    out[i].piggyback_bits = bits[i].summary();
+    out[i].wire_bits = wire[i].summary();
+    out[i].flat_bits = flat[i].summary();
   }
   return out;
 }

@@ -17,7 +17,8 @@ struct ProtocolStats {
   ProtocolKind kind = ProtocolKind::kNoForce;
   Summary r_forced_per_basic;     // the papers' R metric
   Summary forced_per_message;
-  Summary piggyback_bits;         // control bits per message
+  Summary wire_bits;              // measured encoded bits per message
+  Summary flat_bits;              // analytic flat-plane bits per message
   long long total_messages = 0;   // across seeds
   long long total_basic = 0;
   long long total_forced = 0;
@@ -27,7 +28,9 @@ struct ProtocolStats {
 // every protocol in `kinds`. The generator must honour its seed argument.
 // Sweeps replay in counters-only mode through one reusable PayloadArena —
 // patterns are never materialized, and the steady-state replay loop does
-// not touch the heap.
+// not touch the heap. Every replay runs through the protocol's declared
+// wire codec (ProtocolRegistry metadata), so wire_bits is a measured
+// quantity; flat_bits keeps the analytic comparison column.
 std::vector<ProtocolStats> sweep(
     const std::function<Trace(std::uint64_t seed)>& generate,
     std::span<const ProtocolKind> kinds, int num_seeds, std::uint64_t seed0 = 1);

@@ -1,0 +1,60 @@
+// Bounded LEB128 varint primitives shared by every wire-facing layer: the
+// serve frame format (serve/wire.cpp) and the piggyback codec layer
+// (protocols/codec.cpp) encode with the same bytes and reject the same
+// malformed inputs.
+//
+// Contract (mirrors the serve wire format that first grew these helpers):
+//  * `put` appends the canonical little-endian base-128 encoding.
+//  * `get` decodes bounded to `end`, throwing std::invalid_argument on
+//    truncation, on encodings longer than 10 bytes, and on 10-byte
+//    encodings whose final byte overflows 64 bits. Errors are prefixed
+//    "<domain>: byte N: ..." so each wire layer keeps its own vocabulary,
+//    and `offset` is only advanced past bytes that were consumed (callers
+//    that need offset-untouched-on-throw snapshot it before a composite
+//    parse and restore in their catch).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rdt::varint {
+
+[[noreturn]] inline void fail(const char* domain, std::size_t offset,
+                              const std::string& what) {
+  std::ostringstream os;
+  os << domain << ": byte " << offset << ": " << what;
+  throw std::invalid_argument(os.str());
+}
+
+inline void put(std::uint64_t v, std::vector<std::uint8_t>& out) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80u);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// LEB128 decode, bounded to `end`. Rejects truncation, encodings longer
+// than 10 bytes, and 10-byte encodings whose final byte overflows 64 bits.
+inline std::uint64_t get(std::span<const std::uint8_t> bytes,
+                         std::size_t& offset, std::size_t end,
+                         const char* domain, const char* what) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (offset >= end)
+      fail(domain, offset, std::string("truncated varint while reading ") + what);
+    const std::uint8_t b = bytes[offset++];
+    if (shift == 63 && (b & 0x7Eu) != 0)
+      fail(domain, offset - 1, std::string(what) + " varint overflows 64 bits");
+    v |= static_cast<std::uint64_t>(b & 0x7Fu) << shift;
+    if ((b & 0x80u) == 0) return v;
+  }
+  fail(domain, offset - 1, std::string(what) + " varint runs past 10 bytes");
+}
+
+}  // namespace rdt::varint

@@ -14,8 +14,10 @@
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <optional>
 #include <string>
 
+#include "protocols/codec.hpp"
 #include "sim/environments.hpp"
 #include "sim/payload_arena.hpp"
 #include "sim/replay.hpp"
@@ -55,10 +57,11 @@ Trace make_trace(double duration) {
   return random_environment(cfg);
 }
 
-long long allocs_during_replay(const Trace& trace, ProtocolKind kind,
-                               PayloadArena& arena) {
+long long allocs_during_replay(
+    const Trace& trace, ProtocolKind kind, PayloadArena& arena,
+    std::optional<PiggybackCodecKind> codec = std::nullopt) {
   const long long before = g_allocs.load(std::memory_order_relaxed);
-  const ReplayResult r = replay_metrics(trace, kind, &arena);
+  const ReplayResult r = replay_metrics(trace, kind, &arena, codec);
   const long long after = g_allocs.load(std::memory_order_relaxed);
   EXPECT_GT(r.messages, 0);
   return after - before;
@@ -100,6 +103,29 @@ TEST(ZeroAllocation, WarmArenaReplayLoopStaysOffTheHeap) {
     // per-message regression (hundreds of messages) trips it instantly.
     EXPECT_LT(steady, trace.num_messages() / 4)
         << "replay allocates proportionally to the message count";
+  }
+}
+
+// The codec path carves its wire buffers and channel shadows from the same
+// arena: once warm, routing every payload through encode/decode adds zero
+// allocations per message, for every codec kind.
+TEST(ZeroAllocation, CodecPathAllocCountIsIndependentOfTraceSize) {
+  if (kAuditsEnabled)
+    GTEST_SKIP() << "audit builds materialize patterns on every replay";
+  const Trace small = make_trace(60.0);
+  const Trace large = make_trace(180.0);
+  PayloadArena arena;
+  for (ProtocolKind kind : all_protocol_kinds()) {
+    for (int c = 0; c < kNumPiggybackCodecKinds; ++c) {
+      const auto codec = static_cast<PiggybackCodecKind>(c);
+      SCOPED_TRACE(std::string(to_string(kind)) + "/" + to_cstring(codec));
+      (void)allocs_during_replay(large, kind, arena, codec);
+      const long long on_small = allocs_during_replay(small, kind, arena,
+                                                      codec);
+      const long long on_large = allocs_during_replay(large, kind, arena,
+                                                      codec);
+      EXPECT_EQ(on_small, on_large);
+    }
   }
 }
 

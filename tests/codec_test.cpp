@@ -1,0 +1,396 @@
+// PiggybackCodec — the wire encodings behind the replay engine's measured
+// piggyback bits and the serving pool's ingest. Per-kind roundtrips,
+// cross-kind size ordering, the delta codec's shadow discipline, and the
+// hardened-decoder rejection contract (std::invalid_argument with the
+// caller's offset AND the channel shadows untouched).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "protocols/codec.hpp"
+#include "protocols/payload.hpp"
+#include "util/check.hpp"
+
+namespace rdt {
+namespace {
+
+Piggyback make_payload(int n, PayloadShape shape) {
+  const auto un = static_cast<std::size_t>(n);
+  Piggyback pb;
+  if (shape.tdv) pb.tdv.assign(un, 0);
+  if (shape.simple) pb.simple = BitVector(un);
+  if (shape.causal) pb.causal = BitMatrix(un, un);
+  if (shape.index) pb.index = 0;
+  return pb;
+}
+
+constexpr PayloadShape kFullShape{.tdv = true, .simple = true, .causal = true,
+                                  .index = true};
+
+// Piggyback::slot() always exposes the scalar-index pointer (the owning
+// struct cannot know the intended shape); codecs validate slots against
+// their declared shape, so mask the index off when the shape omits it.
+PiggybackSlot shaped_slot(Piggyback& pb, PayloadShape shape) {
+  PiggybackSlot s = pb.slot();
+  if (!shape.index) s.index = nullptr;
+  return s;
+}
+
+// A representative non-trivial payload: staggered TDV, a couple of simple
+// bits, an asymmetric causal matrix, a scalar index.
+Piggyback sample_payload(int n) {
+  Piggyback pb = make_payload(n, kFullShape);
+  for (int k = 0; k < n; ++k) pb.tdv[static_cast<std::size_t>(k)] = 3 * k + 1;
+  pb.simple.set(0);
+  pb.simple.set(static_cast<std::size_t>(n) - 1);
+  for (int r = 0; r < n; ++r) pb.causal.set(static_cast<std::size_t>(r), 0);
+  pb.causal.set(1, static_cast<std::size_t>(n) - 1);
+  pb.index = 41;
+  return pb;
+}
+
+bool payloads_equal(const Piggyback& a, const Piggyback& b, int n) {
+  if (a.tdv != b.tdv || a.index != b.index) return false;
+  for (int i = 0; i < n; ++i)
+    if (a.simple.get(static_cast<std::size_t>(i)) !=
+        b.simple.get(static_cast<std::size_t>(i)))
+      return false;
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c)
+      if (a.causal.get(static_cast<std::size_t>(r),
+                       static_cast<std::size_t>(c)) !=
+          b.causal.get(static_cast<std::size_t>(r),
+                       static_cast<std::size_t>(c)))
+        return false;
+  return true;
+}
+
+class PiggybackCodecRoundtrip
+    : public ::testing::TestWithParam<PiggybackCodecKind> {};
+
+TEST_P(PiggybackCodecRoundtrip, FullShapeRoundtrips) {
+  const int n = 5;
+  PiggybackCodec codec(GetParam(), n, kFullShape);
+  const Piggyback sent = sample_payload(n);
+  std::vector<std::uint8_t> wire;
+  const std::size_t len = codec.encode(0, 1, sent.view(), wire);
+  EXPECT_EQ(len, wire.size());
+  EXPECT_LE(len, codec.max_encoded_bytes());
+
+  Piggyback received = make_payload(n, kFullShape);
+  std::size_t offset = 0;
+  codec.decode(0, 1, wire, offset, received.slot());
+  EXPECT_EQ(offset, wire.size());
+  EXPECT_TRUE(payloads_equal(sent, received, n));
+}
+
+TEST_P(PiggybackCodecRoundtrip, SingleProcessRoundtrips) {
+  PiggybackCodec codec(GetParam(), 1, kFullShape);
+  Piggyback pb = make_payload(1, kFullShape);
+  pb.tdv[0] = 7;
+  pb.index = 7;
+  std::vector<std::uint8_t> wire;
+  codec.encode(0, 0, pb.view(), wire);
+  Piggyback back = make_payload(1, kFullShape);
+  std::size_t offset = 0;
+  codec.decode(0, 0, wire, offset, back.slot());
+  EXPECT_EQ(offset, wire.size());
+  EXPECT_TRUE(payloads_equal(pb, back, 1));
+}
+
+TEST_P(PiggybackCodecRoundtrip, EmptyShapeEncodesNothing) {
+  PiggybackCodec codec(GetParam(), 4, PayloadShape{});
+  const Piggyback pb;  // no planes
+  std::vector<std::uint8_t> wire;
+  EXPECT_EQ(codec.encode(2, 3, pb.view(), wire), 0u);
+  EXPECT_TRUE(wire.empty());
+  Piggyback back;
+  std::size_t offset = 0;
+  codec.decode(2, 3, wire, offset, shaped_slot(back, PayloadShape{}));
+  EXPECT_EQ(offset, 0u);
+}
+
+// A dense payload (every bit set, large indexes) survives every codec —
+// the sparse encodings must not assume sparsity.
+TEST_P(PiggybackCodecRoundtrip, DensePayloadRoundtrips) {
+  const int n = 9;  // crosses a byte boundary in the bit planes
+  PiggybackCodec codec(GetParam(), n, kFullShape);
+  Piggyback pb = make_payload(n, kFullShape);
+  for (int k = 0; k < n; ++k)
+    pb.tdv[static_cast<std::size_t>(k)] = kMaxPiggybackIndex - 1;
+  for (int i = 0; i < n; ++i) pb.simple.set(static_cast<std::size_t>(i));
+  for (int r = 0; r < n; ++r)
+    for (int c = 0; c < n; ++c)
+      pb.causal.set(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+  pb.index = kMaxPiggybackIndex - 1;
+  std::vector<std::uint8_t> wire;
+  codec.encode(0, 1, pb.view(), wire);
+  Piggyback back = make_payload(n, kFullShape);
+  std::size_t offset = 0;
+  codec.decode(0, 1, wire, offset, back.slot());
+  EXPECT_EQ(offset, wire.size());
+  EXPECT_TRUE(payloads_equal(pb, back, n));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, PiggybackCodecRoundtrip,
+                         ::testing::Values(PiggybackCodecKind::kFlat,
+                                           PiggybackCodecKind::kDelta,
+                                           PiggybackCodecKind::kSparse),
+                         [](const auto& param) {
+                           return std::string(to_cstring(param.param));
+                         });
+
+TEST(PiggybackCodecIds, RoundTrip) {
+  for (int c = 0; c < kNumPiggybackCodecKinds; ++c) {
+    const auto kind = static_cast<PiggybackCodecKind>(c);
+    const auto back = codec_from_string(to_cstring(kind));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, kind);
+  }
+  EXPECT_FALSE(codec_from_string("nope").has_value());
+}
+
+TEST(PiggybackCodecReset, ValidatesGeometry) {
+  PiggybackCodec codec;
+  EXPECT_THROW(codec.reset(PiggybackCodecKind::kFlat, 0, kFullShape),
+               std::invalid_argument);
+  EXPECT_THROW(
+      codec.reset(PiggybackCodecKind::kFlat, kMaxCodecProcesses + 1,
+                  kFullShape),
+      std::invalid_argument);
+  // The delta codec's n^2 shadow blocks are capped much tighter.
+  EXPECT_THROW(
+      codec.reset(PiggybackCodecKind::kDelta, kMaxDeltaProcesses + 1,
+                  kFullShape),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      codec.reset(PiggybackCodecKind::kDelta, kMaxDeltaProcesses, kFullShape));
+  // Using a never-reset codec is a caller bug, reported as such.
+  PiggybackCodec fresh;
+  std::vector<std::uint8_t> wire;
+  EXPECT_THROW(fresh.encode(0, 0, PiggybackView{}, wire),
+               std::invalid_argument);
+}
+
+TEST(PiggybackCodecReset, SlotShapeMismatchIsContractViolation) {
+  PiggybackCodec codec(PiggybackCodecKind::kFlat, 4, kFullShape);
+  Piggyback wrong = make_payload(3, kFullShape);  // planes sized for n=3
+  std::vector<std::uint8_t> wire;
+  EXPECT_THROW(codec.encode(0, 1, wrong.view(), wire), contract_violation);
+  std::size_t offset = 0;
+  EXPECT_THROW(codec.decode(0, 1, wire, offset, wrong.slot()),
+               contract_violation);
+}
+
+// The flat layout is exact: n x 4-byte TDV + ceil(n/8) simple + n causal
+// rows + 4-byte index.
+TEST(PiggybackCodecFlat, ByteLayoutIsExact) {
+  const int n = 5;
+  PiggybackCodec codec(PiggybackCodecKind::kFlat, n, kFullShape);
+  std::vector<std::uint8_t> wire;
+  const std::size_t len = codec.encode(0, 1, sample_payload(n).view(), wire);
+  EXPECT_EQ(len, 5u * 4u + 1u + 5u * 1u + 4u);
+  // tdv[0] = 1, little-endian.
+  EXPECT_EQ(wire[0], 1u);
+  EXPECT_EQ(wire[1], 0u);
+}
+
+// Delta encodes only what changed: an identical payload on the same
+// channel costs four count/delta bytes, and the decoder reproduces it from
+// its shadow alone.
+TEST(PiggybackCodecDelta, UnchangedPayloadCollapses) {
+  const int n = 6;
+  PiggybackCodec codec(PiggybackCodecKind::kDelta, n, kFullShape);
+  const Piggyback pb = sample_payload(n);
+  std::vector<std::uint8_t> first;
+  std::vector<std::uint8_t> second;
+  codec.encode(2, 4, pb.view(), first);
+  const std::size_t len = codec.encode(2, 4, pb.view(), second);
+  EXPECT_EQ(len, 4u);  // tdv count 0, no flips, no rows, index delta 0
+  EXPECT_LT(second.size(), first.size());
+
+  Piggyback back = make_payload(n, kFullShape);
+  std::size_t offset = 0;
+  codec.decode(2, 4, first, offset, back.slot());
+  offset = 0;
+  codec.decode(2, 4, second, offset, back.slot());
+  EXPECT_EQ(offset, second.size());
+  EXPECT_TRUE(payloads_equal(pb, back, n));
+}
+
+// Channels are independent: the same payload on a fresh channel re-encodes
+// in full, and decoding it does not disturb the first channel's shadow.
+TEST(PiggybackCodecDelta, ChannelsShadowIndependently) {
+  const int n = 4;
+  PiggybackCodec codec(PiggybackCodecKind::kDelta, n, kFullShape);
+  const Piggyback pb = sample_payload(n);
+  std::vector<std::uint8_t> ch01;
+  std::vector<std::uint8_t> ch23;
+  codec.encode(0, 1, pb.view(), ch01);
+  codec.encode(2, 3, pb.view(), ch23);
+  EXPECT_EQ(ch01.size(), ch23.size());  // both channels started from zero
+
+  Piggyback back = make_payload(n, kFullShape);
+  std::size_t offset = 0;
+  codec.decode(2, 3, ch23, offset, back.slot());
+  EXPECT_TRUE(payloads_equal(pb, back, n));
+  offset = 0;
+  codec.decode(0, 1, ch01, offset, back.slot());
+  EXPECT_TRUE(payloads_equal(pb, back, n));
+}
+
+TEST(PiggybackCodecDelta, NonMonotoneTdvIsEncoderContractViolation) {
+  const int n = 3;
+  PiggybackCodec codec(PiggybackCodecKind::kDelta, n, kFullShape);
+  Piggyback pb = sample_payload(n);
+  std::vector<std::uint8_t> wire;
+  codec.encode(0, 1, pb.view(), wire);
+  pb.tdv[1] -= 1;  // TDV entries never move backwards per channel
+  EXPECT_THROW(codec.encode(0, 1, pb.view(), wire), contract_violation);
+}
+
+// --- the rejection contract: invalid_argument, offset untouched ---------
+
+void expect_rejected(PiggybackCodec& codec, std::vector<std::uint8_t> wire,
+                     int n, const char* note) {
+  Piggyback slot = make_payload(n, codec.shape());
+  std::size_t offset = 0;
+  try {
+    codec.decode(0, 1, wire, offset, shaped_slot(slot, codec.shape()));
+    FAIL() << note << ": malformed payload decoded";
+  } catch (const std::invalid_argument&) {
+    EXPECT_EQ(offset, 0u) << note << ": offset moved on throw";
+  }
+}
+
+TEST(PiggybackCodecReject, FlatMalformations) {
+  const int n = 5;
+  PiggybackCodec codec(PiggybackCodecKind::kFlat, n, kFullShape);
+  std::vector<std::uint8_t> good;
+  codec.encode(0, 1, sample_payload(n).view(), good);
+
+  // Truncation at every byte boundary.
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    PiggybackCodec fresh(PiggybackCodecKind::kFlat, n, kFullShape);
+    expect_rejected(
+        fresh, std::vector<std::uint8_t>(good.begin(), good.begin() + cut), n,
+        "flat truncation");
+  }
+  // A TDV entry at the piggyback cap.
+  std::vector<std::uint8_t> capped = good;
+  capped[0] = 0xFF;
+  capped[1] = 0xFF;
+  capped[2] = 0xFF;
+  capped[3] = 0x7F;
+  expect_rejected(codec, capped, n, "flat tdv over cap");
+  // Stray bit beyond the simple plane's width (bit 5 of 5).
+  std::vector<std::uint8_t> stray = good;
+  stray[20] |= 0x20;
+  expect_rejected(codec, stray, n, "flat stray simple bit");
+}
+
+TEST(PiggybackCodecReject, SparseMalformations) {
+  const int n = 5;
+  PiggybackCodec codec(PiggybackCodecKind::kSparse, n, kFullShape);
+  // tdv varint at the cap.
+  {
+    std::vector<std::uint8_t> wire = {0x80, 0x80, 0x80, 0x80, 0x04};  // 2^30
+    expect_rejected(codec, wire, n, "sparse tdv at cap");
+  }
+  // Simple set-bit count past the plane size (tdv 5 zeros, then count 6).
+  {
+    std::vector<std::uint8_t> wire = {0, 0, 0, 0, 0, 6};
+    expect_rejected(codec, wire, n, "sparse count over plane");
+  }
+  // First offset past the plane (count 1, gap 5 in a 5-bit plane).
+  {
+    std::vector<std::uint8_t> wire = {0, 0, 0, 0, 0, 1, 5};
+    expect_rejected(codec, wire, n, "sparse offset over plane");
+  }
+  // Non-increasing offsets are unrepresentable by construction (gaps), so
+  // the remaining hazard is truncation mid-list.
+  {
+    std::vector<std::uint8_t> wire = {0, 0, 0, 0, 0, 2, 0};
+    expect_rejected(codec, wire, n, "sparse truncated list");
+  }
+}
+
+TEST(PiggybackCodecReject, DeltaMalformations) {
+  const int n = 5;
+  const PayloadShape tdv_only{.tdv = true};
+  {
+    PiggybackCodec codec(PiggybackCodecKind::kDelta, n, tdv_only);
+    // Zero delta: the entry did not change, so encoding it is
+    // non-canonical (count 1, gap 0, delta 0).
+    expect_rejected(codec, {1, 0, 0}, n, "delta zero increment");
+    // Gap past the plane.
+    expect_rejected(codec, {1, 5, 1}, n, "delta gap over plane");
+    // Count over the plane size.
+    expect_rejected(codec, {6}, n, "delta count over plane");
+    // Truncated pair list.
+    expect_rejected(codec, {2, 0, 1, 1}, n, "delta truncated pairs");
+  }
+  {
+    const PayloadShape causal_only{.causal = true};
+    PiggybackCodec codec(PiggybackCodecKind::kDelta, n, causal_only);
+    // All-zero row mask: the row did not change, non-canonical.
+    expect_rejected(codec, {1, 0, 0}, n, "delta zero causal mask");
+    // Stray bits beyond column n in the row mask (bit 5 of 5).
+    expect_rejected(codec, {1, 0, 0x20}, n, "delta stray mask bit");
+  }
+  {
+    const PayloadShape index_only{.index = true};
+    PiggybackCodec codec(PiggybackCodecKind::kDelta, n, index_only);
+    // Index delta pushing past the cap.
+    expect_rejected(codec, {0x80, 0x80, 0x80, 0x80, 0x04}, n,
+                    "delta index past cap");
+  }
+}
+
+// A rejected payload leaves the delta shadows untouched: the next valid
+// payload still decodes against the pre-failure state.
+TEST(PiggybackCodecReject, DeltaShadowsSurviveRejection) {
+  const int n = 4;
+  const PayloadShape tdv_only{.tdv = true};
+  PiggybackCodec codec(PiggybackCodecKind::kDelta, n, tdv_only);
+  Piggyback pb = make_payload(n, tdv_only);
+  pb.tdv = {1, 0, 0, 0};
+  std::vector<std::uint8_t> first;
+  codec.encode(0, 1, pb.view(), first);
+  Piggyback slot = make_payload(n, tdv_only);
+  std::size_t offset = 0;
+  codec.decode(0, 1, first, offset, shaped_slot(slot, tdv_only));
+  ASSERT_EQ(slot.tdv, pb.tdv);
+
+  // Malformed payload on the same channel: rejected, shadow intact...
+  expect_rejected(codec, {1, 0, 0}, n, "zero delta after good payload");
+  // ...so the next genuine increment (entry 0: 1 -> 3) still decodes.
+  pb.tdv = {3, 0, 0, 0};
+  std::vector<std::uint8_t> second;
+  codec.encode(0, 1, pb.view(), second);
+  offset = 0;
+  codec.decode(0, 1, second, offset, shaped_slot(slot, tdv_only));
+  EXPECT_EQ(slot.tdv, pb.tdv);
+}
+
+// Encoded-size sanity on a sparse-ish payload: both clever codecs beat the
+// flat layout, and all three roundtrip the same planes.
+TEST(PiggybackCodecSizes, CleverCodecsBeatFlatOnSparseData) {
+  const int n = 8;
+  const Piggyback pb = sample_payload(n);
+  std::size_t sizes[kNumPiggybackCodecKinds] = {};
+  for (int c = 0; c < kNumPiggybackCodecKinds; ++c) {
+    PiggybackCodec codec(static_cast<PiggybackCodecKind>(c), n, kFullShape);
+    std::vector<std::uint8_t> wire;
+    sizes[c] = codec.encode(0, 1, pb.view(), wire);
+  }
+  const auto flat = static_cast<std::size_t>(
+      sizes[static_cast<int>(PiggybackCodecKind::kFlat)]);
+  EXPECT_LT(sizes[static_cast<int>(PiggybackCodecKind::kDelta)], flat);
+  EXPECT_LT(sizes[static_cast<int>(PiggybackCodecKind::kSparse)], flat);
+}
+
+}  // namespace
+}  // namespace rdt

@@ -1,0 +1,8 @@
+// A bench table making the analytic flat layout the headline number —
+// exactly the flat-256 lie the measured codec path retired. Outside the
+// codec layer the flat column is comparison-only.
+#include <cstddef>
+
+std::size_t headline_bits_per_message(int n) {
+  return registry.info(kind).flat_piggyback_bits(n);
+}

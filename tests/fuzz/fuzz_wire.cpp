@@ -33,14 +33,27 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
       if (offset != before) __builtin_trap();
       return 0;
     }
-    // Valid frames must roundtrip bit-identically through the encoder.
+    // Valid frames must roundtrip bit-identically through the encoder —
+    // including the optional piggyback section, blob framing and all.
     std::vector<std::uint8_t> reencoded;
-    rdt::serve::encode_frame(frame.session, frame.events, reencoded);
+    if (frame.has_piggyback)
+      rdt::serve::encode_frame(frame.session, frame.events, frame.piggyback,
+                               reencoded);
+    else
+      rdt::serve::encode_frame(frame.session, frame.events, reencoded);
     rdt::serve::Frame again;
     std::size_t reoffset = 0;
     rdt::serve::decode_frame(reencoded, reoffset, again);
     if (reoffset != reencoded.size() || again.session != frame.session ||
-        again.events != frame.events)
+        again.events != frame.events ||
+        again.has_piggyback != frame.has_piggyback)
+      __builtin_trap();
+    if (frame.has_piggyback &&
+        (again.piggyback.protocol != frame.piggyback.protocol ||
+         again.piggyback.codec != frame.piggyback.codec ||
+         again.piggyback.num_processes != frame.piggyback.num_processes ||
+         again.piggyback.sizes != frame.piggyback.sizes ||
+         again.piggyback.bytes != frame.piggyback.bytes))
       __builtin_trap();
   }
   return 0;

@@ -28,7 +28,7 @@ TEST(Bcs, TimestampRules) {
   Piggyback pb = a.make_payload();
   a.on_send(1, pb.slot());
   EXPECT_EQ(pb.index, 2);
-  EXPECT_EQ(pb.wire_bits(), 32u);
+  EXPECT_EQ(pb.flat_bits(), 32u);
   EXPECT_TRUE(pb.tdv.empty());
   // A larger timestamp forces; the receiver adopts it. The fired predicate
   // is the index comparison, named for the observability layer.
@@ -55,7 +55,7 @@ TEST(Bcs, FactoryAndName) {
   EXPECT_EQ(p->kind(), ProtocolKind::kBcs);
   EXPECT_EQ(to_string(ProtocolKind::kBcs), "bcs");
   EXPECT_FALSE(p->transmits_tdv());
-  EXPECT_EQ(p->piggyback_bits(), 32u);
+  EXPECT_EQ(p->flat_piggyback_bits(), 32u);
 }
 
 TEST(Bcs, PreventsUselessCheckpointsEverywhere) {

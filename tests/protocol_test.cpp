@@ -55,8 +55,8 @@ TEST(ProtocolFactory, NamesRoundTrip) {
     EXPECT_EQ(p->num_processes(), 3);
   }
   EXPECT_THROW(protocol_from_string("nope"), std::invalid_argument);
-  EXPECT_EQ(all_protocol_kinds().size(), 10u);
-  EXPECT_EQ(rdt_protocol_kinds().size(), 8u);
+  EXPECT_EQ(all_protocol_kinds().size(), 11u);
+  EXPECT_EQ(rdt_protocol_kinds().size(), 9u);
 }
 
 TEST(ProtocolBase, InitialStateMatchesS0) {
@@ -111,10 +111,13 @@ TEST(ProtocolBase, MinGlobalCkptRequiresTdvTracking) {
   EXPECT_EQ(fdas->min_global_ckpt(0), (GlobalCkpt{{0, 0, 0}}));
 }
 
-TEST(Piggyback, WireBitsPerProtocol) {
-  const int n = 5;
+TEST(Piggyback, FlatBitsPerProtocol) {
+  // The analytic flat-plane figure: 32 bits per TDV entry, one bit per
+  // simple/causal plane cell, 32 for a scalar index.
+  const unsigned n = 5;
   auto bits = [&](ProtocolKind kind) {
-    return ProtocolRegistry::instance().info(kind).piggyback_bits(n);
+    return ProtocolRegistry::instance().info(kind).flat_piggyback_bits(
+        static_cast<int>(n));
   };
   EXPECT_EQ(bits(ProtocolKind::kNoForce), 0u);
   EXPECT_EQ(bits(ProtocolKind::kCbr), 0u);
@@ -125,6 +128,34 @@ TEST(Piggyback, WireBitsPerProtocol) {
   EXPECT_EQ(bits(ProtocolKind::kBhmr), 32u * n + n + n * n);
   EXPECT_EQ(bits(ProtocolKind::kBhmrNoSimple), 32u * n + n * n);
   EXPECT_EQ(bits(ProtocolKind::kBhmrC1Only), 32u * n + n * n);
+  EXPECT_EQ(bits(ProtocolKind::kBcs), 32u);
+  EXPECT_EQ(bits(ProtocolKind::kAdaptive), 32u * n + n + n * n);
+}
+
+TEST(Piggyback, MeasuredWireBitsPerProtocol) {
+  // The measured figure: the declared codec's encoding of each protocol's
+  // first message (P0 -> P1, n = 5). Exact byte-level expectations pin the
+  // wire formats down; see codec.hpp for the grammar.
+  auto bits = [&](ProtocolKind kind) {
+    return ProtocolRegistry::instance().info(kind).piggyback_bits(5);
+  };
+  // Empty shape encodes to zero bytes under any codec.
+  EXPECT_EQ(bits(ProtocolKind::kNoForce), 0u);
+  EXPECT_EQ(bits(ProtocolKind::kCbr), 0u);
+  EXPECT_EQ(bits(ProtocolKind::kCas), 0u);
+  EXPECT_EQ(bits(ProtocolKind::kNras), 0u);
+  // Delta TDV, one changed entry: count(1) + gap(0) + delta(1) = 3 bytes.
+  EXPECT_EQ(bits(ProtocolKind::kFdi), 24u);
+  EXPECT_EQ(bits(ProtocolKind::kFdas), 24u);
+  // Full BHMR adds one simple flip (2 bytes) and the five diagonal causal
+  // rows (count + 5 x (row gap + 1-byte XOR mask) = 11 bytes): 16 bytes.
+  EXPECT_EQ(bits(ProtocolKind::kBhmr), 128u);
+  EXPECT_EQ(bits(ProtocolKind::kBhmrNoSimple), 112u);
+  // Sparse: five TDV varints plus an empty causal offset list = 6 bytes.
+  EXPECT_EQ(bits(ProtocolKind::kBhmrC1Only), 48u);
+  // Sparse scalar index: a single varint.
+  EXPECT_EQ(bits(ProtocolKind::kBcs), 8u);
+  EXPECT_EQ(bits(ProtocolKind::kAdaptive), bits(ProtocolKind::kBhmr));
 }
 
 // ------------------------------------------------------------- baselines

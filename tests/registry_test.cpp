@@ -54,7 +54,18 @@ TEST(ProtocolRegistry, MetadataMatchesInstances) {
     EXPECT_EQ(info.transmits_tdv, p->transmits_tdv()) << info.id;
     EXPECT_EQ(info.checkpoint_after_send, p->checkpoint_after_send())
         << info.id;
-    EXPECT_EQ(info.piggyback_bits(5), p->piggyback_bits()) << info.id;
+    EXPECT_EQ(info.flat_piggyback_bits(5), p->flat_piggyback_bits())
+        << info.id;
+    // The measured figure never exceeds the flat one (a codec that inflates
+    // its payload would be a bug), and both vanish when no channel exists.
+    EXPECT_LE(info.piggyback_bits(5), info.flat_piggyback_bits(5)) << info.id;
+    EXPECT_EQ(info.piggyback_bits(1), 0u) << info.id;
+    // The declared shape matches what the protocol's payload carries.
+    const Piggyback pb = p->make_payload();
+    EXPECT_EQ(info.shape.tdv, !pb.tdv.empty()) << info.id;
+    EXPECT_EQ(info.shape.simple, pb.simple.size() > 0) << info.id;
+    EXPECT_EQ(info.shape.causal, pb.causal.rows() > 0) << info.id;
+    EXPECT_EQ(info.shape.index, pb.index != Piggyback::kNoIndex) << info.id;
   }
   // The RDT claims: every kind except the no-force baseline and BCS (which
   // only prevents useless checkpoints) ensures RDT.

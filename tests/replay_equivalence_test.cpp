@@ -78,7 +78,7 @@ TEST(ReplayEquivalence, FastPathAndArenaMatchFullReplay) {
           EXPECT_EQ(full.messages, r->messages);
           EXPECT_EQ(full.basic, r->basic);
           EXPECT_EQ(full.forced, r->forced);
-          EXPECT_EQ(full.piggyback_bits_total, r->piggyback_bits_total);
+          EXPECT_EQ(full.flat_bits_total, r->flat_bits_total);
         }
         // The full replay materializes; the fast paths only do under audits.
         EXPECT_TRUE(full.pattern_built);
@@ -97,7 +97,7 @@ TEST(ReplayEquivalence, FastPathAndArenaMatchFullReplay) {
 TEST(ReplayEquivalence, ExplicitArenaMatchesOwningPayloads) {
   // Deterministic micro-check on the payload contents themselves: replay a
   // trace once with the arena and once with owning payloads, and compare
-  // the per-message wire bits (shape constancy means a single constant).
+  // the per-message flat bits (shape constancy means a single constant).
   RandomEnvConfig cfg;
   cfg.num_processes = 5;
   cfg.duration = 60.0;
@@ -107,10 +107,10 @@ TEST(ReplayEquivalence, ExplicitArenaMatchesOwningPayloads) {
   for (ProtocolKind kind : all_protocol_kinds()) {
     SCOPED_TRACE(to_string(kind));
     const auto bits =
-        ProtocolRegistry::instance().info(kind).piggyback_bits(
+        ProtocolRegistry::instance().info(kind).flat_piggyback_bits(
             trace.num_processes);
     const ReplayResult r = replay_metrics(trace, kind);
-    EXPECT_EQ(r.piggyback_bits_total,
+    EXPECT_EQ(r.flat_bits_total,
               static_cast<unsigned long long>(bits) *
                   static_cast<unsigned long long>(r.messages));
   }
@@ -143,8 +143,8 @@ TEST(ReplayEquivalence, FusedParallelSweepIsBitIdenticalToSerial) {
                 parallel[i].r_forced_per_basic.stddev);
       EXPECT_EQ(serial[i].forced_per_message.mean,
                 parallel[i].forced_per_message.mean);
-      EXPECT_EQ(serial[i].piggyback_bits.mean,
-                parallel[i].piggyback_bits.mean);
+      EXPECT_EQ(serial[i].wire_bits.mean, parallel[i].wire_bits.mean);
+      EXPECT_EQ(serial[i].flat_bits.mean, parallel[i].flat_bits.mean);
     }
   }
 }

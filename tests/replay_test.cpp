@@ -61,12 +61,16 @@ TEST(Replay, CbrForcesPerDeliveryAndCasPerSend) {
 
 TEST(Replay, PiggybackAccounting) {
   const Trace t = small_random_trace(4);
-  EXPECT_EQ(replay(t, ProtocolKind::kNras).piggyback_bits_per_message(), 0.0);
-  EXPECT_EQ(replay(t, ProtocolKind::kFdas).piggyback_bits_per_message(),
+  EXPECT_EQ(replay(t, ProtocolKind::kNras).flat_bits_per_message(), 0.0);
+  EXPECT_EQ(replay(t, ProtocolKind::kFdas).flat_bits_per_message(),
             32.0 * t.num_processes);
-  const double bhmr = replay(t, ProtocolKind::kBhmr).piggyback_bits_per_message();
+  const double bhmr = replay(t, ProtocolKind::kBhmr).flat_bits_per_message();
   EXPECT_EQ(bhmr, 32.0 * t.num_processes + t.num_processes +
                       t.num_processes * t.num_processes);
+  // Without a wire codec the measured figure stays unreported.
+  const ReplayResult flat = replay(t, ProtocolKind::kBhmr);
+  EXPECT_FALSE(flat.wire_measured);
+  EXPECT_EQ(flat.wire_bits_per_message(), 0.0);
 }
 
 // --- the central integration sweep: protocol x environment x seed ---------

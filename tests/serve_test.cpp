@@ -323,6 +323,90 @@ TEST(ServeDriver, SummedAnswersMatchStandalone) {
             static_cast<std::size_t>(report.cheap_queries));
 }
 
+// --- piggyback ingestion ---------------------------------------------------
+
+// The driver generates real codec traffic; every frame's section must
+// decode in the pool (the serve-side mirror of the replay measurement) and
+// the event answers must stay untouched by the extra section bytes.
+TEST(ServePiggyback, DriverCarriesCodecTrafficEndToEnd) {
+  RandomEnvConfig cfg;
+  cfg.num_processes = 4;
+  cfg.duration = 12.0;
+  cfg.basic_ckpt_mean = 5.0;
+  cfg.seed = 11;
+  for (ProtocolKind kind :
+       {ProtocolKind::kBhmr, ProtocolKind::kFdas, ProtocolKind::kBcs}) {
+    SCOPED_TRACE(to_string(kind));
+    const std::vector<StreamEvent> stream =
+        record_replay(random_environment(cfg), kind);
+    ServePool pool({.shards = 2, .num_processes = 4});
+    DriverOptions options;
+    options.sessions = 6;
+    options.clients = 3;
+    options.batch_events = 16;
+    options.piggyback = kind;
+    const DriverReport report = run_clients(pool, stream, options);
+    EXPECT_EQ(report.piggyback_frames, report.frames);
+    EXPECT_EQ(report.piggyback_rejected, 0);
+    EXPECT_GT(report.piggyback_bits, 0);
+    OnlineEngine standalone(4);
+    standalone.feed(stream);
+    EXPECT_EQ(report.events_consumed, standalone.events_consumed() * 6);
+    EXPECT_EQ(report.rdt_sessions, standalone.is_rdt_so_far() ? 6 : 0);
+  }
+}
+
+// A bad section must not poison the frame's events or the pool: the events
+// apply, the section is counted in piggyback_rejected, and the session
+// keeps serving.
+TEST(ServePiggyback, BadSectionIsCountedNotFatal) {
+  ServePool pool({.shards = 1, .num_processes = 3});
+  pool.open_session(1);
+  // Each frame carries a fresh message (msg ids are single-use in a
+  // session's stream); p is the sender for sends AND delivers.
+  auto events = [](MsgId m) {
+    return std::vector<StreamEvent>{StreamEvent::send(m, 0, 1),
+                                    StreamEvent::deliver(m, 0, 1)};
+  };
+  std::vector<std::uint8_t> frame;
+
+  // Process count disagrees with the pool's engines.
+  PiggybackSection pb;
+  pb.protocol = ProtocolKind::kFdas;
+  pb.codec = PiggybackCodecKind::kDelta;
+  pb.num_processes = 5;
+  pb.sizes = {0};
+  encode_frame(1, events(0), pb, frame);
+  pool.submit(frame);
+
+  // Right ids, but the blob is garbage for the declared delta codec (a
+  // truncated varint).
+  pb.num_processes = 3;
+  pb.sizes = {1};
+  pb.bytes = {0xFF};
+  frame.clear();
+  encode_frame(1, events(1), pb, frame);
+  pool.submit(frame);
+
+  // A well-formed section decodes: one send whose TDV delta names entry 0
+  // going to 1 (count=1, gap=0, delta=1).
+  pb.sizes = {3};
+  pb.bytes = {1, 0, 1};
+  frame.clear();
+  encode_frame(1, events(2), pb, frame);
+  pool.submit(frame);
+  pool.drain();
+
+  const ShardStats stats = pool.shard_stats(0);
+  EXPECT_EQ(stats.frames, 3);
+  EXPECT_EQ(stats.rejected, 0);  // the events of all three frames applied
+  EXPECT_EQ(stats.piggyback_rejected, 2);
+  EXPECT_EQ(stats.piggyback_frames, 1);
+  EXPECT_EQ(stats.piggyback_bits, 3 * 8);
+  EXPECT_EQ(pool.events_consumed(1), 6);
+  pool.close_session(1);
+}
+
 // --- TSan targets (the tsan CI job runs ServeConcurrency.*) ---------------
 
 // Producer threads submitting into shared shards while dedicated query

@@ -45,6 +45,28 @@ std::vector<std::uint8_t> encoded(SessionId session,
   return bytes;
 }
 
+// A section with varied blob sizes (including an empty blob — a legal
+// encoding of an empty payload shape) for the two sends of sample_events().
+PiggybackSection sample_section() {
+  PiggybackSection pb;
+  pb.protocol = ProtocolKind::kFdas;
+  pb.codec = PiggybackCodecKind::kDelta;
+  pb.num_processes = 4;
+  pb.sizes = {3, 0};
+  pb.bytes = {0xA0, 0xA1, 0xA2};
+  return pb;
+}
+
+// Hand-assembled frame for hostile-input tests: varint(len) + payload.
+// Payloads here stay under 128 bytes, so the length prefix is one byte.
+std::vector<std::uint8_t> raw_frame(const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(payload.size() + 1);
+  out.push_back(static_cast<std::uint8_t>(payload.size()));
+  for (const std::uint8_t b : payload) out.push_back(b);
+  return out;
+}
+
 // Decode must throw std::invalid_argument carrying "wire: byte N:" context
 // and must leave the caller's offset exactly where it was.
 void expect_rejected(const std::vector<std::uint8_t>& bytes,
@@ -276,6 +298,132 @@ TEST(Wire, EncodeValidatesEvents) {
   Frame frame;
   decode_frame(out, offset, frame);
   EXPECT_EQ(offset, good);
+}
+
+TEST(WirePiggyback, RoundtripsSection) {
+  const std::vector<StreamEvent> events = sample_events();
+  const PiggybackSection pb = sample_section();
+  std::vector<std::uint8_t> bytes;
+  const std::size_t appended = encode_frame(77, events, pb, bytes);
+  EXPECT_EQ(appended, bytes.size());
+  Frame frame;
+  std::size_t offset = 0;
+  decode_frame(bytes, offset, frame);
+  EXPECT_EQ(offset, bytes.size());
+  EXPECT_EQ(frame.session, 77u);
+  ASSERT_EQ(frame.events.size(), events.size());
+  EXPECT_TRUE(frame.has_piggyback);
+  EXPECT_EQ(frame.piggyback.protocol, pb.protocol);
+  EXPECT_EQ(frame.piggyback.codec, pb.codec);
+  EXPECT_EQ(frame.piggyback.num_processes, pb.num_processes);
+  EXPECT_EQ(frame.piggyback.sizes, pb.sizes);
+  EXPECT_EQ(frame.piggyback.bytes, pb.bytes);
+  // A sectionless frame decoded into the same Frame clears the flag.
+  bytes.clear();
+  encode_events(77, events, bytes);
+  offset = 0;
+  decode_frame(bytes, offset, frame);
+  EXPECT_FALSE(frame.has_piggyback);
+}
+
+TEST(WirePiggyback, RoundtripsSendlessSection) {
+  // Zero sends means zero blobs: the section is just its three-id header.
+  const std::vector<StreamEvent> events = {StreamEvent::internal(0),
+                                           StreamEvent::checkpoint(1, 1)};
+  PiggybackSection pb;
+  pb.protocol = ProtocolKind::kBcs;
+  pb.codec = PiggybackCodecKind::kSparse;
+  pb.num_processes = 2;
+  std::vector<std::uint8_t> bytes;
+  encode_frame(9, events, pb, bytes);
+  Frame frame;
+  std::size_t offset = 0;
+  decode_frame(bytes, offset, frame);
+  EXPECT_TRUE(frame.has_piggyback);
+  EXPECT_EQ(frame.piggyback.protocol, ProtocolKind::kBcs);
+  EXPECT_TRUE(frame.piggyback.sizes.empty());
+  EXPECT_TRUE(frame.piggyback.bytes.empty());
+}
+
+TEST(WirePiggyback, RejectsEveryTruncation) {
+  std::vector<std::uint8_t> bytes;
+  encode_frame(300, sample_events(), sample_section(), bytes);
+  const std::size_t prefix = 1;  // the frame stays under 128 payload bytes
+  ASSERT_LT(bytes.size() - prefix, 0x80u);
+  // A payload cut at the event/section boundary is a *legal* sectionless
+  // frame (the section is optional); every other cut must be rejected.
+  std::vector<std::uint8_t> sectionless;
+  encode_events(300, sample_events(), sectionless);
+  const std::size_t boundary = sectionless.size() - prefix;
+  for (std::size_t len = 0; len + 1 < bytes.size(); ++len) {
+    SCOPED_TRACE("truncated to " + std::to_string(len) + " bytes");
+    // Envelope-level cut: the length prefix now overruns the input.
+    expect_rejected(std::vector<std::uint8_t>(
+        bytes.begin(), bytes.begin() + static_cast<std::ptrdiff_t>(len)));
+    // Payload-level cut: a re-stamped prefix makes the truncation land
+    // inside the frame grammar (events or piggyback section).
+    if (len >= prefix && len - prefix != boundary)
+      expect_rejected(raw_frame(std::vector<std::uint8_t>(
+          bytes.begin() + static_cast<std::ptrdiff_t>(prefix),
+          bytes.begin() + static_cast<std::ptrdiff_t>(len))));
+  }
+}
+
+TEST(WirePiggyback, RejectsBadSectionIds) {
+  // payload := session(7) count(1) send(p=0,msg=0,peer=1) then a section.
+  const std::vector<std::uint8_t> head = {7, 1, 0x01, 0, 1};
+  auto with_section = [&](std::vector<std::uint8_t> section) {
+    std::vector<std::uint8_t> payload = head;
+    for (const std::uint8_t b : section) payload.push_back(b);
+    return raw_frame(payload);
+  };
+  // Protocol id past the registered kinds.
+  expect_rejected(with_section({99, 0, 2, 0}));
+  // Codec id past the known codecs.
+  expect_rejected(with_section({5, 7, 2, 0}));
+  // Process count zero / beyond the codec cap (1 << 10).
+  expect_rejected(with_section({5, 1, 0, 0}));
+  expect_rejected(with_section({5, 1, 0x81, 0x08, 0}));  // varint 1025
+  // Valid header decodes (blob contents are opaque at this layer).
+  Frame frame;
+  std::size_t at = 0;
+  decode_frame(with_section({5, 1, 2, 0}), at, frame);
+  EXPECT_TRUE(frame.has_piggyback);
+  EXPECT_EQ(frame.piggyback.protocol, ProtocolKind::kFdas);
+  EXPECT_EQ(frame.piggyback.codec, PiggybackCodecKind::kDelta);
+}
+
+TEST(WirePiggyback, RejectsBlobOverrunAndTrailingGarbage) {
+  const std::vector<std::uint8_t> head = {7, 1, 0x01, 0, 1};
+  auto with_section = [&](std::vector<std::uint8_t> section) {
+    std::vector<std::uint8_t> payload = head;
+    for (const std::uint8_t b : section) payload.push_back(b);
+    return raw_frame(payload);
+  };
+  // Blob length claims 9 bytes; only 2 remain in the payload.
+  expect_rejected(with_section({5, 1, 2, 9, 0xAA, 0xBB}));
+  // Bytes left over after the last send's blob.
+  expect_rejected(with_section({5, 1, 2, 1, 0xAA, 0xBB}));
+  // A section header with no blob at all for the frame's one send: the
+  // missing blob length reads as truncation.
+  expect_rejected(with_section({5, 1, 2}));
+}
+
+TEST(WirePiggyback, EncodeValidatesSection) {
+  const std::vector<StreamEvent> events = sample_events();  // two sends
+  std::vector<std::uint8_t> out;
+  PiggybackSection pb = sample_section();
+  pb.sizes = {3};  // one blob for two sends
+  EXPECT_THROW(encode_frame(1, events, pb, out), std::invalid_argument);
+  pb = sample_section();
+  pb.sizes = {2, 0};  // sizes sum (2) disagrees with bytes.size() (3)
+  EXPECT_THROW(encode_frame(1, events, pb, out), std::invalid_argument);
+  pb = sample_section();
+  pb.num_processes = 0;
+  EXPECT_THROW(encode_frame(1, events, pb, out), std::invalid_argument);
+  pb = sample_section();
+  pb.num_processes = kMaxCodecProcesses + 1;
+  EXPECT_THROW(encode_frame(1, events, pb, out), std::invalid_argument);
 }
 
 TEST(Wire, ErrorsCarryByteOffsets) {

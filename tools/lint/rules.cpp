@@ -536,6 +536,39 @@ void rule_bool_zreach(const FileInput& file, std::string_view stripped,
   }
 }
 
+// ---------------------------------------------------------------------------
+// flat-piggyback: PR 10 made piggyback cost a measured quantity — replays
+// route payloads through the declared PiggybackCodec and report what the
+// encoder actually put on the wire. The analytic flat layout
+// (flat_piggyback_bits, and the retired v1 report key
+// piggyback_bits_per_message) survives only inside the codec/measurement
+// layer as a labeled comparison column; reading it anywhere else resurrects
+// the flat-256 lie the codecs were built to retire.
+constexpr std::array<std::string_view, 2> kFlatPiggybackNeedles = {
+    "flat_piggyback_bits", "piggyback_bits_per_message"};
+
+bool flat_piggyback_exempt(std::string_view path) {
+  return path_contains(path, "src/protocols/") ||
+         path_contains(path, "src/sim/") || path_contains(path, "tools/lint/");
+}
+
+void rule_flat_piggyback(const FileInput& file, std::string_view stripped,
+                         std::vector<Finding>& out) {
+  if (flat_piggyback_exempt(file.path)) return;
+  for (const std::string_view needle : kFlatPiggybackNeedles) {
+    for (std::size_t pos = find_token(stripped, needle, 0);
+         pos != std::string_view::npos;
+         pos = find_token(stripped, needle, pos + 1)) {
+      if (suppressed(file.text, pos, "flat-piggyback")) continue;
+      out.push_back({file.path, line_of(stripped, pos), "flat-piggyback",
+                     std::string(needle) +
+                         " outside the codec layer: report measured wire "
+                         "bits (ProtocolInfo::piggyback_bits, "
+                         "ReplayResult::wire_bits_total) instead"});
+    }
+  }
+}
+
 }  // namespace
 
 std::string strip_comments_and_strings(std::string_view text) {
@@ -603,6 +636,9 @@ const std::vector<RuleInfo>& rules() {
       {"bool-zreach",
        "zreach must return ZreachResult, not a raw bool that conflates "
        "evicted and unreachable"},
+      {"flat-piggyback",
+       "outside the codec layer, piggyback cost is measured wire bits; the "
+       "analytic flat column is a codec-layer comparison only"},
   };
   return kRules;
 }
@@ -619,6 +655,7 @@ std::vector<Finding> lint_file(const FileInput& file,
   rule_bitspan_trim(file, stripped, out);
   rule_owning_piggyback(file, stripped, out);
   rule_bool_zreach(file, stripped, out);
+  rule_flat_piggyback(file, stripped, out);
   std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
     return a.line < b.line;
   });

@@ -2,7 +2,7 @@
 //
 //   rdt-stats trace <trace.json>    validate an rdt-trace-v1 chrome trace,
 //                                   summarize spans / counters / histograms
-//   rdt-stats bench <report.json>   validate an rdt-bench-v1 report, list
+//   rdt-stats bench <report.json>   validate an rdt-bench report, list
 //                                   its sections (and the observability
 //                                   section's counters when present)
 //
@@ -32,7 +32,7 @@ struct UsageError {};
 [[noreturn]] void usage() {
   std::cerr << "usage: rdt-stats <command> <file.json>\n"
                "  trace <trace.json>    rdt-trace-v1 (chrome://tracing)\n"
-               "  bench <report.json>   rdt-bench-v1\n";
+               "  bench <report.json>   rdt-bench-v1 or -v2\n";
   throw UsageError{};
 }
 
@@ -145,9 +145,12 @@ int cmd_trace(const std::string& path) {
 
 int cmd_bench(const std::string& path) {
   const json::Value doc = json::parse(slurp(path));
+  // v2 replaced the flat piggyback_bits_per_message column with measured
+  // wire bits; the envelope this command validates is otherwise unchanged,
+  // so both versions are accepted.
   const std::string& schema = doc.at("schema").as_string();
-  if (schema != "rdt-bench-v1")
-    schema_error("expected schema rdt-bench-v1, got '" + schema + "'");
+  if (schema != "rdt-bench-v1" && schema != "rdt-bench-v2")
+    schema_error("expected schema rdt-bench-v1 or -v2, got '" + schema + "'");
 
   std::cout << "experiment: " << doc.at("experiment").as_string() << " ("
             << doc.at("wall_seconds").as_double() << " s)\n";
